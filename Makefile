@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/parallelize.exe
+	dune exec examples/optimizer.exe
+	dune exec examples/nested_pascal.exe
+
+.PHONY: all test test-force bench bench-quick examples
