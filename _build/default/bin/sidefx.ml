@@ -1,0 +1,302 @@
+(* sidefx — command-line driver for the Cooper–Kennedy side-effect
+   analysis library.
+
+     sidefx analyze FILE        full MOD/USE report for a MiniProc file
+     sidefx sections FILE       regular-section (§6) report
+     sidefx stats FILE          call / binding multi-graph statistics
+     sidefx gen [...]           emit a random MiniProc program
+     sidefx bench-table [...]   empirical-linearity operation counts *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Frontend.Sema.compile ~file:path (read_file path) with
+  | Ok prog -> prog
+  | Error errs ->
+    Format.eprintf "@[<v>%a@]@."
+      (Format.pp_print_list ~pp_sep:Format.pp_print_newline Frontend.Sema.pp_error)
+      errs;
+    exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniProc source file.")
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run file flat =
+    let prog = load file in
+    let t = Core.Analyze.run ~force_flat:flat prog in
+    Format.printf "%a@." Core.Analyze.pp_report t
+  in
+  let flat =
+    Arg.(value & flag & info [ "force-flat" ]
+           ~doc:"Use plain Figure-2 findgmod even on nested programs (ablation).")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Interprocedural MOD/USE analysis of a MiniProc file.")
+    Term.(const run $ file_arg $ flat)
+
+(* --- sections --- *)
+
+let sections_cmd =
+  let run file =
+    let prog = load file in
+    if not (Sections.Analyze_sections.applicable prog) then begin
+      Format.eprintf "regular-section analysis requires a flat program@.";
+      exit 1
+    end;
+    let t = Sections.Analyze_sections.run prog in
+    Format.printf "%a@." Sections.Analyze_sections.pp_report t
+  in
+  Cmd.v
+    (Cmd.info "sections" ~doc:"Regular-section (array subsection) analysis, §6.")
+    Term.(const run $ file_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run file =
+    let prog = load file in
+    let call = Callgraph.Call.build prog in
+    let binding = Callgraph.Binding.build prog in
+    Format.printf "%a@.%a@." Callgraph.Call.pp_stats call Callgraph.Binding.pp_stats
+      binding;
+    let reach = Callgraph.Call.reachable_from_main call in
+    Format.printf "procedures reachable from main: %d / %d@." (Bitvec.cardinal reach)
+      (Ir.Prog.n_procs prog);
+    Format.printf "nesting depth dP = %d@." (Ir.Prog.max_level prog)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Sizes of the call multi-graph C and binding multi-graph β.")
+    Term.(const run $ file_arg)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let run n depth seed globals formals density recursion =
+    let rng = Random.State.make [| seed; 0x5e |] in
+    let prog =
+      Workload.Gen.generate rng
+        {
+          Workload.Gen.default with
+          Workload.Gen.n_procs = n;
+          n_globals = globals;
+          max_formals = formals;
+          binding_density = density;
+          recursion;
+          max_depth = depth;
+        }
+    in
+    print_string (Ir.Pp.to_string prog)
+  in
+  let n = Arg.(value & opt int 20 & info [ "n"; "procs" ] ~doc:"Number of procedures.") in
+  let depth = Arg.(value & opt int 1 & info [ "depth" ] ~doc:"Max nesting depth.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let globals = Arg.(value & opt int 12 & info [ "globals" ] ~doc:"Global variables.") in
+  let formals =
+    Arg.(value & opt int 5 & info [ "max-formals" ] ~doc:"Max formals per procedure.")
+  in
+  let density =
+    Arg.(value & opt float 0.5 & info [ "binding-density" ]
+           ~doc:"Probability a by-ref actual is itself a formal.")
+  in
+  let recursion =
+    Arg.(value & opt float 0.2 & info [ "recursion" ] ~doc:"Recursion probability.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random MiniProc program on stdout.")
+    Term.(const run $ n $ depth $ seed $ globals $ formals $ density $ recursion)
+
+(* --- run --- *)
+
+let run_cmd =
+  let run file fuel =
+    let prog = load file in
+    let o = Interp.run ~fuel prog in
+    List.iter (fun n -> Printf.printf "%d\n" n) o.Interp.output;
+    if o.Interp.truncated then
+      Format.eprintf "(truncated after %d statements)@." o.Interp.steps
+  in
+  let fuel =
+    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Statement budget.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a MiniProc program under the interpreter.")
+    Term.(const run $ file_arg $ fuel)
+
+(* --- check --- *)
+
+let check_cmd =
+  let run file fuel =
+    let prog = load file in
+    let t = Core.Analyze.run prog in
+    let o = Interp.run ~fuel prog in
+    let violations = ref 0 in
+    let executed = ref 0 in
+    let observed_total = ref 0 in
+    let static_total = ref 0 in
+    Ir.Prog.iter_sites prog (fun s ->
+        let sid = s.Ir.Prog.sid in
+        if o.Interp.calls_executed.(sid) > 0 then begin
+          incr executed;
+          let om = Interp.observed_mod o sid in
+          let sm = Core.Analyze.mod_of_site t sid in
+          observed_total := !observed_total + Bitvec.cardinal om;
+          static_total := !static_total + Bitvec.cardinal sm;
+          if not (Bitvec.subset om sm) then begin
+            incr violations;
+            Format.printf "UNSOUND at site %d (%s -> %s): observed %a, predicted %a@."
+              sid
+              (Ir.Prog.proc prog s.Ir.Prog.caller).Ir.Prog.pname
+              (Ir.Prog.proc prog s.Ir.Prog.callee).Ir.Prog.pname
+              (Ir.Pp.pp_var_set prog) om (Ir.Pp.pp_var_set prog) sm
+          end;
+          let ou = Interp.observed_use o sid in
+          let su = Core.Analyze.use_of_site t sid in
+          if not (Bitvec.subset ou su) then begin
+            incr violations;
+            Format.printf "UNSOUND USE at site %d: observed %a, predicted %a@." sid
+              (Ir.Pp.pp_var_set prog) ou (Ir.Pp.pp_var_set prog) su
+          end
+        end);
+    Format.printf
+      "sites executed: %d / %d%s; soundness violations: %d@.observed MOD bits: %d; \
+       predicted MOD bits: %d (precision %.0f%%)@."
+      !executed (Ir.Prog.n_sites prog)
+      (if o.Interp.truncated then " (run truncated)" else "")
+      !violations !observed_total !static_total
+      (if !static_total = 0 then 100.0
+       else 100.0 *. float_of_int !observed_total /. float_of_int !static_total);
+    if !violations > 0 then exit 1
+  in
+  let fuel =
+    Arg.(value & opt int 200_000 & info [ "fuel" ] ~doc:"Statement budget.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differentially validate the analysis: execute the program and verify \
+          observed effects are within the predicted MOD/USE sets.")
+    Term.(const run $ file_arg $ fuel)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let run file which output =
+    let prog = load file in
+    let dot =
+      match which with
+      | `Call -> Callgraph.Dot.call_graph (Callgraph.Call.build prog)
+      | `Binding -> Callgraph.Dot.binding_graph (Callgraph.Binding.build prog)
+    in
+    match output with
+    | None -> print_string dot
+    | Some path -> Callgraph.Dot.write_file path dot
+  in
+  let which =
+    Arg.(
+      value
+      & opt (enum [ ("call", `Call); ("binding", `Binding) ]) `Call
+      & info [ "graph" ] ~doc:"Which graph: 'call' (C) or 'binding' (beta).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the call or binding multi-graph in Graphviz format.")
+    Term.(const run $ file_arg $ which $ output)
+
+(* --- constants --- *)
+
+let constants_cmd =
+  let run file =
+    let prog = load file in
+    let info = Ir.Info.make prog in
+    let binding = Callgraph.Binding.build prog in
+    let imod = Frontend.Local.imod info in
+    let rmod = Core.Rmod.solve binding ~imod in
+    let imod_plus = Core.Imod_plus.compute info ~rmod ~imod in
+    let r = Ipcp.analyze info ~imod_plus in
+    Format.printf "%a@." (Ipcp.pp prog) r
+  in
+  Cmd.v
+    (Cmd.info "constants"
+       ~doc:
+         "Interprocedural constant propagation: formal parameters bound to the \
+          same constant at every call site.")
+    Term.(const run $ file_arg)
+
+(* --- inline --- *)
+
+let inline_cmd =
+  let run file max =
+    let prog = load file in
+    let after = Transform.Inline.inline_all_once prog ~max in
+    (match Ir.Validate.run after with
+    | Ok () -> ()
+    | Error _ -> Format.eprintf "internal error: transformed program invalid@.");
+    Format.eprintf "sites: %d -> %d@." (Ir.Prog.n_sites prog) (Ir.Prog.n_sites after);
+    print_string (Ir.Pp.to_string after)
+  in
+  let max =
+    Arg.(value & opt int 10 & info [ "max" ] ~doc:"Maximum number of sites to inline.")
+  in
+  Cmd.v
+    (Cmd.info "inline"
+       ~doc:"Inline call sites (lowest site id first) and print the program.")
+    Term.(const run $ file_arg $ max)
+
+(* --- bench-table --- *)
+
+let bench_table_cmd =
+  let run sizes =
+    Format.printf
+      "# empirical linearity (experiment L1): operation counts vs problem size@.";
+    Format.printf "# %6s %8s %8s %8s | %10s %12s | %12s %12s@." "N" "E" "N_beta"
+      "E_beta" "rmod_steps" "per(Nb+Eb)" "gmod_vecops" "per(N+E)";
+    List.iter
+      (fun n ->
+        let prog = Workload.Families.fortran_style ~seed:7 ~n in
+        let info = Ir.Info.make prog in
+        let call = Callgraph.Call.build prog in
+        let binding = Callgraph.Binding.build prog in
+        let imod = Frontend.Local.imod info in
+        let rmod = Core.Rmod.solve binding ~imod in
+        let imod_plus = Core.Imod_plus.compute info ~rmod ~imod in
+        Bitvec.Stats.reset ();
+        let _ = Core.Gmod.solve info call ~imod_plus in
+        let vec_ops = Bitvec.Stats.vector_ops () in
+        let nb = Callgraph.Binding.n_nodes binding
+        and eb = Callgraph.Binding.n_edges binding in
+        let e = Ir.Prog.n_sites prog in
+        Format.printf "  %6d %8d %8d %8d | %10d %12.2f | %12d %12.2f@." n e nb eb
+          rmod.Core.Rmod.steps
+          (float_of_int rmod.Core.Rmod.steps /. float_of_int (max 1 (nb + eb)))
+          vec_ops
+          (float_of_int vec_ops /. float_of_int (max 1 (n + e))))
+      sizes
+  in
+  let sizes =
+    Arg.(value & opt (list int) [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
+           & info [ "sizes" ] ~doc:"Program sizes (procedure counts) to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "bench-table"
+       ~doc:"Print operation counts demonstrating the linear-time bounds.")
+    Term.(const run $ sizes)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "sidefx" ~version:"1.0.0"
+             ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
+          [ analyze_cmd; sections_cmd; stats_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; bench_table_cmd ]))

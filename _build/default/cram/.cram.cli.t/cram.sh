@@ -1,0 +1,27 @@
+  $ ../bin/sidefx.exe stats ../programs/bank.mp
+  $ ../bin/sidefx.exe analyze ../programs/bank.mp
+  $ ../bin/sidefx.exe sections ../programs/stencil.mp
+  $ ../bin/sidefx.exe stats ../programs/report.mp
+  $ ../bin/sidefx.exe run ../programs/bank.mp
+  $ ../bin/sidefx.exe run ../programs/report.mp
+  $ ../bin/sidefx.exe run ../programs/stencil.mp
+  $ ../bin/sidefx.exe check ../programs/bank.mp
+  $ ../bin/sidefx.exe check ../programs/report.mp
+  $ ../bin/sidefx.exe constants ../programs/pipeline.mp
+  $ ../bin/sidefx.exe run ../programs/pipeline.mp
+  $ ../bin/sidefx.exe dot ../programs/bank.mp --graph binding
+  $ ../bin/sidefx.exe gen --procs 3 --seed 1 > g.mp
+  $ ../bin/sidefx.exe stats g.mp
+  $ cat > bad.mp <<'SRC'
+  > program p;
+  > begin
+  >   x := 1;
+  > end.
+  > SRC
+  $ ../bin/sidefx.exe analyze bad.mp
+  $ ../bin/sidefx.exe inline ../programs/bank.mp > inlined.mp
+  $ ../bin/sidefx.exe run ../programs/bank.mp > before.out
+  $ ../bin/sidefx.exe run inlined.mp > after.out
+  $ diff before.out after.out
+  $ ../bin/sidefx.exe check ../programs/stencil.mp
+  $ ../bin/sidefx.exe check ../programs/pipeline.mp

@@ -1,0 +1,165 @@
+Graph statistics for the quickstart program:
+
+  $ ../bin/sidefx.exe stats ../programs/bank.mp
+  4 procedures, 4 call sites, 4 SCCs
+  C: 4 nodes, 4 edges; beta: 2 nodes, 1 edges; mu_f = 1.33, mu_a = 1.50; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.25
+  procedures reachable from main: 4 / 4
+  nesting depth dP = 1
+
+The full MOD/USE report:
+
+  $ ../bin/sidefx.exe analyze ../programs/bank.mp
+  == analysis report: bank ==
+  4 procedures, 4 call sites, 4 SCCs
+  C: 4 nodes, 4 edges; beta: 2 nodes, 1 edges; mu_f = 1.33, mu_a = 1.50; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.25
+  
+  procedure bank:
+    IMOD+ = {balance, rate, log_count}
+    GMOD  = {balance, rate, log_count}
+    GUSE  = {balance, rate, log_count}
+  procedure audit:
+    IMOD+ = {log_count}
+    GMOD  = {log_count}
+    GUSE  = {log_count, audit.amount}
+  procedure deposit:
+    RMOD = {account}
+    IMOD+ = {deposit.account}
+    GMOD  = {log_count, deposit.account}
+    GUSE  = {log_count, deposit.account, deposit.amount}
+  procedure apply_interest:
+    RMOD = {account}
+    IMOD+ = {apply_interest.account, apply_interest.delta}
+    GMOD  = {log_count, apply_interest.account, apply_interest.delta}
+    GUSE  = {rate, log_count, apply_interest.account, apply_interest.delta}
+  
+  ALIAS(deposit) = {<balance, account>}
+  ALIAS(apply_interest) = {<balance, account>}
+  
+  
+  site 0: bank calls deposit
+    MOD = {balance, log_count}
+    USE = {balance, log_count}
+  
+  site 1: bank calls apply_interest
+    MOD = {balance, log_count}
+    USE = {balance, rate, log_count}
+  
+  site 2: deposit calls audit
+    MOD = {log_count}
+    USE = {log_count, deposit.amount}
+  
+  site 3: apply_interest calls deposit
+    MOD = {balance, log_count, apply_interest.account}
+    USE = {balance, log_count, apply_interest.account, apply_interest.delta}
+  
+
+Regular sections on the stencil kernels (8.2):
+
+  $ ../bin/sidefx.exe sections ../programs/stencil.mp
+  == sectioned analysis: stencil ==
+  procedure stencil:
+    GMOD = {n*, grid(*, *), total*, i*}
+    GUSE = {n*, grid(*, *), total*, i*}
+  procedure relax_row:
+    GMOD = {a(i, *), j*}
+    GUSE = {n*, a(i, *), i*, j*}
+  procedure sum_row:
+    GMOD = {total*, j*}
+    GUSE = {n*, grid(i, *), total*, i*, j*}
+  site 0 (stencil -> relax_row): MOD = {grid(*, *)}, USE = {n*, grid(*, *), i*}
+  site 1 (stencil -> sum_row): MOD = {total*}, USE = {n*, grid(*, *), total*,
+                                                      i*}
+  
+
+Nested procedures: stats and analysis both handle dP = 3:
+
+  $ ../bin/sidefx.exe stats ../programs/report.mp
+  4 procedures, 4 call sites, 4 SCCs
+  C: 4 nodes, 4 edges; beta: 2 nodes, 2 edges; mu_f = 0.67, mu_a = 0.75; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.50
+  procedures reachable from main: 4 / 4
+  nesting depth dP = 3
+
+Execution under the tracing interpreter:
+
+  $ ../bin/sidefx.exe run ../programs/bank.mp
+  100
+  55
+  1155
+
+  $ ../bin/sidefx.exe run ../programs/report.mp
+  (truncated after 12288 statements)
+  2046
+  2
+
+  $ ../bin/sidefx.exe run ../programs/stencil.mp
+  0
+
+Differential validation: observed effects within predicted MOD/USE:
+
+  $ ../bin/sidefx.exe check ../programs/bank.mp
+  sites executed: 4 / 4; soundness violations: 0
+  observed MOD bits: 8; predicted MOD bits: 8 (precision 100%)
+
+  $ ../bin/sidefx.exe check ../programs/report.mp
+  sites executed: 4 / 4 (run truncated); soundness violations: 0
+  observed MOD bits: 13; predicted MOD bits: 13 (precision 100%)
+
+Interprocedural constant propagation:
+
+  $ ../bin/sidefx.exe constants ../programs/pipeline.mp
+  stage2: b = 40 (foldable)
+  stage1: a = 39 (foldable)
+  
+
+  $ ../bin/sidefx.exe run ../programs/pipeline.mp
+  42
+
+The binding multi-graph of the bank program in DOT form:
+
+  $ ../bin/sidefx.exe dot ../programs/bank.mp --graph binding
+  digraph binding {
+    rankdir=LR;
+    node [shape=ellipse, fontname="monospace"];
+    f0 [label="deposit.account"];
+    f1 [label="apply_interest.account"];
+    f1 -> f0 [label="s3"];
+  }
+
+Generation is deterministic and generated programs are accepted back:
+
+  $ ../bin/sidefx.exe gen --procs 3 --seed 1 > g.mp
+  $ ../bin/sidefx.exe stats g.mp
+  4 procedures, 9 call sites, 4 SCCs
+  C: 4 nodes, 9 edges; beta: 3 nodes, 2 edges; mu_f = 1.67, mu_a = 1.22; size ratio N_beta/N_C = 0.75, E_beta/E_C = 0.22
+  procedures reachable from main: 4 / 4
+  nesting depth dP = 1
+
+Errors are reported with positions:
+
+  $ cat > bad.mp <<'SRC'
+  > program p;
+  > begin
+  >   x := 1;
+  > end.
+  > SRC
+  $ ../bin/sidefx.exe analyze bad.mp
+  bad.mp:3:3: unknown variable 'x'
+  [1]
+
+Inlining flattens the whole program and preserves its behaviour:
+
+  $ ../bin/sidefx.exe inline ../programs/bank.mp > inlined.mp
+  sites: 4 -> 0
+  $ ../bin/sidefx.exe run ../programs/bank.mp > before.out
+  $ ../bin/sidefx.exe run inlined.mp > after.out
+  $ diff before.out after.out
+
+The differential checker reports coverage and precision:
+
+  $ ../bin/sidefx.exe check ../programs/stencil.mp
+  sites executed: 2 / 2; soundness violations: 0
+  observed MOD bits: 2; predicted MOD bits: 2 (precision 100%)
+
+  $ ../bin/sidefx.exe check ../programs/pipeline.mp
+  sites executed: 4 / 4; soundness violations: 0
+  observed MOD bits: 4; predicted MOD bits: 4 (precision 100%)

@@ -1,0 +1,1 @@
+examples/nested_pascal.ml: Array Bitvec Core Format Frontend Ir List

@@ -1,0 +1,1 @@
+examples/optimizer.ml: Bitvec Core Format Frontend Int Ipcp Ir List Set

@@ -1,0 +1,1 @@
+examples/parallelize.ml: Core Format Frontend Ir List Sections

@@ -1,0 +1,1 @@
+lib/baseline/iterative.ml: Array Bitvec Callgraph Graphs Ir

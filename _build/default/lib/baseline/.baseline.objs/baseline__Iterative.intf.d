@@ -1,0 +1,1 @@
+lib/baseline/iterative.mli: Bitvec Callgraph Ir

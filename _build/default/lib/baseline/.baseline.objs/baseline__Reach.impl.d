@@ -1,0 +1,1 @@
+lib/baseline/reach.ml: Array Bitvec Callgraph Graphs Ir

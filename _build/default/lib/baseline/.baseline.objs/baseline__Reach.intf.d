@@ -1,0 +1,1 @@
+lib/baseline/reach.mli: Bitvec Callgraph Ir

@@ -1,0 +1,1 @@
+lib/baseline/swift.ml: Array Bitvec Callgraph Ir

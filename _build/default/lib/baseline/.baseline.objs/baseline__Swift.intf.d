@@ -1,0 +1,1 @@
+lib/baseline/swift.mli: Bitvec Callgraph

@@ -1,0 +1,49 @@
+module Digraph = Graphs.Digraph
+module Binding = Callgraph.Binding
+module Prog = Ir.Prog
+
+let rmod_passes (binding : Binding.t) ~imod =
+  let g = binding.Binding.graph in
+  let n = Digraph.n_nodes g in
+  let value = Array.make n false in
+  for node = 0 to n - 1 do
+    let vid = Binding.var binding node in
+    let owner =
+      match (Prog.var binding.Binding.prog vid).Prog.kind with
+      | Prog.Formal { proc; _ } -> proc
+      | Prog.Global | Prog.Local _ -> assert false
+    in
+    value.(node) <- Bitvec.get imod.(owner) vid
+  done;
+  let passes = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr passes;
+    Digraph.iter_edges g (fun _ src dst ->
+        if value.(dst) && not value.(src) then begin
+          value.(src) <- true;
+          changed := true
+        end)
+  done;
+  (value, !passes)
+
+let rmod binding ~imod = fst (rmod_passes binding ~imod)
+
+let gmod_passes info (call : Callgraph.Call.t) ~imod_plus =
+  let g = call.Callgraph.Call.graph in
+  let gmod = Array.map Bitvec.copy imod_plus in
+  let scratch = Bitvec.create (Ir.Info.n_vars info) in
+  let passes = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr passes;
+    Digraph.iter_edges g (fun _ p q ->
+        Bitvec.blit ~src:gmod.(q) ~dst:scratch;
+        ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info q) ~dst:scratch);
+        if Bitvec.union_into ~src:scratch ~dst:gmod.(p) then changed := true)
+  done;
+  (gmod, !passes)
+
+let gmod info call ~imod_plus = fst (gmod_passes info call ~imod_plus)

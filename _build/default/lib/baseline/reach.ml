@@ -1,0 +1,21 @@
+module Prog = Ir.Prog
+
+let applicable prog = Prog.max_level prog <= 1
+
+let gmod info (call : Callgraph.Call.t) ~imod_plus =
+  let prog = call.Callgraph.Call.prog in
+  if not (applicable prog) then
+    invalid_arg "Reach.gmod: only defined for flat (two-level) programs";
+  let g = call.Callgraph.Call.graph in
+  let global = Ir.Info.global info in
+  Array.init (Prog.n_procs prog) (fun p ->
+      let result = Bitvec.copy imod_plus.(p) in
+      let reachable = Graphs.Reach.from g p in
+      Bitvec.iter
+        (fun q ->
+          if q <> p then begin
+            let escaped = Bitvec.inter imod_plus.(q) global in
+            ignore (Bitvec.union_into ~src:escaped ~dst:result)
+          end)
+        reachable;
+      result)

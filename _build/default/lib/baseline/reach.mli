@@ -1,0 +1,23 @@
+(** The brute-force reachability reading of [GMOD] (§4: "we might view
+    the problem as a generalization of the reachability problem").
+
+    For a {e flat} program — every procedure at nesting level 1, as in
+    C or Fortran — the following closed form holds:
+
+    {v GMOD(p) = IMOD+(p) ∪ ⋃_{q reachable from p} (IMOD+(q) ∩ GLOBAL) v}
+
+    because the only variables a callee's summary can carry over a
+    return are globals.  This module computes it with one DFS per
+    procedure, [O(N·(N+E))] — an independent oracle and the slow
+    comparator of experiment F2.
+
+    It is {e deliberately wrong} for programs with nested procedure
+    declarations (a chain through a variable's owner must not export
+    that variable); callers guard with {!applicable}. *)
+
+val applicable : Ir.Prog.t -> bool
+(** [true] iff no procedure sits below nesting level 1. *)
+
+val gmod :
+  Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+(** Raises [Invalid_argument] when not {!applicable}. *)

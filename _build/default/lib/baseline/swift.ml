@@ -1,0 +1,64 @@
+module Binding = Callgraph.Binding
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+
+let rmod (binding : Binding.t) ~imod =
+  let prog = binding.Binding.prog in
+  let nv = Prog.n_vars prog in
+  let np = Prog.n_procs prog in
+  (* RMOD(p) as a bit vector over the whole variable universe (the
+     swift representation: one bit per formal in the program; unused
+     positions stay zero). *)
+  let value = Array.init np (fun _ -> Bitvec.create nv) in
+  Prog.iter_vars prog (fun v ->
+      if Prog.is_ref_formal v then begin
+        match v.Prog.kind with
+        | Prog.Formal { proc; _ } ->
+          if Bitvec.get imod.(proc) v.Prog.vid then Bitvec.set value.(proc) v.Prog.vid
+        | Prog.Global | Prog.Local _ -> assert false
+      end);
+  (* Per-site projection: if a callee formal bit is set, set the bit of
+     the actual's base when that base is itself a by-ref formal (of
+     whatever lexically enclosing procedure owns it). *)
+  let scratch = Bitvec.create nv in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Prog.iter_sites prog (fun s ->
+        let callee = Prog.proc prog s.Prog.callee in
+        Bitvec.blit ~src:value.(s.Prog.callee) ~dst:scratch;
+        Array.iteri
+          (fun i arg ->
+            match arg with
+            | Prog.Arg_value _ -> ()
+            | Prog.Arg_ref lv ->
+              let base = Expr.lvalue_base lv in
+              if
+                Prog.is_ref_formal (Prog.var prog base)
+                && Bitvec.get scratch callee.Prog.formals.(i)
+              then begin
+                let owner =
+                  match (Prog.var prog base).Prog.kind with
+                  | Prog.Formal { proc; _ } -> proc
+                  | Prog.Global | Prog.Local _ -> assert false
+                in
+                if not (Bitvec.get value.(owner) base) then begin
+                  Bitvec.set value.(owner) base;
+                  changed := true
+                end
+              end)
+          s.Prog.args)
+  done;
+  value
+
+let rmod_as_nodes binding ~imod =
+  let value = rmod binding ~imod in
+  let prog = binding.Binding.prog in
+  Array.init (Binding.n_nodes binding) (fun node ->
+      let vid = Binding.var binding node in
+      let owner =
+        match (Prog.var prog vid).Prog.kind with
+        | Prog.Formal { proc; _ } -> proc
+        | Prog.Global | Prog.Local _ -> assert false
+      in
+      Bitvec.get value.(owner) vid)

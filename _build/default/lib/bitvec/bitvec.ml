@@ -1,0 +1,198 @@
+(* Dense bit vectors over int arrays.  See bitvec.mli for the API
+   contract.  Bits are stored little-endian within each word; unused
+   high bits of the last word are kept at zero so that whole-word
+   comparisons and population counts need no masking. *)
+
+let bits_per_word = Sys.int_size
+
+type t = {
+  length : int;
+  words : int array;
+}
+
+(* Operation counters, see mli. *)
+let vector_ops_counter = ref 0
+let word_ops_counter = ref 0
+
+module Stats = struct
+  let reset () =
+    vector_ops_counter := 0;
+    word_ops_counter := 0
+
+  let vector_ops () = !vector_ops_counter
+  let word_ops () = !word_ops_counter
+end
+
+let count_words n =
+  incr vector_ops_counter;
+  word_ops_counter := !word_ops_counter + n
+
+let words_for length = (length + bits_per_word - 1) / bits_per_word
+
+let create length =
+  if length < 0 then invalid_arg "Bitvec.create: negative length";
+  { length; words = Array.make (words_for length) 0 }
+
+let length v = v.length
+
+let check_index v i op =
+  if i < 0 || i >= v.length then
+    invalid_arg (Printf.sprintf "Bitvec.%s: index %d out of [0, %d)" op i v.length)
+
+let get v i =
+  check_index v i "get";
+  v.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set v i =
+  check_index v i "set";
+  let w = i / bits_per_word in
+  v.words.(w) <- v.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let unset v i =
+  check_index v i "unset";
+  let w = i / bits_per_word in
+  v.words.(w) <- v.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear v =
+  count_words (Array.length v.words);
+  Array.fill v.words 0 (Array.length v.words) 0
+
+let copy v =
+  count_words (Array.length v.words);
+  { length = v.length; words = Array.copy v.words }
+
+let check_same_length a b op =
+  if a.length <> b.length then
+    invalid_arg
+      (Printf.sprintf "Bitvec.%s: lengths differ (%d vs %d)" op a.length b.length)
+
+let blit ~src ~dst =
+  check_same_length src dst "blit";
+  count_words (Array.length src.words);
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+(* The three destructive set operations share their loop shape: combine
+   each word pair, track whether any word changed. *)
+let combine_into op ~src ~dst name =
+  check_same_length src dst name;
+  count_words (Array.length src.words);
+  let changed = ref false in
+  for w = 0 to Array.length dst.words - 1 do
+    let v = op dst.words.(w) src.words.(w) in
+    if v <> dst.words.(w) then begin
+      dst.words.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let union_into ~src ~dst = combine_into (fun d s -> d lor s) ~src ~dst "union_into"
+let inter_into ~src ~dst = combine_into (fun d s -> d land s) ~src ~dst "inter_into"
+let diff_into ~src ~dst = combine_into (fun d s -> d land lnot s) ~src ~dst "diff_into"
+
+let union a b =
+  let r = copy a in
+  ignore (union_into ~src:b ~dst:r);
+  r
+
+let inter a b =
+  let r = copy a in
+  ignore (inter_into ~src:b ~dst:r);
+  r
+
+let diff a b =
+  let r = copy a in
+  ignore (diff_into ~src:b ~dst:r);
+  r
+
+let equal a b =
+  check_same_length a b "equal";
+  count_words (Array.length a.words);
+  let rec loop w =
+    w < 0 || (a.words.(w) = b.words.(w) && loop (w - 1))
+  in
+  loop (Array.length a.words - 1)
+
+let subset a b =
+  check_same_length a b "subset";
+  count_words (Array.length a.words);
+  let rec loop w =
+    w < 0 || (a.words.(w) land lnot b.words.(w) = 0 && loop (w - 1))
+  in
+  loop (Array.length a.words - 1)
+
+let disjoint a b =
+  check_same_length a b "disjoint";
+  count_words (Array.length a.words);
+  let rec loop w =
+    w < 0 || (a.words.(w) land b.words.(w) = 0 && loop (w - 1))
+  in
+  loop (Array.length a.words - 1)
+
+let is_empty v =
+  count_words (Array.length v.words);
+  let rec loop w = w < 0 || (v.words.(w) = 0 && loop (w - 1)) in
+  loop (Array.length v.words - 1)
+
+let popcount_word x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal v =
+  count_words (Array.length v.words);
+  Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let iter f v =
+  count_words (Array.length v.words);
+  for w = 0 to Array.length v.words - 1 do
+    let word = v.words.(w) in
+    if word <> 0 then begin
+      let base = w * bits_per_word in
+      let rest = ref word in
+      while !rest <> 0 do
+        (* Index of the lowest set bit: isolate it, then count its
+           trailing zeros by repeated shifting of the isolated bit. *)
+        let low = !rest land - !rest in
+        let bit = ref 0 in
+        let probe = ref low in
+        while !probe land 1 = 0 do
+          probe := !probe lsr 1;
+          incr bit
+        done;
+        f (base + !bit);
+        rest := !rest land lnot low
+      done
+    end
+  done
+
+let fold f v init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) v;
+  !acc
+
+exception Found
+
+let exists p v =
+  try
+    iter (fun i -> if p i then raise Found) v;
+    false
+  with Found -> true
+
+let to_list v = List.rev (fold (fun i acc -> i :: acc) v [])
+
+let of_list n is =
+  let v = create n in
+  List.iter (fun i -> set v i) is;
+  v
+
+let choose v =
+  let result = ref None in
+  (try iter (fun i -> result := Some i; raise Found) v with Found -> ());
+  !result
+
+let pp ppf v =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_int)
+    (to_list v)

@@ -1,0 +1,108 @@
+(** Dense bit vectors.
+
+    The paper measures its algorithms in "bit-vector steps": one step is
+    a whole-vector operation (union, copy, comparison) over vectors
+    whose length grows with the program (the number of formal
+    parameters, or of global variables).  This module is that substrate:
+    fixed-length mutable bitsets backed by [int] arrays, with the
+    destructive operations the solvers need ([union_into] returning a
+    change flag drives every fixpoint loop) and a global operation
+    counter used by the empirical-linearity experiment (L1 in
+    DESIGN.md). *)
+
+type t
+(** A fixed-length mutable bit vector.  Indices range over
+    [0 .. length v - 1]. *)
+
+val create : int -> t
+(** [create n] is a vector of [n] bits, all zero.  [n >= 0]. *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val get : t -> int -> bool
+(** [get v i] is bit [i].  Raises [Invalid_argument] if out of range. *)
+
+val set : t -> int -> unit
+(** [set v i] sets bit [i] to one. *)
+
+val unset : t -> int -> unit
+(** [unset v i] sets bit [i] to zero. *)
+
+val clear : t -> unit
+(** Zero every bit. *)
+
+val copy : t -> t
+(** Fresh vector with the same contents. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with the contents of [src].  Lengths must agree. *)
+
+val union_into : src:t -> dst:t -> bool
+(** [union_into ~src ~dst] sets [dst := dst ∪ src]; returns [true] iff
+    [dst] changed.  Lengths must agree. *)
+
+val inter_into : src:t -> dst:t -> bool
+(** [dst := dst ∩ src]; returns [true] iff [dst] changed. *)
+
+val diff_into : src:t -> dst:t -> bool
+(** [dst := dst ∖ src]; returns [true] iff [dst] changed. *)
+
+val union : t -> t -> t
+(** Functional union; operands must have equal length. *)
+
+val inter : t -> t -> t
+(** Functional intersection. *)
+
+val diff : t -> t -> t
+(** Functional difference. *)
+
+val equal : t -> t -> bool
+(** Bitwise equality.  Lengths must agree. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every bit of [a] is set in [b]. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] is [true] iff [a ∩ b] is empty. *)
+
+val is_empty : t -> bool
+(** [true] iff no bit is set. *)
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f v] applies [f] to the index of every set bit, ascending. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f v init] folds over set-bit indices, ascending. *)
+
+val exists : (int -> bool) -> t -> bool
+(** [exists p v] is [true] iff some set bit's index satisfies [p]. *)
+
+val to_list : t -> int list
+(** Indices of set bits, ascending. *)
+
+val of_list : int -> int list -> t
+(** [of_list n is] is a vector of length [n] with exactly the bits in
+    [is] set.  Raises [Invalid_argument] on out-of-range indices. *)
+
+val choose : t -> int option
+(** Index of the lowest set bit, if any. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{i1, i2, ...}]. *)
+
+(** Global operation counters.
+
+    Every whole-vector operation above bumps [vector_ops] by one and
+    [word_ops] by the number of machine words it touched.  The
+    benchmark harness resets these around a run to report the
+    bit-vector-step counts the paper's complexity claims are stated
+    in. *)
+module Stats : sig
+  val reset : unit -> unit
+  val vector_ops : unit -> int
+  val word_ops : unit -> int
+end

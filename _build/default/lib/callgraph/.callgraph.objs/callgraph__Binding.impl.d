@@ -1,0 +1,1 @@
+lib/callgraph/binding.ml: Array Format Graphs Ir List Printf

@@ -1,0 +1,1 @@
+lib/callgraph/binding.mli: Format Graphs Ir

@@ -1,0 +1,1 @@
+lib/callgraph/call.ml: Format Graphs Ir

@@ -1,0 +1,1 @@
+lib/callgraph/call.mli: Bitvec Format Graphs Ir

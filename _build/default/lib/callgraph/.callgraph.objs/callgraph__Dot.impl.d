@@ -1,0 +1,1 @@
+lib/callgraph/dot.ml: Array Binding Buffer Call Fun Graphs Ir List Printf String

@@ -1,0 +1,1 @@
+lib/callgraph/dot.mli: Binding Call

@@ -1,0 +1,103 @@
+module Digraph = Graphs.Digraph
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+
+type edge_info = {
+  site : int;
+  arg_pos : int;
+  via_element : bool;
+}
+
+type t = {
+  prog : Prog.t;
+  graph : Digraph.t;
+  node_of_var : int array;
+  var_of_node : int array;
+  edges : edge_info array;
+}
+
+let build prog =
+  let nv = Prog.n_vars prog in
+  let node_of_var = Array.make nv (-1) in
+  let nodes = ref [] in
+  let n_nodes = ref 0 in
+  Prog.iter_vars prog (fun v ->
+      if Prog.is_ref_formal v then begin
+        node_of_var.(v.Prog.vid) <- !n_nodes;
+        nodes := v.Prog.vid :: !nodes;
+        incr n_nodes
+      end);
+  let var_of_node = Array.of_list (List.rev !nodes) in
+  let b = Digraph.Builder.create ~nodes:!n_nodes () in
+  let edges = ref [] in
+  Prog.iter_sites prog (fun s ->
+      let callee = Prog.proc prog s.Prog.callee in
+      Array.iteri
+        (fun arg_pos arg ->
+          match arg with
+          | Prog.Arg_value _ -> ()
+          | Prog.Arg_ref lv ->
+            let base = Expr.lvalue_base lv in
+            let src = node_of_var.(base) in
+            if src >= 0 then begin
+              (* The actual names a by-ref formal: one binding event. *)
+              let dst = node_of_var.(callee.Prog.formals.(arg_pos)) in
+              assert (dst >= 0);
+              ignore (Digraph.Builder.add_edge b ~src ~dst);
+              let via_element =
+                match lv with
+                | Expr.Lvar _ -> false
+                | Expr.Lindex _ -> true
+              in
+              edges := { site = s.Prog.sid; arg_pos; via_element } :: !edges
+            end)
+        s.Prog.args);
+  {
+    prog;
+    graph = Digraph.Builder.freeze b;
+    node_of_var;
+    var_of_node;
+    edges = Array.of_list (List.rev !edges);
+  }
+
+let n_nodes t = Digraph.n_nodes t.graph
+let n_edges t = Digraph.n_edges t.graph
+
+let node t vid =
+  let n = t.node_of_var.(vid) in
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf "Binding.node: %s is not a by-reference formal"
+         (Prog.var t.prog vid).Prog.vname);
+  n
+
+let node_opt t vid =
+  let n = t.node_of_var.(vid) in
+  if n < 0 then None else Some n
+
+let var t node = t.var_of_node.(node)
+
+let mu_f prog =
+  let total = ref 0 and count = ref 0 in
+  Prog.iter_procs prog (fun pr ->
+      if pr.Prog.pid <> prog.Prog.main then begin
+        total := !total + Array.length pr.Prog.formals;
+        incr count
+      end);
+  if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count
+
+let mu_a prog =
+  let total = ref 0 and count = ref 0 in
+  Prog.iter_sites prog (fun s ->
+      total := !total + Array.length s.Prog.args;
+      incr count);
+  if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count
+
+let pp_stats ppf t =
+  let np = Prog.n_procs t.prog and ns = Prog.n_sites t.prog in
+  let nb = n_nodes t and eb = n_edges t in
+  let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+  Format.fprintf ppf
+    "C: %d nodes, %d edges; beta: %d nodes, %d edges; mu_f = %.2f, mu_a = %.2f; \
+     size ratio N_beta/N_C = %.2f, E_beta/E_C = %.2f"
+    np ns nb eb (mu_f t.prog) (mu_a t.prog) (ratio nb np) (ratio eb ns)

@@ -1,0 +1,24 @@
+module Digraph = Graphs.Digraph
+module Prog = Ir.Prog
+
+type t = {
+  prog : Prog.t;
+  graph : Digraph.t;
+}
+
+let build prog =
+  let b = Digraph.Builder.create ~nodes:(Prog.n_procs prog) () in
+  Prog.iter_sites prog (fun s ->
+      let e = Digraph.Builder.add_edge b ~src:s.Prog.caller ~dst:s.Prog.callee in
+      (* Site ids are dense and iterated in order, so edge id = sid. *)
+      assert (e = s.Prog.sid));
+  { prog; graph = Digraph.Builder.freeze b }
+
+let site_of_edge t e = Prog.site t.prog e
+
+let reachable_from_main t = Graphs.Reach.from t.graph t.prog.Prog.main
+
+let pp_stats ppf t =
+  let scc = Graphs.Scc.compute t.graph in
+  Format.fprintf ppf "%d procedures, %d call sites, %d SCCs"
+    (Digraph.n_nodes t.graph) (Digraph.n_edges t.graph) scc.Graphs.Scc.n_comps

@@ -1,0 +1,23 @@
+(** The call multi-graph [C = (N_C, E_C)] of §2: one node per
+    procedure, one edge per call site.
+
+    Edge ids coincide with call-site ids — the builder inserts edges in
+    increasing [sid] — so per-site data needs no indirection. *)
+
+type t = {
+  prog : Ir.Prog.t;
+  graph : Graphs.Digraph.t;  (** Node = pid; edge id = sid. *)
+}
+
+val build : Ir.Prog.t -> t
+
+val site_of_edge : t -> Graphs.Digraph.edge_id -> Ir.Prog.site
+
+val reachable_from_main : t -> Bitvec.t
+(** Procedures reachable from the main block by call chains (main
+    included).  The paper assumes every procedure is reachable;
+    workload generators guarantee it, and the test suite checks it with
+    this. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One line: procedure, call-site and SCC counts. *)

@@ -1,0 +1,50 @@
+module Prog = Ir.Prog
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let call_graph (t : Call.t) =
+  let buf = Buffer.create 1024 in
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  b "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  Prog.iter_procs t.Call.prog (fun pr ->
+      b "  p%d [label=\"%s\\nlevel %d\"%s];\n" pr.Prog.pid
+        (escape pr.Prog.pname) pr.Prog.level
+        (if pr.Prog.pid = t.Call.prog.Prog.main then ", style=bold" else ""));
+  Prog.iter_sites t.Call.prog (fun s ->
+      b "  p%d -> p%d [label=\"s%d\"];\n" s.Prog.caller s.Prog.callee s.Prog.sid);
+  b "}\n";
+  Buffer.contents buf
+
+let binding_graph (t : Binding.t) =
+  let prog = t.Binding.prog in
+  let buf = Buffer.create 1024 in
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  b "digraph binding {\n  rankdir=LR;\n  node [shape=ellipse, fontname=\"monospace\"];\n";
+  for node = 0 to Binding.n_nodes t - 1 do
+    let vid = Binding.var t node in
+    let v = Prog.var prog vid in
+    let owner =
+      match Prog.var_owner v with
+      | Some pid -> (Prog.proc prog pid).Prog.pname
+      | None -> "?"
+    in
+    b "  f%d [label=\"%s.%s\"];\n" node (escape owner) (escape v.Prog.vname)
+  done;
+  Graphs.Digraph.iter_edges t.Binding.graph (fun e src dst ->
+      let info = t.Binding.edges.(e) in
+      b "  f%d -> f%d [label=\"s%d\"%s];\n" src dst info.Binding.site
+        (if info.Binding.via_element then ", style=dashed" else ""));
+  b "}\n";
+  Buffer.contents buf
+
+let write_file path dot =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc dot)

@@ -1,0 +1,15 @@
+(** Graphviz (DOT) export of the two multi-graphs, for inspecting what
+    the analysis actually runs on.
+
+    Call multi-graph: one node per procedure (labelled with name and
+    nesting level), one edge per call site (labelled with the site id).
+    Binding multi-graph: one node per by-reference formal (labelled
+    [proc.formal]), one edge per binding event (labelled with its site;
+    dashed when the binding passes an array element). *)
+
+val call_graph : Call.t -> string
+
+val binding_graph : Binding.t -> string
+
+val write_file : string -> string -> unit
+(** [write_file path dot] — tiny convenience used by the CLI. *)

@@ -1,0 +1,1 @@
+lib/core/alias.ml: Array Bitvec Format Ir List Set

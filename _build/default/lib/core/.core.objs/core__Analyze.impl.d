@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Alias Array Bitvec Callgraph Format Frontend Gmod Gmod_nested Imod_plus Ir Rmod Summary

@@ -1,0 +1,1 @@
+lib/core/analyze.mli: Alias Bitvec Callgraph Format Ir Rmod Summary

@@ -1,0 +1,1 @@
+lib/core/gmod.ml: Array Bitvec Callgraph Graphs Ir

@@ -1,0 +1,1 @@
+lib/core/gmod.mli: Bitvec Callgraph Ir

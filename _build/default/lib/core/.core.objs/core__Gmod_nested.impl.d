@@ -1,0 +1,1 @@
+lib/core/gmod_nested.ml: Array Bitvec Callgraph Gmod Graphs Ir

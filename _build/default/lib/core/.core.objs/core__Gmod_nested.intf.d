@@ -1,0 +1,1 @@
+lib/core/gmod_nested.mli: Bitvec Callgraph Ir

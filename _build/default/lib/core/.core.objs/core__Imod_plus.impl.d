@@ -1,0 +1,1 @@
+lib/core/imod_plus.ml: Array Bitvec Ir Rmod

@@ -1,0 +1,1 @@
+lib/core/imod_plus.mli: Bitvec Ir Rmod

@@ -1,0 +1,1 @@
+lib/core/rmod.ml: Array Bitvec Callgraph Format Graphs Ir List

@@ -1,0 +1,1 @@
+lib/core/rmod.mli: Bitvec Callgraph Format

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Alias Array Bitvec Frontend Ir List

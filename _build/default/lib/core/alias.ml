@@ -1,0 +1,124 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  info : Ir.Info.t;
+  alias : Pair_set.t array; (* per procedure *)
+}
+
+let norm x y = if x <= y then (x, y) else (y, x)
+
+let compute info =
+  let prog = Ir.Info.prog info in
+  let np = Prog.n_procs prog in
+  let alias = Array.make np Pair_set.empty in
+  let changed = ref true in
+  let add pid pair =
+    if not (Pair_set.mem pair alias.(pid)) then begin
+      alias.(pid) <- Pair_set.add pair alias.(pid);
+      changed := true
+    end
+  in
+  (* By-reference bindings of one site: (formal vid, actual base vid). *)
+  let ref_bindings (s : Prog.site) =
+    let callee = Prog.proc prog s.Prog.callee in
+    let acc = ref [] in
+    Array.iteri
+      (fun i arg ->
+        match arg with
+        | Prog.Arg_value _ -> ()
+        | Prog.Arg_ref lv ->
+          acc := (callee.Prog.formals.(i), Expr.lvalue_base lv) :: !acc)
+      s.Prog.args;
+    List.rev !acc
+  in
+  (* Nesting inheritance: a pair that may hold on entry to [p] also
+     holds inside every procedure declared in [p] (it executes within
+     [p]'s activation and sees the same bindings).  Part of the
+     fixpoint: sites inside nested procedures must propagate inherited
+     pairs onward. *)
+  let inherit_down () =
+    Prog.iter_procs prog (fun pr ->
+        match pr.Prog.parent with
+        | None -> ()
+        | Some parent ->
+          Pair_set.iter (fun pair -> add pr.Prog.pid pair) alias.(parent))
+  in
+  let process_site (s : Prog.site) =
+    let callee = s.Prog.callee in
+    let bindings = ref_bindings s in
+    (* Introduction: same base at two positions; visible base. *)
+    List.iteri
+      (fun i (fi, bi) ->
+        List.iteri
+          (fun j (fj, bj) ->
+            if i < j && bi = bj then add callee (norm fi fj))
+          bindings;
+        if Prog.visible prog ~proc:callee ~var:bi then add callee (norm fi bi))
+      bindings;
+    (* Propagation of the caller's pairs through the bindings. *)
+    Pair_set.iter
+      (fun (x, y) ->
+        List.iter
+          (fun (fi, bi) ->
+            if bi = x || bi = y then begin
+              let other = if bi = x then y else x in
+              List.iter
+                (fun (fj, bj) -> if fj <> fi && bj = other then add callee (norm fi fj))
+                bindings;
+              if Prog.visible prog ~proc:callee ~var:other then
+                add callee (norm fi other)
+            end)
+          bindings)
+      alias.(s.Prog.caller)
+  in
+  while !changed do
+    changed := false;
+    Prog.iter_sites prog process_site;
+    inherit_down ()
+  done;
+  { info; alias }
+
+let pairs t pid = Pair_set.elements t.alias.(pid)
+
+let aliases_of t ~proc ~var =
+  Pair_set.fold
+    (fun (x, y) acc ->
+      if x = var then y :: acc else if y = var then x :: acc else acc)
+    t.alias.(proc) []
+  |> List.sort_uniq compare
+
+let may_alias t ~proc x y = x <> y && Pair_set.mem (norm x y) t.alias.(proc)
+
+let close t ~proc set =
+  let result = Bitvec.copy set in
+  Pair_set.iter
+    (fun (x, y) ->
+      if Bitvec.get set x then Bitvec.set result y;
+      if Bitvec.get set y then Bitvec.set result x)
+    t.alias.(proc);
+  result
+
+let total_pairs t = Array.fold_left (fun acc s -> acc + Pair_set.cardinal s) 0 t.alias
+
+let pp prog ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun pid set ->
+      if not (Pair_set.is_empty set) then
+        Format.fprintf ppf "ALIAS(%s) = {%a}@,"
+          (Prog.proc prog pid).Prog.pname
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+             (fun ppf (x, y) ->
+               Format.fprintf ppf "<%s, %s>" (Prog.var prog x).Prog.vname
+                 (Prog.var prog y).Prog.vname))
+          (Pair_set.elements set))
+    t.alias;
+  Format.fprintf ppf "@]"

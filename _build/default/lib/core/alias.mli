@@ -1,0 +1,50 @@
+(** Flow-insensitive reference-parameter alias analysis.
+
+    §5 of the paper assumes "simple sets of alias pairs are available
+    for each procedure"; this module computes them in the standard
+    Banning/Cooper style, so the [MOD]/[USE] step runs on real input.
+
+    A pair [<x, y> ∈ ALIAS(p)] means [x] and [y] may name the same
+    location on some entry to [p].  Pairs are introduced by
+    by-reference parameter passing at each call site [s : r → q]:
+
+    - the same base variable passed at two by-reference positions
+      [i ≠ j] introduces [<f_i, f_j>] in the callee;
+    - a base variable [b] that is itself visible inside the callee
+      (a global, or a local of a lexical ancestor of the callee) passed
+      at position [i] introduces [<f_i, b>];
+    - an existing pair [<x, y> ∈ ALIAS(r)] propagates: both passed →
+      [<f_i, f_j>]; [x] passed and [y] visible in the callee →
+      [<f_i, y>].
+
+    Pairs are inherited down the nesting tree: anything that may hold
+    on entry to [p] also holds inside procedures declared in [p], which
+    execute within [p]'s activation.
+
+    The pairs are closed by a worklist over call sites.  Two distinct
+    array elements of the same array are (conservatively) treated like
+    the whole arrays, consistent with the §3 bit granularity. *)
+
+type t
+
+val compute : Ir.Info.t -> t
+
+val pairs : t -> int -> (int * int) list
+(** [ALIAS(p)] as normalised [(min vid, max vid)] pairs, sorted. *)
+
+val aliases_of : t -> proc:int -> var:int -> int list
+(** Variables possibly aliased to one variable on entry to [proc],
+    ascending. *)
+
+val may_alias : t -> proc:int -> int -> int -> bool
+
+val close : t -> proc:int -> Bitvec.t -> Bitvec.t
+(** One-step alias extension of a variable set within a procedure —
+    the §5 [MOD(s)] rule: every alias of a member is added (fresh
+    vector). *)
+
+val total_pairs : t -> int
+(** Σ_p |ALIAS(p)| — the size term the paper's §5 cost analysis is
+    linear in. *)
+
+val pp : Ir.Prog.t -> Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+module Prog = Ir.Prog
+
+type t = {
+  prog : Prog.t;
+  info : Ir.Info.t;
+  call : Callgraph.Call.t;
+  binding : Callgraph.Binding.t;
+  imod : Bitvec.t array;
+  iuse : Bitvec.t array;
+  rmod : Rmod.result;
+  ruse : Rmod.result;
+  imod_plus : Bitvec.t array;
+  iuse_plus : Bitvec.t array;
+  gmod : Bitvec.t array;
+  guse : Bitvec.t array;
+  alias : Alias.t;
+  summary : Summary.t;
+}
+
+let run ?(force_flat = false) prog =
+  let info = Ir.Info.make prog in
+  let call = Callgraph.Call.build prog in
+  let binding = Callgraph.Binding.build prog in
+  let imod = Frontend.Local.imod info in
+  let iuse = Frontend.Local.iuse info in
+  let rmod = Rmod.solve binding ~imod in
+  let ruse = Rmod.solve binding ~imod:iuse in
+  let imod_plus = Imod_plus.compute info ~rmod ~imod in
+  let iuse_plus = Imod_plus.compute info ~rmod:ruse ~imod:iuse in
+  let nested = (not force_flat) && Prog.max_level prog > 1 in
+  let gmod, guse =
+    if nested then
+      ( Gmod_nested.solve info call ~imod_plus,
+        Gmod_nested.solve info call ~imod_plus:iuse_plus )
+    else
+      (Gmod.solve info call ~imod_plus, Gmod.solve_use info call ~iuse_plus)
+  in
+  let alias = Alias.compute info in
+  let summary = Summary.make info ~gmod ~guse ~alias in
+  {
+    prog;
+    info;
+    call;
+    binding;
+    imod;
+    iuse;
+    rmod;
+    ruse;
+    imod_plus;
+    iuse_plus;
+    gmod;
+    guse;
+    alias;
+    summary;
+  }
+
+let mod_of_site t sid = Summary.mod_site t.summary sid
+let use_of_site t sid = Summary.use_site t.summary sid
+let dmod_of_site t sid = Summary.dmod_site t.summary sid
+let duse_of_site t sid = Summary.duse_site t.summary sid
+let gmod_of t pid = t.gmod.(pid)
+let guse_of t pid = t.guse.(pid)
+
+let pp_report ppf t =
+  let prog = t.prog in
+  Format.fprintf ppf "@[<v>== analysis report: %s ==@," prog.Prog.name;
+  Format.fprintf ppf "%a@," Callgraph.Call.pp_stats t.call;
+  Format.fprintf ppf "%a@,@," Callgraph.Binding.pp_stats t.binding;
+  Prog.iter_procs prog (fun pr ->
+      let pid = pr.Prog.pid in
+      Format.fprintf ppf "procedure %s:@," pr.Prog.pname;
+      (match Rmod.rmod_of_proc t.rmod pid with
+      | [] -> ()
+      | vids ->
+        Format.fprintf ppf "  RMOD = {%a}@,"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+             (fun ppf vid ->
+               Format.pp_print_string ppf (Prog.var prog vid).Prog.vname))
+          vids);
+      Format.fprintf ppf "  IMOD+ = %a@," (Ir.Pp.pp_var_set prog) t.imod_plus.(pid);
+      Format.fprintf ppf "  GMOD  = %a@," (Ir.Pp.pp_var_set prog) t.gmod.(pid);
+      Format.fprintf ppf "  GUSE  = %a@," (Ir.Pp.pp_var_set prog) t.guse.(pid));
+  Format.fprintf ppf "@,%a@," (Alias.pp prog) t.alias;
+  Prog.iter_sites prog (fun s ->
+      Format.fprintf ppf "@,site %d: %s calls %s@,  MOD = %a@,  USE = %a@,"
+        s.Prog.sid
+        (Prog.proc prog s.Prog.caller).Prog.pname
+        (Prog.proc prog s.Prog.callee).Prog.pname
+        (Ir.Pp.pp_var_set prog)
+        (mod_of_site t s.Prog.sid)
+        (Ir.Pp.pp_var_set prog)
+        (use_of_site t s.Prog.sid));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** One-call driver for the whole analysis pipeline.
+
+    Runs, in order: program views ({!Ir.Info}), local analysis
+    ({!Frontend.Local}), call multi-graph and binding multi-graph
+    construction ({!Callgraph}), [RMOD]/[RUSE] on β (Figure 1),
+    [IMOD+]/[IUSE+] (equation 5), [GMOD]/[GUSE] ([findgmod], Figure 2 —
+    or its multi-level variant when the program nests procedures more
+    than one level deep), alias pairs, and the per-site summary
+    machinery of §5.
+
+    The [USE] side is run through the same algorithms with the [USE]
+    seeds — the paper's "analogous solution". *)
+
+type t = {
+  prog : Ir.Prog.t;
+  info : Ir.Info.t;
+  call : Callgraph.Call.t;
+  binding : Callgraph.Binding.t;
+  imod : Bitvec.t array;  (** Nesting-extended [IMOD], per procedure. *)
+  iuse : Bitvec.t array;
+  rmod : Rmod.result;
+  ruse : Rmod.result;
+  imod_plus : Bitvec.t array;
+  iuse_plus : Bitvec.t array;
+  gmod : Bitvec.t array;
+  guse : Bitvec.t array;
+  alias : Alias.t;
+  summary : Summary.t;
+}
+
+val run : ?force_flat:bool -> Ir.Prog.t -> t
+(** Analyze a program.  When the program declares procedures below
+    nesting level 1 the multi-level [findgmod] is used automatically;
+    [force_flat] forces plain Figure 2 regardless (used by tests and
+    ablations). *)
+
+val mod_of_site : t -> int -> Bitvec.t
+(** [MOD(s)] — §5's final answer for a call site. *)
+
+val use_of_site : t -> int -> Bitvec.t
+
+val dmod_of_site : t -> int -> Bitvec.t
+val duse_of_site : t -> int -> Bitvec.t
+
+val gmod_of : t -> int -> Bitvec.t
+(** [GMOD(p)] by pid.  Do not mutate. *)
+
+val guse_of : t -> int -> Bitvec.t
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable report: per-procedure [RMOD]/[GMOD]/[GUSE], alias
+    pairs, and per-site [MOD]/[USE] sets. *)

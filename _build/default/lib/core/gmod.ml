@@ -1,0 +1,100 @@
+module Digraph = Graphs.Digraph
+module Prog = Ir.Prog
+
+(* Iterative rendering of Figure 2.  The recursion of [search] becomes
+   an explicit frame stack; everything else follows the paper line by
+   line: line 8 is the [gmod.(v) <- copy seed.(v)] on push, line 17 is
+   [add_escaped], lines 19-25 are [close_component]. *)
+let solve_seeded info (call : Callgraph.Call.t) ~seed =
+  let g = call.Callgraph.Call.graph in
+  let n = Digraph.n_nodes g in
+  let prog = call.Callgraph.Call.prog in
+  let gmod = Array.map Bitvec.copy seed in
+  let dfn = Array.make n 0 in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let tarjan_stack = ref [] in
+  let next_dfn = ref 1 in
+  let scratch = Bitvec.create (Ir.Info.n_vars info) in
+  (* GMOD[dst] ∪= GMOD[src] ∖ LOCAL[src]  (equation (4), one edge). *)
+  let add_escaped ~src ~dst =
+    Bitvec.blit ~src:gmod.(src) ~dst:scratch;
+    ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info src) ~dst:scratch);
+    ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(dst))
+  in
+  let close_component root =
+    Bitvec.blit ~src:gmod.(root) ~dst:scratch;
+    ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info root) ~dst:scratch);
+    let rec pop () =
+      match !tarjan_stack with
+      | [] -> assert false
+      | u :: rest ->
+        tarjan_stack := rest;
+        on_stack.(u) <- false;
+        ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(u));
+        if u <> root then pop ()
+    in
+    pop ()
+  in
+  let succs = Array.make n [||] in
+  for v = 0 to n - 1 do
+    let deg = Digraph.out_degree g v in
+    let a = Array.make deg 0 in
+    let i = ref 0 in
+    Digraph.iter_succ g v (fun w ->
+        a.(!i) <- w;
+        incr i);
+    succs.(v) <- a
+  done;
+  let frame_node = Array.make (n + 1) 0 in
+  let frame_next = Array.make (n + 1) 0 in
+  let search root =
+    if dfn.(root) = 0 then begin
+      let sp = ref 0 in
+      let push v =
+        dfn.(v) <- !next_dfn;
+        lowlink.(v) <- !next_dfn;
+        incr next_dfn;
+        tarjan_stack := v :: !tarjan_stack;
+        on_stack.(v) <- true;
+        frame_node.(!sp) <- v;
+        frame_next.(!sp) <- 0;
+        incr sp
+      in
+      push root;
+      while !sp > 0 do
+        let v = frame_node.(!sp - 1) in
+        let i = frame_next.(!sp - 1) in
+        if i < Array.length succs.(v) then begin
+          frame_next.(!sp - 1) <- i + 1;
+          let q = succs.(v).(i) in
+          if dfn.(q) = 0 then push q (* tree edge: continue below when q pops *)
+          else if on_stack.(q) && dfn.(q) < dfn.(v) then
+            (* Back or cross edge within the current component. *)
+            lowlink.(v) <- min dfn.(q) lowlink.(v)
+          else
+            (* Forward edge, or cross edge to a closed component:
+               partial application of equation (4). *)
+            add_escaped ~src:q ~dst:v
+        end
+        else begin
+          decr sp;
+          if lowlink.(v) = dfn.(v) then close_component v;
+          if !sp > 0 then begin
+            let parent = frame_node.(!sp - 1) in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v);
+            (* Tree edge (parent, v), after the subtree finished. *)
+            add_escaped ~src:v ~dst:parent
+          end
+        end
+      done
+    end
+  in
+  search prog.Prog.main;
+  for v = 0 to n - 1 do
+    search v
+  done;
+  gmod
+
+let solve info call ~imod_plus = solve_seeded info call ~seed:imod_plus
+let solve_use info call ~iuse_plus = solve_seeded info call ~seed:iuse_plus

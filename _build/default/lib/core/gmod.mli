@@ -1,0 +1,26 @@
+(** [findgmod] — Figure 2 of the paper: the global-variable problem
+    solved by a one-pass extension of Tarjan's strongly-connected
+    components algorithm over the call multi-graph.
+
+    Solves equation (4),
+
+    {v GMOD(p) = IMOD+(p) ∪ ⋃_(e=(p,q)) (GMOD(q) ∖ LOCAL(q)) v}
+
+    (set difference restored from the paper's lost overbar, see
+    DESIGN.md) in [O(N_C + E_C)] bit-vector steps: the per-edge union
+    of line 17 runs once per call edge, and the per-member
+    strongly-connected-component adjustment of line 22 runs once per
+    procedure.
+
+    The DFS starts at the main procedure (the paper's [search(1)]); any
+    procedure not reachable from main is then covered by further
+    searches so the result is total, but — exactly as the paper assumes
+    — [GMOD] of an unreachable procedure is only meaningful with
+    respect to chains starting at it. *)
+
+val solve : Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+(** Per-procedure [GMOD].  Fresh vectors. *)
+
+val solve_use : Ir.Info.t -> Callgraph.Call.t -> iuse_plus:Bitvec.t array -> Bitvec.t array
+(** The identical algorithm seeded with [IUSE+], producing [GUSE] (§2:
+    "the USE problem has an analogous solution"). *)

@@ -1,0 +1,43 @@
+(** The multi-level nesting extension of [findgmod] (end of §4).
+
+    With procedures declared at nesting levels up to [dP], the
+    two-level global/local split no longer holds: what is local to one
+    procedure is global to the procedures nested in it.  The paper's
+    remedy is to solve [dP] problems simultaneously, where problem [i]
+    accounts for effects along call chains that never invoke a
+    procedure declared at a level shallower than [i] — i.e. it is
+    defined on the sub-multi-graph [C_i] of [C] that drops every edge
+    whose callee's declaration level is [< i] — and to read off, from
+    problem [i], the fate of the variables declared at level [i - 1]
+    (they are the "globals" of that problem: no procedure present in
+    [C_i] can own them).
+
+    Two implementations:
+
+    - {!solve_by_levels} runs Figure 2 once per level —
+      [O(dP · (E + N))] bit-vector steps — and unions the masked
+      results.  It is the reference implementation and the baseline of
+      the C1 ablation.
+    - {!solve} is the paper's single-pass refinement: one DFS, a
+      {e vector} of lowlink values per node (one per level),
+      per-level parallel stacks, per-edge unions masked to the variable
+      levels the traversed edge can carry, and a suffix-min correction
+      of the lowlink vector at node completion — [O(E + dP · N)]
+      bit-vector steps.
+
+    Both compute, for every procedure [p],
+    [GMOD(p) = IMOD+(p) ∪ ⋃_i (problem-i solution at p, masked to
+    level-(i-1) variables)], and agree with the chaotic-iteration
+    fixpoint of equation (4) on scope-correct programs (MiniProc's
+    semantic analysis guarantees scope-correctness; on hand-built
+    [Ir.Prog] values that violate static scoping the masked problems
+    are not meaningful).
+
+    For [dP = 1] both reduce exactly to Figure 2. *)
+
+val solve : Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+(** Single-pass algorithm, [O(E + dP·N)] bit-vector steps. *)
+
+val solve_by_levels :
+  Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+(** Per-level repetition of Figure 2, [O(dP·(E+N))] bit-vector steps. *)

@@ -1,0 +1,17 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+
+let compute info ~rmod ~imod =
+  let prog = Ir.Info.prog info in
+  let result = Array.map Bitvec.copy imod in
+  Prog.iter_sites prog (fun s ->
+      let callee = Prog.proc prog s.Prog.callee in
+      Array.iteri
+        (fun i arg ->
+          match arg with
+          | Prog.Arg_value _ -> ()
+          | Prog.Arg_ref lv ->
+            if Rmod.modified rmod callee.Prog.formals.(i) then
+              Bitvec.set result.(s.Prog.caller) (Expr.lvalue_base lv))
+        s.Prog.args);
+  Ir.Info.fold_up_nesting info result

@@ -1,0 +1,81 @@
+module Binding = Callgraph.Binding
+module Digraph = Graphs.Digraph
+module Scc = Graphs.Scc
+module Prog = Ir.Prog
+
+type result = {
+  binding : Binding.t;
+  rmod : bool array;
+  steps : int;
+}
+
+let solve (binding : Binding.t) ~imod =
+  let g = binding.Binding.graph in
+  let n = Digraph.n_nodes g in
+  let steps = ref 0 in
+  (* Step 1: strongly-connected components of β. *)
+  let scc = Scc.compute g in
+  (* Step 2: each component's IMOD is the or of its members'. *)
+  let comp_val = Array.make scc.Scc.n_comps false in
+  for node = 0 to n - 1 do
+    incr steps;
+    let vid = Binding.var binding node in
+    let owner =
+      match (Prog.var binding.Binding.prog vid).Prog.kind with
+      | Prog.Formal { proc; _ } -> proc
+      | Prog.Global | Prog.Local _ -> assert false
+    in
+    if Bitvec.get imod.(owner) vid then comp_val.(scc.Scc.comp.(node)) <- true
+  done;
+  (* Step 3: leaves-to-roots pass over the condensation.  Components
+     are numbered in reverse topological order (every inter-component
+     edge points to a smaller number), so processing components in
+     increasing order sees each successor final; one relaxation per
+     edge applies equation (6). *)
+  let edges_by_comp = Array.make scc.Scc.n_comps [] in
+  Digraph.iter_edges g (fun _ src dst ->
+      let cs = scc.Scc.comp.(src) and cd = scc.Scc.comp.(dst) in
+      if cs <> cd then edges_by_comp.(cs) <- cd :: edges_by_comp.(cs));
+  for c = 0 to scc.Scc.n_comps - 1 do
+    List.iter
+      (fun cd ->
+        incr steps;
+        if comp_val.(cd) then comp_val.(c) <- true)
+      edges_by_comp.(c)
+  done;
+  (* Step 4: copy the representer's value back to every member. *)
+  let rmod = Array.make n false in
+  for node = 0 to n - 1 do
+    incr steps;
+    rmod.(node) <- comp_val.(scc.Scc.comp.(node))
+  done;
+  { binding; rmod; steps = !steps }
+
+let modified r vid =
+  match Binding.node_opt r.binding vid with
+  | None -> false
+  | Some node -> r.rmod.(node)
+
+let to_var_set r =
+  let set = Bitvec.create (Prog.n_vars r.binding.Binding.prog) in
+  Array.iteri (fun node b -> if b then Bitvec.set set (Binding.var r.binding node)) r.rmod;
+  set
+
+let rmod_of_proc r pid =
+  let prog = r.binding.Binding.prog in
+  let formals = (Prog.proc prog pid).Prog.formals in
+  Array.to_list formals |> List.filter (fun vid -> modified r vid)
+
+let pp ppf r =
+  let prog = r.binding.Binding.prog in
+  Format.fprintf ppf "@[<v>";
+  Prog.iter_procs prog (fun pr ->
+      match rmod_of_proc r pr.Prog.pid with
+      | [] -> ()
+      | vids ->
+        Format.fprintf ppf "RMOD(%s) = {%a}@," pr.Prog.pname
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+             (fun ppf vid -> Format.pp_print_string ppf (Prog.var prog vid).Prog.vname))
+          vids);
+  Format.fprintf ppf "@]"

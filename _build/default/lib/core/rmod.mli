@@ -1,0 +1,44 @@
+(** The reference-formal-parameter problem, solved on the binding
+    multi-graph — Figure 1 of the paper.
+
+    [RMOD(fp_i^p)] is [true] iff the [i]-th (by-reference) formal of
+    [p] may be modified by an invocation of [p].  The system solved is
+    equation (6):
+
+    {v RMOD(m) = IMOD(m) ∨ ⋁_(m,n)∈Eβ RMOD(n) v}
+
+    whose solution is constant on each strongly-connected component of
+    β, so the algorithm is: (1) find the SCCs of β, (2) or together the
+    [IMOD] bits within each component, (3) propagate from leaves to
+    roots of the condensation, (4) copy each component's answer to its
+    members.  Every step is [O(Nβ + Eβ)] single-word boolean
+    operations — the "order of magnitude" gain over bit-vector methods
+    (§3.2). *)
+
+type result = {
+  binding : Callgraph.Binding.t;
+  rmod : bool array;  (** Per β node. *)
+  steps : int;
+      (** Simple boolean steps executed (node initialisations plus edge
+          relaxations, over both the condensation and the copy-back) —
+          the quantity the paper's [O(Nβ + Eβ)] bound counts.  Used by
+          the empirical-linearity experiment. *)
+}
+
+val solve : Callgraph.Binding.t -> imod:Bitvec.t array -> result
+(** [imod] is the per-procedure [IMOD] family (nesting extension
+    included) from {!Frontend.Local.imod}; only its formal-parameter
+    bits are consulted. *)
+
+val modified : result -> int -> bool
+(** [modified r vid]: is this by-reference formal modified?  [false]
+    for variables that are not by-reference formals. *)
+
+val to_var_set : result -> Bitvec.t
+(** All modified by-reference formals, as a variable-id set. *)
+
+val rmod_of_proc : result -> int -> int list
+(** The modified by-reference formals of one procedure, as variable
+    ids, ascending — the paper's [RMOD(p)]. *)
+
+val pp : Format.formatter -> result -> unit

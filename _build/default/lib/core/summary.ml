@@ -1,0 +1,84 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+module Stmt = Ir.Stmt
+
+type t = {
+  info : Ir.Info.t;
+  gmod : Bitvec.t array;
+  guse : Bitvec.t array;
+  alias : Alias.t;
+}
+
+let make info ~gmod ~guse ~alias = { info; gmod; guse; alias }
+
+let projection t ~mode sid =
+  let prog = Ir.Info.prog t.info in
+  let s = Prog.site prog sid in
+  let callee = Prog.proc prog s.Prog.callee in
+  let summary =
+    match mode with
+    | `Mod -> t.gmod.(s.Prog.callee)
+    | `Use -> t.guse.(s.Prog.callee)
+  in
+  (* Non-local survivors. *)
+  let result = Bitvec.copy summary in
+  ignore (Bitvec.inter_into ~src:(Ir.Info.non_local t.info s.Prog.callee) ~dst:result);
+  (* Formal-to-actual projection. *)
+  Array.iteri
+    (fun i arg ->
+      match arg with
+      | Prog.Arg_value _ -> ()
+      | Prog.Arg_ref lv ->
+        if Bitvec.get summary callee.Prog.formals.(i) then
+          Bitvec.set result (Expr.lvalue_base lv))
+    s.Prog.args;
+  result
+
+let dmod_site t sid = projection t ~mode:`Mod sid
+
+let duse_site t sid =
+  let prog = Ir.Info.prog t.info in
+  let result = projection t ~mode:`Use sid in
+  List.iter (fun v -> Bitvec.set result v)
+    (Frontend.Local.luse_stmt prog (Stmt.Call sid));
+  result
+
+let close_in_proc t ~proc set = Alias.close t.alias ~proc set
+
+let mod_site t sid =
+  let prog = Ir.Info.prog t.info in
+  let s = Prog.site prog sid in
+  close_in_proc t ~proc:s.Prog.caller (dmod_site t sid)
+
+let use_site t sid =
+  let prog = Ir.Info.prog t.info in
+  let s = Prog.site prog sid in
+  close_in_proc t ~proc:s.Prog.caller (duse_site t sid)
+
+(* Equation (2) over a whole statement: local effects of the statement
+   and all sub-statements, plus the projection of every contained call
+   site. *)
+let stmt_effect t ~mode ~local_of stmt =
+  let prog = Ir.Info.prog t.info in
+  let result = Ir.Info.fresh t.info in
+  Stmt.iter
+    (fun s ->
+      List.iter (fun v -> Bitvec.set result v) (local_of prog s);
+      match s with
+      | Stmt.Call sid ->
+        let proj = projection t ~mode sid in
+        ignore (Bitvec.union_into ~src:proj ~dst:result)
+      | Stmt.Assign _ | Stmt.If _ | Stmt.While _ | Stmt.For _ | Stmt.Read _
+      | Stmt.Write _ ->
+        ())
+    [ stmt ];
+  result
+
+let dmod_stmt t ~proc:_ stmt =
+  stmt_effect t ~mode:`Mod ~local_of:Frontend.Local.lmod_stmt stmt
+
+let duse_stmt t ~proc:_ stmt =
+  stmt_effect t ~mode:`Use ~local_of:Frontend.Local.luse_stmt stmt
+
+let mod_stmt t ~proc stmt = close_in_proc t ~proc (dmod_stmt t ~proc stmt)
+let use_stmt t ~proc stmt = close_in_proc t ~proc (duse_stmt t ~proc stmt)

@@ -1,0 +1,53 @@
+(** §5 — from [GMOD] to per-call-site [DMOD] and [MOD] (and the
+    symmetric [USE] chain).
+
+    Equation (2):
+    {v DMOD(s) = LMOD(s) ∪ ⋃_(e=(p,q)∈s) b_e(GMOD(q)) v}
+
+    For a call site [e = (p, q)], the projection [b_e(GMOD(q))] is
+
+    - the variables of [GMOD(q)] that are not local to [q] (they
+      survive [q]'s return unchanged in identity), plus
+    - for every by-reference formal of [q] in [GMOD(q)], the base
+      variable of the corresponding actual.
+
+    [MOD(s)] then extends [DMOD(s)] by one step of alias pairs:
+    [∀x ∈ DMOD(s), <x,y> ∈ ALIAS(p) ⇒ y ∈ MOD(s)]. *)
+
+type t
+
+val make :
+  Ir.Info.t ->
+  gmod:Bitvec.t array ->
+  guse:Bitvec.t array ->
+  alias:Alias.t ->
+  t
+
+val projection : t -> mode:[ `Mod | `Use ] -> int -> Bitvec.t
+(** [b_e(GMOD(q))] (resp. [GUSE]) for call site [e] — the
+    interprocedural part of the site's effect, before local effects and
+    aliases.  Fresh vector. *)
+
+val dmod_site : t -> int -> Bitvec.t
+(** [DMOD] of the call statement at a site: since a call statement has
+    no local modifications, this is exactly the projection. *)
+
+val duse_site : t -> int -> Bitvec.t
+(** [DUSE] of the call statement at a site: the projection plus the
+    argument-evaluation uses ([LUSE] of the call statement). *)
+
+val mod_site : t -> int -> Bitvec.t
+(** [MOD(s)]: [DMOD(s)] extended with aliases of the surrounding
+    procedure. *)
+
+val use_site : t -> int -> Bitvec.t
+(** [USE(s)]: [DUSE(s)] extended with aliases. *)
+
+val dmod_stmt : t -> proc:int -> Ir.Stmt.t -> Bitvec.t
+(** Equation (2) for an arbitrary statement: its [LMOD] plus the
+    projections of every call site it contains (recursively). *)
+
+val duse_stmt : t -> proc:int -> Ir.Stmt.t -> Bitvec.t
+
+val mod_stmt : t -> proc:int -> Ir.Stmt.t -> Bitvec.t
+val use_stmt : t -> proc:int -> Ir.Stmt.t -> Bitvec.t

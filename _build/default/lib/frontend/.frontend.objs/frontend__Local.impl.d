@@ -1,0 +1,1 @@
+lib/frontend/local.ml: Array Bitvec Int Ir List Set

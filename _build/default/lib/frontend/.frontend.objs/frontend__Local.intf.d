@@ -1,0 +1,1 @@
+lib/frontend/local.mli: Bitvec Ir

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Ast Format Ir Lexer List Loc Result Token

@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Array Ast Format Hashtbl Ir List Loc Map Parser Result String

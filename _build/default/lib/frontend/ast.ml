@@ -1,0 +1,66 @@
+type ident = {
+  name : string;
+  loc : Loc.t;
+}
+
+type ty =
+  | Ty_int
+  | Ty_bool
+  | Ty_array of int list
+
+type expr =
+  | Int of int * Loc.t
+  | Bool of bool * Loc.t
+  | Name of ident
+  | Index of ident * expr list
+  | Binop of Ir.Expr.binop * expr * expr
+  | Unop of Ir.Expr.unop * expr
+
+type lvalue =
+  | Lname of ident
+  | Lindex of ident * expr list
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of ident * expr * expr * stmt list
+  | Call of ident * expr list
+  | Read of lvalue
+  | Write of expr
+  | Skip
+
+type param = {
+  p_mode : Ir.Prog.param_mode;
+  p_name : ident;
+  p_ty : ty;
+}
+
+type decl = {
+  d_names : ident list;
+  d_ty : ty;
+}
+
+type proc = {
+  proc_name : ident;
+  params : param list;
+  decls : decl list;
+  procs : proc list;
+  body : stmt list;
+}
+
+type program = {
+  prog_name : ident;
+  globals : decl list;
+  top_procs : proc list;
+  main_body : stmt list;
+}
+
+let rec expr_loc = function
+  | Int (_, loc) | Bool (_, loc) -> loc
+  | Name id | Index (id, _) -> id.loc
+  | Binop (_, l, _) -> expr_loc l
+  | Unop (_, e) -> expr_loc e
+
+let lvalue_loc = function
+  | Lname id | Lindex (id, _) -> id.loc

@@ -1,0 +1,69 @@
+(** Surface abstract syntax, as produced by the parser: names are
+    unresolved strings with source locations; {!Sema} turns this into
+    the id-based {!Ir.Prog} representation.
+
+    Binary and unary operators are shared with the resolved IR
+    ({!Ir.Expr}) — resolution does not change them. *)
+
+type ident = {
+  name : string;
+  loc : Loc.t;
+}
+
+type ty =
+  | Ty_int
+  | Ty_bool
+  | Ty_array of int list
+
+type expr =
+  | Int of int * Loc.t
+  | Bool of bool * Loc.t
+  | Name of ident  (** Scalar variable read. *)
+  | Index of ident * expr list
+  | Binop of Ir.Expr.binop * expr * expr
+  | Unop of Ir.Expr.unop * expr
+
+type lvalue =
+  | Lname of ident
+  | Lindex of ident * expr list
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of ident * expr * expr * stmt list
+  | Call of ident * expr list
+      (** Arguments are parsed as general expressions; {!Sema} checks
+          lvalue-ness against the callee's by-reference formals. *)
+  | Read of lvalue
+  | Write of expr
+  | Skip  (** No-op; dropped during resolution. *)
+
+type param = {
+  p_mode : Ir.Prog.param_mode;
+  p_name : ident;
+  p_ty : ty;
+}
+
+type decl = {
+  d_names : ident list;
+  d_ty : ty;
+}
+
+type proc = {
+  proc_name : ident;
+  params : param list;
+  decls : decl list;
+  procs : proc list;  (** Nested procedure declarations, in order. *)
+  body : stmt list;
+}
+
+type program = {
+  prog_name : ident;
+  globals : decl list;
+  top_procs : proc list;
+  main_body : stmt list;
+}
+
+val expr_loc : expr -> Loc.t
+val lvalue_loc : lvalue -> Loc.t

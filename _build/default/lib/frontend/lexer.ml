@@ -1,0 +1,161 @@
+exception Error of Loc.t * string
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:st.col
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_block_comment st start_loc depth =
+  match (peek st, peek2 st) with
+  | None, _ -> raise (Error (start_loc, "unterminated comment"))
+  | Some '*', Some ')' ->
+    advance st;
+    advance st;
+    if depth > 1 then skip_block_comment st start_loc (depth - 1)
+  | Some '(', Some '*' ->
+    advance st;
+    advance st;
+    skip_block_comment st start_loc (depth + 1)
+  | Some _, _ ->
+    advance st;
+    skip_block_comment st start_loc depth
+
+let rec skip_line_comment st =
+  match peek st with
+  | Some '\n' | None -> ()
+  | Some _ ->
+    advance st;
+    skip_line_comment st
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance st;
+    skip_trivia st
+  | Some '(', Some '*' ->
+    let l = loc st in
+    advance st;
+    advance st;
+    skip_block_comment st l 1;
+    skip_trivia st
+  | Some '/', Some '/' ->
+    skip_line_comment st;
+    skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> is_ident_char c
+    | None -> false
+  do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_int st l =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> is_digit c
+    | None -> false
+  do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> n
+  | None -> raise (Error (l, "integer literal out of range: " ^ text))
+
+let next_token st =
+  skip_trivia st;
+  let l = loc st in
+  match peek st with
+  | None -> (Token.EOF, l)
+  | Some c when is_ident_start c ->
+    let word = lex_ident st in
+    let tok =
+      match Token.keyword_of_string word with
+      | Some kw -> kw
+      | None -> Token.IDENT word
+    in
+    (tok, l)
+  | Some c when is_digit c -> (Token.INT (lex_int st l), l)
+  | Some c ->
+    let two target result =
+      advance st;
+      match peek st with
+      | Some c2 when c2 = target ->
+        advance st;
+        result
+      | _ -> raise (Error (l, Printf.sprintf "unexpected character '%c'" c))
+    in
+    let one_or_two target with2 without =
+      advance st;
+      match peek st with
+      | Some c2 when c2 = target ->
+        advance st;
+        with2
+      | _ -> without
+    in
+    let single tok =
+      advance st;
+      tok
+    in
+    let tok =
+      match c with
+      | ';' -> single Token.SEMI
+      | ':' -> one_or_two '=' Token.ASSIGN Token.COLON
+      | ',' -> single Token.COMMA
+      | '.' -> single Token.DOT
+      | '(' -> single Token.LPAREN
+      | ')' -> single Token.RPAREN
+      | '[' -> single Token.LBRACKET
+      | ']' -> single Token.RBRACKET
+      | '+' -> single Token.PLUS
+      | '-' -> single Token.MINUS
+      | '*' -> single Token.STAR
+      | '/' -> single Token.SLASH
+      | '%' -> single Token.PERCENT
+      | '<' -> one_or_two '=' Token.LE Token.LT
+      | '>' -> one_or_two '=' Token.GE Token.GT
+      | '=' -> two '=' Token.EQEQ
+      | '!' -> two '=' Token.NE
+      | _ -> raise (Error (l, Printf.sprintf "unexpected character '%c'" c))
+    in
+    (tok, l)
+
+let tokenize ?(file = "<string>") src =
+  let st = { src; file; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let tok, l = next_token st in
+    let acc = (tok, l) :: acc in
+    match tok with
+    | Token.EOF -> List.rev acc
+    | _ -> loop acc
+  in
+  loop []

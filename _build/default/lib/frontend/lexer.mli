@@ -1,0 +1,13 @@
+(** Hand-written lexer for MiniProc.
+
+    Supports nested [(* ... *)] block comments and [// ...] line
+    comments.  All tokens carry the location of their first
+    character. *)
+
+exception Error of Loc.t * string
+(** Raised on an unexpected character, an unterminated comment, or an
+    integer literal that does not fit in an OCaml [int]. *)
+
+val tokenize : ?file:string -> string -> (Token.t * Loc.t) list
+(** Scan a whole source string; the final element is always
+    [(EOF, loc)]. *)

@@ -1,0 +1,16 @@
+(** Source positions for diagnostics. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based. *)
+  col : int;  (** 1-based column of the first character. *)
+}
+
+val dummy : t
+(** Position used for synthesised nodes. *)
+
+val make : file:string -> line:int -> col:int -> t
+val pp : Format.formatter -> t -> unit
+(** Prints as [file:line:col]. *)
+
+val to_string : t -> string

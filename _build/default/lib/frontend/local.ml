@@ -1,0 +1,54 @@
+module Prog = Ir.Prog
+module Stmt = Ir.Stmt
+module Expr = Ir.Expr
+
+module Int_set = Set.Make (Int)
+
+let expr_vars acc e = List.fold_left (fun acc v -> Int_set.add v acc) acc (Expr.vars e)
+
+let lvalue_index_vars acc lv =
+  List.fold_left (fun acc v -> Int_set.add v acc) acc (Expr.lvalue_index_vars lv)
+
+let lmod_stmt _p (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (lv, _) | Stmt.Read lv -> [ Expr.lvalue_base lv ]
+  | Stmt.For (v, _, _, _) -> [ v ]
+  | Stmt.If _ | Stmt.While _ | Stmt.Call _ | Stmt.Write _ -> []
+
+let luse_stmt p (s : Stmt.t) =
+  let set =
+    match s with
+    | Stmt.Assign (lv, e) -> expr_vars (lvalue_index_vars Int_set.empty lv) e
+    | Stmt.If (c, _, _) | Stmt.While (c, _) -> expr_vars Int_set.empty c
+    | Stmt.For (v, lo, hi, _) ->
+      expr_vars (expr_vars (Int_set.singleton v) lo) hi
+    | Stmt.Read lv -> lvalue_index_vars Int_set.empty lv
+    | Stmt.Write e -> expr_vars Int_set.empty e
+    | Stmt.Call sid ->
+      let site = Prog.site p sid in
+      Array.fold_left
+        (fun acc arg ->
+          match arg with
+          | Prog.Arg_value e -> expr_vars acc e
+          | Prog.Arg_ref lv -> lvalue_index_vars acc lv)
+        Int_set.empty site.Prog.args
+  in
+  Int_set.elements set
+
+(* Per-procedure union of a per-statement set. *)
+let flat_union info per_stmt =
+  let p = Ir.Info.prog info in
+  Array.map
+    (fun (pr : Prog.proc) ->
+      let acc = Ir.Info.fresh info in
+      Stmt.iter
+        (fun s -> List.iter (fun v -> Bitvec.set acc v) (per_stmt p s))
+        pr.Prog.body;
+      acc)
+    p.Prog.procs
+
+let imod_flat info = flat_union info lmod_stmt
+let iuse_flat info = flat_union info luse_stmt
+
+let imod info = Ir.Info.fold_up_nesting info (imod_flat info)
+let iuse info = Ir.Info.fold_up_nesting info (iuse_flat info)

@@ -1,0 +1,38 @@
+(** Local (intraprocedural) effect analysis — the inputs the paper
+    assumes are available.
+
+    [LMOD(s)] / [LUSE(s)] are the variables a single statement may
+    modify / use, {e exclusive of any procedure calls in it}: a call
+    statement's [LMOD] is empty, and its [LUSE] contains only the
+    variables read to evaluate its arguments (value-argument
+    expressions and the subscripts of reference actuals — evaluated at
+    the call, in the caller).
+
+    Modifying an array element counts as modifying the whole array at
+    this granularity; §6's regular sections refine that separately.
+
+    [IMOD(p) = ⋃_{s∈p} LMOD(s)], extended for nested procedure
+    declarations per §3.3:
+    [IMOD(p) ⊇ IMOD(q) ∖ LOCAL(q)] for each [q ∈ Nest(p)]
+    (the paper's overbar on LOCAL restored — see DESIGN.md), computed
+    bottom-up over the nesting tree.  [IUSE] is the symmetric
+    computation from [LUSE]. *)
+
+val lmod_stmt : Ir.Prog.t -> Ir.Stmt.t -> int list
+(** Variables directly modified by this one statement (not its
+    sub-statements), ascending. *)
+
+val luse_stmt : Ir.Prog.t -> Ir.Stmt.t -> int list
+(** Variables directly used by this one statement (not its
+    sub-statements), ascending. *)
+
+val imod_flat : Ir.Info.t -> Bitvec.t array
+(** Per-procedure [⋃ LMOD(s)] without the nesting extension. *)
+
+val iuse_flat : Ir.Info.t -> Bitvec.t array
+
+val imod : Ir.Info.t -> Bitvec.t array
+(** Per-procedure [IMOD] with the §3.3 nesting extension. *)
+
+val iuse : Ir.Info.t -> Bitvec.t array
+(** Per-procedure [IUSE] with the §3.3 nesting extension. *)

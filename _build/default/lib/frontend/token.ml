@@ -1,0 +1,114 @@
+type t =
+  | IDENT of string
+  | INT of int
+  | PROGRAM
+  | PROCEDURE
+  | VAR
+  | BEGIN
+  | END
+  | IF
+  | THEN
+  | ELSE
+  | WHILE
+  | DO
+  | FOR
+  | TO
+  | CALL
+  | READ
+  | WRITE
+  | SKIP
+  | TINT
+  | TBOOL
+  | ARRAY
+  | OF
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | EOF
+
+let keywords =
+  [
+    ("program", PROGRAM);
+    ("procedure", PROCEDURE);
+    ("var", VAR);
+    ("begin", BEGIN);
+    ("end", END);
+    ("if", IF);
+    ("then", THEN);
+    ("else", ELSE);
+    ("while", WHILE);
+    ("do", DO);
+    ("for", FOR);
+    ("to", TO);
+    ("call", CALL);
+    ("read", READ);
+    ("write", WRITE);
+    ("skip", SKIP);
+    ("int", TINT);
+    ("bool", TBOOL);
+    ("array", ARRAY);
+    ("of", OF);
+    ("and", AND);
+    ("or", OR);
+    ("not", NOT);
+    ("true", TRUE);
+    ("false", FALSE);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keywords
+
+let to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | SEMI -> ";"
+  | COLON -> ":"
+  | COMMA -> ","
+  | DOT -> "."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | ASSIGN -> ":="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | EOF -> "<eof>"
+  | t ->
+    (* Keywords: find the spelling in the table. *)
+    let rec find = function
+      | [] -> assert false
+      | (s, t') :: rest -> if t' = t then s else find rest
+    in
+    find keywords
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,63 @@
+(** Tokens of the MiniProc lexical grammar. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  (* Keywords. *)
+  | PROGRAM
+  | PROCEDURE
+  | VAR
+  | BEGIN
+  | END
+  | IF
+  | THEN
+  | ELSE
+  | WHILE
+  | DO
+  | FOR
+  | TO
+  | CALL
+  | READ
+  | WRITE
+  | SKIP
+  | TINT
+  | TBOOL
+  | ARRAY
+  | OF
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  (* Punctuation and operators. *)
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | ASSIGN  (** [:=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | EOF
+
+val pp : Format.formatter -> t -> unit
+(** Prints the token's concrete spelling (identifiers and literals show
+    their payload). *)
+
+val to_string : t -> string
+
+val keyword_of_string : string -> t option
+(** Recognise a keyword; [None] for plain identifiers.  Keywords are
+    case-sensitive and lower-case. *)

@@ -1,0 +1,1 @@
+lib/graphs/dfs.ml: Array Digraph Format List

@@ -1,0 +1,1 @@
+lib/graphs/dfs.mli: Digraph Format

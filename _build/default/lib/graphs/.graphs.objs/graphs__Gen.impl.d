@@ -1,0 +1,1 @@
+lib/graphs/gen.ml: Array Digraph List Random

@@ -1,0 +1,1 @@
+lib/graphs/gen.mli: Digraph Random

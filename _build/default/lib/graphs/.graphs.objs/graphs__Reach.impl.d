@@ -1,0 +1,1 @@
+lib/graphs/reach.ml: Array Bitvec Digraph

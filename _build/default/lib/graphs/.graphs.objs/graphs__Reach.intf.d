@@ -1,0 +1,1 @@
+lib/graphs/reach.mli: Bitvec Digraph

@@ -1,0 +1,1 @@
+lib/graphs/topo.mli: Digraph

@@ -1,0 +1,84 @@
+let random rng ~nodes ~edges =
+  if nodes <= 0 then invalid_arg "Gen.random: need at least one node";
+  let b = Digraph.Builder.create ~nodes () in
+  for _ = 1 to edges do
+    let s = Random.State.int rng nodes and d = Random.State.int rng nodes in
+    ignore (Digraph.Builder.add_edge b ~src:s ~dst:d)
+  done;
+  Digraph.Builder.freeze b
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let random_dag rng ~nodes ~edges =
+  if nodes <= 1 then invalid_arg "Gen.random_dag: need at least two nodes";
+  let order = Array.init nodes (fun i -> i) in
+  shuffle rng order;
+  let b = Digraph.Builder.create ~nodes () in
+  for _ = 1 to edges do
+    let i = Random.State.int rng (nodes - 1) in
+    let j = i + 1 + Random.State.int rng (nodes - i - 1) in
+    ignore (Digraph.Builder.add_edge b ~src:order.(i) ~dst:order.(j))
+  done;
+  Digraph.Builder.freeze b
+
+let chain n =
+  Digraph.of_edges ~nodes:n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 1 then invalid_arg "Gen.cycle";
+  Digraph.of_edges ~nodes:n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  let b = Digraph.Builder.create ~nodes:n () in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then ignore (Digraph.Builder.add_edge b ~src:s ~dst:d)
+    done
+  done;
+  Digraph.Builder.freeze b
+
+let tree rng ~nodes ~arity =
+  if nodes <= 0 then invalid_arg "Gen.tree";
+  if arity <= 0 then invalid_arg "Gen.tree: arity must be positive";
+  let b = Digraph.Builder.create ~nodes () in
+  let child_count = Array.make nodes 0 in
+  for v = 1 to nodes - 1 do
+    (* Pick a parent among earlier nodes with spare arity; fall back to
+       the immediately preceding node if the sample is saturated. *)
+    let rec pick tries =
+      let p = Random.State.int rng v in
+      if child_count.(p) < arity || tries > 8 then p else pick (tries + 1)
+    in
+    let p = pick 0 in
+    child_count.(p) <- child_count.(p) + 1;
+    ignore (Digraph.Builder.add_edge b ~src:p ~dst:v)
+  done;
+  Digraph.Builder.freeze b
+
+let clustered rng ~clusters ~cluster_size ~extra =
+  if clusters <= 0 || cluster_size <= 0 then invalid_arg "Gen.clustered";
+  let nodes = clusters * cluster_size in
+  let b = Digraph.Builder.create ~nodes () in
+  for c = 0 to clusters - 1 do
+    let base = c * cluster_size in
+    for i = 0 to cluster_size - 1 do
+      ignore
+        (Digraph.Builder.add_edge b ~src:(base + i)
+           ~dst:(base + ((i + 1) mod cluster_size)))
+    done
+  done;
+  if clusters > 1 then
+    for _ = 1 to extra do
+      let c1 = Random.State.int rng (clusters - 1) in
+      let c2 = c1 + 1 + Random.State.int rng (clusters - c1 - 1) in
+      let s = (c1 * cluster_size) + Random.State.int rng cluster_size in
+      let d = (c2 * cluster_size) + Random.State.int rng cluster_size in
+      ignore (Digraph.Builder.add_edge b ~src:s ~dst:d)
+    done;
+  Digraph.Builder.freeze b

@@ -1,0 +1,32 @@
+(** Deterministic random graph generators for tests and benchmarks.
+
+    Every generator takes an explicit [Random.State.t] so workloads are
+    reproducible from a seed. *)
+
+val random : Random.State.t -> nodes:int -> edges:int -> Digraph.t
+(** Uniform random multi-graph: [edges] edges with independently
+    uniform endpoints (self-edges and duplicates allowed, as in any
+    multi-graph). *)
+
+val random_dag : Random.State.t -> nodes:int -> edges:int -> Digraph.t
+(** Random acyclic multi-graph: every edge respects a hidden
+    permutation order. *)
+
+val chain : int -> Digraph.t
+(** [0 -> 1 -> ... -> n-1]. *)
+
+val cycle : int -> Digraph.t
+(** A single directed cycle over [n >= 1] nodes. *)
+
+val complete : int -> Digraph.t
+(** All [n·(n-1)] ordered pairs, no self-edges. *)
+
+val tree : Random.State.t -> nodes:int -> arity:int -> Digraph.t
+(** Random tree edges parent -> child; each node's parent is uniform
+    among earlier nodes, capped at [arity] children where possible. *)
+
+val clustered : Random.State.t -> clusters:int -> cluster_size:int -> extra:int -> Digraph.t
+(** [clusters] directed cycles of [cluster_size] nodes plus [extra]
+    forward edges between distinct clusters (from lower-numbered to
+    higher-numbered clusters, so the condensation stays acyclic).
+    Models the recursive-cluster call graphs of §4's analysis. *)

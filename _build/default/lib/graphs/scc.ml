@@ -1,0 +1,125 @@
+(* Iterative Tarjan.  The recursion of the textbook version is replaced
+   by an explicit frame stack of (node, out-edge cursor) pairs so that
+   deep call chains (one of the workload families) cannot overflow the
+   OCaml stack. *)
+
+type result = {
+  n_comps : int;
+  comp : int array;
+}
+
+let compute g =
+  let n = Digraph.n_nodes g in
+  let dfn = Array.make n 0 in
+  let low = Array.make n 0 in
+  let comp = Array.make n (-1) in
+  let on_stack = Array.make n false in
+  let tarjan_stack = ref [] in
+  let next_dfn = ref 1 in
+  let n_comps = ref 0 in
+  (* Explicit DFS frames. *)
+  let frame_node = Array.make (n + 1) 0 in
+  let frame_next = Array.make (n + 1) 0 in
+  (* frame_next.(sp) indexes into the successor sequence of
+     frame_node.(sp); we re-enumerate successors via succ array. *)
+  let succs = Array.make n [||] in
+  for v = 0 to n - 1 do
+    let deg = Digraph.out_degree g v in
+    let a = Array.make deg 0 in
+    let i = ref 0 in
+    Digraph.iter_succ g v (fun w ->
+        a.(!i) <- w;
+        incr i);
+    succs.(v) <- a
+  done;
+  let close_component v =
+    (* Pop the Tarjan stack down to [v]; all popped nodes form one
+       component, closed in reverse topological order. *)
+    let c = !n_comps in
+    incr n_comps;
+    let rec pop () =
+      match !tarjan_stack with
+      | [] -> assert false
+      | u :: rest ->
+        tarjan_stack := rest;
+        on_stack.(u) <- false;
+        comp.(u) <- c;
+        if u <> v then pop ()
+    in
+    pop ()
+  in
+  let visit root =
+    let sp = ref 0 in
+    let push v =
+      dfn.(v) <- !next_dfn;
+      low.(v) <- !next_dfn;
+      incr next_dfn;
+      tarjan_stack := v :: !tarjan_stack;
+      on_stack.(v) <- true;
+      frame_node.(!sp) <- v;
+      frame_next.(!sp) <- 0;
+      incr sp
+    in
+    push root;
+    while !sp > 0 do
+      let v = frame_node.(!sp - 1) in
+      let i = frame_next.(!sp - 1) in
+      if i < Array.length succs.(v) then begin
+        frame_next.(!sp - 1) <- i + 1;
+        let w = succs.(v).(i) in
+        if dfn.(w) = 0 then push w
+        else if on_stack.(w) then low.(v) <- min low.(v) dfn.(w)
+      end
+      else begin
+        decr sp;
+        if low.(v) = dfn.(v) then close_component v;
+        if !sp > 0 then begin
+          let parent = frame_node.(!sp - 1) in
+          low.(parent) <- min low.(parent) low.(v)
+        end
+      end
+    done
+  in
+  for v = 0 to n - 1 do
+    if dfn.(v) = 0 then visit v
+  done;
+  { n_comps = !n_comps; comp }
+
+let members r =
+  let out = Array.make r.n_comps [] in
+  for v = Array.length r.comp - 1 downto 0 do
+    out.(r.comp.(v)) <- v :: out.(r.comp.(v))
+  done;
+  out
+
+let representative r =
+  let rep = Array.make r.n_comps (-1) in
+  for v = Array.length r.comp - 1 downto 0 do
+    rep.(r.comp.(v)) <- v
+  done;
+  rep
+
+let condense g r =
+  let b = Digraph.Builder.create ~nodes:r.n_comps () in
+  (* Deduplicate inter-component edges with a per-source scratch mark
+     so condensation stays O(N + E). *)
+  let mark = Array.make r.n_comps (-1) in
+  let by_comp = members r in
+  Array.iteri
+    (fun c nodes ->
+      List.iter
+        (fun v ->
+          Digraph.iter_succ g v (fun w ->
+              let cw = r.comp.(w) in
+              if cw <> c && mark.(cw) <> c then begin
+                mark.(cw) <- c;
+                ignore (Digraph.Builder.add_edge b ~src:c ~dst:cw)
+              end))
+        nodes)
+    by_comp;
+  Digraph.Builder.freeze b
+
+let is_trivial g r c =
+  match members r |> fun m -> m.(c) with
+  | [ v ] -> not (List.exists (fun w -> w = v) (Digraph.succ_list g v))
+  | _ -> false

@@ -1,0 +1,36 @@
+(** Strongly-connected components, via an iterative version of Tarjan's
+    algorithm [Tarj 72] — the engine under both halves of the paper:
+    Figure 1 condenses the binding multi-graph with it, and Figure 2's
+    [findgmod] is a direct extension of it.
+
+    Components are numbered in the order Tarjan closes them, which is
+    reverse topological order of the condensation: for any edge
+    [u -> v] with [comp u <> comp v], [comp u > comp v].  Solvers that
+    walk components [0, 1, 2, ...] therefore see every successor
+    component before its predecessors — exactly the leaves-to-roots
+    traversal step (3) of Figure 1 asks for. *)
+
+type result = {
+  n_comps : int;  (** Number of strongly-connected components. *)
+  comp : int array;  (** [comp.(v)] is the component of node [v]. *)
+}
+
+val compute : Digraph.t -> result
+(** Tarjan's algorithm over every root, iteratively (no OS-stack
+    recursion), in [O(N + E)]. *)
+
+val members : result -> Digraph.node list array
+(** [members r] lists, per component, its nodes (ascending). *)
+
+val representative : result -> Digraph.node array
+(** One designated node per component (the smallest-numbered one). *)
+
+val condense : Digraph.t -> result -> Digraph.t
+(** The condensation: one node per component, one edge per
+    inter-component edge of the original graph, duplicates removed.
+    The result is a DAG. *)
+
+val is_trivial : Digraph.t -> result -> int -> bool
+(** [is_trivial g r c] is [true] iff component [c] is a single node
+    with no self-edge — i.e. not a cycle.  (Tarjan's convention keeps
+    such nodes as singleton components.) *)

@@ -1,0 +1,29 @@
+let sort g =
+  let n = Digraph.n_nodes g in
+  let in_degree = Array.make n 0 in
+  Digraph.iter_edges g (fun _ _ d -> in_degree.(d) <- in_degree.(d) + 1);
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if in_degree.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr emitted;
+    Digraph.iter_succ g v (fun w ->
+        in_degree.(w) <- in_degree.(w) - 1;
+        if in_degree.(w) = 0 then Queue.add w queue)
+  done;
+  if !emitted = n then Some (List.rev !order) else None
+
+let reverse_post_order g =
+  let t = Dfs.run g in
+  let n = Digraph.n_nodes g in
+  let order = Array.make n 0 in
+  for v = 0 to n - 1 do
+    (* Highest postorder first. *)
+    order.(n - 1 - t.Dfs.post.(v)) <- v
+  done;
+  Array.to_list order

@@ -1,0 +1,14 @@
+(** Topological order of a DAG (Kahn's algorithm).
+
+    Used to drive the leaves-to-roots propagation pass of Figure 1 over
+    the condensed binding multi-graph, and by tests to validate the
+    reverse-topological numbering that {!Scc.compute} promises. *)
+
+val sort : Digraph.t -> Digraph.node list option
+(** [sort g] is [Some order] with every edge pointing forward in
+    [order], or [None] if [g] has a cycle. *)
+
+val reverse_post_order : Digraph.t -> Digraph.node list
+(** Nodes in reverse postorder of a full DFS — a topological order
+    whenever the graph is acyclic, defined (but not topological) on
+    cyclic graphs too. *)

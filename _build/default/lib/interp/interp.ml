@@ -1,0 +1,400 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+module Stmt = Ir.Stmt
+
+(* Storage blocks carry a unique id so physical locations can be keyed
+   in hash tables.  Scalars are 1-cell blocks; arrays are row-major. *)
+type block = {
+  bid : int;
+  data : int array;
+}
+
+type slot =
+  | Scalar_slot of block * int  (* block, cell index *)
+  | Array_slot of block * int list  (* block, dims *)
+
+type activation = {
+  act_proc : int;
+  act_slots : (int, slot) Hashtbl.t; (* vid -> slot *)
+  act_link : activation option;
+}
+
+(* Per-call effect accumulators.  Every load/store is recorded (as a
+   deduplicated (block id, cell) key) in the record of the innermost
+   active call only; when a call finishes, its tables are matched
+   against the caller's view and then merged into the parent record.
+   Total cost is O(events + calls · distinct locations), where the
+   log-slicing alternative is quadratic in call depth. *)
+type call_record = {
+  writes : (int * int, unit) Hashtbl.t;
+  reads : (int * int, unit) Hashtbl.t;
+}
+
+let fresh_record () = { writes = Hashtbl.create 16; reads = Hashtbl.create 16 }
+
+type entry_summary =
+  | Never
+  | Always of int
+  | Varies
+
+type outcome = {
+  output : int list;
+  steps : int;
+  truncated : bool;
+  site_mods : Bitvec.t array;
+  site_uses : Bitvec.t array;
+  calls_executed : int array;
+  formal_entry : entry_summary array;
+}
+
+exception Out_of_fuel
+exception Arith_fault
+exception Depth_skip
+
+type state = {
+  prog : Prog.t;
+  globals : (int, slot) Hashtbl.t;
+  mutable records : call_record list; (* innermost active call first *)
+  mutable depth : int;
+  max_depth : int;
+  mutable depth_skips : int;
+  mutable fuel : int;
+  mutable steps : int;
+  mutable next_bid : int;
+  mutable next_input : int;
+  mutable output_rev : int list;
+  site_mods : Bitvec.t array;
+  site_uses : Bitvec.t array;
+  calls_executed : int array;
+  formal_entry : entry_summary array;
+}
+
+let fresh_block st size =
+  let bid = st.next_bid in
+  st.next_bid <- bid + 1;
+  { bid; data = Array.make size 0 }
+
+let slot_for_var st (v : Prog.var) =
+  match v.Prog.vty with
+  | Ir.Types.Int | Ir.Types.Bool -> Scalar_slot (fresh_block st 1, 0)
+  | Ir.Types.Array dims ->
+    Array_slot (fresh_block st (List.fold_left ( * ) 1 dims), dims)
+
+(* Static scoping lookup: the activation chain, then globals.  With
+   recursion the innermost activation of the owner is the one in the
+   chain closest to the start — exactly the Pascal display. *)
+let lookup st act vid =
+  let rec walk = function
+    | Some a -> (
+      match Hashtbl.find_opt a.act_slots vid with
+      | Some slot -> slot
+      | None -> walk a.act_link)
+    | None -> (
+      match Hashtbl.find_opt st.globals vid with
+      | Some slot -> slot
+      | None -> invalid_arg "Interp: unbound variable (scope bug)")
+  in
+  walk (Some act)
+
+(* MiniProc array semantics: indices wrap modulo the extent, making
+   every access total (needed to execute arbitrary generated
+   programs deterministically). *)
+let flatten_index dims idxs =
+  List.fold_left2
+    (fun acc d i ->
+      let i = ((i mod d) + d) mod d in
+      (acc * d) + i)
+    0 dims idxs
+
+let record st is_write block idx =
+  match st.records with
+  | [] -> ()
+  | r :: _ ->
+    Hashtbl.replace (if is_write then r.writes else r.reads) (block.bid, idx) ()
+
+let truth n = n <> 0
+let of_bool b = if b then 1 else 0
+
+let rec eval st act (e : Expr.t) : int =
+  match e with
+  | Expr.Int n -> n
+  | Expr.Bool b -> of_bool b
+  | Expr.Var v -> (
+    match lookup st act v with
+    | Scalar_slot (b, i) ->
+      record st false b i;
+      b.data.(i)
+    | Array_slot _ -> invalid_arg "Interp: array read as scalar (type bug)")
+  | Expr.Index (a, idxs) -> (
+    let ns = List.map (eval st act) idxs in
+    match lookup st act a with
+    | Array_slot (b, dims) ->
+      let i = flatten_index dims ns in
+      record st false b i;
+      b.data.(i)
+    | Scalar_slot _ -> invalid_arg "Interp: scalar indexed (type bug)")
+  | Expr.Binop (op, l, r) -> (
+    match op with
+    | Expr.And -> of_bool (truth (eval st act l) && truth (eval st act r))
+    | Expr.Or -> of_bool (truth (eval st act l) || truth (eval st act r))
+    | _ -> (
+      let a = eval st act l in
+      let b = eval st act r in
+      match op with
+      | Expr.Add -> a + b
+      | Expr.Sub -> a - b
+      | Expr.Mul -> a * b
+      | Expr.Div -> if b = 0 then raise Arith_fault else a / b
+      | Expr.Mod -> if b = 0 then raise Arith_fault else a mod b
+      | Expr.Lt -> of_bool (a < b)
+      | Expr.Le -> of_bool (a <= b)
+      | Expr.Gt -> of_bool (a > b)
+      | Expr.Ge -> of_bool (a >= b)
+      | Expr.Eq -> of_bool (a = b)
+      | Expr.Ne -> of_bool (a <> b)
+      | Expr.And | Expr.Or -> assert false))
+  | Expr.Unop (Expr.Neg, e) -> -eval st act e
+  | Expr.Unop (Expr.Not, e) -> of_bool (not (truth (eval st act e)))
+
+(* Resolve an lvalue to a concrete scalar cell (evaluating subscripts,
+   which records their reads). *)
+let resolve_cell st act (lv : Expr.lvalue) =
+  match lv with
+  | Expr.Lvar v -> (
+    match lookup st act v with
+    | Scalar_slot (b, i) -> (b, i)
+    | Array_slot _ -> invalid_arg "Interp: whole-array lvalue in scalar position")
+  | Expr.Lindex (a, idxs) -> (
+    let ns = List.map (eval st act) idxs in
+    match lookup st act a with
+    | Array_slot (b, dims) -> (b, flatten_index dims ns)
+    | Scalar_slot _ -> invalid_arg "Interp: scalar indexed (type bug)")
+
+let store st block idx n =
+  record st true block idx;
+  block.data.(idx) <- n
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.fuel <= 0 then raise Out_of_fuel;
+  st.fuel <- st.fuel - 1
+
+(* The variables the caller can name at a site, as physical locations:
+   block id -> [(vid, Some cell)] for scalars / [(vid, None)] for whole
+   arrays.  Innermost declarations shadow nothing here because vids are
+   globally unique; with recursion the innermost activation wins
+   (first-writer-wins on the vid set). *)
+let caller_view st act =
+  let table : (int, (int * int option) list) Hashtbl.t = Hashtbl.create 32 in
+  let seen = Hashtbl.create 32 in
+  let add vid slot =
+    if not (Hashtbl.mem seen vid) then begin
+      Hashtbl.add seen vid ();
+      let key, entry =
+        match slot with
+        | Scalar_slot (b, i) -> (b.bid, (vid, Some i))
+        | Array_slot (b, _) -> (b.bid, (vid, None))
+      in
+      Hashtbl.replace table key
+        (entry :: Option.value ~default:[] (Hashtbl.find_opt table key))
+    end
+  in
+  let rec walk = function
+    | Some a ->
+      Hashtbl.iter add a.act_slots;
+      walk a.act_link
+    | None -> Hashtbl.iter add st.globals
+  in
+  walk (Some act);
+  table
+
+let rec exec_stmts st act stmts = List.iter (exec_stmt st act) stmts
+
+and exec_stmt st act (s : Stmt.t) =
+  tick st;
+  match s with
+  | Stmt.Assign (lv, e) ->
+    let b, i = resolve_cell st act lv in
+    let n = eval st act e in
+    store st b i n
+  | Stmt.If (c, then_, else_) ->
+    if truth (eval st act c) then exec_stmts st act then_ else exec_stmts st act else_
+  | Stmt.While (c, body) ->
+    while truth (eval st act c) do
+      tick st;
+      exec_stmts st act body
+    done
+  | Stmt.For (v, lo, hi, body) ->
+    let b, i =
+      match lookup st act v with
+      | Scalar_slot (b, i) -> (b, i)
+      | Array_slot _ -> invalid_arg "Interp: array loop variable"
+    in
+    let lo = eval st act lo in
+    let hi = eval st act hi in
+    store st b i lo;
+    let continue_ () =
+      record st false b i;
+      b.data.(i) <= hi
+    in
+    while continue_ () do
+      tick st;
+      exec_stmts st act body;
+      record st false b i;
+      store st b i (b.data.(i) + 1)
+    done
+  | Stmt.Read lv ->
+    let b, i = resolve_cell st act lv in
+    let n = st.next_input in
+    st.next_input <- n + 1;
+    store st b i n
+  | Stmt.Write e -> st.output_rev <- eval st act e :: st.output_rev
+  | Stmt.Call sid -> ( try exec_call st act sid with Depth_skip -> ())
+
+and exec_call st act sid =
+  let site = Prog.site st.prog sid in
+  let callee = Prog.proc st.prog site.Prog.callee in
+  st.calls_executed.(sid) <- st.calls_executed.(sid) + 1;
+  (* Evaluate arguments in the caller's frame. *)
+  let bindings =
+    Array.mapi
+      (fun i arg ->
+        let formal_vid = callee.Prog.formals.(i) in
+        match arg with
+        | Prog.Arg_value e ->
+          let n = eval st act e in
+          let b = fresh_block st 1 in
+          b.data.(0) <- n;
+          (formal_vid, Scalar_slot (b, 0))
+        | Prog.Arg_ref (Expr.Lvar v) -> (formal_vid, lookup st act v)
+        | Prog.Arg_ref (Expr.Lindex _ as lv) ->
+          let b, i = resolve_cell st act (lv :> Expr.lvalue) in
+          (formal_vid, Scalar_slot (b, i)))
+      site.Prog.args
+  in
+  (* Static link: the innermost activation of the callee's lexical
+     parent along the caller's chain. *)
+  let link =
+    match callee.Prog.parent with
+    | None -> None
+    | Some parent ->
+      let rec find = function
+        | Some a -> if a.act_proc = parent then Some a else find a.act_link
+        | None -> None
+      in
+      find (Some act)
+  in
+  let slots = Hashtbl.create 8 in
+  Array.iter
+    (fun (vid, slot) ->
+      Hashtbl.replace slots vid slot;
+      (* Entry-value summary for the constant-propagation oracle. *)
+      let summary =
+        match slot with
+        | Scalar_slot (b, i) -> (
+          let n = b.data.(i) in
+          match st.formal_entry.(vid) with
+          | Never -> Always n
+          | Always m when m = n -> Always n
+          | Always _ | Varies -> Varies)
+        | Array_slot _ -> Varies
+      in
+      st.formal_entry.(vid) <- summary)
+    bindings;
+  List.iter
+    (fun vid -> Hashtbl.replace slots vid (slot_for_var st (Prog.var st.prog vid)))
+    callee.Prog.locals;
+  let callee_act = { act_proc = site.Prog.callee; act_slots = slots; act_link = link } in
+  (* Attribute the locations touched in the call's dynamic extent to
+     this site, through the caller's view — also when unwinding on a
+     fault — then pass them up to the enclosing call. *)
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then begin
+    (* Skip just this call: the rest of the program still executes and
+       every observation stays valid (we merely under-observe). *)
+    st.depth <- st.depth - 1;
+    st.depth_skips <- st.depth_skips + 1;
+    raise Depth_skip
+  end;
+  let mine = fresh_record () in
+  st.records <- mine :: st.records;
+  let attribute () =
+    st.depth <- st.depth - 1;
+    st.records <- List.tl st.records;
+    let view = caller_view st act in
+    let match_into target table =
+      Hashtbl.iter
+        (fun (bid, idx) () ->
+          match Hashtbl.find_opt view bid with
+          | None -> ()
+          | Some entries ->
+            List.iter
+              (fun (vid, cell) ->
+                let matches =
+                  match cell with
+                  | None -> true (* whole array *)
+                  | Some i -> i = idx
+                in
+                if matches then Bitvec.set target vid)
+              entries)
+        table
+    in
+    match_into st.site_mods.(sid) mine.writes;
+    match_into st.site_uses.(sid) mine.reads;
+    match st.records with
+    | [] -> ()
+    | parent :: _ ->
+      Hashtbl.iter (fun k () -> Hashtbl.replace parent.writes k ()) mine.writes;
+      Hashtbl.iter (fun k () -> Hashtbl.replace parent.reads k ()) mine.reads
+  in
+  Fun.protect ~finally:attribute (fun () -> exec_stmts st callee_act callee.Prog.body)
+
+let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
+  let nv = Prog.n_vars prog in
+  let ns = Prog.n_sites prog in
+  let st =
+    {
+      prog;
+      globals = Hashtbl.create 32;
+      records = [];
+      depth = 0;
+      max_depth;
+      depth_skips = 0;
+      fuel;
+      steps = 0;
+      next_bid = 0;
+      next_input = 1;
+      output_rev = [];
+      site_mods = Array.init ns (fun _ -> Bitvec.create nv);
+      site_uses = Array.init ns (fun _ -> Bitvec.create nv);
+      calls_executed = Array.make ns 0;
+      formal_entry = Array.make nv Never;
+    }
+  in
+  Prog.iter_vars prog (fun v ->
+      if Prog.is_global v then Hashtbl.replace st.globals v.Prog.vid (slot_for_var st v));
+  let main = Prog.proc prog prog.Prog.main in
+  let slots = Hashtbl.create 8 in
+  List.iter
+    (fun vid -> Hashtbl.replace slots vid (slot_for_var st (Prog.var prog vid)))
+    main.Prog.locals;
+  let main_act = { act_proc = prog.Prog.main; act_slots = slots; act_link = None } in
+  let truncated =
+    try
+      exec_stmts st main_act main.Prog.body;
+      st.depth_skips > 0
+    with
+    | Out_of_fuel | Arith_fault -> true
+  in
+  {
+    output = List.rev st.output_rev;
+    steps = st.steps;
+    truncated;
+    site_mods = st.site_mods;
+    site_uses = st.site_uses;
+    calls_executed = st.calls_executed;
+    formal_entry = st.formal_entry;
+  }
+
+let observed_mod (o : outcome) sid = o.site_mods.(sid)
+let observed_use (o : outcome) sid = o.site_uses.(sid)

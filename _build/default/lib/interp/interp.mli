@@ -1,0 +1,61 @@
+(** A MiniProc interpreter with effect tracing — the dynamic oracle for
+    the static analysis.
+
+    Programs execute under Pascal semantics: fresh locals per
+    activation, static links for nested procedures (a nested procedure
+    reads and writes the {e current} enclosing activation's locals),
+    by-value parameters copied in, by-reference parameters aliased to
+    the actual's physical location (a whole variable or a single array
+    element).
+
+    Every store and load is recorded against the {e physical} location
+    it touches.  For each call site, the locations touched during the
+    dynamic extent of each of its executions are mapped back to the
+    variables the {e caller} can name at that site (through its own
+    static chain — exactly the frame of reference of the paper's
+    [MOD(s)]/[USE(s)] sets) and accumulated.  This yields, per site,
+    the set of variables {e observed} modified and used:
+
+    - soundness of the analysis demands
+      [observed_mod ⊆ MOD(s)] and [observed_use ⊆ USE(s)] —
+      checked by the differential test-suite on random programs;
+    - the gap [|MOD(s)| − |observed|] measures (an upper bound of) the
+      imprecision of flow-insensitive summaries.
+
+    Runs are deterministic: [read] statements consume 1, 2, 3, …; there
+    is no other input.  A fuel limit bounds recursion and loops; a run
+    that exhausts fuel (or divides by zero) is {e truncated}, which
+    leaves the observations valid — every event already recorded really
+    happened. *)
+
+(** What the run saw bound to a formal parameter across all
+    invocations of its procedure. *)
+type entry_summary =
+  | Never  (** The procedure was never invoked. *)
+  | Always of int  (** Every invocation bound this value (scalars). *)
+  | Varies  (** Different values, or a whole-array binding. *)
+
+type outcome = {
+  output : int list;  (** Values written by [write], in order. *)
+  steps : int;  (** Statements executed. *)
+  truncated : bool;  (** Fuel ran out or an arithmetic fault occurred. *)
+  site_mods : Bitvec.t array;
+      (** Per call site: caller-nameable variables observed modified
+          during the site's executions (union over executions). *)
+  site_uses : Bitvec.t array;  (** Same for loads. *)
+  calls_executed : int array;  (** Per site: how many times it ran. *)
+  formal_entry : entry_summary array;
+      (** Per variable id: entry-value summary for formals (the
+          dynamic oracle of the {!Ipcp} analysis). *)
+}
+
+val run : ?fuel:int -> ?max_depth:int -> Ir.Prog.t -> outcome
+(** Execute from the main block.  Default [fuel] is [200_000]
+    statements; [max_depth] (default 2048) bounds the call stack —
+    a call that would exceed it is skipped (marking the run truncated),
+    so the rest of the program still executes. *)
+
+val observed_mod : outcome -> int -> Bitvec.t
+(** Per site id.  Do not mutate. *)
+
+val observed_use : outcome -> int -> Bitvec.t

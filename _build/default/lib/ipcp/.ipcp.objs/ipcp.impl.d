@@ -1,0 +1,1 @@
+lib/ipcp/ipcp.ml: Array Bitvec Cval Format Graphs Ir List Option

@@ -1,0 +1,1 @@
+lib/ipcp/ipcp.mli: Bitvec Cval Format Ir

@@ -1,0 +1,1 @@
+lib/ipcp/cval.mli: Format

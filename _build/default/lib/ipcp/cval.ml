@@ -1,0 +1,25 @@
+type t =
+  | Bottom
+  | Const of int
+  | Top
+
+let meet a b =
+  match (a, b) with
+  | Bottom, x | x, Bottom -> x
+  | Const x, Const y when x = y -> Const x
+  | (Const _ | Top), _ -> Top
+
+let equal a b =
+  match (a, b) with
+  | Bottom, Bottom | Top, Top -> true
+  | Const x, Const y -> x = y
+  | (Bottom | Const _ | Top), _ -> false
+
+let shift c = function
+  | Const x -> Const (x + c)
+  | (Bottom | Top) as v -> v
+
+let pp ppf = function
+  | Bottom -> Format.pp_print_string ppf "_|_"
+  | Const c -> Format.pp_print_int ppf c
+  | Top -> Format.pp_print_string ppf "T"

@@ -1,0 +1,23 @@
+(** The constant-propagation lattice: the "more complex lattice
+    structure" of the paper's abstract, exercised over the same
+    binding-graph machinery (the binding multi-graph is "a
+    simplification of the graph used in our algorithms for
+    interprocedural constant propagation" [CCKT 86], §3.1 — this
+    library goes the other way and rebuilds that analysis on top of
+    it). *)
+
+type t =
+  | Bottom  (** No binding seen (optimistic initial value). *)
+  | Const of int  (** Every binding delivers this value. *)
+  | Top  (** Bindings disagree or are not analyzable. *)
+
+val meet : t -> t -> t
+(** [Bottom] is the identity; equal constants stay; anything else is
+    [Top]. *)
+
+val equal : t -> t -> bool
+
+val shift : int -> t -> t
+(** [shift c v]: the image of [v] under [fun x -> x + c]. *)
+
+val pp : Format.formatter -> t -> unit

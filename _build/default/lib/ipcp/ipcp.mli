@@ -1,0 +1,56 @@
+(** Interprocedural constant propagation over the binding structure —
+    the paper's closing claim ("this method can be extended to produce
+    fast algorithms for data-flow problems with more complex lattice
+    structures") made concrete with the [CCKT 86] analysis the binding
+    multi-graph was distilled from.
+
+    For every formal parameter [f] (by value {e and} by reference) the
+    analysis computes the meet, over every call site binding [f], of a
+    {e jump function} of the actual:
+
+    - integer literals give [Const];
+    - a {e stable} caller formal (one the caller cannot modify —
+      [v ∉ IMOD+(caller)]) passes its own entry value through,
+      optionally with a constant offset ([v], [v + c], [v - c],
+      [c + v]);
+    - a global the whole program never modifies is its initial value
+      ([Const 0] under MiniProc semantics);
+    - anything else is [Top].
+
+    The resulting dependency graph over formals is solved exactly the
+    way Figure 1 solves [RMOD]: strongly-connected components,
+    condensation, one topological pass — here {e forward} (values flow
+    caller → callee), with a bounded inner iteration per component
+    (the lattice has height 2).  Cost is [O(Nφ + Eφ)] meets, the same
+    shape as §3.2.
+
+    A formal that is [Const c] receives the value [c] on {e every}
+    execution of its procedure.  It is additionally {e foldable} —
+    uses inside the body may be rewritten to [c] — when the procedure
+    cannot modify it ([f ∉ IMOD+]).
+
+    The dynamic oracle: {!Interp.outcome}'s per-formal entry-value
+    summary must agree ([Const c] statically ⟹ every observed entry
+    equals [c]) — checked by the differential test-suite. *)
+
+module Cval = Cval
+(** Re-exported so clients can pattern-match lattice values. *)
+
+type result = {
+  value : Cval.t array;  (** Per variable id; [Top] for non-formals. *)
+  foldable : Bitvec.t;
+      (** Formals that are [Const] and never modified by their
+          procedure. *)
+  meets : int;  (** Lattice meets performed (the §3.2-style cost unit). *)
+}
+
+val analyze : Ir.Info.t -> imod_plus:Bitvec.t array -> result
+(** [imod_plus] from {!Core.Imod_plus} (it defines both actual
+    stability and foldability). *)
+
+val constant : result -> int -> int option
+(** [Some c] iff the variable is a formal proven to be [c] on every
+    invocation. *)
+
+val pp : Ir.Prog.t -> Format.formatter -> result -> unit
+(** Per-procedure report of constant formals. *)

@@ -1,0 +1,1 @@
+lib/ir/info.ml: Array Bitvec List Prog

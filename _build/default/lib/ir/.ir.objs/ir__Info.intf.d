@@ -1,0 +1,1 @@
+lib/ir/info.mli: Bitvec Prog

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Bitvec Expr Format List Printf Prog Stmt Types

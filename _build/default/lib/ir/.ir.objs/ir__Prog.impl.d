@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Expr List Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Expr Format List Printf Prog Stmt Types

@@ -1,0 +1,93 @@
+type t = {
+  prog : Prog.t;
+  local : Bitvec.t array;
+  non_local : Bitvec.t array;
+  global : Bitvec.t;
+  visible : Bitvec.t array;
+  var_level : int array;
+  by_level : Bitvec.t array; (* index l: vars with level <= l *)
+}
+
+let make prog =
+  let nv = Prog.n_vars prog in
+  let np = Prog.n_procs prog in
+  let local = Array.init np (fun _ -> Bitvec.create nv) in
+  let global = Bitvec.create nv in
+  let var_level = Array.make nv 0 in
+  Prog.iter_vars prog (fun v ->
+      (match Prog.var_owner v with
+      | None -> Bitvec.set global v.Prog.vid
+      | Some owner -> Bitvec.set local.(owner) v.Prog.vid);
+      var_level.(v.Prog.vid) <- Prog.owner_level prog v);
+  let full = Bitvec.create nv in
+  for i = 0 to nv - 1 do
+    Bitvec.set full i
+  done;
+  let non_local = Array.map (fun l -> Bitvec.diff full l) local in
+  let visible = Array.make np global in
+  (* Walk procedures in increasing pid?  Parents may have any pid, so
+     compute by recursion over the nesting chain with memoisation. *)
+  let computed = Array.make np false in
+  let rec vis pid =
+    if computed.(pid) then visible.(pid)
+    else begin
+      let base =
+        match (Prog.proc prog pid).Prog.parent with
+        | None -> global
+        | Some parent -> vis parent
+      in
+      let v = Bitvec.copy base in
+      ignore (Bitvec.union_into ~src:local.(pid) ~dst:v);
+      visible.(pid) <- v;
+      computed.(pid) <- true;
+      v
+    end
+  in
+  for pid = 0 to np - 1 do
+    ignore (vis pid)
+  done;
+  let dp = Prog.max_level prog in
+  let by_level =
+    Array.init (dp + 1) (fun l ->
+        let v = Bitvec.create nv in
+        for i = 0 to nv - 1 do
+          if var_level.(i) <= l then Bitvec.set v i
+        done;
+        v)
+  in
+  { prog; local; non_local; global; visible; var_level; by_level }
+
+let prog t = t.prog
+let n_vars t = Prog.n_vars t.prog
+let local t pid = t.local.(pid)
+let non_local t pid = t.non_local.(pid)
+let global t = t.global
+let visible t pid = t.visible.(pid)
+let var_level t vid = t.var_level.(vid)
+
+let level_at_most t l =
+  let max_l = Array.length t.by_level - 1 in
+  t.by_level.(if l > max_l then max_l else l)
+
+let fresh t = Bitvec.create (n_vars t)
+
+let fold_up_nesting t sets =
+  let p = t.prog in
+  let result = Array.map Bitvec.copy sets in
+  (* Deepest procedures first, so children are final before parents
+     fold them in. *)
+  let order =
+    List.sort
+      (fun a b -> compare (Prog.proc p b).Prog.level (Prog.proc p a).Prog.level)
+      (List.init (Prog.n_procs p) (fun i -> i))
+  in
+  List.iter
+    (fun pid ->
+      List.iter
+        (fun q ->
+          let escaped = Bitvec.copy result.(q) in
+          ignore (Bitvec.inter_into ~src:t.non_local.(q) ~dst:escaped);
+          ignore (Bitvec.union_into ~src:escaped ~dst:result.(pid)))
+        (Prog.proc p pid).Prog.nested)
+    order;
+  result

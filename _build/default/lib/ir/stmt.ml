@@ -1,0 +1,36 @@
+type t =
+  | Assign of Expr.lvalue * Expr.t
+  | If of Expr.t * t list * t list
+  | While of Expr.t * t list
+  | For of int * Expr.t * Expr.t * t list
+  | Call of int
+  | Read of Expr.lvalue
+  | Write of Expr.t
+
+let rec iter f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s with
+      | If (_, then_, else_) ->
+        iter f then_;
+        iter f else_
+      | While (_, body) | For (_, _, _, body) -> iter f body
+      | Assign _ | Call _ | Read _ | Write _ -> ())
+    stmts
+
+let fold f init stmts =
+  let acc = ref init in
+  iter (fun s -> acc := f !acc s) stmts;
+  !acc
+
+let count stmts = fold (fun n _ -> n + 1) 0 stmts
+
+let call_sites stmts =
+  List.rev
+    (fold
+       (fun acc s ->
+         match s with
+         | Call sid -> sid :: acc
+         | Assign _ | If _ | While _ | For _ | Read _ | Write _ -> acc)
+       [] stmts)

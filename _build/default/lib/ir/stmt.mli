@@ -1,0 +1,30 @@
+(** Resolved MiniProc statements.
+
+    Call statements carry only a call-site id; the callee and the
+    actual-argument vector live in the program's site table
+    ({!Prog.site}), because every interprocedural structure — the call
+    multi-graph, the binding multi-graph, the [DMOD] computation — is
+    naturally indexed by site id. *)
+
+type t =
+  | Assign of Expr.lvalue * Expr.t
+  | If of Expr.t * t list * t list  (** condition, then-branch, else-branch. *)
+  | While of Expr.t * t list
+  | For of int * Expr.t * Expr.t * t list
+      (** [For (i, lo, hi, body)] — [i] is the loop variable's id; the
+          loop both modifies and uses [i]. *)
+  | Call of int  (** Call-site id into {!Prog.t}'s site table. *)
+  | Read of Expr.lvalue  (** Input statement: modifies the lvalue. *)
+  | Write of Expr.t  (** Output statement: uses the expression. *)
+
+val iter : (t -> unit) -> t list -> unit
+(** Pre-order visit of every statement, including nested ones. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t list -> 'a
+(** Pre-order fold over every statement, including nested ones. *)
+
+val count : t list -> int
+(** Total number of statements, nested included. *)
+
+val call_sites : t list -> int list
+(** Site ids of every call statement, in pre-order. *)

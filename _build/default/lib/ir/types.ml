@@ -1,0 +1,30 @@
+type t =
+  | Int
+  | Bool
+  | Array of int list
+
+let equal a b =
+  match (a, b) with
+  | Int, Int | Bool, Bool -> true
+  | Array d1, Array d2 -> List.length d1 = List.length d2 && List.for_all2 ( = ) d1 d2
+  | (Int | Bool | Array _), _ -> false
+
+let rank = function
+  | Int | Bool -> 0
+  | Array dims -> List.length dims
+
+let is_array = function
+  | Array _ -> true
+  | Int | Bool -> false
+
+let pp ppf = function
+  | Int -> Format.pp_print_string ppf "int"
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Array dims ->
+    Format.fprintf ppf "array[%a] of int"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Format.pp_print_int)
+      dims
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,26 @@
+(** MiniProc value types.
+
+    MiniProc is the small Pascal/Fortran-flavoured language this
+    reproduction analyzes: integer and boolean scalars plus
+    multi-dimensional integer arrays (the payload of §6's regular
+    section analysis). *)
+
+type t =
+  | Int
+  | Bool
+  | Array of int list
+      (** [Array dims] — one extent per dimension, each positive.
+          Element type is always [Int]. *)
+
+val equal : t -> t -> bool
+
+val rank : t -> int
+(** Number of array dimensions; 0 for scalars. *)
+
+val is_array : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Concrete MiniProc syntax: [int], [bool],
+    [array[d1, d2] of int]. *)
+
+val to_string : t -> string

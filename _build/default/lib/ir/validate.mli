@@ -1,0 +1,24 @@
+(** Internal-consistency checker for resolved programs.
+
+    Run by the test suite on everything the front end and the workload
+    generators produce, so that analysis results are never computed
+    over ill-formed inputs.  Checks: dense self-consistent ids; the
+    nesting tree is a tree rooted at main; formal/local tables agree
+    with variable kinds; call arguments match the callee's formals in
+    arity and mode; by-reference actuals are lvalues; every variable
+    mentioned in a procedure's body (and in its call sites' arguments)
+    is visible there; indexing respects array rank; call statements and
+    the site table reference each other exactly. *)
+
+type error = {
+  where : string;  (** Procedure or table the fault was found in. *)
+  what : string;  (** Human-readable description. *)
+}
+
+val run : Prog.t -> (unit, error list) result
+(** All detected errors, or [Ok ()]. *)
+
+val check_exn : Prog.t -> unit
+(** Raises [Invalid_argument] with a formatted report on failure. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/sections/analyze_sections.ml: Array Bindfn Bitvec Callgraph Format Gmod_sections Ir List Lrsd Rsmod Secmap Section

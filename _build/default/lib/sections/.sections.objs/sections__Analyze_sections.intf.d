@@ -1,0 +1,1 @@
+lib/sections/analyze_sections.mli: Callgraph Format Ir Rsmod Secmap

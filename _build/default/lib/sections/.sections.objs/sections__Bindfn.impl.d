@@ -1,0 +1,1 @@
+lib/sections/bindfn.ml: Array Bitvec Frontend Ir List Lrsd Section

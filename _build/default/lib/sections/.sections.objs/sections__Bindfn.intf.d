@@ -1,0 +1,1 @@
+lib/sections/bindfn.mli: Bitvec Ir Section

@@ -1,0 +1,1 @@
+lib/sections/deps.ml: Array Ir List Printf Secmap Section

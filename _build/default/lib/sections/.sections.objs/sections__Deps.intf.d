@@ -1,0 +1,1 @@
+lib/sections/deps.mli: Ir Secmap Section

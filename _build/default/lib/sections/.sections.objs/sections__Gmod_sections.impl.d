@@ -1,0 +1,1 @@
+lib/sections/gmod_sections.ml: Array Bindfn Bitvec Callgraph Graphs Ir List Secmap

@@ -1,0 +1,1 @@
+lib/sections/gmod_sections.mli: Callgraph Ir Secmap

@@ -1,0 +1,1 @@
+lib/sections/lrsd.ml: Array Bitvec Frontend Ir List Secmap Section

@@ -1,0 +1,1 @@
+lib/sections/lrsd.mli: Bitvec Ir Secmap Section

@@ -1,0 +1,1 @@
+lib/sections/rsmod.ml: Array Bindfn Callgraph Graphs Ir Lrsd Secmap Section

@@ -1,0 +1,1 @@
+lib/sections/rsmod.mli: Callgraph Ir Section

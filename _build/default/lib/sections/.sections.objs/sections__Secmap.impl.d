@@ -1,0 +1,1 @@
+lib/sections/secmap.ml: Array Bitvec Format Ir Section

@@ -1,0 +1,1 @@
+lib/sections/secmap.mli: Bitvec Format Ir Section

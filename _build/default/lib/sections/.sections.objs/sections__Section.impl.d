@@ -1,0 +1,1 @@
+lib/sections/section.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/sections/section.mli: Format

@@ -1,0 +1,58 @@
+(** The per-edge binding functions [g_e] of §6.
+
+    An edge of the binding multi-graph carries the call site and
+    argument position it arose from; [g_e] maps a regular section
+    describing an effect on the {e callee's formal} (expressed in the
+    callee's terms) to a section describing the induced effect on the
+    {e actual} (expressed in the caller's terms).  Two shapes occur in
+    MiniProc:
+
+    - {e whole-variable binding} [call q(A)]: ranks agree and [g_e]
+      substitutes the callee's symbolic atoms into the caller's frame —
+      a by-value formal atom becomes the actual expression's atom when
+      that is affine and stable in the caller, a globally-immutable
+      global survives unchanged, anything else widens to [Star];
+    - {e element binding} [call q(A[i, j])]: the callee's formal is a
+      scalar; its rank-0 section maps to the single-element section
+      [A(i', j')] atomised against the caller's stable variables — a
+      {e restriction}, which is why the §6 cycle condition
+      [g_p(x) ⊓ x = x] holds.
+
+    Both are monotone and reduce access ([g_e x ⊑] the whole actual
+    restricted appropriately), as §6 requires. *)
+
+val project :
+  Ir.Info.t ->
+  site:Ir.Prog.site ->
+  arg_pos:int ->
+  callee_section:Section.t ->
+  int * Section.t
+(** [(base variable of the actual, induced section on it)].  The
+    argument at [arg_pos] must be by-reference. *)
+
+val project_unstable :
+  Ir.Info.t ->
+  site:Ir.Prog.site ->
+  arg_pos:int ->
+  caller_unstable:Bitvec.t ->
+  callee_section:Section.t ->
+  int * Section.t
+(** {!project} with an explicit caller instability set (per-iteration
+    loop summaries clear the loop variable from it). *)
+
+val subst_section :
+  Ir.Info.t -> site:Ir.Prog.site -> caller_unstable:Bitvec.t -> Section.t -> Section.t
+(** Substitute a callee-frame section into the caller's frame at one
+    call site: callee formals translate through the actuals, stable
+    globals survive, everything else widens to [Star]. *)
+
+val retarget_global : Ir.Info.t -> Section.t -> Section.t
+(** Widen a section so it is meaningful in {e any} procedure: keeps
+    constant atoms and atoms over globally-immutable globals, widens
+    the rest to [Star].  Used when sections of global arrays flow
+    through the call graph, where no single binding applies. *)
+
+val globally_immutable : Ir.Info.t -> Bitvec.t
+(** Globals no procedure ever modifies directly — usable as symbolic
+    constants program-wide.  (Memoised per {!Ir.Info} instance would be
+    nicer; recomputed per call, callers should cache.) *)

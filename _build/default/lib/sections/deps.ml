@@ -1,0 +1,48 @@
+type verdict = {
+  parallel : bool;
+  conflicts : (int * string) list;
+}
+
+let pinned_to_ivar ~ivar (d : Section.dim) =
+  match d with
+  | Section.Exact (Section.Affine { var; offset }) when var = ivar -> Some offset
+  | Section.Exact (Section.Affine _ | Section.Const _) | Section.Star -> None
+
+let loop_independent ~ivar a b =
+  match (a, b) with
+  | Section.Bottom, _ | _, Section.Bottom -> true
+  | Section.Section d1, Section.Section d2 ->
+    Array.length d1 = Array.length d2
+    && Array.exists2
+         (fun x y ->
+           match (pinned_to_ivar ~ivar x, pinned_to_ivar ~ivar y) with
+           | Some o1, Some o2 -> o1 = o2
+           | (Some _ | None), _ -> false)
+         d1 d2
+
+let analyze_loop prog ~ivar ~mod_map ~use_map =
+  let conflicts = ref [] in
+  let conflict vid reason = conflicts := (vid, reason) :: !conflicts in
+  List.iter
+    (fun (vid, msec) ->
+      let v = Ir.Prog.var prog vid in
+      if vid = ivar then () (* the loop's own induction variable *)
+      else if not (Ir.Types.is_array v.Ir.Prog.vty) then
+        conflict vid (Printf.sprintf "scalar %s written by every iteration" v.Ir.Prog.vname)
+      else begin
+        if not (loop_independent ~ivar msec msec) then
+          conflict vid
+            (Printf.sprintf "array %s: writes of distinct iterations may collide"
+               v.Ir.Prog.vname)
+        else begin
+          let usec = Secmap.get use_map vid in
+          if not (loop_independent ~ivar msec usec) then
+            conflict vid
+              (Printf.sprintf
+                 "array %s: a write may collide with another iteration's read"
+                 v.Ir.Prog.vname)
+        end
+      end)
+    (Secmap.touched mod_map);
+  let conflicts = List.rev !conflicts in
+  { parallel = conflicts = []; conflicts }

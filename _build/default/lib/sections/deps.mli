@@ -1,0 +1,35 @@
+(** Loop-level dependence testing on sectioned summaries — the use case
+    that motivates §6 ("the most effective way to parallelize a loop is
+    through data decomposition").
+
+    Given the sectioned [MOD] and [USE] maps of a loop body whose
+    iterations are distinguished by the loop variable [ivar], a loop is
+    parallelisable when no two distinct iterations conflict: no
+    modified location of iteration [i] is modified or used by iteration
+    [i' ≠ i].
+
+    Two sections of the same array accessed in different iterations are
+    {e independent} when some dimension is pinned, in both, to the same
+    affine atom over [ivar] with the same offset — distinct iterations
+    then address provably distinct elements.  Everything else
+    (a [Star] dimension, atoms over other variables, differing offsets)
+    conservatively conflicts. *)
+
+type verdict = {
+  parallel : bool;
+  conflicts : (int * string) list;
+      (** Variables (and a human-readable reason) that prevent
+          parallelisation; empty iff [parallel]. *)
+}
+
+val loop_independent : ivar:int -> Section.t -> Section.t -> bool
+(** May two {e distinct} iterations (different values of [ivar]) touch
+    a common element through these two sections?  [true] = provably
+    not. *)
+
+val analyze_loop :
+  Ir.Prog.t -> ivar:int -> mod_map:Secmap.t -> use_map:Secmap.t -> verdict
+(** Checks every variable either map touches: scalars written by the
+    body conflict (unless they are the loop variable itself); arrays
+    are subjected to {!loop_independent} on mod/mod and mod/use
+    pairs. *)

@@ -1,0 +1,96 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+module Stmt = Ir.Stmt
+
+let atomize ~unstable (e : Expr.t) : Section.dim =
+  let stable v = not (Bitvec.get unstable v) in
+  match e with
+  | Expr.Int c -> Section.Exact (Section.Const c)
+  | Expr.Var v when stable v -> Section.Exact (Section.Affine { var = v; offset = 0 })
+  | Expr.Binop (Expr.Add, Expr.Var v, Expr.Int c) when stable v ->
+    Section.Exact (Section.Affine { var = v; offset = c })
+  | Expr.Binop (Expr.Add, Expr.Int c, Expr.Var v) when stable v ->
+    Section.Exact (Section.Affine { var = v; offset = c })
+  | Expr.Binop (Expr.Sub, Expr.Var v, Expr.Int c) when stable v ->
+    Section.Exact (Section.Affine { var = v; offset = -c })
+  | _ -> Section.Star
+
+let unstable_vars info pid = (Frontend.Local.imod_flat info).(pid)
+
+(* Shared traversal: record modifications and uses as sections. *)
+let element_section ~unstable idx =
+  Section.Section (Array.of_list (List.map (atomize ~unstable) idx))
+
+let scalar_section = Section.Section [||]
+
+let rec use_expr ~unstable ~add (e : Expr.t) =
+  match e with
+  | Expr.Int _ | Expr.Bool _ -> ()
+  | Expr.Var v -> add v scalar_section
+  | Expr.Index (a, idx) ->
+    add a (element_section ~unstable idx);
+    List.iter (use_expr ~unstable ~add) idx
+  | Expr.Binop (_, l, r) ->
+    use_expr ~unstable ~add l;
+    use_expr ~unstable ~add r
+  | Expr.Unop (_, e) -> use_expr ~unstable ~add e
+
+let use_lvalue_indices ~unstable ~add (lv : Expr.lvalue) =
+  match lv with
+  | Expr.Lvar _ -> ()
+  | Expr.Lindex (_, idx) -> List.iter (use_expr ~unstable ~add) idx
+
+let mod_lvalue ~unstable ~add (lv : Expr.lvalue) =
+  match lv with
+  | Expr.Lvar v -> add v scalar_section
+  | Expr.Lindex (a, idx) -> add a (element_section ~unstable idx)
+
+let collect_stmts prog ~unstable ~want stmts =
+  let map = Secmap.create prog in
+  let add vid s = ignore (Secmap.add map vid s) in
+  let add_mod vid s = if want = `Mod then add vid s in
+  let add_use vid s = if want = `Use then add vid s in
+  let use_e = use_expr ~unstable ~add:add_use in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Assign (lv, e) ->
+        mod_lvalue ~unstable ~add:add_mod lv;
+        use_lvalue_indices ~unstable ~add:add_use lv;
+        use_e e
+      | Stmt.If (c, _, _) | Stmt.While (c, _) -> use_e c
+      | Stmt.For (v, lo, hi, _) ->
+        add_mod v scalar_section;
+        add_use v scalar_section;
+        use_e lo;
+        use_e hi
+      | Stmt.Read lv ->
+        mod_lvalue ~unstable ~add:add_mod lv;
+        use_lvalue_indices ~unstable ~add:add_use lv
+      | Stmt.Write e -> use_e e
+      | Stmt.Call sid ->
+        (* Exclusive of the call's effects; argument evaluation is a
+           local use. *)
+        let site = Prog.site prog sid in
+        Array.iter
+          (fun arg ->
+            match arg with
+            | Prog.Arg_value e -> use_e e
+            | Prog.Arg_ref lv -> use_lvalue_indices ~unstable ~add:add_use lv)
+          site.Prog.args)
+    stmts;
+  map
+
+let collect info pid ~want =
+  let prog = Ir.Info.prog info in
+  collect_stmts prog ~unstable:(unstable_vars info pid) ~want
+    (Prog.proc prog pid).Prog.body
+
+let lrsd_mod info pid = collect info pid ~want:`Mod
+let lrsd_use info pid = collect info pid ~want:`Use
+
+let stmts_mod prog ~unstable stmts = collect_stmts prog ~unstable ~want:`Mod stmts
+let stmts_use prog ~unstable stmts = collect_stmts prog ~unstable ~want:`Use stmts
+
+let use_expr_into ~unstable ~add e = use_expr ~unstable ~add e
+let use_lvalue_indices_into ~unstable ~add lv = use_lvalue_indices ~unstable ~add lv

@@ -1,0 +1,52 @@
+type t = Section.t array
+
+let create prog = Array.make (Ir.Prog.n_vars prog) Section.bottom
+let copy = Array.copy
+let get t vid = t.(vid)
+let set t vid s = t.(vid) <- s
+
+let add t vid s =
+  let joined = Section.join t.(vid) s in
+  if Section.equal joined t.(vid) then false
+  else begin
+    t.(vid) <- joined;
+    true
+  end
+
+let join_into ~src ~dst =
+  let changed = ref false in
+  Array.iteri (fun vid s -> if add dst vid s then changed := true) src;
+  !changed
+
+let join_masked_into ~src ~dst ~mask =
+  let changed = ref false in
+  Array.iteri
+    (fun vid s ->
+      if Bitvec.get mask vid && add dst vid s then changed := true)
+    src;
+  !changed
+
+let equal a b = Array.for_all2 Section.equal a b
+
+let to_bits t =
+  let bits = Bitvec.create (Array.length t) in
+  Array.iteri
+    (fun vid s -> if not (Section.equal s Section.bottom) then Bitvec.set bits vid)
+    t;
+  bits
+
+let touched t =
+  let acc = ref [] in
+  for vid = Array.length t - 1 downto 0 do
+    if not (Section.equal t.(vid) Section.bottom) then acc := (vid, t.(vid)) :: !acc
+  done;
+  !acc
+
+let pp prog ppf t =
+  let var_name v = (Ir.Prog.var prog v).Ir.Prog.vname in
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (vid, s) ->
+         Format.fprintf ppf "%s%a" (var_name vid) (Section.pp ~var_name) s))
+    (touched t)

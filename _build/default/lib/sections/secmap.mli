@@ -1,0 +1,39 @@
+(** Vectors of lattice elements — §6's replacement for bit vectors.
+
+    A [Secmap.t] assigns every variable of the program a
+    {!Section.t}: [Bottom] for untouched variables, a rank-0 section
+    for touched scalars, a proper section for arrays.  It plays the
+    role the bit vector played in §3/§4, with bitwise or generalised to
+    pointwise {!Section.join}. *)
+
+type t
+
+val create : Ir.Prog.t -> t
+(** Everything [Bottom]. *)
+
+val copy : t -> t
+val get : t -> int -> Section.t
+
+val set : t -> int -> Section.t -> unit
+(** Direct store (no join). *)
+
+val add : t -> int -> Section.t -> bool
+(** Join a section into one slot; [true] iff the slot changed. *)
+
+val join_into : src:t -> dst:t -> bool
+(** Pointwise join; [true] iff [dst] changed. *)
+
+val join_masked_into : src:t -> dst:t -> mask:Bitvec.t -> bool
+(** Pointwise join restricted to the variables set in [mask] — the
+    sectioned form of [∪ (· ∖ LOCAL)] steps. *)
+
+val equal : t -> t -> bool
+
+val to_bits : t -> Bitvec.t
+(** Flatten: variable set whose section is not [Bottom] — the §3 view
+    of a §6 answer, used by the soundness comparison tests. *)
+
+val touched : t -> (int * Section.t) list
+(** Non-[Bottom] entries, by variable id. *)
+
+val pp : Ir.Prog.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/transform/inline.ml: Array Hashtbl Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/transform/inline.mli: Ir

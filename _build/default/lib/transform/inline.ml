@@ -1,0 +1,203 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+module Stmt = Ir.Stmt
+
+let site_record prog sid = Prog.site prog sid
+
+let inlinable prog sid =
+  if sid < 0 || sid >= Prog.n_sites prog then false
+  else begin
+    let s = site_record prog sid in
+    let callee = Prog.proc prog s.Prog.callee in
+    callee.Prog.nested = []
+    && Array.for_all
+         (fun arg ->
+           match arg with
+           | Prog.Arg_ref (Expr.Lindex _) -> false
+           | Prog.Arg_ref (Expr.Lvar _) | Prog.Arg_value _ -> true)
+         s.Prog.args
+    && List.for_all
+         (fun l -> not (Ir.Types.is_array (Prog.var prog l).Prog.vty))
+         callee.Prog.locals
+  end
+
+(* Substitute variable ids through expressions and statements. *)
+let rec subst_expr sub (e : Expr.t) =
+  match e with
+  | Expr.Int _ | Expr.Bool _ -> e
+  | Expr.Var v -> Expr.Var (sub v)
+  | Expr.Index (a, idx) -> Expr.Index (sub a, List.map (subst_expr sub) idx)
+  | Expr.Binop (op, l, r) -> Expr.Binop (op, subst_expr sub l, subst_expr sub r)
+  | Expr.Unop (op, e) -> Expr.Unop (op, subst_expr sub e)
+
+let subst_lvalue sub (lv : Expr.lvalue) =
+  match lv with
+  | Expr.Lvar v -> Expr.Lvar (sub v)
+  | Expr.Lindex (a, idx) -> Expr.Lindex (sub a, List.map (subst_expr sub) idx)
+
+let site prog ~sid =
+  if not (inlinable prog sid) then None
+  else begin
+    let s = site_record prog sid in
+    let caller_pid = s.Prog.caller in
+    let callee = Prog.proc prog s.Prog.callee in
+    let nv = Prog.n_vars prog in
+    (* Fresh locals of the caller: by-value formals and callee locals. *)
+    let new_vars = ref [] in
+    let n_new = ref 0 in
+    let fresh_local ~of_var =
+      let v = Prog.var prog of_var in
+      let vid = nv + !n_new in
+      incr n_new;
+      new_vars :=
+        {
+          Prog.vid;
+          vname = Printf.sprintf "inl%d_%s" vid v.Prog.vname;
+          vty = v.Prog.vty;
+          kind = Prog.Local caller_pid;
+        }
+        :: !new_vars;
+      vid
+    in
+    let sub_table = Hashtbl.create 16 in
+    let init_stmts = ref [] in
+    (* Formals, in positional order (argument evaluation order). *)
+    Array.iteri
+      (fun i arg ->
+        let f = callee.Prog.formals.(i) in
+        match arg with
+        | Prog.Arg_ref (Expr.Lvar v) -> Hashtbl.replace sub_table f v
+        | Prog.Arg_value e ->
+          let fresh = fresh_local ~of_var:f in
+          Hashtbl.replace sub_table f fresh;
+          init_stmts := Stmt.Assign (Expr.Lvar fresh, e) :: !init_stmts
+        | Prog.Arg_ref (Expr.Lindex _) -> assert false)
+      s.Prog.args;
+    (* Locals: fresh, zero-initialised at the inline point (a callee
+       activation always starts them at 0; the inlined copy may execute
+       many times in one caller activation). *)
+    List.iter
+      (fun l ->
+        let fresh = fresh_local ~of_var:l in
+        Hashtbl.replace sub_table l fresh;
+        let zero =
+          match (Prog.var prog l).Prog.vty with
+          | Ir.Types.Bool -> Expr.Bool false
+          | Ir.Types.Int -> Expr.Int 0
+          | Ir.Types.Array _ -> assert false
+        in
+        init_stmts := Stmt.Assign (Expr.Lvar fresh, zero) :: !init_stmts)
+      callee.Prog.locals;
+    let sub v = Option.value ~default:v (Hashtbl.find_opt sub_table v) in
+    (* Rewrite the callee body.  Call sites inside it become new sites
+       of the caller, provisionally numbered after the existing ones. *)
+    let new_sites = ref [] in
+    let n_new_sites = ref 0 in
+    let clone_site inner_sid =
+      let inner = site_record prog inner_sid in
+      let provisional = Prog.n_sites prog + !n_new_sites in
+      incr n_new_sites;
+      new_sites :=
+        {
+          Prog.sid = provisional;
+          caller = caller_pid;
+          callee = inner.Prog.callee;
+          args =
+            Array.map
+              (fun arg ->
+                match arg with
+                | Prog.Arg_value e -> Prog.Arg_value (subst_expr sub e)
+                | Prog.Arg_ref lv -> Prog.Arg_ref (subst_lvalue sub lv))
+              inner.Prog.args;
+        }
+        :: !new_sites;
+      provisional
+    in
+    let rec rewrite_stmt (st : Stmt.t) =
+      match st with
+      | Stmt.Assign (lv, e) -> Stmt.Assign (subst_lvalue sub lv, subst_expr sub e)
+      | Stmt.If (c, a, b) ->
+        Stmt.If (subst_expr sub c, List.map rewrite_stmt a, List.map rewrite_stmt b)
+      | Stmt.While (c, b) -> Stmt.While (subst_expr sub c, List.map rewrite_stmt b)
+      | Stmt.For (v, lo, hi, b) ->
+        Stmt.For (sub v, subst_expr sub lo, subst_expr sub hi, List.map rewrite_stmt b)
+      | Stmt.Call inner_sid -> Stmt.Call (clone_site inner_sid)
+      | Stmt.Read lv -> Stmt.Read (subst_lvalue sub lv)
+      | Stmt.Write e -> Stmt.Write (subst_expr sub e)
+    in
+    let inlined_body =
+      List.rev !init_stmts @ List.map rewrite_stmt callee.Prog.body
+    in
+    (* Splice into the caller's body, replacing the call statement. *)
+    let rec splice stmts =
+      List.concat_map
+        (fun (st : Stmt.t) ->
+          match st with
+          | Stmt.Call k when k = sid -> inlined_body
+          | Stmt.If (c, a, b) -> [ Stmt.If (c, splice a, splice b) ]
+          | Stmt.While (c, b) -> [ Stmt.While (c, splice b) ]
+          | Stmt.For (v, lo, hi, b) -> [ Stmt.For (v, lo, hi, splice b) ]
+          | Stmt.Assign _ | Stmt.Call _ | Stmt.Read _ | Stmt.Write _ -> [ st ])
+        stmts
+    in
+    (* Renumber sites densely: survivors keep order, new sites follow. *)
+    let survivors =
+      Array.to_list prog.Prog.sites |> List.filter (fun t -> t.Prog.sid <> sid)
+    in
+    let final_sites = survivors @ List.rev !new_sites in
+    let remap = Hashtbl.create 32 in
+    List.iteri (fun i t -> Hashtbl.replace remap t.Prog.sid i) final_sites;
+    let final_sites =
+      List.mapi (fun i t -> { t with Prog.sid = i }) final_sites |> Array.of_list
+    in
+    let rec renumber (st : Stmt.t) =
+      match st with
+      | Stmt.Call k -> Stmt.Call (Hashtbl.find remap k)
+      | Stmt.If (c, a, b) -> Stmt.If (c, List.map renumber a, List.map renumber b)
+      | Stmt.While (c, b) -> Stmt.While (c, List.map renumber b)
+      | Stmt.For (v, lo, hi, b) -> Stmt.For (v, lo, hi, List.map renumber b)
+      | Stmt.Assign _ | Stmt.Read _ | Stmt.Write _ -> st
+    in
+    let procs =
+      Array.map
+        (fun pr ->
+          let body =
+            if pr.Prog.pid = caller_pid then splice pr.Prog.body else pr.Prog.body
+          in
+          let locals =
+            if pr.Prog.pid = caller_pid then
+              pr.Prog.locals @ List.rev_map (fun v -> v.Prog.vid) !new_vars
+            else pr.Prog.locals
+          in
+          { pr with Prog.body = List.map renumber body; locals })
+        prog.Prog.procs
+    in
+    Some
+      {
+        prog with
+        Prog.vars = Array.append prog.Prog.vars (Array.of_list (List.rev !new_vars));
+        procs;
+        sites = final_sites;
+      }
+  end
+
+let inline_all_once prog ~max =
+  let rec go prog budget =
+    if budget = 0 then prog
+    else begin
+      let candidate = ref None in
+      let n = Prog.n_sites prog in
+      let i = ref 0 in
+      while !candidate = None && !i < n do
+        if inlinable prog !i then candidate := Some !i;
+        incr i
+      done;
+      match !candidate with
+      | None -> prog
+      | Some sid -> (
+        match site prog ~sid with
+        | None -> prog
+        | Some prog' -> go prog' (budget - 1))
+    end
+  in
+  go prog max

@@ -1,0 +1,42 @@
+(** Call-site inlining — the classic consumer of interprocedural
+    summaries (a compiler inlines precisely where the summary machinery
+    of this library says it is profitable and legal), and a demanding
+    exerciser of the IR: the test-suite checks that inlining preserves
+    the interpreter's observable behaviour and that the analysis
+    remains sound on the transformed program.
+
+    [site prog ~sid] replaces the call statement at site [sid] with the
+    callee's body:
+
+    - by-reference formals are substituted by the actual variables
+      (exact: the formal named the same cell);
+    - by-value formals become fresh locals of the caller, initialised
+      from the actual expressions at the inline point;
+    - callee locals become fresh locals of the caller (renamed
+      [inl<sid>_<name>] to keep the program printable);
+    - call sites inside the inlined body become new sites of the
+      caller, with their argument expressions substituted.
+
+    The whole site table is renumbered (dense sids); the transformed
+    program revalidates.
+
+    Restrictions ({!inlinable} returns [false] otherwise):
+    - the callee declares no nested procedures (their bodies capture
+      the callee's frame);
+    - no by-reference actual is an array {e element} (its subscripts
+      would need re-evaluation at every use);
+    - neither the caller's own formals/locals nor visibility are
+      otherwise affected, so any callee qualifies regardless of what it
+      calls — including the caller itself (one unfolding of
+      recursion). *)
+
+val inlinable : Ir.Prog.t -> int -> bool
+(** By site id. *)
+
+val site : Ir.Prog.t -> sid:int -> Ir.Prog.t option
+(** [None] iff not {!inlinable}. *)
+
+val inline_all_once : Ir.Prog.t -> max:int -> Ir.Prog.t
+(** Repeatedly inline the lowest-numbered inlinable site, at most [max]
+    times — a crude bottom-up inliner used by tests and the ablation
+    demo. *)

@@ -1,0 +1,1 @@
+lib/workload/arrays.ml: Array Buffer Format Frontend List Printf Random

@@ -1,0 +1,1 @@
+lib/workload/arrays.mli: Ir

@@ -1,0 +1,1 @@
+lib/workload/families.ml: Format Frontend Gen List Printf Random String

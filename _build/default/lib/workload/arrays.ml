@@ -1,0 +1,104 @@
+let dim = 16
+
+type kind =
+  | Row_writer
+  | Col_writer
+  | Elem_writer
+  | Whole_writer
+  | Row_reader
+  | Forwarder
+  | Elem_forwarder
+
+let kinds =
+  [| Row_writer; Col_writer; Elem_writer; Whole_writer; Row_reader; Forwarder;
+     Elem_forwarder |]
+
+let array_ty = Printf.sprintf "array[%d, %d] of int" dim dim
+
+(* Emit one kernel procedure.  [targets] are earlier kernels a
+   forwarder may call (name, kind). *)
+let emit_proc buf rng name kind targets =
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match kind with
+  | Row_writer ->
+    b "procedure %s(var a : %s; i : int);\nvar j : int;\nbegin\n" name array_ty;
+    b "  for j := 1 to n do\n    a[i, j] := a[i, j] + 1;\n  end;\nend;\n"
+  | Col_writer ->
+    b "procedure %s(var a : %s; i : int);\nvar j : int;\nbegin\n" name array_ty;
+    b "  for j := 1 to n do\n    a[j, i] := 0;\n  end;\nend;\n"
+  | Elem_writer ->
+    b "procedure %s(var a : %s; i : int; j : int);\nbegin\n" name array_ty;
+    b "  a[i, j] := i + j;\nend;\n"
+  | Whole_writer ->
+    b "procedure %s(var a : %s);\nvar i, j : int;\nbegin\n" name array_ty;
+    b "  for i := 1 to n do\n    for j := 1 to n do\n      a[i, j] := 0;\n    end;\n  end;\nend;\n"
+  | Row_reader ->
+    b "procedure %s(i : int);\nvar j : int;\nbegin\n" name;
+    b "  for j := 1 to n do\n    total := total + garr0[i, j];\n  end;\nend;\n"
+  | Forwarder -> (
+    (* Pass the whole array on to an earlier array-taking kernel. *)
+    let array_targets =
+      List.filter
+        (fun (_, k) ->
+          match k with
+          | Row_writer | Col_writer | Whole_writer -> true
+          | Elem_writer | Row_reader | Forwarder | Elem_forwarder -> false)
+        targets
+    in
+    match array_targets with
+    | [] ->
+      b "procedure %s(var a : %s; i : int);\nbegin\n  a[i, i] := 1;\nend;\n" name
+        array_ty
+    | ts ->
+      let tname, tkind = List.nth ts (Random.State.int rng (List.length ts)) in
+      b "procedure %s(var a : %s; i : int);\nbegin\n" name array_ty;
+      (match tkind with
+      | Whole_writer -> b "  call %s(a);\n" tname
+      | _ -> b "  call %s(a, i);\n" tname);
+      b "end;\n")
+  | Elem_forwarder ->
+    b "procedure %s(var e : int);\nbegin\n  e := e + 1;\nend;\n" name
+
+let source ~seed ~n_kernels =
+  let rng = Random.State.make [| seed; n_kernels; 0xa44a |] in
+  let buf = Buffer.create 4096 in
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n_arrays = 1 + Random.State.int rng 3 in
+  b "program kernels;\nvar n, total, iv, jv : int;\n";
+  for a = 0 to n_arrays - 1 do
+    b "var garr%d : %s;\n" a array_ty
+  done;
+  let procs = ref [] in
+  for k = 0 to n_kernels - 1 do
+    let kind = kinds.(Random.State.int rng (Array.length kinds)) in
+    let name = Printf.sprintf "k%d" k in
+    emit_proc buf rng name kind !procs;
+    procs := (name, kind) :: !procs
+  done;
+  (* main: drive every kernel from a loop so all are reachable. *)
+  b "begin\n  n := %d;\n" dim;
+  List.iter
+    (fun (name, kind) ->
+      let arr = Printf.sprintf "garr%d" (Random.State.int rng n_arrays) in
+      match kind with
+      | Row_writer | Col_writer | Forwarder ->
+        b "  for iv := 1 to n do\n    call %s(%s, iv);\n  end;\n" name arr
+      | Elem_writer ->
+        b "  for iv := 1 to n do\n    call %s(%s, iv, 3);\n  end;\n" name arr
+      | Whole_writer -> b "  call %s(%s);\n" name arr
+      | Row_reader -> b "  for iv := 1 to n do\n    call %s(iv);\n  end;\n" name
+      | Elem_forwarder ->
+        b "  for iv := 1 to n do\n    call %s(%s[iv, 2]);\n  end;\n" name arr)
+    (List.rev !procs);
+  b "end.\n";
+  Buffer.contents buf
+
+let generate ~seed ~n_kernels =
+  let src = source ~seed ~n_kernels in
+  match Frontend.Sema.compile ~file:"<arrays>" src with
+  | Ok p -> p
+  | Error errs ->
+    invalid_arg
+      (Format.asprintf "Workload.Arrays: generated source rejected:@ %a@ ---@ %s"
+         (Format.pp_print_list Frontend.Sema.pp_error)
+         errs src)

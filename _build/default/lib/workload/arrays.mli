@@ -1,0 +1,18 @@
+(** Array-kernel workload generator for the §6 regular-section
+    analysis.
+
+    Generates flat MiniProc programs over a pool of global 2-D arrays
+    and a chain of kernel procedures drawn from the §6 repertoire: row
+    writers, column writers, element writers, whole-array sweeps,
+    row readers, forwarders (which pass their array parameter on —
+    producing identity binding-function edges in β), and element
+    forwarders (called with [A[i, j]] actuals — restriction edges).
+    Main drives them from [for] loops, so the {!Sections.Deps}
+    parallelisation question is meaningful on every generated program.
+
+    Programs are built as source text and compiled through the real
+    front end; a generation is deterministic in [seed]. *)
+
+val generate : seed:int -> n_kernels:int -> Ir.Prog.t
+
+val source : seed:int -> n_kernels:int -> string

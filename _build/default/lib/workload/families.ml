@@ -1,0 +1,146 @@
+(* The fixed families are written as MiniProc source and compiled
+   through the real front end — tests thereby cover the whole path from
+   text to analysis answers. *)
+
+let compile src =
+  match Frontend.Sema.compile ~file:"<family>" src with
+  | Ok p -> p
+  | Error errs ->
+    invalid_arg
+      (Format.asprintf "Families: generated source does not compile:@ %a@ ---@ %s"
+         (Format.pp_print_list Frontend.Sema.pp_error)
+         errs src)
+
+let buf_program ~procs ~main_body =
+  Printf.sprintf "program main;\nvar g0 : int;\n%s\nbegin\n%s\nend.\n"
+    (String.concat "\n" procs) main_body
+
+let chain_procs n ~last_body ~mid_extra =
+  List.init n (fun i ->
+      let i = i + 1 in
+      let body =
+        if i = n then last_body
+        else Printf.sprintf "call p%d(x);%s" (i + 1) mid_extra
+      in
+      Printf.sprintf "procedure p%d(var x : int);\nbegin\n%s\nend;" i body)
+
+let ref_chain n =
+  if n < 1 then invalid_arg "Families.ref_chain";
+  compile
+    (buf_program
+       ~procs:(chain_procs n ~last_body:"x := 1;" ~mid_extra:"")
+       ~main_body:"call p1(g0);")
+
+let ref_cycle n =
+  if n < 2 then invalid_arg "Families.ref_cycle";
+  compile
+    (buf_program
+       ~procs:(chain_procs n ~last_body:"call p1(x); x := 1;" ~mid_extra:"")
+       ~main_body:"call p1(g0);")
+
+let clean_chain n =
+  if n < 1 then invalid_arg "Families.clean_chain";
+  compile
+    (buf_program
+       ~procs:(chain_procs n ~last_body:"skip;" ~mid_extra:"")
+       ~main_body:"call p1(g0);")
+
+let global_chain n =
+  if n < 1 then invalid_arg "Families.global_chain";
+  let procs =
+    List.init n (fun i ->
+        let i = i + 1 in
+        let body = if i = n then "g0 := 1;" else Printf.sprintf "call p%d();" (i + 1) in
+        Printf.sprintf "procedure p%d();\nbegin\n%s\nend;" i body)
+  in
+  compile (buf_program ~procs ~main_body:"call p1();")
+
+let mutual_pair () =
+  compile
+    {|program main;
+var g0 : int;
+procedure a(var x : int);
+begin
+  call b(x);
+end;
+procedure b(var y : int);
+begin
+  call a(y);
+  y := 1;
+end;
+begin
+  call a(g0);
+end.
+|}
+
+let diamond () =
+  compile
+    {|program main;
+var g0 : int;
+procedure c();
+begin
+  g0 := 1;
+end;
+procedure a();
+begin
+  call c();
+end;
+procedure b();
+begin
+  call c();
+end;
+begin
+  call a();
+  call b();
+end.
+|}
+
+let nested_textbook () =
+  compile
+    {|program main;
+var g0 : int;
+procedure outer(var p : int);
+var v : int;
+  procedure mid(var q : int);
+    procedure inner(var r : int);
+    begin
+      v := v + 1;
+      g0 := g0 + 1;
+      r := 0;
+    end;
+  begin
+    call inner(q);
+    call mid(q);
+  end;
+begin
+  call mid(p);
+  call helper(v);
+end;
+procedure helper(var h : int);
+begin
+  h := 2;
+end;
+begin
+  call outer(g0);
+end.
+|}
+
+let fortran_style ~seed ~n =
+  let rng = Random.State.make [| seed; n; 0x0f |] in
+  Gen.generate rng
+    {
+      Gen.default with
+      Gen.n_procs = n;
+      n_globals = (n / 4) + 8;
+      max_depth = 1;
+    }
+
+let pascal_style ~seed ~n ~depth =
+  let rng = Random.State.make [| seed; n; depth; 0x9a |] in
+  Gen.generate rng
+    {
+      Gen.default with
+      Gen.n_procs = n;
+      n_globals = (n / 4) + 8;
+      max_depth = depth;
+    }

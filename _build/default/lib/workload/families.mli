@@ -1,0 +1,42 @@
+(** Named workload families with predictable analysis answers — used by
+    unit tests (known expected results) and benchmarks (controlled
+    shape).  All are flat (level-1) unless stated otherwise. *)
+
+val ref_chain : int -> Ir.Prog.t
+(** [p1(var x) → p2(var x) → … → pn(var x)], with only the last
+    procedure assigning its parameter.  β is a path of length [n-1];
+    the expected answer is [RMOD(pi) = {x_i}] for every [i] — the
+    deep-propagation worst case for iterative methods. *)
+
+val ref_cycle : int -> Ir.Prog.t
+(** Like {!ref_chain} but the last procedure calls the first, closing a
+    β cycle; still every formal is modified. *)
+
+val clean_chain : int -> Ir.Prog.t
+(** Like {!ref_chain} but no procedure writes its parameter:
+    [RMOD = ∅] everywhere, [GMOD = ∅] everywhere. *)
+
+val global_chain : int -> Ir.Prog.t
+(** [p1 → p2 → … → pn]; only [pn] writes, to a distinct global [g_n];
+    expected [GMOD(p_i) = {g_n}]. *)
+
+val mutual_pair : unit -> Ir.Prog.t
+(** Two mutually recursive procedures exchanging their by-ref formals;
+    one writes.  The classic SCC case for Figure 1. *)
+
+val diamond : unit -> Ir.Prog.t
+(** main → a, b; a → c; b → c; c writes a global — exercises cross
+    edges in [findgmod]. *)
+
+val nested_textbook : unit -> Ir.Prog.t
+(** The §3.3/§4 situation: a procedure [outer] with local [v] and
+    nested procedures, one of which modifies [v] and an outer global;
+    exercises the nesting extension and multi-level [findgmod].
+    Procedure levels reach 3. *)
+
+val fortran_style : seed:int -> n:int -> Ir.Prog.t
+(** {!Gen.generate} with defaults scaled to [n] procedures, flat, for
+    scaling experiments. *)
+
+val pascal_style : seed:int -> n:int -> depth:int -> Ir.Prog.t
+(** Nested variant. *)

@@ -1,0 +1,239 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+module Stmt = Ir.Stmt
+module Types = Ir.Types
+
+type params = {
+  n_procs : int;
+  n_globals : int;
+  max_formals : int;
+  ref_fraction : float;
+  locals_per_proc : int;
+  sites_per_proc : int;
+  binding_density : float;
+  recursion : float;
+  max_depth : int;
+  stmts_per_proc : int;
+}
+
+let default =
+  {
+    n_procs = 100;
+    n_globals = 30;
+    max_formals = 5;
+    ref_fraction = 0.7;
+    locals_per_proc = 3;
+    sites_per_proc = 3;
+    binding_density = 0.5;
+    recursion = 0.2;
+    max_depth = 1;
+    stmts_per_proc = 4;
+  }
+
+let flip rng p = Random.State.float rng 1.0 < p
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let generate rng (p : params) =
+  if p.n_procs < 0 || p.max_depth < 1 then invalid_arg "Gen.generate";
+  let np = p.n_procs + 1 in
+  (* Nesting tree.  Parents precede children in pid order. *)
+  let parent = Array.make np (-1) in
+  let level = Array.make np 0 in
+  for pid = 1 to np - 1 do
+    let par =
+      if p.max_depth <= 1 then 0
+      else begin
+        (* Sample a few candidates; fall back to main. *)
+        let rec try_pick n =
+          if n = 0 then 0
+          else begin
+            let cand = Random.State.int rng pid in
+            if level.(cand) < p.max_depth then cand else try_pick (n - 1)
+          end
+        in
+        try_pick 4
+      end
+    in
+    parent.(pid) <- par;
+    level.(pid) <- level.(par) + 1
+  done;
+  let nested = Array.make np [] in
+  for pid = np - 1 downto 1 do
+    nested.(parent.(pid)) <- pid :: nested.(parent.(pid))
+  done;
+  (* Variables: globals, then per-procedure formals and locals. *)
+  let vars = ref [] in
+  let n_vars = ref 0 in
+  let fresh_var ~name ~kind =
+    let vid = !n_vars in
+    incr n_vars;
+    vars := { Prog.vid; vname = name; vty = Types.Int; kind } :: !vars;
+    vid
+  in
+  let globals =
+    List.init p.n_globals (fun i -> fresh_var ~name:(Printf.sprintf "g%d" i) ~kind:Prog.Global)
+  in
+  let formals = Array.make np [||] in
+  let modes = Array.make np [||] in
+  let locals = Array.make np [] in
+  for pid = 1 to np - 1 do
+    let nf = Random.State.int rng (p.max_formals + 1) in
+    let ms =
+      Array.init nf (fun _ ->
+          if flip rng p.ref_fraction then Prog.By_ref else Prog.By_value)
+    in
+    modes.(pid) <- ms;
+    formals.(pid) <-
+      Array.init nf (fun index ->
+          fresh_var
+            ~name:(Printf.sprintf "a%d_%d" pid index)
+            ~kind:(Prog.Formal { proc = pid; index; mode = ms.(index) }));
+    let nl = Random.State.int rng (p.locals_per_proc + 1) in
+    locals.(pid) <-
+      List.init nl (fun i ->
+          fresh_var ~name:(Printf.sprintf "t%d_%d" pid i) ~kind:(Prog.Local pid))
+  done;
+  (* Scope views. *)
+  let ancestors pid =
+    let rec up pid acc = if pid < 0 then acc else up parent.(pid) (pid :: acc) in
+    up pid []
+  in
+  let visible_scalars = Array.make np [] in
+  let visible_ref_formals = Array.make np [] in
+  for pid = 0 to np - 1 do
+    let anc = ancestors pid in
+    let own =
+      List.concat_map
+        (fun a ->
+          Array.to_list formals.(a) @ locals.(a))
+        anc
+    in
+    visible_scalars.(pid) <- globals @ own;
+    visible_ref_formals.(pid) <-
+      List.concat_map
+        (fun a ->
+          Array.to_list formals.(a)
+          |> List.filteri (fun i _ -> modes.(a).(i) = Prog.By_ref))
+        anc
+  done;
+  (* Callable procedures: children of any ancestor (so: self, siblings,
+     ancestors, ancestors' siblings, own children). *)
+  let callable = Array.make np [] in
+  for pid = 0 to np - 1 do
+    callable.(pid) <- List.concat_map (fun a -> nested.(a)) (ancestors pid)
+  done;
+  (* Bodies. *)
+  let sites = ref [] in
+  let n_sites = ref 0 in
+  let rand_expr pid =
+    let scalars = visible_scalars.(pid) in
+    let atom () =
+      if scalars = [] || flip rng 0.3 then Expr.Int (Random.State.int rng 100)
+      else Expr.Var (pick rng scalars)
+    in
+    if flip rng 0.5 then atom ()
+    else Expr.Binop ((if flip rng 0.5 then Expr.Add else Expr.Sub), atom (), atom ())
+  in
+  let rand_cond pid =
+    let scalars = visible_scalars.(pid) in
+    if scalars = [] then Expr.Bool true
+    else Expr.Binop (Expr.Lt, Expr.Var (pick rng scalars), Expr.Int (Random.State.int rng 100))
+  in
+  let make_call caller callee =
+    let args =
+      Array.init
+        (Array.length formals.(callee))
+        (fun i ->
+          match modes.(callee).(i) with
+          | Prog.By_value -> Prog.Arg_value (rand_expr caller)
+          | Prog.By_ref ->
+            let refs = visible_ref_formals.(caller) in
+            if refs <> [] && flip rng p.binding_density then
+              Prog.Arg_ref (Expr.Lvar (pick rng refs))
+            else begin
+              let scalars = visible_scalars.(caller) in
+              let v =
+                if scalars = [] then List.nth globals 0 else pick rng scalars
+              in
+              Prog.Arg_ref (Expr.Lvar v)
+            end)
+    in
+    let sid = !n_sites in
+    incr n_sites;
+    sites := { Prog.sid; caller; callee; args } :: !sites;
+    Stmt.Call sid
+  in
+  let body_of pid =
+    let stmts = ref [] in
+    (* Guaranteed reachability: call every child once. *)
+    List.iter (fun c -> stmts := make_call pid c :: !stmts) nested.(pid);
+    (* Extra calls. *)
+    let extra = Random.State.int rng (1 + (2 * p.sites_per_proc)) in
+    for _ = 1 to extra do
+      match callable.(pid) with
+      | [] -> ()
+      | all ->
+        let forward = List.filter (fun q -> q > pid) all in
+        let pool = if flip rng p.recursion || forward = [] then all else forward in
+        stmts := make_call pid (pick rng pool) :: !stmts
+    done;
+    (* Assignments and a little control flow. *)
+    let n_assign = 1 + Random.State.int rng p.stmts_per_proc in
+    for _ = 1 to n_assign do
+      match visible_scalars.(pid) with
+      | [] -> ()
+      | scalars ->
+        let target = pick rng scalars in
+        let s = Stmt.Assign (Expr.Lvar target, rand_expr pid) in
+        (* Wrap some statements in control flow.  Loops are bounded
+           [for]s rather than [while]s: to the flow-insensitive
+           analysis they are equivalent, and bounded loops keep the
+           generated programs executable by the tracing interpreter
+           (the dynamic-oracle tests and the P1 precision experiment
+           need runs that make progress). *)
+        let s =
+          if flip rng 0.2 then Stmt.If (rand_cond pid, [ s ], [])
+          else if flip rng 0.1 then
+            Stmt.For (target, Expr.Int 1, Expr.Int 2, [ s ])
+          else s
+        in
+        stmts := s :: !stmts
+    done;
+    (* Shuffle for a less regular statement order. *)
+    let a = Array.of_list !stmts in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  (* Explicit loop: site ids must follow increasing pid (Array.init's
+     evaluation order is unspecified). *)
+  let bodies = Array.make np [] in
+  for pid = 0 to np - 1 do
+    bodies.(pid) <- body_of pid
+  done;
+  let procs =
+    Array.init np (fun pid ->
+        {
+          Prog.pid;
+          pname = (if pid = 0 then "main" else Printf.sprintf "p%d" pid);
+          parent = (if pid = 0 then None else Some parent.(pid));
+          level = level.(pid);
+          formals = formals.(pid);
+          locals = locals.(pid);
+          nested = nested.(pid);
+          body = bodies.(pid);
+        })
+  in
+  {
+    Prog.name = "main";
+    vars = Array.of_list (List.rev !vars);
+    procs;
+    sites = Array.of_list (List.rev !sites);
+    main = 0;
+  }
+
+let source rng p = Ir.Pp.to_string (generate rng p)

@@ -1,0 +1,48 @@
+(** Synthetic MiniProc program generator.
+
+    Produces well-formed {!Ir.Prog} values (checked by
+    {!Ir.Validate} in the test suite) whose shape parameters span the
+    regimes the paper reasons about: number of procedures [N], call
+    sites per procedure (so [E ≈ sites_per_proc·N]), formals per
+    procedure (the paper's [k ≥ max(µ_f, µ_a)]), number of globals
+    (the paper assumes it grows with program size), fraction of
+    by-reference formals, the probability that a by-reference actual is
+    itself a formal (β's edge density), recursion, and procedure
+    nesting depth.
+
+    Guarantees, independent of the random draw:
+    - every procedure is reachable from main (each parent calls each of
+      its children at least once, and top-level procedures hang off
+      main), matching the paper's standing assumption;
+    - static scoping is respected, so the programs also pretty-print
+      and re-parse ({!Ir.Pp} / {!Frontend}).
+
+    All randomness comes from the caller's [Random.State.t]. *)
+
+type params = {
+  n_procs : int;  (** Procedures besides main. *)
+  n_globals : int;
+  max_formals : int;  (** Per procedure, uniform in [0..max_formals]. *)
+  ref_fraction : float;  (** Probability a formal is by-reference. *)
+  locals_per_proc : int;  (** Uniform in [0..locals_per_proc]. *)
+  sites_per_proc : int;  (** Extra random call sites per procedure, on top of the one guaranteed call to each child. *)
+  binding_density : float;
+      (** Probability a by-reference actual is a visible by-reference
+          formal (creating a β edge) rather than a local or global. *)
+  recursion : float;
+      (** Probability a random call site may target any callable
+          procedure (enabling cycles) rather than only
+          higher-numbered ones. *)
+  max_depth : int;  (** Maximum procedure nesting level ([>= 1]). *)
+  stmts_per_proc : int;  (** Extra non-call statements, uniform in [1..]. *)
+}
+
+val default : params
+(** Moderate everything: a program in the spirit of the paper's
+    Fortran examples.  [n_procs = 100], [k ≈ 3], flat. *)
+
+val generate : Random.State.t -> params -> Ir.Prog.t
+
+val source : Random.State.t -> params -> string
+(** [generate] then pretty-print — a convenience for exercising the
+    whole front end. *)

@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Bitvec Core Helpers Ir List

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Helpers List Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Array Bitvec Callgraph Graphs Helpers Ir List

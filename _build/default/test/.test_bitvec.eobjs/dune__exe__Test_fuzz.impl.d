@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Char Frontend Helpers Ir List Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_gmod.ml: Alcotest Array Baseline Bitvec Callgraph Core Graphs Helpers Ir List Printf Workload

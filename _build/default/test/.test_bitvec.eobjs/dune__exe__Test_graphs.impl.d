@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Bitvec Graphs Hashtbl Helpers List Printf QCheck Random

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baseline Bitvec Core Format Helpers Ir List Printf String Workload

@@ -1,0 +1,1 @@
+test/test_ipcp.ml: Alcotest Array Bitvec Helpers Interp Ipcp Ir

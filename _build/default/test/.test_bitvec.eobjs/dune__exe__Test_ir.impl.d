@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Bitvec Callgraph Helpers Ir List String

@@ -1,0 +1,1 @@
+test/test_local.ml: Alcotest Array Bitvec Frontend Helpers Ir List

@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Array Baseline Bitvec Callgraph Core Frontend Helpers Ir Workload

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Fmt Frontend Helpers Ir List Printf String Workload

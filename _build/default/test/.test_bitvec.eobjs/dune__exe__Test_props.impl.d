@@ -1,0 +1,1 @@
+test/test_props.ml: Array Baseline Bitvec Callgraph Core Graphs Helpers Ir

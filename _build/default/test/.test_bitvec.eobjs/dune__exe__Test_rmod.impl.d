@@ -1,0 +1,1 @@
+test/test_rmod.ml: Alcotest Array Baseline Bitvec Callgraph Core Graphs Helpers Ir List Printf Workload

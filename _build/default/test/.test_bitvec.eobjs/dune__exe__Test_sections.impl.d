@@ -1,0 +1,1 @@
+test/test_sections.ml: Alcotest Array Bitvec Callgraph Core Fmt Graphs Helpers Ir List Printf QCheck Sections Workload

@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Array Dump Fmt Frontend Helpers Ir List Option String

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Array Bitvec Core Helpers Interp Ir List QCheck Sections Workload

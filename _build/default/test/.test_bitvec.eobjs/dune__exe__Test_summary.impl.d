@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Array Bitvec Core Helpers Ir List Workload

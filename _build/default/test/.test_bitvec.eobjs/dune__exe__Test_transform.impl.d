@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Bitvec Core Frontend Helpers Interp Ir List Option Printf Transform

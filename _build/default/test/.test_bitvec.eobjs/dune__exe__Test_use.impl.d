@@ -1,0 +1,1 @@
+test/test_use.ml: Alcotest Baseline Core Helpers Ir List Workload

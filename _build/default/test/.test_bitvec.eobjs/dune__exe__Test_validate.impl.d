@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Array Dump Fmt Helpers Ir List String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bitvec Callgraph Frontend Graphs Helpers Ir Printf QCheck Random Sections String Workload

@@ -1,0 +1,91 @@
+(* Shared test utilities: compilation shorthands, set comparisons by
+   variable name, program arbitraries for qcheck, and the analysis
+   pipeline broken into reusable pieces. *)
+
+let compile src = Frontend.Sema.compile_exn ~file:"<test>" src
+
+let compile_errors src =
+  match Frontend.Sema.compile ~file:"<test>" src with
+  | Ok _ -> []
+  | Error errs -> List.map (fun e -> e.Frontend.Sema.msg) errs
+
+(* Variable lookup by qualified name: "x" for a global, "p.x" for p's
+   variable as p's body sees it. *)
+let var_id prog qname =
+  match String.index_opt qname '.' with
+  | None -> (
+    match Ir.Prog.find_var prog ~proc:prog.Ir.Prog.main qname with
+    | Some v -> v.Ir.Prog.vid
+    | None -> Alcotest.failf "no such global: %s" qname)
+  | Some i ->
+    let pname = String.sub qname 0 i in
+    let vname = String.sub qname (i + 1) (String.length qname - i - 1) in
+    let proc =
+      match Ir.Prog.find_proc prog pname with
+      | Some p -> p.Ir.Prog.pid
+      | None -> Alcotest.failf "no such procedure: %s" pname
+    in
+    (match Ir.Prog.find_var prog ~proc vname with
+    | Some v -> v.Ir.Prog.vid
+    | None -> Alcotest.failf "no such variable: %s" qname)
+
+let proc_id prog name =
+  match Ir.Prog.find_proc prog name with
+  | Some p -> p.Ir.Prog.pid
+  | None -> Alcotest.failf "no such procedure: %s" name
+
+(* Compare a bit vector against an expected list of qualified names. *)
+let check_var_set prog msg expected actual =
+  let expected_ids = List.sort_uniq compare (List.map (var_id prog) expected) in
+  let actual_ids = Bitvec.to_list actual in
+  if expected_ids <> actual_ids then
+    Alcotest.failf "%s:@ expected %a,@ got %a" msg
+      (Fmt.Dump.list Fmt.string)
+      expected (Ir.Pp.pp_var_set prog) actual
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The pipeline, piecewise, so tests can interrogate intermediates. *)
+type pipeline = {
+  prog : Ir.Prog.t;
+  info : Ir.Info.t;
+  call : Callgraph.Call.t;
+  binding : Callgraph.Binding.t;
+  imod : Bitvec.t array;
+  rmod : Core.Rmod.result;
+  imod_plus : Bitvec.t array;
+}
+
+let pipeline prog =
+  let info = Ir.Info.make prog in
+  let call = Callgraph.Call.build prog in
+  let binding = Callgraph.Binding.build prog in
+  let imod = Frontend.Local.imod info in
+  let rmod = Core.Rmod.solve binding ~imod in
+  let imod_plus = Core.Imod_plus.compute info ~rmod ~imod in
+  { prog; info; call; binding; imod; rmod; imod_plus }
+
+(* qcheck arbitraries: random programs indexed by seed, so failures
+   reproduce from the printed seed. *)
+let arb_flat_prog =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "flat seed %d" seed)
+    QCheck.Gen.(0 -- 10_000)
+
+let flat_of_seed ?(n = 40) seed = Workload.Families.fortran_style ~seed ~n
+
+let arb_nested_prog =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "nested seed %d" seed)
+    QCheck.Gen.(0 -- 10_000)
+
+let nested_of_seed ?(n = 40) ?(depth = 4) seed =
+  Workload.Families.pascal_style ~seed ~n ~depth
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let gmod_arrays_equal a b = Array.for_all2 Bitvec.equal a b
+
+let run name suites = Alcotest.run ~verbose:false name suites

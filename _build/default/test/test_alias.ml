@@ -1,0 +1,260 @@
+(* Alias-pair analysis tests (§5's assumed input): introduction rules,
+   propagation down call chains, and the closure operation. *)
+
+let compile = Helpers.compile
+
+let pairs_named prog t pid =
+  List.map
+    (fun (x, y) ->
+      ((Ir.Prog.var prog x).Ir.Prog.vname, (Ir.Prog.var prog y).Ir.Prog.vname))
+    (Core.Alias.pairs t pid)
+
+let test_same_actual_twice () =
+  let prog =
+    compile
+      {|program m;
+var g : int;
+procedure f(var x : int; var y : int);
+begin
+  x := 1;
+end;
+begin
+  call f(g, g);
+end.|}
+  in
+  let t = Core.Alias.compute (Ir.Info.make prog) in
+  let f = Helpers.proc_id prog "f" in
+  Alcotest.(check bool) "x~y" true
+    (Core.Alias.may_alias t ~proc:f (Helpers.var_id prog "f.x")
+       (Helpers.var_id prog "f.y"));
+  (* g visible in f, so both formals alias g as well. *)
+  Alcotest.(check int) "three pairs" 3 (List.length (Core.Alias.pairs t f))
+
+let test_global_passed_by_ref () =
+  let prog =
+    compile
+      {|program m;
+var g, h : int;
+procedure f(var x : int);
+begin
+  x := 1;
+end;
+begin
+  call f(g);
+end.|}
+  in
+  let t = Core.Alias.compute (Ir.Info.make prog) in
+  let f = Helpers.proc_id prog "f" in
+  Alcotest.(check (list (pair string string))) "only <g, x>" [ ("g", "x") ]
+    (pairs_named prog t f)
+
+let test_local_passed_no_alias () =
+  (* A caller's local passed by ref is invisible in the callee: no
+     introduced pair. *)
+  let prog =
+    compile
+      {|program m;
+procedure f(var x : int);
+begin
+  x := 1;
+end;
+procedure caller();
+var l : int;
+begin
+  call f(l);
+end;
+begin
+  call caller();
+end.|}
+  in
+  let t = Core.Alias.compute (Ir.Info.make prog) in
+  Alcotest.(check int) "no pairs" 0 (Core.Alias.total_pairs t)
+
+let test_propagation_chain () =
+  (* <x, y> in f propagates to <a, b> in g when both are passed on. *)
+  let prog =
+    compile
+      {|program m;
+var g0 : int;
+procedure inner(var a : int; var b : int);
+begin
+  a := 1;
+end;
+procedure f(var x : int; var y : int);
+begin
+  call inner(x, y);
+end;
+begin
+  call f(g0, g0);
+end.|}
+  in
+  let t = Core.Alias.compute (Ir.Info.make prog) in
+  let inner = Helpers.proc_id prog "inner" in
+  Alcotest.(check bool) "a~b propagated" true
+    (Core.Alias.may_alias t ~proc:inner
+       (Helpers.var_id prog "inner.a")
+       (Helpers.var_id prog "inner.b"))
+
+let test_propagation_formal_global () =
+  (* <x, g> in f propagates as <a, g> when x is passed and g is
+     visible. *)
+  let prog =
+    compile
+      {|program m;
+var g : int;
+procedure inner(var a : int);
+begin
+  a := 1;
+end;
+procedure f(var x : int);
+begin
+  call inner(x);
+end;
+begin
+  call f(g);
+end.|}
+  in
+  let t = Core.Alias.compute (Ir.Info.make prog) in
+  let inner = Helpers.proc_id prog "inner" in
+  Alcotest.(check bool) "a~g" true
+    (Core.Alias.may_alias t ~proc:inner
+       (Helpers.var_id prog "inner.a")
+       (Helpers.var_id prog "g"))
+
+let test_recursive_fixpoint () =
+  (* Aliases through a recursive cycle terminate and stay correct. *)
+  let prog =
+    compile
+      {|program m;
+var g : int;
+procedure r(var x : int; var y : int);
+begin
+  call r(y, x);
+  x := 1;
+end;
+begin
+  call r(g, g);
+end.|}
+  in
+  let t = Core.Alias.compute (Ir.Info.make prog) in
+  let r = Helpers.proc_id prog "r" in
+  Alcotest.(check bool) "x~y" true
+    (Core.Alias.may_alias t ~proc:r (Helpers.var_id prog "r.x")
+       (Helpers.var_id prog "r.y"))
+
+let test_nesting_inheritance () =
+  (* Regression (found by differential testing): a pair holding on
+     entry to p must hold inside procedures nested in p — here nested's
+     call passes a2 (aliased to g via main's call) and the alias must
+     be visible at that site. *)
+  let prog =
+    compile
+      {|program m;
+var g : int;
+procedure sink(var s : int);
+begin
+  s := 1;
+end;
+procedure p(var a2 : int);
+  procedure nested();
+  begin
+    call sink(a2);
+  end;
+begin
+  call nested();
+end;
+begin
+  call p(g);
+end.|}
+  in
+  let info = Ir.Info.make prog in
+  let t = Core.Alias.compute info in
+  let nested = Helpers.proc_id prog "nested" in
+  Alcotest.(check bool) "nested inherits <a2, g>" true
+    (Core.Alias.may_alias t ~proc:nested (Helpers.var_id prog "p.a2")
+       (Helpers.var_id prog "g"));
+  (* And the site-level MOD inside nested therefore includes g. *)
+  let full = Core.Analyze.run prog in
+  let sid = (List.hd (Ir.Prog.sites_of prog nested)).Ir.Prog.sid in
+  Helpers.check_var_set prog "MOD(sink(a2)) closes over g" [ "g"; "p.a2" ]
+    (Core.Analyze.mod_of_site full sid)
+
+let test_close () =
+  let prog =
+    compile
+      {|program m;
+var g : int;
+procedure f(var x : int);
+begin
+  x := 1;
+end;
+begin
+  call f(g);
+end.|}
+  in
+  let info = Ir.Info.make prog in
+  let t = Core.Alias.compute info in
+  let f = Helpers.proc_id prog "f" in
+  let set = Bitvec.create (Ir.Prog.n_vars prog) in
+  Bitvec.set set (Helpers.var_id prog "f.x");
+  let closed = Core.Alias.close t ~proc:f set in
+  Helpers.check_var_set prog "closure adds g" [ "g"; "f.x" ] closed
+
+let prop_pairs_are_visible_pairs seed =
+  (* Every pair of ALIAS(p) relates variables visible in p. *)
+  let prog = Helpers.nested_of_seed seed in
+  let t = Core.Alias.compute (Ir.Info.make prog) in
+  let ok = ref true in
+  for pid = 0 to Ir.Prog.n_procs prog - 1 do
+    List.iter
+      (fun (x, y) ->
+        if
+          not
+            (Ir.Prog.visible prog ~proc:pid ~var:x
+            && Ir.Prog.visible prog ~proc:pid ~var:y)
+        then ok := false)
+      (Core.Alias.pairs t pid)
+  done;
+  !ok
+
+let prop_close_superset seed =
+  let prog = Helpers.flat_of_seed seed in
+  let info = Ir.Info.make prog in
+  let t = Core.Alias.compute info in
+  let set = Ir.Info.global info in
+  let ok = ref true in
+  for pid = 0 to Ir.Prog.n_procs prog - 1 do
+    if not (Bitvec.subset set (Core.Alias.close t ~proc:pid set)) then ok := false
+  done;
+  !ok
+
+let () =
+  Helpers.run "alias"
+    [
+      ( "introduction",
+        [
+          Alcotest.test_case "same actual at two positions" `Quick
+            test_same_actual_twice;
+          Alcotest.test_case "global passed by reference" `Quick
+            test_global_passed_by_ref;
+          Alcotest.test_case "invisible local introduces nothing" `Quick
+            test_local_passed_no_alias;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "pair through a chain" `Quick test_propagation_chain;
+          Alcotest.test_case "formal-global pair through a chain" `Quick
+            test_propagation_formal_global;
+          Alcotest.test_case "recursive fixpoint" `Quick test_recursive_fixpoint;
+          Alcotest.test_case "inheritance down the nesting tree (regression)" `Quick
+            test_nesting_inheritance;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "one-step closure" `Quick test_close;
+          Helpers.qtest ~count:50 "pairs relate visible variables"
+            Helpers.arb_nested_prog prop_pairs_are_visible_pairs;
+          Helpers.qtest ~count:50 "closure is extensive" Helpers.arb_flat_prog
+            prop_close_superset;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Unit and property tests for the bit-vector substrate. *)
+
+module B = Bitvec
+
+let check_list msg expected v = Alcotest.(check (list int)) msg expected (B.to_list v)
+
+(* --- unit tests --- *)
+
+let test_create_empty () =
+  let v = B.create 0 in
+  Alcotest.(check int) "length" 0 (B.length v);
+  Alcotest.(check bool) "empty" true (B.is_empty v);
+  check_list "no bits" [] v
+
+let test_set_get () =
+  let v = B.create 130 in
+  B.set v 0;
+  B.set v 63;
+  B.set v 64;
+  B.set v 129;
+  Alcotest.(check bool) "bit 0" true (B.get v 0);
+  Alcotest.(check bool) "bit 1" false (B.get v 1);
+  Alcotest.(check bool) "bit 63" true (B.get v 63);
+  Alcotest.(check bool) "bit 64" true (B.get v 64);
+  Alcotest.(check bool) "bit 129" true (B.get v 129);
+  check_list "contents" [ 0; 63; 64; 129 ] v;
+  B.unset v 64;
+  check_list "after unset" [ 0; 63; 129 ] v
+
+let test_out_of_range () =
+  let v = B.create 10 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec.get: index -1 out of [0, 10)")
+    (fun () -> ignore (B.get v (-1)));
+  Alcotest.check_raises "set 10" (Invalid_argument "Bitvec.set: index 10 out of [0, 10)")
+    (fun () -> B.set v 10)
+
+let test_length_mismatch () =
+  let a = B.create 5 and b = B.create 6 in
+  Alcotest.check_raises "union" (Invalid_argument "Bitvec.union_into: lengths differ (5 vs 6)")
+    (fun () -> ignore (B.union_into ~src:a ~dst:b))
+
+let test_union_change_flag () =
+  let a = B.of_list 100 [ 1; 50; 99 ] in
+  let b = B.of_list 100 [ 50 ] in
+  Alcotest.(check bool) "changes" true (B.union_into ~src:a ~dst:b);
+  check_list "union result" [ 1; 50; 99 ] b;
+  Alcotest.(check bool) "no further change" false (B.union_into ~src:a ~dst:b)
+
+let test_inter_diff () =
+  let a = B.of_list 80 [ 1; 2; 3; 64; 65 ] in
+  let b = B.of_list 80 [ 2; 3; 4; 65; 79 ] in
+  check_list "inter" [ 2; 3; 65 ] (B.inter a b);
+  check_list "diff" [ 1; 64 ] (B.diff a b);
+  check_list "a unchanged" [ 1; 2; 3; 64; 65 ] a
+
+let test_subset_disjoint () =
+  let a = B.of_list 70 [ 3; 69 ] in
+  let b = B.of_list 70 [ 1; 3; 69 ] in
+  Alcotest.(check bool) "a ⊆ b" true (B.subset a b);
+  Alcotest.(check bool) "b ⊄ a" false (B.subset b a);
+  Alcotest.(check bool) "not disjoint" false (B.disjoint a b);
+  Alcotest.(check bool) "disjoint" true (B.disjoint a (B.of_list 70 [ 0; 2 ]))
+
+let test_cardinal_choose () =
+  let v = B.of_list 200 [ 5; 66; 190 ] in
+  Alcotest.(check int) "cardinal" 3 (B.cardinal v);
+  Alcotest.(check (option int)) "choose" (Some 5) (B.choose v);
+  Alcotest.(check (option int)) "choose empty" None (B.choose (B.create 8))
+
+let test_fold_exists () =
+  let v = B.of_list 100 [ 10; 20; 30 ] in
+  Alcotest.(check int) "fold sum" 60 (B.fold ( + ) v 0);
+  Alcotest.(check bool) "exists" true (B.exists (fun i -> i = 20) v);
+  Alcotest.(check bool) "not exists" false (B.exists (fun i -> i = 21) v)
+
+let test_blit_clear () =
+  let a = B.of_list 33 [ 0; 32 ] in
+  let b = B.create 33 in
+  B.blit ~src:a ~dst:b;
+  check_list "blit" [ 0; 32 ] b;
+  B.clear b;
+  check_list "clear" [] b;
+  check_list "src untouched" [ 0; 32 ] a
+
+let test_stats_counters () =
+  B.Stats.reset ();
+  let a = B.create 1000 and b = B.create 1000 in
+  ignore (B.union_into ~src:a ~dst:b);
+  ignore (B.equal a b);
+  Alcotest.(check int) "two vector ops (plus creates don't count)" 2
+    (B.Stats.vector_ops ());
+  Alcotest.(check bool) "word ops counted" true (B.Stats.word_ops () > 0)
+
+(* --- property tests against a list model --- *)
+
+let arb_sets =
+  let gen =
+    QCheck.Gen.(
+      pair (list_size (0 -- 40) (0 -- 99)) (list_size (0 -- 40) (0 -- 99)))
+  in
+  QCheck.make gen ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)"
+        (String.concat ";" (List.map string_of_int a))
+        (String.concat ";" (List.map string_of_int b)))
+
+let model_of l = List.sort_uniq compare l
+
+let prop_union (a, b) =
+  let va = B.of_list 100 a and vb = B.of_list 100 b in
+  B.to_list (B.union va vb) = model_of (a @ b)
+
+let prop_inter (a, b) =
+  let va = B.of_list 100 a and vb = B.of_list 100 b in
+  B.to_list (B.inter va vb) = List.filter (fun x -> List.mem x b) (model_of a)
+
+let prop_diff (a, b) =
+  let va = B.of_list 100 a and vb = B.of_list 100 b in
+  B.to_list (B.diff va vb) = List.filter (fun x -> not (List.mem x b)) (model_of a)
+
+let prop_cardinal (a, _) =
+  B.cardinal (B.of_list 100 a) = List.length (model_of a)
+
+let prop_subset_iff (a, b) =
+  let va = B.of_list 100 a and vb = B.of_list 100 b in
+  B.subset va vb = List.for_all (fun x -> List.mem x b) a
+
+let prop_equal_roundtrip (a, _) =
+  let v = B.of_list 100 a in
+  B.equal v (B.of_list 100 (List.rev a)) && B.to_list v = model_of a
+
+let () =
+  Helpers.run "bitvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create empty" `Quick test_create_empty;
+          Alcotest.test_case "set/get/unset across words" `Quick test_set_get;
+          Alcotest.test_case "out of range raises" `Quick test_out_of_range;
+          Alcotest.test_case "length mismatch raises" `Quick test_length_mismatch;
+          Alcotest.test_case "union change flag" `Quick test_union_change_flag;
+          Alcotest.test_case "inter and diff" `Quick test_inter_diff;
+          Alcotest.test_case "subset and disjoint" `Quick test_subset_disjoint;
+          Alcotest.test_case "cardinal and choose" `Quick test_cardinal_choose;
+          Alcotest.test_case "fold and exists" `Quick test_fold_exists;
+          Alcotest.test_case "blit and clear" `Quick test_blit_clear;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        ] );
+      ( "properties",
+        [
+          Helpers.qtest "union = list union" arb_sets prop_union;
+          Helpers.qtest "inter = list inter" arb_sets prop_inter;
+          Helpers.qtest "diff = list diff" arb_sets prop_diff;
+          Helpers.qtest "cardinal = |set|" arb_sets prop_cardinal;
+          Helpers.qtest "subset iff containment" arb_sets prop_subset_iff;
+          Helpers.qtest "equal ignores insertion order" arb_sets prop_equal_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,61 @@
+(* Front-end robustness: arbitrary input must produce either a program
+   or a positioned diagnostic — never an exception escaping the API,
+   never a crash. *)
+
+let arb_garbage =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 1 126)) (0 -- 400))
+
+(* Token-soup: structurally plausible fragments glued randomly — much
+   better at reaching deep parser states than raw bytes. *)
+let fragments =
+  [|
+    "program"; "procedure"; "var"; "begin"; "end"; "if"; "then"; "else"; "while";
+    "do"; "for"; "to"; "call"; "read"; "write"; "skip"; "int"; "bool"; "array";
+    "of"; "and"; "or"; "not"; "true"; "false"; ";"; ":"; ","; "."; "("; ")"; "[";
+    "]"; ":="; "+"; "-"; "*"; "/"; "%"; "<"; "<="; ">"; ">="; "=="; "!="; "x";
+    "y"; "p"; "q"; "0"; "1"; "42"; "\n"; " ";
+  |]
+
+let arb_token_soup =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(
+      map
+        (fun picks ->
+          String.concat " " (List.map (fun i -> fragments.(i mod Array.length fragments)) picks))
+        (list_size (0 -- 120) (0 -- 1000)))
+
+let no_crash src =
+  match Frontend.Sema.compile ~file:"<fuzz>" src with
+  | Ok prog -> Ir.Validate.run prog = Ok ()
+  | Error errs -> errs <> []
+
+let no_crash_expr src =
+  match Frontend.Parser.parse_expr src with
+  | Ok _ | Error _ -> true
+
+let prop_roundtrip_accepted_soup src =
+  (* Anything the front end accepts must validate, print, and reparse
+     to the same text. *)
+  match Frontend.Sema.compile ~file:"<fuzz>" src with
+  | Error _ -> true
+  | Ok prog ->
+    let s1 = Ir.Pp.to_string prog in
+    (match Frontend.Sema.compile ~file:"<fuzz2>" s1 with
+    | Error _ -> false
+    | Ok p2 -> String.equal s1 (Ir.Pp.to_string p2))
+
+let () =
+  Helpers.run "fuzz"
+    [
+      ( "frontend",
+        [
+          Helpers.qtest ~count:500 "raw bytes never crash" arb_garbage no_crash;
+          Helpers.qtest ~count:500 "token soup never crashes" arb_token_soup no_crash;
+          Helpers.qtest ~count:500 "expressions never crash" arb_garbage no_crash_expr;
+          Helpers.qtest ~count:500 "accepted soup round-trips" arb_token_soup
+            prop_roundtrip_accepted_soup;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* findgmod (Figure 2) tests: known answers, the correctness lemmas as
+   runtime invariants, and equivalence with two independent baselines
+   on random flat programs. *)
+
+let gmod_of prog =
+  let p = Helpers.pipeline prog in
+  (p, Core.Gmod.solve p.Helpers.info p.Helpers.call ~imod_plus:p.Helpers.imod_plus)
+
+let test_global_chain () =
+  let prog = Workload.Families.global_chain 10 in
+  let _, gmod = gmod_of prog in
+  for i = 1 to 10 do
+    Helpers.check_var_set prog
+      (Printf.sprintf "GMOD(p%d)" i)
+      [ "g0" ]
+      gmod.(Helpers.proc_id prog (Printf.sprintf "p%d" i))
+  done
+
+let test_diamond () =
+  let prog = Workload.Families.diamond () in
+  let _, gmod = gmod_of prog in
+  List.iter
+    (fun name ->
+      Helpers.check_var_set prog name [ "g0" ] gmod.(Helpers.proc_id prog name))
+    [ "a"; "b"; "c" ]
+
+let test_locals_do_not_escape () =
+  let prog =
+    Helpers.compile
+      {|program m;
+var g : int;
+procedure worker();
+var scratch : int;
+begin
+  scratch := 1;
+  g := 2;
+end;
+procedure boss();
+begin
+  call worker();
+end;
+begin
+  call boss();
+end.|}
+  in
+  let _, gmod = gmod_of prog in
+  Helpers.check_var_set prog "worker keeps its local" [ "g"; "worker.scratch" ]
+    gmod.(Helpers.proc_id prog "worker");
+  Helpers.check_var_set prog "boss sees only the global" [ "g" ]
+    gmod.(Helpers.proc_id prog "boss")
+
+let test_formals_projected_not_inherited () =
+  (* A callee's modified formal appears in the caller's GMOD as the
+     actual (via IMOD+), not as the callee's formal. *)
+  let prog = Workload.Families.mutual_pair () in
+  let p, gmod = gmod_of prog in
+  ignore p;
+  Helpers.check_var_set prog "main" [ "g0" ] gmod.(prog.Ir.Prog.main);
+  Helpers.check_var_set prog "a" [ "a.x" ] gmod.(Helpers.proc_id prog "a");
+  Helpers.check_var_set prog "b" [ "b.y" ] gmod.(Helpers.proc_id prog "b")
+
+let test_self_recursion () =
+  let prog =
+    Helpers.compile
+      {|program m;
+var g : int;
+procedure rec(var x : int);
+begin
+  g := g + 1;
+  if g < 10 then
+    call rec(x);
+  end;
+  x := 0;
+end;
+begin
+  call rec(g);
+end.|}
+  in
+  let _, gmod = gmod_of prog in
+  Helpers.check_var_set prog "rec" [ "g"; "rec.x" ] gmod.(Helpers.proc_id prog "rec")
+
+(* --- equivalence properties --- *)
+
+let prop_equals_iterative seed =
+  let prog = Helpers.flat_of_seed seed in
+  let p, gmod = gmod_of prog in
+  Helpers.gmod_arrays_equal gmod
+    (Baseline.Iterative.gmod p.Helpers.info p.Helpers.call
+       ~imod_plus:p.Helpers.imod_plus)
+
+let prop_equals_reachability seed =
+  let prog = Helpers.flat_of_seed seed in
+  let p, gmod = gmod_of prog in
+  Helpers.gmod_arrays_equal gmod
+    (Baseline.Reach.gmod p.Helpers.info p.Helpers.call ~imod_plus:p.Helpers.imod_plus)
+
+(* --- the paper's invariants --- *)
+
+let prop_contains_imod_plus seed =
+  let prog = Helpers.flat_of_seed seed in
+  let p, gmod = gmod_of prog in
+  Array.for_all2 (fun seed_set g -> Bitvec.subset seed_set g)
+    p.Helpers.imod_plus gmod
+
+let prop_lemma2_on_tree_paths seed =
+  (* Lemma 2 / eq (7): along DFS tree edges (p, q) of the call graph,
+     GMOD[p] ⊇ GMOD[q] ∖ LOCAL[q].  True of the final sets for any
+     edge; we check specifically the DFS tree edges from main. *)
+  let prog = Helpers.flat_of_seed seed in
+  let p, gmod = gmod_of prog in
+  let g = p.Helpers.call.Callgraph.Call.graph in
+  let t = Graphs.Dfs.run ~roots:[ prog.Ir.Prog.main ] g in
+  let ok = ref true in
+  Graphs.Digraph.iter_edges g (fun e src dst ->
+      if t.Graphs.Dfs.pre.(src) >= 0 && t.Graphs.Dfs.kind.(e) = Graphs.Dfs.Tree then begin
+        let escaped = Bitvec.copy gmod.(dst) in
+        ignore
+          (Bitvec.inter_into ~src:(Ir.Info.non_local p.Helpers.info dst) ~dst:escaped);
+        if not (Bitvec.subset escaped gmod.(src)) then ok := false
+      end);
+  !ok
+
+let prop_eq8_gmod_nonlocal_is_global seed =
+  (* Equation (8): in a flat program the non-local part of GMOD[q] is
+     exactly its global part. *)
+  let prog = Helpers.flat_of_seed seed in
+  let p, gmod = gmod_of prog in
+  let ok = ref true in
+  Array.iteri
+    (fun pid g ->
+      let nonlocal = Bitvec.inter g (Ir.Info.non_local p.Helpers.info pid) in
+      let global = Bitvec.inter g (Ir.Info.global p.Helpers.info) in
+      if not (Bitvec.equal nonlocal global) then ok := false)
+    gmod;
+  !ok
+
+let prop_global_part_constant_on_sccs seed =
+  (* Theorem 1's closing observation: GMOD ∩ GLOBAL is the same for
+     every member of a call-graph SCC. *)
+  let prog = Helpers.flat_of_seed seed in
+  let p, gmod = gmod_of prog in
+  let scc = Graphs.Scc.compute p.Helpers.call.Callgraph.Call.graph in
+  let value = Array.make scc.Graphs.Scc.n_comps None in
+  let ok = ref true in
+  Array.iteri
+    (fun pid g ->
+      let global_part = Bitvec.inter g (Ir.Info.global p.Helpers.info) in
+      let c = scc.Graphs.Scc.comp.(pid) in
+      match value.(c) with
+      | None -> value.(c) <- Some global_part
+      | Some v -> if not (Bitvec.equal v global_part) then ok := false)
+    gmod;
+  !ok
+
+let prop_monotone_under_new_edge seed =
+  (* Adding a call site can only grow GMOD sets.  We simulate by
+     comparing against the same program whose main gained extra call
+     statements (append a call to every top-level procedure). *)
+  let prog = Helpers.flat_of_seed seed in
+  let _, gmod_before = gmod_of prog in
+  (* Rebuild with extra sites from main to every proc. *)
+  let main = Ir.Prog.proc prog prog.Ir.Prog.main in
+  let n_sites = Ir.Prog.n_sites prog in
+  let extra =
+    List.filteri (fun i _ -> i > 0) (Array.to_list prog.Ir.Prog.procs)
+    |> List.filter (fun (pr : Ir.Prog.proc) -> Array.length pr.Ir.Prog.formals = 0)
+  in
+  let new_sites =
+    List.mapi
+      (fun i (pr : Ir.Prog.proc) ->
+        {
+          Ir.Prog.sid = n_sites + i;
+          caller = prog.Ir.Prog.main;
+          callee = pr.Ir.Prog.pid;
+          args = [||];
+        })
+      extra
+  in
+  let prog' =
+    {
+      prog with
+      Ir.Prog.sites = Array.append prog.Ir.Prog.sites (Array.of_list new_sites);
+      procs =
+        Array.map
+          (fun pr ->
+            if pr.Ir.Prog.pid = prog.Ir.Prog.main then
+              {
+                main with
+                Ir.Prog.body =
+                  main.Ir.Prog.body
+                  @ List.map (fun s -> Ir.Stmt.Call s.Ir.Prog.sid) new_sites;
+              }
+            else pr)
+          prog.Ir.Prog.procs;
+    }
+  in
+  (match Ir.Validate.run prog' with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "augmented program invalid");
+  let _, gmod_after = gmod_of prog' in
+  Array.for_all2 (fun before after -> Bitvec.subset before after) gmod_before
+    gmod_after
+
+let () =
+  Helpers.run "gmod"
+    [
+      ( "families",
+        [
+          Alcotest.test_case "global chain" `Quick test_global_chain;
+          Alcotest.test_case "diamond with cross edges" `Quick test_diamond;
+          Alcotest.test_case "locals do not escape" `Quick test_locals_do_not_escape;
+          Alcotest.test_case "formals stay with their owner" `Quick
+            test_formals_projected_not_inherited;
+          Alcotest.test_case "self recursion" `Quick test_self_recursion;
+        ] );
+      ( "equivalence",
+        [
+          Helpers.qtest "findgmod = iterative eq(4)" Helpers.arb_flat_prog
+            prop_equals_iterative;
+          Helpers.qtest "findgmod = reachability closed form" Helpers.arb_flat_prog
+            prop_equals_reachability;
+        ] );
+      ( "paper invariants",
+        [
+          Helpers.qtest "GMOD contains IMOD+" Helpers.arb_flat_prog
+            prop_contains_imod_plus;
+          Helpers.qtest "lemma 2 on DFS tree edges" Helpers.arb_flat_prog
+            prop_lemma2_on_tree_paths;
+          Helpers.qtest "eq (8): nonlocal part = global part" Helpers.arb_flat_prog
+            prop_eq8_gmod_nonlocal_is_global;
+          Helpers.qtest "global part constant on SCCs" Helpers.arb_flat_prog
+            prop_global_part_constant_on_sccs;
+          Helpers.qtest ~count:40 "monotone under added calls" Helpers.arb_flat_prog
+            prop_monotone_under_new_edge;
+        ] );
+    ]

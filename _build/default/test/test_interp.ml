@@ -1,0 +1,319 @@
+(* Interpreter unit tests: arithmetic, control flow, parameter passing
+   semantics (by value vs by reference, element aliasing, static
+   links), fuel, and the effect log. *)
+
+let compile = Helpers.compile
+let run ?fuel src = Interp.run ?fuel (compile src)
+
+let check_output msg expected o =
+  Alcotest.(check (list int)) msg expected o.Interp.output;
+  Alcotest.(check bool) "not truncated" false o.Interp.truncated
+
+let test_arith () =
+  check_output "arithmetic"
+    [ 7; 1; 6; 2; 1; 1; 0; 0; 1; -3 ]
+    (run
+       {|program a;
+begin
+  write 1 + 2 * 3;
+  write 7 / 4;
+  write 2 * (1 + 2);
+  write 17 % 5;
+  write 3 < 4 and 4 < 5;
+  write 3 < 4 or 10 < 5;
+  write not true;
+  write 4 <= 3;
+  write 4 != 3;
+  write -3;
+end.|})
+
+let test_control_flow () =
+  check_output "if/while/for"
+    [ 1; 10; 55 ]
+    (run
+       {|program c;
+var s, i : int;
+begin
+  if 3 < 4 then
+    write 1;
+  else
+    write 0;
+  end;
+  s := 0;
+  while s < 10 do
+    s := s + 1;
+  end;
+  write s;
+  s := 0;
+  for i := 1 to 10 do
+    s := s + i;
+  end;
+  write s;
+end.|})
+
+let test_by_value_is_copy () =
+  check_output "callee writes don't escape by-value args" [ 5 ]
+    (run
+       {|program v;
+var g : int;
+procedure f(x : int);
+begin
+  x := 99;
+end;
+begin
+  g := 5;
+  call f(g);
+  write g;
+end.|})
+
+let test_by_ref_shares () =
+  check_output "by-ref writes escape" [ 99 ]
+    (run
+       {|program r;
+var g : int;
+procedure f(var x : int);
+begin
+  x := 99;
+end;
+begin
+  g := 5;
+  call f(g);
+  write g;
+end.|})
+
+let test_element_by_ref () =
+  check_output "array element aliased by reference" [ 42; 0 ]
+    (run
+       {|program e;
+var a : array[4] of int;
+procedure f(var x : int);
+begin
+  x := 42;
+end;
+begin
+  call f(a[2]);
+  write a[2];
+  write a[1];
+end.|})
+
+let test_swap () =
+  check_output "classic swap through two var params" [ 2; 1 ]
+    (run
+       {|program s;
+var x, y : int;
+procedure swap(var a : int; var b : int);
+var t : int;
+begin
+  t := a;
+  a := b;
+  b := t;
+end;
+begin
+  x := 1;
+  y := 2;
+  call swap(x, y);
+  write x;
+  write y;
+end.|})
+
+let test_aliased_params () =
+  (* swap(x, x) must leave x intact — both formals share one cell. *)
+  check_output "aliased formals" [ 1 ]
+    (run
+       {|program s;
+var x, y : int;
+procedure swap(var a : int; var b : int);
+var t : int;
+begin
+  t := a;
+  a := b;
+  b := t;
+end;
+begin
+  x := 1;
+  call swap(x, x);
+  write x;
+end.|})
+
+let test_recursion () =
+  check_output "factorial by reference accumulator" [ 120 ]
+    (run
+       {|program f;
+var acc : int;
+procedure fact(n : int);
+begin
+  if n > 1 then
+    acc := acc * n;
+    call fact(n - 1);
+  end;
+end;
+begin
+  acc := 1;
+  call fact(5);
+  write acc;
+end.|})
+
+let test_static_links () =
+  (* The nested procedure must write the *current* activation's local
+     and outer recursion levels must not see inner values. *)
+  check_output "nested procedure uses the innermost enclosing frame" [ 1; 1 ]
+    (run
+       {|program n;
+var depth : int;
+procedure outer(level : int);
+var mine : int;
+  procedure bump();
+  begin
+    mine := mine + 1;
+  end;
+begin
+  mine := 0;
+  call bump();
+  if level < 2 then
+    call outer(level + 1);
+  end;
+  write mine;
+end;
+begin
+  call outer(1);
+end.|})
+
+let test_read_input () =
+  check_output "reads consume 1, 2, 3" [ 1; 2; 3 ]
+    (run
+       {|program i;
+var a, b, c : int;
+begin
+  read a;
+  read b;
+  read c;
+  write a;
+  write b;
+  write c;
+end.|})
+
+let test_array_wraparound () =
+  (* Interpreter semantics: indices wrap modulo the extent. *)
+  check_output "modular indexing" [ 9; 9 ]
+    (run
+       {|program w;
+var a : array[4] of int;
+begin
+  a[5] := 9;
+  write a[1];
+  write a[5];
+end.|})
+
+let test_fuel () =
+  let o =
+    run ~fuel:100
+      {|program l;
+var x : int;
+begin
+  while true do
+    x := x + 1;
+  end;
+  write x;
+end.|}
+  in
+  Alcotest.(check bool) "truncated" true o.Interp.truncated;
+  Alcotest.(check (list int)) "no output" [] o.Interp.output
+
+let test_division_fault () =
+  let o =
+    run
+      {|program d;
+var x, y : int;
+begin
+  write 1;
+  y := 0;
+  x := 3 / y;
+  write x;
+end.|}
+  in
+  Alcotest.(check bool) "truncated" true o.Interp.truncated;
+  Alcotest.(check (list int)) "output before the fault" [ 1 ] o.Interp.output
+
+let test_observed_mod () =
+  let prog =
+    compile
+      {|program o;
+var g, h : int;
+procedure f(var x : int);
+begin
+  x := 1;
+end;
+begin
+  call f(g);
+end.|}
+  in
+  let o = Interp.run prog in
+  Helpers.check_var_set prog "observed mod" [ "g" ] (Interp.observed_mod o 0);
+  Helpers.check_var_set prog "observed use" [] (Interp.observed_use o 0);
+  Alcotest.(check int) "ran once" 1 o.Interp.calls_executed.(0)
+
+let test_observed_array () =
+  let prog =
+    compile
+      {|program o;
+var a : array[4] of int;
+var s : int;
+procedure touch();
+var i : int;
+begin
+  for i := 1 to 3 do
+    a[i] := a[i] + 1;
+  end;
+end;
+begin
+  call touch();
+end.|}
+  in
+  let o = Interp.run prog in
+  Helpers.check_var_set prog "whole array observed" [ "a" ] (Interp.observed_mod o 0);
+  Helpers.check_var_set prog "array also read" [ "a" ] (Interp.observed_use o 0)
+
+let test_locals_not_observed () =
+  let prog =
+    compile
+      {|program o;
+var g : int;
+procedure f();
+var t : int;
+begin
+  t := 3;
+  g := t;
+end;
+begin
+  call f();
+end.|}
+  in
+  let o = Interp.run prog in
+  Helpers.check_var_set prog "callee local invisible" [ "g" ] (Interp.observed_mod o 0)
+
+let () =
+  Helpers.run "interp"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic and booleans" `Quick test_arith;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "by-value copies" `Quick test_by_value_is_copy;
+          Alcotest.test_case "by-ref shares" `Quick test_by_ref_shares;
+          Alcotest.test_case "array element by-ref" `Quick test_element_by_ref;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "aliased parameters" `Quick test_aliased_params;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "static links" `Quick test_static_links;
+          Alcotest.test_case "read input" `Quick test_read_input;
+          Alcotest.test_case "modular indexing" `Quick test_array_wraparound;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel;
+          Alcotest.test_case "division fault" `Quick test_division_fault;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "observed modification" `Quick test_observed_mod;
+          Alcotest.test_case "observed array effects" `Quick test_observed_array;
+          Alcotest.test_case "callee locals invisible" `Quick test_locals_not_observed;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Interprocedural constant propagation tests: jump functions, the
+   Figure-1-style solve over the formal dependency graph, foldability,
+   and the dynamic entry-value oracle. *)
+
+let analyze prog =
+  let p = Helpers.pipeline prog in
+  Ipcp.analyze p.Helpers.info ~imod_plus:p.Helpers.imod_plus
+
+let const_of prog r qname = Ipcp.constant r (Helpers.var_id prog qname)
+
+let test_literal () =
+  let prog =
+    Helpers.compile
+      {|program m;
+procedure f(k : int);
+begin
+  write k;
+end;
+begin
+  call f(7);
+  call f(3 + 4);
+end.|}
+  in
+  let r = analyze prog in
+  Alcotest.(check (option int)) "folded literal args agree" (Some 7)
+    (const_of prog r "f.k")
+
+let test_disagreeing_sites () =
+  let prog =
+    Helpers.compile
+      {|program m;
+procedure f(k : int);
+begin
+  write k;
+end;
+begin
+  call f(7);
+  call f(8);
+end.|}
+  in
+  Alcotest.(check (option int)) "two values -> top" None
+    (const_of prog (analyze prog) "f.k")
+
+let test_pass_through_chain () =
+  let prog =
+    Helpers.compile
+      {|program m;
+procedure c(z : int);
+begin
+  write z;
+end;
+procedure b(y : int);
+begin
+  call c(y - 2);
+end;
+procedure a(x : int);
+begin
+  call b(x + 1);
+end;
+begin
+  call a(10);
+end.|}
+  in
+  let r = analyze prog in
+  Alcotest.(check (option int)) "a.x" (Some 10) (const_of prog r "a.x");
+  Alcotest.(check (option int)) "b.y = x+1" (Some 11) (const_of prog r "b.y");
+  Alcotest.(check (option int)) "c.z = y-2" (Some 9) (const_of prog r "c.z")
+
+let test_recursive_cycle () =
+  (* f passes its own parameter around a cycle unchanged: consistent
+     constant.  g shifts it: must go to top. *)
+  let prog =
+    Helpers.compile
+      {|program m;
+var gv : int;
+procedure f(k : int);
+begin
+  if gv < 10 then
+    call f(k);
+  end;
+end;
+procedure g(k : int);
+begin
+  if gv < 10 then
+    call g(k + 1);
+  end;
+end;
+begin
+  call f(5);
+  call g(5);
+end.|}
+  in
+  let r = analyze prog in
+  Alcotest.(check (option int)) "stable cycle keeps constant" (Some 5)
+    (const_of prog r "f.k");
+  Alcotest.(check (option int)) "shifting cycle -> top" None (const_of prog r "g.k")
+
+let test_modified_param_not_source () =
+  (* The caller reassigns its parameter, so passing it on is opaque. *)
+  let prog =
+    Helpers.compile
+      {|program m;
+procedure inner(k : int);
+begin
+  write k;
+end;
+procedure outer(x : int);
+begin
+  x := x + 1;
+  call inner(x);
+end;
+begin
+  call outer(5);
+end.|}
+  in
+  let r = analyze prog in
+  Alcotest.(check (option int)) "outer.x still constant at entry" (Some 5)
+    (const_of prog r "outer.x");
+  Alcotest.(check (option int)) "inner.k unknown" None (const_of prog r "inner.k");
+  (* and outer.x is not foldable (it is modified). *)
+  Alcotest.(check bool) "not foldable" false
+    (Bitvec.get r.Ipcp.foldable (Helpers.var_id prog "outer.x"))
+
+let test_by_ref_not_source () =
+  (* A by-ref formal may change through an alias; passing it on is
+     opaque even if the owner never writes it. *)
+  let prog =
+    Helpers.compile
+      {|program m;
+var g : int;
+procedure sink(k : int);
+begin
+  write k;
+end;
+procedure mid(var r : int);
+begin
+  call bump();
+  call sink(r);
+end;
+procedure bump();
+begin
+  g := g + 1;
+end;
+begin
+  call mid(g);
+end.|}
+  in
+  let r = analyze prog in
+  Alcotest.(check (option int)) "sink.k unknown" None (const_of prog r "sink.k")
+
+let test_immutable_global_is_zero () =
+  let prog =
+    Helpers.compile
+      {|program m;
+var never_written : int;
+procedure f(k : int);
+begin
+  write k;
+end;
+begin
+  call f(never_written);
+end.|}
+  in
+  Alcotest.(check (option int)) "initial value 0" (Some 0)
+    (const_of prog (analyze prog) "f.k")
+
+let test_by_ref_binding_constant () =
+  (* The constant flows INTO a by-ref formal's entry value — the callee
+     must not write it, or the global stops being immutable. *)
+  let prog =
+    Helpers.compile
+      {|program m;
+var never : int;
+procedure f(var r : int);
+begin
+  write r;
+end;
+begin
+  call f(never);
+end.|}
+  in
+  let r = analyze prog in
+  Alcotest.(check (option int)) "entry value of r" (Some 0) (const_of prog r "f.r");
+  Alcotest.(check bool) "and foldable (unmodified)" true
+    (Bitvec.get r.Ipcp.foldable (Helpers.var_id prog "f.r"))
+
+(* --- dynamic oracle --- *)
+
+let prop_ipcp_sound_flat seed =
+  let prog = Helpers.flat_of_seed seed in
+  let p = Helpers.pipeline prog in
+  let r = Ipcp.analyze p.Helpers.info ~imod_plus:p.Helpers.imod_plus in
+  let o = Interp.run ~fuel:10_000 ~max_depth:256 prog in
+  let ok = ref true in
+  Ir.Prog.iter_vars prog (fun v ->
+      match (Ipcp.constant r v.Ir.Prog.vid, o.Interp.formal_entry.(v.Ir.Prog.vid)) with
+      | Some c, Interp.Always d -> if c <> d then ok := false
+      | Some _, Interp.Varies -> ok := false
+      | (Some _ | None), (Interp.Never | Interp.Always _ | Interp.Varies) -> ());
+  !ok
+
+let prop_ipcp_sound_nested seed =
+  let prog = Helpers.nested_of_seed seed in
+  let p = Helpers.pipeline prog in
+  let r = Ipcp.analyze p.Helpers.info ~imod_plus:p.Helpers.imod_plus in
+  let o = Interp.run ~fuel:10_000 ~max_depth:256 prog in
+  let ok = ref true in
+  Ir.Prog.iter_vars prog (fun v ->
+      match (Ipcp.constant r v.Ir.Prog.vid, o.Interp.formal_entry.(v.Ir.Prog.vid)) with
+      | Some c, Interp.Always d -> if c <> d then ok := false
+      | Some _, Interp.Varies -> ok := false
+      | (Some _ | None), (Interp.Never | Interp.Always _ | Interp.Varies) -> ());
+  !ok
+
+let prop_meets_linear seed =
+  (* The solve performs O(contributions) meets — at most a small
+     multiple of the total argument count (height-2 lattice). *)
+  let prog = Helpers.flat_of_seed seed in
+  let p = Helpers.pipeline prog in
+  let r = Ipcp.analyze p.Helpers.info ~imod_plus:p.Helpers.imod_plus in
+  let total_args =
+    Array.fold_left
+      (fun acc (s : Ir.Prog.site) -> acc + Array.length s.Ir.Prog.args)
+      0 prog.Ir.Prog.sites
+  in
+  r.Ipcp.meets <= (3 * total_args) + 3
+
+let () =
+  Helpers.run "ipcp"
+    [
+      ( "jump functions",
+        [
+          Alcotest.test_case "literal arguments" `Quick test_literal;
+          Alcotest.test_case "disagreeing sites" `Quick test_disagreeing_sites;
+          Alcotest.test_case "pass-through chain with offsets" `Quick
+            test_pass_through_chain;
+          Alcotest.test_case "recursive cycles" `Quick test_recursive_cycle;
+          Alcotest.test_case "modified parameter is opaque" `Quick
+            test_modified_param_not_source;
+          Alcotest.test_case "by-ref formal is opaque" `Quick test_by_ref_not_source;
+          Alcotest.test_case "immutable global is its initial 0" `Quick
+            test_immutable_global_is_zero;
+          Alcotest.test_case "constant into by-ref entry" `Quick
+            test_by_ref_binding_constant;
+        ] );
+      ( "oracle",
+        [
+          Helpers.qtest ~count:80 "sound vs interpreter (flat)" Helpers.arb_flat_prog
+            prop_ipcp_sound_flat;
+          Helpers.qtest ~count:80 "sound vs interpreter (nested)"
+            Helpers.arb_nested_prog prop_ipcp_sound_nested;
+          Helpers.qtest ~count:60 "meet count linear" Helpers.arb_flat_prog
+            prop_meets_linear;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Multi-level nesting (§4 end): the two multi-level implementations,
+   their equivalence with the chaotic-iteration oracle, the reduction
+   to plain Figure 2 at dP = 1, and the counterexample showing plain
+   Figure 2 is wrong for dP > 1. *)
+
+let solve_all prog =
+  let p = Helpers.pipeline prog in
+  let oracle =
+    Baseline.Iterative.gmod p.Helpers.info p.Helpers.call
+      ~imod_plus:p.Helpers.imod_plus
+  in
+  let plain = Core.Gmod.solve p.Helpers.info p.Helpers.call ~imod_plus:p.Helpers.imod_plus in
+  let one_pass =
+    Core.Gmod_nested.solve p.Helpers.info p.Helpers.call
+      ~imod_plus:p.Helpers.imod_plus
+  in
+  let by_levels =
+    Core.Gmod_nested.solve_by_levels p.Helpers.info p.Helpers.call
+      ~imod_plus:p.Helpers.imod_plus
+  in
+  (p, oracle, plain, one_pass, by_levels)
+
+let test_textbook () =
+  let prog = Workload.Families.nested_textbook () in
+  let _, oracle, _, one_pass, by_levels = solve_all prog in
+  Alcotest.(check bool) "one-pass = oracle" true
+    (Helpers.gmod_arrays_equal one_pass oracle);
+  Alcotest.(check bool) "by-levels = oracle" true
+    (Helpers.gmod_arrays_equal by_levels oracle);
+  (* Specific content: v (outer's local) is in GMOD of mid and inner
+     but helper only touches its own formal. *)
+  Helpers.check_var_set prog "GMOD(inner)"
+    [ "g0"; "outer.v"; "inner.r" ]
+    oracle.(Helpers.proc_id prog "inner");
+  Helpers.check_var_set prog "GMOD(mid)"
+    [ "g0"; "outer.v"; "mid.q" ]
+    oracle.(Helpers.proc_id prog "mid");
+  Helpers.check_var_set prog "GMOD(helper)" [ "helper.h" ]
+    oracle.(Helpers.proc_id prog "helper");
+  Helpers.check_var_set prog "GMOD(outer)"
+    [ "g0"; "outer.v"; "outer.p" ]
+    oracle.(Helpers.proc_id prog "outer")
+
+let counterexample_src =
+  {|program demo;
+var g : int;
+procedure outer();
+var v : int;
+  procedure helper(var x : int);
+  begin
+    v := v + 1;
+    x := 0;
+    call outer();
+  end;
+  procedure walker();
+  begin
+    call helper(g);
+  end;
+begin
+  call helper(g);
+  call walker();
+end;
+begin
+  call outer();
+end.|}
+
+let test_plain_figure2_is_wrong_nested () =
+  let prog = Helpers.compile counterexample_src in
+  let _, oracle, plain, one_pass, by_levels = solve_all prog in
+  let walker = Helpers.proc_id prog "walker" in
+  Helpers.check_var_set prog "oracle GMOD(walker)" [ "g"; "outer.v" ] oracle.(walker);
+  Alcotest.(check bool) "plain misses outer.v" false
+    (Bitvec.get plain.(walker) (Helpers.var_id prog "outer.v"));
+  Alcotest.(check bool) "one-pass correct" true
+    (Helpers.gmod_arrays_equal one_pass oracle);
+  Alcotest.(check bool) "by-levels correct" true
+    (Helpers.gmod_arrays_equal by_levels oracle)
+
+let prop_flat_reduction seed =
+  (* dP = 1: both multi-level variants coincide with plain Figure 2. *)
+  let prog = Helpers.flat_of_seed seed in
+  let _, _, plain, one_pass, by_levels = solve_all prog in
+  Helpers.gmod_arrays_equal plain one_pass
+  && Helpers.gmod_arrays_equal plain by_levels
+
+let prop_one_pass_equals_oracle seed =
+  let prog = Helpers.nested_of_seed seed in
+  let _, oracle, _, one_pass, _ = solve_all prog in
+  Helpers.gmod_arrays_equal one_pass oracle
+
+let prop_by_levels_equals_oracle seed =
+  let prog = Helpers.nested_of_seed seed in
+  let _, oracle, _, _, by_levels = solve_all prog in
+  Helpers.gmod_arrays_equal by_levels oracle
+
+let prop_deep_nesting seed =
+  (* Deeper nesting, smaller programs: stress dP. *)
+  let prog = Helpers.nested_of_seed ~n:25 ~depth:7 seed in
+  let _, oracle, _, one_pass, by_levels = solve_all prog in
+  Helpers.gmod_arrays_equal one_pass oracle
+  && Helpers.gmod_arrays_equal by_levels oracle
+
+let prop_plain_is_subset_on_nested seed =
+  (* Plain Figure 2 never overapproximates (its unions are all
+     sanctioned by equation (4)); it can only miss. *)
+  let prog = Helpers.nested_of_seed seed in
+  let _, oracle, plain, _, _ = solve_all prog in
+  Array.for_all2 (fun p o -> Bitvec.subset p o) plain oracle
+
+let prop_use_side_nested seed =
+  (* The USE chain through the multi-level solver also matches the
+     iterative oracle. *)
+  let prog = Helpers.nested_of_seed seed in
+  let info = Ir.Info.make prog in
+  let call = Callgraph.Call.build prog in
+  let binding = Callgraph.Binding.build prog in
+  let iuse = Frontend.Local.iuse info in
+  let ruse = Core.Rmod.solve binding ~imod:iuse in
+  let iuse_plus = Core.Imod_plus.compute info ~rmod:ruse ~imod:iuse in
+  let oracle = Baseline.Iterative.gmod info call ~imod_plus:iuse_plus in
+  let one_pass = Core.Gmod_nested.solve info call ~imod_plus:iuse_plus in
+  Helpers.gmod_arrays_equal one_pass oracle
+
+let () =
+  Helpers.run "nested"
+    [
+      ( "fixed cases",
+        [
+          Alcotest.test_case "textbook nesting" `Quick test_textbook;
+          Alcotest.test_case "plain Figure 2 counterexample" `Quick
+            test_plain_figure2_is_wrong_nested;
+        ] );
+      ( "equivalence",
+        [
+          Helpers.qtest "dP=1 reduces to Figure 2" Helpers.arb_flat_prog
+            prop_flat_reduction;
+          Helpers.qtest "one-pass = oracle (nested)" Helpers.arb_nested_prog
+            prop_one_pass_equals_oracle;
+          Helpers.qtest "by-levels = oracle (nested)" Helpers.arb_nested_prog
+            prop_by_levels_equals_oracle;
+          Helpers.qtest ~count:60 "depth-7 stress" Helpers.arb_nested_prog
+            prop_deep_nesting;
+          Helpers.qtest "plain is a sound subset" Helpers.arb_nested_prog
+            prop_plain_is_subset_on_nested;
+          Helpers.qtest ~count:60 "USE side matches oracle" Helpers.arb_nested_prog
+            prop_use_side_nested;
+        ] );
+    ]

@@ -1,0 +1,361 @@
+(* Regular-section (§6) tests: lattice laws, local sections, binding
+   functions, the β solver, sectioned GMOD, the bit-level bridge, and
+   loop dependence verdicts. *)
+
+module S = Sections.Section
+
+let atom_i = S.Affine { var = 100; offset = 0 }
+let atom_i1 = S.Affine { var = 100; offset = 1 }
+let atom_j = S.Affine { var = 101; offset = 0 }
+let c3 = S.Const 3
+let c4 = S.Const 4
+
+let sec dims = S.Section (Array.of_list dims)
+let ex a = S.Exact a
+
+(* --- lattice unit tests --- *)
+
+let test_join_table () =
+  let row = sec [ ex atom_i; S.Star ] in
+  let col = sec [ S.Star; ex atom_j ] in
+  let el = sec [ ex atom_i; ex atom_j ] in
+  let whole = S.whole ~rank:2 in
+  Alcotest.(check bool) "el ⊔ row = row" true (S.equal (S.join el row) row);
+  Alcotest.(check bool) "row ⊔ col = whole" true (S.equal (S.join row col) whole);
+  Alcotest.(check bool) "bottom identity" true (S.equal (S.join S.bottom row) row);
+  Alcotest.(check bool) "same atom preserved" true
+    (S.equal (S.join (sec [ ex atom_i; ex c3 ]) (sec [ ex atom_i; ex c4 ]))
+       (sec [ ex atom_i; S.Star ]))
+
+let test_leq () =
+  let row = sec [ ex atom_i; S.Star ] in
+  let el = sec [ ex atom_i; ex atom_j ] in
+  Alcotest.(check bool) "el ⊑ row" true (S.leq el row);
+  Alcotest.(check bool) "row ⋢ el" false (S.leq row el);
+  Alcotest.(check bool) "bottom ⊑ all" true (S.leq S.bottom el);
+  Alcotest.(check bool) "all ⊑ whole" true (S.leq row (S.whole ~rank:2))
+
+let test_intersects () =
+  Alcotest.(check bool) "same row" true
+    (S.intersects (sec [ ex atom_i; S.Star ]) (sec [ ex atom_i; S.Star ]));
+  Alcotest.(check bool) "const 3 vs const 4 disjoint" false
+    (S.intersects (sec [ ex c3; S.Star ]) (sec [ ex c4; S.Star ]));
+  Alcotest.(check bool) "i vs i+1 disjoint" false
+    (S.intersects (sec [ ex atom_i ]) (sec [ ex atom_i1 ]));
+  Alcotest.(check bool) "i vs j may meet" true
+    (S.intersects (sec [ ex atom_i ]) (sec [ ex atom_j ]));
+  Alcotest.(check bool) "bottom never" false
+    (S.intersects S.bottom (S.whole ~rank:2))
+
+let test_rank_mismatch () =
+  Alcotest.check_raises "join mismatch"
+    (Invalid_argument "Section.join: rank mismatch") (fun () ->
+      ignore (S.join (S.whole ~rank:1) (S.whole ~rank:2)))
+
+(* lattice laws under qcheck *)
+let arb_section =
+  let gen_atom =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun c -> S.Const c) (0 -- 5);
+          map2 (fun v o -> S.Affine { var = 100 + v; offset = o }) (0 -- 2) (0 -- 2);
+        ])
+  in
+  let gen_dim =
+    QCheck.Gen.(oneof [ return S.Star; map (fun a -> S.Exact a) gen_atom ])
+  in
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return S.Bottom;
+          map (fun l -> sec l) (list_size (return 2) gen_dim);
+        ])
+  in
+  QCheck.make gen ~print:(Fmt.to_to_string (S.pp ?var_name:None))
+
+let arb_pair = QCheck.pair arb_section arb_section
+let arb_triple = QCheck.triple arb_section arb_section arb_section
+
+let prop_join_comm (a, b) = S.equal (S.join a b) (S.join b a)
+let prop_join_idem (a, _) = S.equal (S.join a a) a
+let prop_join_assoc (a, b, c) = S.equal (S.join (S.join a b) c) (S.join a (S.join b c))
+let prop_leq_reflexive (a, _) = S.leq a a
+
+let prop_leq_antisym (a, b) = if S.leq a b && S.leq b a then S.equal a b else true
+
+let prop_join_is_lub (a, b) = S.leq a (S.join a b) && S.leq b (S.join a b)
+
+let prop_intersects_monotone (a, b) =
+  (* widening either side cannot make an intersecting pair disjoint *)
+  if S.intersects a b then S.intersects (S.join a b) b else true
+
+(* --- local sections --- *)
+
+let kernel =
+  Helpers.compile
+    {|program k;
+var n, s : int;
+var a : array[8, 8] of int;
+procedure rowk(var m : array[8, 8] of int; i : int);
+var j : int;
+begin
+  for j := 1 to n do
+    m[i, j] := 0;
+  end;
+end;
+procedure elemk(var m : array[8, 8] of int; i : int; j : int);
+begin
+  m[i, j] := m[j, i] + 1;
+end;
+begin
+  call rowk(a, 1);
+  call elemk(a, 2, 3);
+end.|}
+
+let test_lrsd () =
+  let info = Ir.Info.make kernel in
+  let rowk = Helpers.proc_id kernel "rowk" in
+  let m = Helpers.var_id kernel "rowk.m" in
+  let i = Helpers.var_id kernel "rowk.i" in
+  let lmod = Sections.Lrsd.lrsd_mod info rowk in
+  (* j is the loop variable, unstable, so the write is the whole row *)
+  Alcotest.(check bool) "row section" true
+    (S.equal (Sections.Secmap.get lmod m)
+       (sec [ ex (S.Affine { var = i; offset = 0 }); S.Star ]));
+  let elemk = Helpers.proc_id kernel "elemk" in
+  let me = Helpers.var_id kernel "elemk.m" in
+  let ie = Helpers.var_id kernel "elemk.i" in
+  let je = Helpers.var_id kernel "elemk.j" in
+  let lmod_e = Sections.Lrsd.lrsd_mod info elemk in
+  Alcotest.(check bool) "element write" true
+    (S.equal (Sections.Secmap.get lmod_e me)
+       (sec
+          [ ex (S.Affine { var = ie; offset = 0 }); ex (S.Affine { var = je; offset = 0 }) ]));
+  let luse_e = Sections.Lrsd.lrsd_use info elemk in
+  Alcotest.(check bool) "transposed element read" true
+    (S.equal (Sections.Secmap.get luse_e me)
+       (sec
+          [ ex (S.Affine { var = je; offset = 0 }); ex (S.Affine { var = ie; offset = 0 }) ]))
+
+let test_atomize () =
+  let unstable = Bitvec.of_list 10 [ 7 ] in
+  let at e = Sections.Lrsd.atomize ~unstable e in
+  Alcotest.(check bool) "const" true (at (Ir.Expr.Int 3) = ex c3);
+  Alcotest.(check bool) "stable var" true
+    (at (Ir.Expr.Var 2) = ex (S.Affine { var = 2; offset = 0 }));
+  Alcotest.(check bool) "unstable var" true (at (Ir.Expr.Var 7) = S.Star);
+  Alcotest.(check bool) "v + 1" true
+    (at (Ir.Expr.Binop (Ir.Expr.Add, Ir.Expr.Var 2, Ir.Expr.Int 1))
+    = ex (S.Affine { var = 2; offset = 1 }));
+  Alcotest.(check bool) "v - 2" true
+    (at (Ir.Expr.Binop (Ir.Expr.Sub, Ir.Expr.Var 2, Ir.Expr.Int 2))
+    = ex (S.Affine { var = 2; offset = -2 }));
+  Alcotest.(check bool) "compound" true
+    (at (Ir.Expr.Binop (Ir.Expr.Mul, Ir.Expr.Var 2, Ir.Expr.Int 2)) = S.Star)
+
+(* --- end-to-end on the kernel program --- *)
+
+let test_site_sections () =
+  let t = Sections.Analyze_sections.run kernel in
+  let sites = Ir.Prog.sites_of kernel kernel.Ir.Prog.main in
+  let a = Helpers.var_id kernel "a" in
+  (match sites with
+  | [ s_row; s_elem ] ->
+    let mod_row = Sections.Analyze_sections.mod_of_site t s_row.Ir.Prog.sid in
+    Alcotest.(check bool) "row 1 of a" true
+      (S.equal (Sections.Secmap.get mod_row a) (sec [ ex (S.Const 1); S.Star ]));
+    let mod_elem = Sections.Analyze_sections.mod_of_site t s_elem.Ir.Prog.sid in
+    Alcotest.(check bool) "element (2,3)" true
+      (S.equal (Sections.Secmap.get mod_elem a) (sec [ ex (S.Const 2); ex (S.Const 3) ]))
+  | _ -> Alcotest.fail "expected two sites")
+
+(* --- rsd through β: forwarding chain keeps the row shape --- *)
+
+let test_rsd_chain () =
+  let prog =
+    Helpers.compile
+      {|program c;
+var n : int;
+var g : array[8, 8] of int;
+procedure base(var m : array[8, 8] of int; i : int);
+var j : int;
+begin
+  for j := 1 to n do
+    m[i, j] := 1;
+  end;
+end;
+procedure fwd(var m : array[8, 8] of int; i : int);
+begin
+  call base(m, i);
+end;
+begin
+  call fwd(g, 4);
+end.|}
+  in
+  let t = Sections.Analyze_sections.run prog in
+  let fwd_m = Helpers.var_id prog "fwd.m" in
+  let fwd_i = Helpers.var_id prog "fwd.i" in
+  let s = Sections.Rsmod.section_of t.Sections.Analyze_sections.rsmod fwd_m in
+  Alcotest.(check bool) "fwd's array modified in row i" true
+    (S.equal s (sec [ ex (S.Affine { var = fwd_i; offset = 0 }); S.Star ]));
+  let sid = (List.hd (Ir.Prog.sites_of prog prog.Ir.Prog.main)).Ir.Prog.sid in
+  let m = Sections.Analyze_sections.mod_of_site t sid in
+  Alcotest.(check bool) "site sees row 4" true
+    (S.equal
+       (Sections.Secmap.get m (Helpers.var_id prog "g"))
+       (sec [ ex (S.Const 4); S.Star ]))
+
+let test_element_binding_restriction () =
+  let prog =
+    Helpers.compile
+      {|program e;
+var g : array[8, 8] of int;
+var k : int;
+procedure bump(var x : int);
+begin
+  x := x + 1;
+end;
+begin
+  call bump(g[k, 3]);
+end.|}
+  in
+  let t = Sections.Analyze_sections.run prog in
+  let sid = (List.hd (Ir.Prog.sites_of prog prog.Ir.Prog.main)).Ir.Prog.sid in
+  let m = Sections.Analyze_sections.mod_of_site t sid in
+  let k = Helpers.var_id prog "k" in
+  Alcotest.(check bool) "single element g(k, 3)" true
+    (S.equal
+       (Sections.Secmap.get m (Helpers.var_id prog "g"))
+       (sec [ ex (S.Affine { var = k; offset = 0 }); ex c3 ]))
+
+(* --- properties on random kernel programs --- *)
+
+let arb_kernels =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "kernels seed %d" seed)
+    QCheck.Gen.(0 -- 5_000)
+
+let kernels_of seed = Workload.Arrays.generate ~seed ~n_kernels:(4 + (seed mod 8))
+
+let prop_flatten_matches_bits seed =
+  let prog = kernels_of seed in
+  let sec_t = Sections.Analyze_sections.run prog in
+  let bit_t = Core.Analyze.run prog in
+  let ok = ref true in
+  for pid = 0 to Ir.Prog.n_procs prog - 1 do
+    if
+      not
+        (Bitvec.equal
+           (Sections.Secmap.to_bits sec_t.Sections.Analyze_sections.gmod.(pid))
+           bit_t.Core.Analyze.gmod.(pid))
+    then ok := false;
+    if
+      not
+        (Bitvec.equal
+           (Sections.Secmap.to_bits sec_t.Sections.Analyze_sections.guse.(pid))
+           bit_t.Core.Analyze.guse.(pid))
+    then ok := false
+  done;
+  !ok
+
+let prop_tarjan_equals_iterative seed =
+  let prog = kernels_of seed in
+  let t = Sections.Analyze_sections.run prog in
+  let oracle =
+    Sections.Gmod_sections.solve_iterative t.Sections.Analyze_sections.info
+      t.Sections.Analyze_sections.call ~seed:t.Sections.Analyze_sections.imod_plus
+  in
+  Array.for_all2 Sections.Secmap.equal t.Sections.Analyze_sections.gmod oracle
+
+let prop_rsd_flatten_matches_rmod seed =
+  let prog = kernels_of seed in
+  let t = Sections.Analyze_sections.run prog in
+  let bit = Helpers.pipeline prog in
+  let ok = ref true in
+  for node = 0 to Callgraph.Binding.n_nodes bit.Helpers.binding - 1 do
+    let vid = Callgraph.Binding.var bit.Helpers.binding node in
+    let sec = Sections.Rsmod.section_of t.Sections.Analyze_sections.rsmod vid in
+    let has_section = not (S.equal sec S.bottom) in
+    if has_section <> bit.Helpers.rmod.Core.Rmod.rmod.(node) then ok := false
+  done;
+  !ok
+
+let prop_cycle_condition seed =
+  (* §6's third property: g_e never enlarges a section it maps around
+     a cycle — equivalently every rsd value is ⊒ its own image joined
+     in, which the fixpoint guarantees; check fixpoint stability. *)
+  let prog = kernels_of seed in
+  let t = Sections.Analyze_sections.run prog in
+  let rs = t.Sections.Analyze_sections.rsmod in
+  let binding = t.Sections.Analyze_sections.binding in
+  let info = t.Sections.Analyze_sections.info in
+  let ok = ref true in
+  Graphs.Digraph.iter_edges binding.Callgraph.Binding.graph (fun e m n ->
+      let { Callgraph.Binding.site; arg_pos; _ } = binding.Callgraph.Binding.edges.(e) in
+      let site = Ir.Prog.site prog site in
+      let callee_section = rs.Sections.Rsmod.rsd.(n) in
+      if not (S.equal callee_section S.bottom) then begin
+        let _, induced =
+          Sections.Bindfn.project info ~site ~arg_pos ~callee_section
+        in
+        if not (S.leq induced rs.Sections.Rsmod.rsd.(m)) then ok := false
+      end);
+  !ok
+
+(* --- dependence verdicts --- *)
+
+let test_deps () =
+  let ivar = 100 in
+  let row_i = sec [ ex (S.Affine { var = ivar; offset = 0 }); S.Star ] in
+  let row_i1 = sec [ ex (S.Affine { var = ivar; offset = 1 }); S.Star ] in
+  Alcotest.(check bool) "row i vs row i independent" true
+    (Sections.Deps.loop_independent ~ivar row_i row_i);
+  Alcotest.(check bool) "row i vs row i+1 conflict" false
+    (Sections.Deps.loop_independent ~ivar row_i row_i1);
+  Alcotest.(check bool) "row i vs whole conflict" false
+    (Sections.Deps.loop_independent ~ivar row_i (S.whole ~rank:2));
+  Alcotest.(check bool) "bottom independent" true
+    (Sections.Deps.loop_independent ~ivar row_i S.bottom)
+
+let () =
+  Helpers.run "sections"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "join table (figure 3)" `Quick test_join_table;
+          Alcotest.test_case "order" `Quick test_leq;
+          Alcotest.test_case "intersection test" `Quick test_intersects;
+          Alcotest.test_case "rank mismatch" `Quick test_rank_mismatch;
+          Helpers.qtest "join commutative" arb_pair prop_join_comm;
+          Helpers.qtest "join idempotent" arb_pair prop_join_idem;
+          Helpers.qtest "join associative" arb_triple prop_join_assoc;
+          Helpers.qtest "leq reflexive" arb_pair prop_leq_reflexive;
+          Helpers.qtest "leq antisymmetric" arb_pair prop_leq_antisym;
+          Helpers.qtest "join is an upper bound" arb_pair prop_join_is_lub;
+          Helpers.qtest "intersects monotone" arb_pair prop_intersects_monotone;
+        ] );
+      ( "local",
+        [
+          Alcotest.test_case "lrsd rows and elements" `Quick test_lrsd;
+          Alcotest.test_case "atomize" `Quick test_atomize;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "per-site sections" `Quick test_site_sections;
+          Alcotest.test_case "forwarding chain keeps rows" `Quick test_rsd_chain;
+          Alcotest.test_case "element binding restricts" `Quick
+            test_element_binding_restriction;
+          Helpers.qtest ~count:60 "flattening = bit analysis" arb_kernels
+            prop_flatten_matches_bits;
+          Helpers.qtest ~count:60 "sectioned findgmod = chaotic" arb_kernels
+            prop_tarjan_equals_iterative;
+          Helpers.qtest ~count:60 "rsd flattening = RMOD" arb_kernels
+            prop_rsd_flatten_matches_rmod;
+          Helpers.qtest ~count:60 "fixpoint stable under g_e" arb_kernels
+            prop_cycle_condition;
+        ] );
+      ( "dependence",
+        [ Alcotest.test_case "loop independence verdicts" `Quick test_deps ] );
+    ]

@@ -1,0 +1,181 @@
+(* §5 tests: DMOD/MOD per call site (equation 2 + alias extension) and
+   per statement. *)
+
+let compile = Helpers.compile
+
+let site_of prog ~caller i =
+  List.nth (Ir.Prog.sites_of prog (Helpers.proc_id prog caller)) i
+
+let main_site prog i = List.nth (Ir.Prog.sites_of prog prog.Ir.Prog.main) i
+
+let test_dmod_projection () =
+  let prog =
+    compile
+      {|program m;
+var g, untouched : int;
+procedure f(var x : int; y : int);
+var l : int;
+begin
+  x := y;
+  g := 1;
+  l := 2;
+end;
+begin
+  call f(g, untouched);
+end.|}
+  in
+  let t = Core.Analyze.run prog in
+  let sid = (main_site prog 0).Ir.Prog.sid in
+  (* DMOD: g both as global and as projected actual; f's local and
+     by-value formal excluded; untouched only read. *)
+  Helpers.check_var_set prog "DMOD" [ "g" ] (Core.Analyze.dmod_of_site t sid);
+  (* g is passed by reference but f only writes x, never reads it, so
+     g's value is not used; the by-value argument is evaluated. *)
+  Helpers.check_var_set prog "USE includes arg evaluation" [ "untouched" ]
+    (Core.Analyze.use_of_site t sid)
+
+let test_mod_adds_aliases () =
+  let prog =
+    compile
+      {|program m;
+var g, h : int;
+procedure setter(var a : int);
+begin
+  a := 1;
+end;
+procedure f(var x : int; var y : int);
+begin
+  call setter(x);
+end;
+begin
+  call f(g, g);
+  call f(g, h);
+end.|}
+  in
+  let t = Core.Analyze.run prog in
+  (* Inside f, x may alias y (first site passes g twice).  The call
+     setter(x) definitely modifies x; the alias extension adds y. *)
+  let inner = (site_of prog ~caller:"f" 0).Ir.Prog.sid in
+  Helpers.check_var_set prog "DMOD(setter(x))" [ "f.x" ]
+    (Core.Analyze.dmod_of_site t inner);
+  Helpers.check_var_set prog "MOD adds aliased y and g" [ "g"; "f.x"; "f.y" ]
+    (Core.Analyze.mod_of_site t inner)
+
+let test_transitive_chain () =
+  let prog = Workload.Families.global_chain 5 in
+  let t = Core.Analyze.run prog in
+  let sid = (main_site prog 0).Ir.Prog.sid in
+  Helpers.check_var_set prog "main's call reaches the deep write" [ "g0" ]
+    (Core.Analyze.mod_of_site t sid)
+
+let test_dmod_stmt () =
+  let prog =
+    compile
+      {|program m;
+var g, h : int;
+procedure f();
+begin
+  g := 1;
+end;
+begin
+  if h < 3 then
+    call f();
+    h := 2;
+  end;
+end.|}
+  in
+  let t = Core.Analyze.run prog in
+  let main = Ir.Prog.proc prog prog.Ir.Prog.main in
+  let if_stmt = List.hd main.Ir.Prog.body in
+  (* Equation (2) on the whole if: LMODs inside plus the projection of
+     the call. *)
+  Helpers.check_var_set prog "DMOD(if)" [ "g"; "h" ]
+    (Core.Summary.dmod_stmt t.Core.Analyze.summary ~proc:prog.Ir.Prog.main if_stmt);
+  Helpers.check_var_set prog "DUSE(if)" [ "h" ]
+    (Core.Summary.duse_stmt t.Core.Analyze.summary ~proc:prog.Ir.Prog.main if_stmt)
+
+let prop_dmod_subset_mod seed =
+  let prog = Helpers.flat_of_seed seed in
+  let t = Core.Analyze.run prog in
+  let ok = ref true in
+  Ir.Prog.iter_sites prog (fun s ->
+      let d = Core.Analyze.dmod_of_site t s.Ir.Prog.sid in
+      let m = Core.Analyze.mod_of_site t s.Ir.Prog.sid in
+      if not (Bitvec.subset d m) then ok := false);
+  !ok
+
+let prop_mod_within_visible_or_deep seed =
+  (* MOD(s) of a flat program contains only globals and variables of
+     the caller (its formals/locals) — everything else is dead at s. *)
+  let prog = Helpers.flat_of_seed seed in
+  let t = Core.Analyze.run prog in
+  let info = t.Core.Analyze.info in
+  let ok = ref true in
+  Ir.Prog.iter_sites prog (fun s ->
+      let m = Core.Analyze.mod_of_site t s.Ir.Prog.sid in
+      let visible = Ir.Info.visible info s.Ir.Prog.caller in
+      if not (Bitvec.subset m visible) then ok := false);
+  !ok
+
+let prop_dmod_matches_definition seed =
+  (* Recompute the projection by hand from GMOD and compare. *)
+  let prog = Helpers.flat_of_seed seed in
+  let t = Core.Analyze.run prog in
+  let info = t.Core.Analyze.info in
+  let ok = ref true in
+  Ir.Prog.iter_sites prog (fun s ->
+      let callee = Ir.Prog.proc prog s.Ir.Prog.callee in
+      let expected = Bitvec.copy t.Core.Analyze.gmod.(s.Ir.Prog.callee) in
+      ignore
+        (Bitvec.inter_into ~src:(Ir.Info.non_local info s.Ir.Prog.callee) ~dst:expected);
+      Array.iteri
+        (fun i arg ->
+          match arg with
+          | Ir.Prog.Arg_ref lv ->
+            if Bitvec.get t.Core.Analyze.gmod.(s.Ir.Prog.callee) callee.Ir.Prog.formals.(i)
+            then Bitvec.set expected (Ir.Expr.lvalue_base lv)
+          | Ir.Prog.Arg_value _ -> ())
+        s.Ir.Prog.args;
+      if not (Bitvec.equal expected (Core.Analyze.dmod_of_site t s.Ir.Prog.sid)) then
+        ok := false);
+  !ok
+
+let prop_rmod_consistent_with_gmod seed =
+  (* GMOD(q) restricted to q's by-ref formals = RMOD(q): the two
+     decomposed subproblems agree where they overlap. *)
+  let prog = Helpers.flat_of_seed seed in
+  let t = Core.Analyze.run prog in
+  let ok = ref true in
+  Ir.Prog.iter_procs prog (fun pr ->
+      Array.iter
+        (fun f ->
+          if Ir.Prog.is_ref_formal (Ir.Prog.var prog f) then begin
+            let in_gmod = Bitvec.get t.Core.Analyze.gmod.(pr.Ir.Prog.pid) f in
+            let in_rmod = Core.Rmod.modified t.Core.Analyze.rmod f in
+            if in_gmod <> in_rmod then ok := false
+          end)
+        pr.Ir.Prog.formals);
+  !ok
+
+let () =
+  Helpers.run "summary"
+    [
+      ( "sites",
+        [
+          Alcotest.test_case "projection of GMOD at a site" `Quick
+            test_dmod_projection;
+          Alcotest.test_case "MOD adds alias pairs" `Quick test_mod_adds_aliases;
+          Alcotest.test_case "transitive chain" `Quick test_transitive_chain;
+          Alcotest.test_case "statement-level DMOD (eq 2)" `Quick test_dmod_stmt;
+        ] );
+      ( "properties",
+        [
+          Helpers.qtest "DMOD ⊆ MOD" Helpers.arb_flat_prog prop_dmod_subset_mod;
+          Helpers.qtest "MOD stays within the caller's scope" Helpers.arb_flat_prog
+            prop_mod_within_visible_or_deep;
+          Helpers.qtest "DMOD matches its definition" Helpers.arb_flat_prog
+            prop_dmod_matches_definition;
+          Helpers.qtest "RMOD = GMOD restricted to ref formals" Helpers.arb_flat_prog
+            prop_rmod_consistent_with_gmod;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* Inliner tests: legality checks, structural validity of the
+   transformed program, and — the strong property — preservation of the
+   interpreter's observable behaviour. *)
+
+let compile = Helpers.compile
+
+let run_output ?(fuel = 20_000) prog =
+  let o = Interp.run ~fuel prog in
+  (o.Interp.output, o.Interp.truncated)
+
+let check_behaviour msg before after =
+  let out_b, trunc_b = run_output before in
+  let out_a, trunc_a = run_output after in
+  if not (trunc_b || trunc_a) then
+    Alcotest.(check (list int)) msg out_b out_a
+
+let demo =
+  compile
+    {|program d;
+var g, h : int;
+procedure double(var x : int);
+var t : int;
+begin
+  t := x;
+  x := t + t;
+end;
+procedure addk(k : int);
+begin
+  g := g + k;
+end;
+begin
+  g := 3;
+  call double(g);
+  call addk(10);
+  write g;
+  h := 2;
+  call double(h);
+  write h;
+end.|}
+
+let test_basic_inline () =
+  Alcotest.(check bool) "site 0 inlinable" true (Transform.Inline.inlinable demo 0);
+  let after = Option.get (Transform.Inline.site demo ~sid:0) in
+  Ir.Validate.check_exn after;
+  Alcotest.(check int) "one fewer site" (Ir.Prog.n_sites demo - 1)
+    (Ir.Prog.n_sites after);
+  check_behaviour "output preserved" demo after
+
+let test_inline_value_param () =
+  let after = Option.get (Transform.Inline.site demo ~sid:1) in
+  Ir.Validate.check_exn after;
+  check_behaviour "by-value init preserved" demo after
+
+let test_inline_everything () =
+  let after = Transform.Inline.inline_all_once demo ~max:10 in
+  Ir.Validate.check_exn after;
+  Alcotest.(check int) "no sites left" 0 (Ir.Prog.n_sites after);
+  check_behaviour "fully inlined program agrees" demo after
+
+let test_local_reset_semantics () =
+  (* The inlined local must be reset on every execution of the inlined
+     body, like a fresh activation would be. *)
+  let prog =
+    compile
+      {|program l;
+var g, i : int;
+procedure acc();
+var t : int;
+begin
+  t := t + 1;
+  g := g + t;
+end;
+begin
+  g := 0;
+  for i := 1 to 3 do
+    call acc();
+  end;
+  write g;
+end.|}
+  in
+  let after = Option.get (Transform.Inline.site prog ~sid:0) in
+  Ir.Validate.check_exn after;
+  check_behaviour "locals reset per iteration" prog after
+
+let test_recursive_unfold () =
+  let prog =
+    compile
+      {|program r;
+var g : int;
+procedure count(n : int);
+begin
+  if n > 0 then
+    g := g + 1;
+    call count(n - 1);
+  end;
+end;
+begin
+  g := 0;
+  call count(5);
+  write g;
+end.|}
+  in
+  (* Inline the recursive site inside count: one unfolding. *)
+  let inner =
+    List.hd (Ir.Prog.sites_of prog (Helpers.proc_id prog "count"))
+  in
+  let after = Option.get (Transform.Inline.site prog ~sid:inner.Ir.Prog.sid) in
+  Ir.Validate.check_exn after;
+  check_behaviour "recursion unfolding" prog after
+
+let test_not_inlinable () =
+  let prog =
+    compile
+      {|program n;
+var a : array[4] of int;
+var k : int;
+procedure elem(var x : int);
+begin
+  x := 1;
+end;
+procedure outer();
+  procedure nested();
+  begin
+    skip;
+  end;
+begin
+  call nested();
+end;
+begin
+  call elem(a[k]);
+  call outer();
+end.|}
+  in
+  let sites = Ir.Prog.sites_of prog prog.Ir.Prog.main in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d not inlinable" s.Ir.Prog.sid)
+        false
+        (Transform.Inline.inlinable prog s.Ir.Prog.sid))
+    sites;
+  (* but the call inside outer (to a leaf without nesting) is. *)
+  let inner = List.hd (Ir.Prog.sites_of prog (Helpers.proc_id prog "outer")) in
+  Alcotest.(check bool) "nested leaf call ok" true
+    (Transform.Inline.inlinable prog inner.Ir.Prog.sid)
+
+let test_roundtrip_after_inline () =
+  (* Inlining into main manufactures main-locals, which print like
+     globals; the first reparse normalises them into globals (merging
+     the declaration groups), after which printing is a fixpoint. *)
+  let after = Transform.Inline.inline_all_once demo ~max:10 in
+  let src = Ir.Pp.to_string after in
+  let normalised = Ir.Pp.to_string (Frontend.Sema.compile_exn ~file:"inl" src) in
+  let again = Ir.Pp.to_string (Frontend.Sema.compile_exn ~file:"inl2" normalised) in
+  Alcotest.(check string) "printing is a fixpoint after normalisation" normalised
+    again;
+  check_behaviour "normalised program behaves identically" after
+    (Frontend.Sema.compile_exn ~file:"inl3" src)
+
+(* Random programs: inline a few sites, check validity + behaviour +
+   analysis soundness on the result. *)
+let prop_inline_preserves seed =
+  let prog = Helpers.flat_of_seed ~n:15 seed in
+  let after = Transform.Inline.inline_all_once prog ~max:5 in
+  Ir.Validate.run after = Ok ()
+  &&
+  let out_b, trunc_b = run_output ~fuel:10_000 prog in
+  let out_a, trunc_a = run_output ~fuel:10_000 after in
+  trunc_b || trunc_a || out_b = out_a
+
+let prop_inline_sound seed =
+  let prog = Helpers.flat_of_seed ~n:15 seed in
+  let after = Transform.Inline.inline_all_once prog ~max:5 in
+  let t = Core.Analyze.run after in
+  let o = Interp.run ~fuel:10_000 ~max_depth:256 after in
+  let ok = ref true in
+  Ir.Prog.iter_sites after (fun s ->
+      let sid = s.Ir.Prog.sid in
+      if o.Interp.calls_executed.(sid) > 0 then begin
+        if not (Bitvec.subset (Interp.observed_mod o sid) (Core.Analyze.mod_of_site t sid))
+        then ok := false;
+        if not (Bitvec.subset (Interp.observed_use o sid) (Core.Analyze.use_of_site t sid))
+        then ok := false
+      end);
+  !ok
+
+let prop_inline_nested_ok seed =
+  let prog = Helpers.nested_of_seed ~n:15 seed in
+  let after = Transform.Inline.inline_all_once prog ~max:5 in
+  Ir.Validate.run after = Ok ()
+  &&
+  let out_b, trunc_b = run_output ~fuel:10_000 prog in
+  let out_a, trunc_a = run_output ~fuel:10_000 after in
+  trunc_b || trunc_a || out_b = out_a
+
+let () =
+  Helpers.run "transform"
+    [
+      ( "inline",
+        [
+          Alcotest.test_case "basic by-ref inline" `Quick test_basic_inline;
+          Alcotest.test_case "by-value parameter" `Quick test_inline_value_param;
+          Alcotest.test_case "inline to fixpoint" `Quick test_inline_everything;
+          Alcotest.test_case "locals reset per execution" `Quick
+            test_local_reset_semantics;
+          Alcotest.test_case "recursive unfolding" `Quick test_recursive_unfold;
+          Alcotest.test_case "legality restrictions" `Quick test_not_inlinable;
+          Alcotest.test_case "round-trips through the front end" `Quick
+            test_roundtrip_after_inline;
+        ] );
+      ( "random",
+        [
+          Helpers.qtest ~count:40 "behaviour preserved (flat)" Helpers.arb_flat_prog
+            prop_inline_preserves;
+          Helpers.qtest ~count:40 "analysis sound after inlining"
+            Helpers.arb_flat_prog prop_inline_sound;
+          Helpers.qtest ~count:40 "behaviour preserved (nested)"
+            Helpers.arb_nested_prog prop_inline_nested_ok;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* The USE problem (the paper's "analogous solution"): RUSE, GUSE,
+   USE(s) semantics that differ from MOD in instructive ways. *)
+
+let compile = Helpers.compile
+
+let test_ruse_via_read () =
+  let prog =
+    compile
+      {|program m;
+var g : int;
+procedure reader(var r : int);
+begin
+  write r;
+end;
+procedure passer(var p : int);
+begin
+  call reader(p);
+end;
+begin
+  call passer(g);
+end.|}
+  in
+  let t = Core.Analyze.run prog in
+  (* reading r uses the actual chain all the way up. *)
+  Alcotest.(check bool) "RUSE(reader)" true
+    (Core.Rmod.modified t.Core.Analyze.ruse (Helpers.var_id prog "reader.r"));
+  Alcotest.(check bool) "RUSE(passer)" true
+    (Core.Rmod.modified t.Core.Analyze.ruse (Helpers.var_id prog "passer.p"));
+  let sid = (List.hd (Ir.Prog.sites_of prog prog.Ir.Prog.main)).Ir.Prog.sid in
+  Helpers.check_var_set prog "USE at main" [ "g" ] (Core.Analyze.use_of_site t sid);
+  Helpers.check_var_set prog "MOD empty" [] (Core.Analyze.mod_of_site t sid)
+
+let test_write_only_chain () =
+  (* By-ref chain that only writes: MOD propagates, USE stays empty. *)
+  let prog = Workload.Families.ref_chain 6 in
+  let t = Core.Analyze.run prog in
+  let sid = (List.hd (Ir.Prog.sites_of prog prog.Ir.Prog.main)).Ir.Prog.sid in
+  Helpers.check_var_set prog "MOD" [ "g0" ] (Core.Analyze.mod_of_site t sid);
+  Helpers.check_var_set prog "USE" [] (Core.Analyze.use_of_site t sid)
+
+let test_value_arg_always_used () =
+  (* Argument evaluation uses its variables even if the callee ignores
+     the parameter. *)
+  let prog =
+    compile
+      {|program m;
+var g : int;
+procedure ignore_it(v : int);
+begin
+  skip;
+end;
+begin
+  call ignore_it(g + 1);
+end.|}
+  in
+  let t = Core.Analyze.run prog in
+  let sid = (List.hd (Ir.Prog.sites_of prog prog.Ir.Prog.main)).Ir.Prog.sid in
+  Helpers.check_var_set prog "USE has g" [ "g" ] (Core.Analyze.use_of_site t sid)
+
+let test_guse_globals () =
+  let prog =
+    compile
+      {|program m;
+var a, b : int;
+procedure deep();
+begin
+  b := a;
+end;
+procedure top();
+begin
+  call deep();
+end;
+begin
+  call top();
+end.|}
+  in
+  let t = Core.Analyze.run prog in
+  Helpers.check_var_set prog "GUSE(top)" [ "a" ]
+    (Core.Analyze.guse_of t (Helpers.proc_id prog "top"));
+  Helpers.check_var_set prog "GMOD(top)" [ "b" ]
+    (Core.Analyze.gmod_of t (Helpers.proc_id prog "top"))
+
+let prop_guse_equals_iterative seed =
+  let prog = Helpers.flat_of_seed seed in
+  let t = Core.Analyze.run prog in
+  let oracle =
+    Baseline.Iterative.gmod t.Core.Analyze.info t.Core.Analyze.call
+      ~imod_plus:t.Core.Analyze.iuse_plus
+  in
+  Helpers.gmod_arrays_equal t.Core.Analyze.guse oracle
+
+let prop_ruse_equals_iterative seed =
+  let prog = Helpers.flat_of_seed seed in
+  let t = Core.Analyze.run prog in
+  let iuse = t.Core.Analyze.iuse in
+  t.Core.Analyze.ruse.Core.Rmod.rmod
+  = Baseline.Iterative.rmod t.Core.Analyze.binding ~imod:iuse
+
+let () =
+  Helpers.run "use"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "reads propagate through by-ref chains" `Quick
+            test_ruse_via_read;
+          Alcotest.test_case "write-only chain: MOD without USE" `Quick
+            test_write_only_chain;
+          Alcotest.test_case "value arguments always evaluated" `Quick
+            test_value_arg_always_used;
+          Alcotest.test_case "GUSE vs GMOD on globals" `Quick test_guse_globals;
+        ] );
+      ( "equivalence",
+        [
+          Helpers.qtest "GUSE = iterative" Helpers.arb_flat_prog
+            prop_guse_equals_iterative;
+          Helpers.qtest "RUSE = iterative" Helpers.arb_flat_prog
+            prop_ruse_equals_iterative;
+        ] );
+    ]

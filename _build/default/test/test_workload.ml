@@ -1,0 +1,95 @@
+(* Workload generator tests: every generated program is valid IR,
+   respects its shape parameters, keeps everything reachable, and
+   survives the full front end. *)
+
+let arb_params =
+  let gen =
+    QCheck.Gen.(
+      let* seed = 0 -- 100_000 in
+      let* n = 1 -- 80 in
+      let* depth = 1 -- 5 in
+      let* formals = 0 -- 7 in
+      let* density = float_bound_inclusive 1.0 in
+      let* recursion = float_bound_inclusive 1.0 in
+      return (seed, n, depth, formals, density, recursion))
+  in
+  QCheck.make gen ~print:(fun (s, n, d, f, bd, r) ->
+      Printf.sprintf "seed=%d n=%d depth=%d formals=%d density=%.2f rec=%.2f" s n d f
+        bd r)
+
+let gen_of (seed, n, depth, formals, density, recursion) =
+  let rng = Random.State.make [| seed |] in
+  Workload.Gen.generate rng
+    {
+      Workload.Gen.default with
+      Workload.Gen.n_procs = n;
+      max_formals = formals;
+      binding_density = density;
+      recursion;
+      max_depth = depth;
+    }
+
+let prop_valid params = Ir.Validate.run (gen_of params) = Ok ()
+
+let prop_shape params =
+  let _, n, depth, formals, _, _ = params in
+  let p = gen_of params in
+  Ir.Prog.n_procs p = n + 1
+  && Ir.Prog.max_level p <= depth
+  && Array.for_all
+       (fun (pr : Ir.Prog.proc) -> Array.length pr.Ir.Prog.formals <= formals)
+       p.Ir.Prog.procs
+
+let prop_reachable params =
+  let p = gen_of params in
+  let c = Callgraph.Call.build p in
+  Bitvec.cardinal (Callgraph.Call.reachable_from_main c) = Ir.Prog.n_procs p
+
+let prop_compiles params =
+  let p = gen_of params in
+  let src = Ir.Pp.to_string p in
+  match Frontend.Sema.compile ~file:"w" src with
+  | Ok p2 -> Ir.Validate.run p2 = Ok ()
+  | Error _ -> false
+
+let prop_deterministic params =
+  let a = gen_of params and b = gen_of params in
+  String.equal (Ir.Pp.to_string a) (Ir.Pp.to_string b)
+
+let test_families_expectations () =
+  let chain = Workload.Families.ref_chain 7 in
+  Alcotest.(check int) "chain procs" 8 (Ir.Prog.n_procs chain);
+  Alcotest.(check int) "chain sites" 7 (Ir.Prog.n_sites chain);
+  let cyc = Workload.Families.ref_cycle 5 in
+  let c = Callgraph.Call.build cyc in
+  let scc = Graphs.Scc.compute c.Callgraph.Call.graph in
+  (* main is its own component; the 5 procedures share one. *)
+  Alcotest.(check int) "cycle SCCs" 2 scc.Graphs.Scc.n_comps;
+  Ir.Validate.check_exn (Workload.Families.nested_textbook ());
+  Ir.Validate.check_exn (Workload.Families.diamond ())
+
+let test_arrays_family () =
+  for seed = 0 to 10 do
+    let p = Workload.Arrays.generate ~seed ~n_kernels:6 in
+    Ir.Validate.check_exn p;
+    Alcotest.(check bool) "flat" true (Sections.Analyze_sections.applicable p)
+  done
+
+let () =
+  Helpers.run "workload"
+    [
+      ( "generator",
+        [
+          Helpers.qtest ~count:80 "always valid IR" arb_params prop_valid;
+          Helpers.qtest ~count:80 "respects shape parameters" arb_params prop_shape;
+          Helpers.qtest ~count:80 "everything reachable" arb_params prop_reachable;
+          Helpers.qtest ~count:40 "prints and recompiles" arb_params prop_compiles;
+          Helpers.qtest ~count:40 "deterministic in the seed" arb_params
+            prop_deterministic;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "fixed families" `Quick test_families_expectations;
+          Alcotest.test_case "array kernels" `Quick test_arrays_family;
+        ] );
+    ]
