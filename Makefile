@@ -15,10 +15,20 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- quick
 
+# Smoke-test the telemetry surface: profile every example/program and
+# validate the emitted JSON with the repo's own parser (no jq needed).
+profile-smoke:
+	dune build bin/sidefx.exe
+	@for f in examples/*.mp programs/*.mp; do \
+	  echo "== $$f"; \
+	  ./_build/default/bin/sidefx.exe profile $$f --json \
+	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	done
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/parallelize.exe
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick examples
+.PHONY: all test test-force bench bench-quick profile-smoke examples

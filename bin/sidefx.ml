@@ -27,13 +27,130 @@ let load path =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniProc source file.")
 
+(* --- observability plumbing (shared --trace / --json flag pair) --- *)
+
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:
+             "Record per-phase tracing spans (wall time + operation-counter \
+              deltas) and print the phase table to stderr on exit.")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit machine-readable JSON on stdout instead of text.")
+
+(* Run a command body with span recording per [trace]; the table goes
+   to stderr so stdout stays parseable. *)
+let with_trace trace f =
+  if not trace then f ()
+  else begin
+    Obs.Span.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Span.set_enabled false;
+        match Obs.Span.drain () with
+        | [] -> ()
+        | spans -> Format.eprintf "%a@." Obs.pp_trace spans)
+      f
+  end
+
+(* JSON views of analysis results.  Key sets are part of the CLI
+   contract (cram-tested); values may change freely. *)
+
+let var_set_json prog set =
+  Obs.Json.List
+    (List.map
+       (fun vid -> Obs.Json.String (Ir.Pp.qualified_var_name prog vid))
+       (Bitvec.to_list set))
+
+let graph_shape_json call binding =
+  let prog = call.Callgraph.Call.prog in
+  let call_scc = Graphs.Scc.compute call.Callgraph.Call.graph in
+  let beta_scc = Graphs.Scc.compute binding.Callgraph.Binding.graph in
+  Obs.Json.Obj
+    [
+      ("procedures", Obs.Json.Int (Ir.Prog.n_procs prog));
+      ("call_sites", Obs.Json.Int (Ir.Prog.n_sites prog));
+      ("call_sccs", Obs.Json.Int call_scc.Graphs.Scc.n_comps);
+      ("beta_nodes", Obs.Json.Int (Callgraph.Binding.n_nodes binding));
+      ("beta_edges", Obs.Json.Int (Callgraph.Binding.n_edges binding));
+      ("beta_sccs", Obs.Json.Int beta_scc.Graphs.Scc.n_comps);
+      ( "beta_edges_by_level",
+        Obs.Json.Obj
+          (List.map
+             (fun (lvl, count) -> (Printf.sprintf "L%d" lvl, Obs.Json.Int count))
+             (Callgraph.Binding.edges_by_level binding)) );
+      ("nesting_depth", Obs.Json.Int (Ir.Prog.max_level prog));
+    ]
+
+let analysis_json (t : Core.Analyze.t) =
+  let prog = t.Core.Analyze.prog in
+  let procedures =
+    let acc = ref [] in
+    Ir.Prog.iter_procs prog (fun pr ->
+        let pid = pr.Ir.Prog.pid in
+        acc :=
+          Obs.Json.Obj
+            [
+              ("name", Obs.Json.String pr.Ir.Prog.pname);
+              ( "rmod",
+                Obs.Json.List
+                  (List.map
+                     (fun vid -> Obs.Json.String (Ir.Pp.qualified_var_name prog vid))
+                     (Core.Rmod.rmod_of_proc t.Core.Analyze.rmod pid)) );
+              ("imod_plus", var_set_json prog t.Core.Analyze.imod_plus.(pid));
+              ("gmod", var_set_json prog t.Core.Analyze.gmod.(pid));
+              ("guse", var_set_json prog t.Core.Analyze.guse.(pid));
+              ( "aliases",
+                Obs.Json.List
+                  (List.map
+                     (fun (x, y) ->
+                       Obs.Json.List
+                         [
+                           Obs.Json.String (Ir.Pp.qualified_var_name prog x);
+                           Obs.Json.String (Ir.Pp.qualified_var_name prog y);
+                         ])
+                     (Core.Alias.pairs t.Core.Analyze.alias pid)) );
+            ]
+          :: !acc);
+    Obs.Json.List (List.rev !acc)
+  in
+  let sites =
+    let acc = ref [] in
+    Ir.Prog.iter_sites prog (fun s ->
+        let sid = s.Ir.Prog.sid in
+        acc :=
+          Obs.Json.Obj
+            [
+              ("sid", Obs.Json.Int sid);
+              ( "caller",
+                Obs.Json.String (Ir.Prog.proc prog s.Ir.Prog.caller).Ir.Prog.pname );
+              ( "callee",
+                Obs.Json.String (Ir.Prog.proc prog s.Ir.Prog.callee).Ir.Prog.pname );
+              ("mod", var_set_json prog (Core.Analyze.mod_of_site t sid));
+              ("use", var_set_json prog (Core.Analyze.use_of_site t sid));
+            ]
+          :: !acc);
+    Obs.Json.List (List.rev !acc)
+  in
+  Obs.Json.Obj
+    [
+      ("program", Obs.Json.String prog.Ir.Prog.name);
+      ("graph", graph_shape_json t.Core.Analyze.call t.Core.Analyze.binding);
+      ("procedures", procedures);
+      ("sites", sites);
+    ]
+
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run file flat =
+  let run file flat trace json =
+    with_trace trace @@ fun () ->
     let prog = load file in
     let t = Core.Analyze.run ~force_flat:flat prog in
-    Format.printf "%a@." Core.Analyze.pp_report t
+    if json then print_endline (Obs.Json.to_string (analysis_json t))
+    else Format.printf "%a@." Core.Analyze.pp_report t
   in
   let flat =
     Arg.(value & flag & info [ "force-flat" ]
@@ -41,12 +158,13 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Interprocedural MOD/USE analysis of a MiniProc file.")
-    Term.(const run $ file_arg $ flat)
+    Term.(const run $ file_arg $ flat $ trace_arg $ json_arg)
 
 (* --- sections --- *)
 
 let sections_cmd =
-  let run file =
+  let run file trace =
+    with_trace trace @@ fun () ->
     let prog = load file in
     if not (Sections.Analyze_sections.applicable prog) then begin
       Format.eprintf "regular-section analysis requires a flat program@.";
@@ -57,17 +175,25 @@ let sections_cmd =
   in
   Cmd.v
     (Cmd.info "sections" ~doc:"Regular-section (array subsection) analysis, §6.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ trace_arg)
 
 (* --- stats --- *)
 
 let stats_cmd =
-  let run file =
+  let run file trace =
+    with_trace trace @@ fun () ->
     let prog = load file in
     let call = Callgraph.Call.build prog in
     let binding = Callgraph.Binding.build prog in
     Format.printf "%a@.%a@." Callgraph.Call.pp_stats call Callgraph.Binding.pp_stats
       binding;
+    let beta_scc = Graphs.Scc.compute binding.Callgraph.Binding.graph in
+    Format.printf "beta SCCs: %d; beta edges by level: %s@."
+      beta_scc.Graphs.Scc.n_comps
+      (String.concat " "
+         (List.map
+            (fun (lvl, count) -> Printf.sprintf "L%d=%d" lvl count)
+            (Callgraph.Binding.edges_by_level binding)));
     let reach = Callgraph.Call.reachable_from_main call in
     Format.printf "procedures reachable from main: %d / %d@." (Bitvec.cardinal reach)
       (Ir.Prog.n_procs prog);
@@ -75,7 +201,84 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Sizes of the call multi-graph C and binding multi-graph β.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ trace_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run file json =
+    let source = read_file file in
+    let (prog, t), span =
+      Obs.Span.collect "profile" @@ fun () ->
+      let prog =
+        match Frontend.Sema.compile ~file source with
+        | Ok prog -> prog
+        | Error errs ->
+          Format.eprintf "@[<v>%a@]@."
+            (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+               Frontend.Sema.pp_error)
+            errs;
+          exit 1
+      in
+      let t = Core.Analyze.run prog in
+      (* Force the per-site §5 summaries so their cost is on the trace
+         (Analyze.run computes them lazily per query). *)
+      Obs.Span.with_ "sites" (fun () ->
+          Ir.Prog.iter_sites prog (fun s ->
+              ignore (Core.Analyze.mod_of_site t s.Ir.Prog.sid);
+              ignore (Core.Analyze.use_of_site t s.Ir.Prog.sid)));
+      (prog, t)
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("file", Obs.Json.String file);
+                ("program", Obs.Json.String prog.Ir.Prog.name);
+                ("graph", graph_shape_json t.Core.Analyze.call t.Core.Analyze.binding);
+                ("trace", Obs.trace_json [ span ]);
+              ]))
+    else begin
+      Format.printf "== profile: %s ==@." prog.Ir.Prog.name;
+      Format.printf "%a@.%a@." Callgraph.Call.pp_stats t.Core.Analyze.call
+        Callgraph.Binding.pp_stats t.Core.Analyze.binding;
+      Format.printf "%a@." Obs.pp_trace [ span ]
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the full analysis pipeline under tracing and report per-phase wall \
+          time and operation-counter deltas (the paper's cost units).")
+    Term.(const run $ file_arg $ json_arg)
+
+(* --- json-validate --- *)
+
+let json_validate_cmd =
+  let run () =
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec slurp () =
+      let n = input stdin chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        slurp ()
+      end
+    in
+    slurp ();
+    match Obs.Json.parse (Buffer.contents buf) with
+    | Ok _ -> print_endline "json: ok"
+    | Error msg ->
+      Format.eprintf "json: invalid (%s)@." msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "json-validate"
+       ~doc:
+         "Validate that stdin is well-formed JSON (used by 'make profile-smoke'; \
+          no external jq needed).")
+    Term.(const run $ const ())
 
 (* --- gen --- *)
 
@@ -299,4 +502,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sidefx" ~version:"1.0.0"
              ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
-          [ analyze_cmd; sections_cmd; stats_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; bench_table_cmd ]))
+          [ analyze_cmd; sections_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; bench_table_cmd ]))

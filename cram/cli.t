@@ -3,6 +3,7 @@ Graph statistics for the quickstart program:
   $ ../bin/sidefx.exe stats ../programs/bank.mp
   4 procedures, 4 call sites, 4 SCCs
   C: 4 nodes, 4 edges; beta: 2 nodes, 1 edges; mu_f = 1.33, mu_a = 1.50; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.25
+  beta SCCs: 2; beta edges by level: L1=1
   procedures reachable from main: 4 / 4
   nesting depth dP = 1
 
@@ -76,6 +77,7 @@ Nested procedures: stats and analysis both handle dP = 3:
   $ ../bin/sidefx.exe stats ../programs/report.mp
   4 procedures, 4 call sites, 4 SCCs
   C: 4 nodes, 4 edges; beta: 2 nodes, 2 edges; mu_f = 0.67, mu_a = 0.75; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.50
+  beta SCCs: 2; beta edges by level: L1=0 L2=2 L3=0
   procedures reachable from main: 4 / 4
   nesting depth dP = 3
 
@@ -131,6 +133,7 @@ Generation is deterministic and generated programs are accepted back:
   $ ../bin/sidefx.exe stats g.mp
   4 procedures, 9 call sites, 4 SCCs
   C: 4 nodes, 9 edges; beta: 3 nodes, 2 edges; mu_f = 1.67, mu_a = 1.22; size ratio N_beta/N_C = 0.75, E_beta/E_C = 0.22
+  beta SCCs: 3; beta edges by level: L1=2
   procedures reachable from main: 4 / 4
   nesting depth dP = 1
 
@@ -163,3 +166,130 @@ The differential checker reports coverage and precision:
   $ ../bin/sidefx.exe check ../programs/pipeline.mp
   sites executed: 4 / 4; soundness violations: 0
   observed MOD bits: 4; predicted MOD bits: 4 (precision 100%)
+
+Profiling: the phase table covers the whole pipeline.  Timings vary run
+to run, so only the phase names (first column) are asserted:
+
+  $ ../bin/sidefx.exe profile ../examples/profile_demo.mp | awk 'NR>4 && NF {print $1}'
+  profile
+  frontend.compile
+  frontend.parse
+  frontend.resolve
+  analyze
+  info
+  callgraph.call
+  callgraph.binding
+  local
+  local.use
+  rmod
+  ruse
+  imod_plus
+  iuse_plus
+  guse
+  gmod
+  alias
+  summary
+  sites
+
+The JSON report's key set is a stable contract (values are not):
+
+  $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --json | grep -o '"[A-Za-z0-9_.]*":' | sort -u
+  "L1":
+  "alias.pairs":
+  "beta_edges":
+  "beta_edges_by_level":
+  "beta_nodes":
+  "beta_sccs":
+  "bitvec.vector_ops":
+  "bitvec.word_ops":
+  "call_sccs":
+  "call_sites":
+  "callgraph.beta.edges":
+  "callgraph.beta.nodes":
+  "callgraph.call.edges":
+  "callgraph.call.nodes":
+  "children":
+  "elapsed_s":
+  "file":
+  "graph":
+  "metrics":
+  "name":
+  "nesting_depth":
+  "procedures":
+  "program":
+  "rmod.steps":
+  "trace":
+
+  $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --json | grep -o '"name":"[a-z_.]*"' | sort -u
+  "name":"alias"
+  "name":"analyze"
+  "name":"callgraph.binding"
+  "name":"callgraph.call"
+  "name":"frontend.compile"
+  "name":"frontend.parse"
+  "name":"frontend.resolve"
+  "name":"gmod"
+  "name":"guse"
+  "name":"imod_plus"
+  "name":"info"
+  "name":"iuse_plus"
+  "name":"local"
+  "name":"local.use"
+  "name":"profile"
+  "name":"rmod"
+  "name":"ruse"
+  "name":"sites"
+  "name":"summary"
+
+Machine-readable analysis results, self-validated:
+
+  $ ../bin/sidefx.exe analyze ../programs/bank.mp --json | ../bin/sidefx.exe json-validate
+  json: ok
+
+  $ ../bin/sidefx.exe analyze ../programs/bank.mp --json | grep -o '"[A-Za-z0-9_.]*":' | sort -u
+  "L1":
+  "aliases":
+  "beta_edges":
+  "beta_edges_by_level":
+  "beta_nodes":
+  "beta_sccs":
+  "call_sccs":
+  "call_sites":
+  "callee":
+  "caller":
+  "gmod":
+  "graph":
+  "guse":
+  "imod_plus":
+  "mod":
+  "name":
+  "nesting_depth":
+  "procedures":
+  "program":
+  "rmod":
+  "sid":
+  "sites":
+  "use":
+
+  $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --json | ../bin/sidefx.exe json-validate
+  json: ok
+
+  $ echo '{"broken":' | ../bin/sidefx.exe json-validate
+  json: invalid (at offset 11: unexpected end of input)
+  [1]
+
+--trace works on any command and writes its table to stderr, leaving
+stdout untouched:
+
+  $ ../bin/sidefx.exe stats ../programs/bank.mp --trace 2>trace.err
+  4 procedures, 4 call sites, 4 SCCs
+  C: 4 nodes, 4 edges; beta: 2 nodes, 1 edges; mu_f = 1.33, mu_a = 1.50; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.25
+  beta SCCs: 2; beta edges by level: L1=1
+  procedures reachable from main: 4 / 4
+  nesting depth dP = 1
+  $ awk 'NR>1 && NF {print $1}' trace.err
+  frontend.compile
+  frontend.parse
+  frontend.resolve
+  callgraph.call
+  callgraph.binding

@@ -2,7 +2,10 @@ module Digraph = Graphs.Digraph
 module Binding = Callgraph.Binding
 module Prog = Ir.Prog
 
+let passes_metric = Obs.Metric.counter "baseline.iterative.passes"
+
 let rmod_passes (binding : Binding.t) ~imod =
+  Obs.Span.with_ "baseline.iterative.rmod" @@ fun () ->
   let g = binding.Binding.graph in
   let n = Digraph.n_nodes g in
   let value = Array.make n false in
@@ -26,11 +29,13 @@ let rmod_passes (binding : Binding.t) ~imod =
           changed := true
         end)
   done;
+  Obs.Metric.add passes_metric !passes;
   (value, !passes)
 
 let rmod binding ~imod = fst (rmod_passes binding ~imod)
 
 let gmod_passes info (call : Callgraph.Call.t) ~imod_plus =
+  Obs.Span.with_ "baseline.iterative.gmod" @@ fun () ->
   let g = call.Callgraph.Call.graph in
   let gmod = Array.map Bitvec.copy imod_plus in
   let scratch = Bitvec.create (Ir.Info.n_vars info) in
@@ -44,6 +49,7 @@ let gmod_passes info (call : Callgraph.Call.t) ~imod_plus =
         ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info q) ~dst:scratch);
         if Bitvec.union_into ~src:scratch ~dst:gmod.(p) then changed := true)
   done;
+  Obs.Metric.add passes_metric !passes;
   (gmod, !passes)
 
 let gmod info call ~imod_plus = fst (gmod_passes info call ~imod_plus)

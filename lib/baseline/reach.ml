@@ -6,6 +6,7 @@ let gmod info (call : Callgraph.Call.t) ~imod_plus =
   let prog = call.Callgraph.Call.prog in
   if not (applicable prog) then
     invalid_arg "Reach.gmod: only defined for flat (two-level) programs";
+  Obs.Span.with_ "baseline.reach.gmod" @@ fun () ->
   let g = call.Callgraph.Call.graph in
   let global = Ir.Info.global info in
   Array.init (Prog.n_procs prog) (fun p ->

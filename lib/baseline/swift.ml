@@ -3,6 +3,7 @@ module Prog = Ir.Prog
 module Expr = Ir.Expr
 
 let rmod (binding : Binding.t) ~imod =
+  Obs.Span.with_ "baseline.swift.rmod" @@ fun () ->
   let prog = binding.Binding.prog in
   let nv = Prog.n_vars prog in
   let np = Prog.n_procs prog in

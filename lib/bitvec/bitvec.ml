@@ -10,22 +10,31 @@ type t = {
   words : int array;
 }
 
-(* Operation counters, see mli. *)
-let vector_ops_counter = ref 0
-let word_ops_counter = ref 0
+(* Operation counters, see mli.  Registry-backed: the counters are
+   monotonic Obs handles, never reset; consumers measure intervals with
+   Obs.Metric.snapshot/delta. *)
+let vector_ops_metric = Obs.Metric.counter "bitvec.vector_ops"
+let word_ops_metric = Obs.Metric.counter "bitvec.word_ops"
 
 module Stats = struct
-  let reset () =
-    vector_ops_counter := 0;
-    word_ops_counter := 0
+  (* Deprecated shim over the registry.  [reset] no longer zeroes the
+     global counters (that would clobber any concurrent snapshot/delta
+     measurement); it re-bases this module's private baseline, so the
+     old read-after-reset protocol keeps its exact semantics. *)
+  let base_vector = ref 0
+  let base_word = ref 0
 
-  let vector_ops () = !vector_ops_counter
-  let word_ops () = !word_ops_counter
+  let reset () =
+    base_vector := Obs.Metric.value vector_ops_metric;
+    base_word := Obs.Metric.value word_ops_metric
+
+  let vector_ops () = Obs.Metric.value vector_ops_metric - !base_vector
+  let word_ops () = Obs.Metric.value word_ops_metric - !base_word
 end
 
 let count_words n =
-  incr vector_ops_counter;
-  word_ops_counter := !word_ops_counter + n
+  Obs.Metric.incr vector_ops_metric;
+  Obs.Metric.add word_ops_metric n
 
 let words_for length = (length + bits_per_word - 1) / bits_per_word
 

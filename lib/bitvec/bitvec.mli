@@ -96,11 +96,18 @@ val pp : Format.formatter -> t -> unit
 
 (** Global operation counters.
 
-    Every whole-vector operation above bumps [vector_ops] by one and
-    [word_ops] by the number of machine words it touched.  The
-    benchmark harness resets these around a run to report the
-    bit-vector-step counts the paper's complexity claims are stated
-    in. *)
+    Every whole-vector operation above bumps the registry counters
+    [bitvec.vector_ops] (by one) and [bitvec.word_ops] (by the number
+    of machine words touched) — the bit-vector-step counts the paper's
+    complexity claims are stated in.
+
+    {b Deprecated.}  New code should measure intervals with
+    {!Obs.Metric.snapshot}/{!Obs.Metric.delta} on those counters (or
+    read them off a {!Obs.Span}); the snapshot/delta protocol composes
+    under nesting where the reset protocol clobbers outer measurements.
+    This shim keeps the historical semantics: [reset] re-bases a module
+    baseline (the registry counters themselves are never reset) and the
+    readers report counts since the last [reset]. *)
 module Stats : sig
   val reset : unit -> unit
   val vector_ops : unit -> int

@@ -16,7 +16,11 @@ type t = {
   edges : edge_info array;
 }
 
+let nodes_metric = Obs.Metric.gauge "callgraph.beta.nodes"
+let edges_metric = Obs.Metric.gauge "callgraph.beta.edges"
+
 let build prog =
+  Obs.Span.with_ "callgraph.binding" @@ fun () ->
   let nv = Prog.n_vars prog in
   let node_of_var = Array.make nv (-1) in
   let nodes = ref [] in
@@ -52,13 +56,18 @@ let build prog =
               edges := { site = s.Prog.sid; arg_pos; via_element } :: !edges
             end)
         s.Prog.args);
-  {
-    prog;
-    graph = Digraph.Builder.freeze b;
-    node_of_var;
-    var_of_node;
-    edges = Array.of_list (List.rev !edges);
-  }
+  let t =
+    {
+      prog;
+      graph = Digraph.Builder.freeze b;
+      node_of_var;
+      var_of_node;
+      edges = Array.of_list (List.rev !edges);
+    }
+  in
+  Obs.Metric.set nodes_metric (Digraph.n_nodes t.graph);
+  Obs.Metric.set edges_metric (Digraph.n_edges t.graph);
+  t
 
 let n_nodes t = Digraph.n_nodes t.graph
 let n_edges t = Digraph.n_edges t.graph
@@ -76,6 +85,17 @@ let node_opt t vid =
   if n < 0 then None else Some n
 
 let var t node = t.var_of_node.(node)
+
+let edges_by_level t =
+  let dp = max 1 (Prog.max_level t.prog) in
+  let counts = Array.make (dp + 1) 0 in
+  Array.iter
+    (fun e ->
+      let s = Prog.site t.prog e.site in
+      let lvl = (Prog.proc t.prog s.Prog.callee).Prog.level in
+      counts.(lvl) <- counts.(lvl) + 1)
+    t.edges;
+  List.init dp (fun i -> (i + 1, counts.(i + 1)))
 
 let mu_f prog =
   let total = ref 0 and count = ref 0 in

@@ -53,6 +53,13 @@ val node_opt : t -> int -> int option
 val var : t -> int -> int
 (** vid of a β node. *)
 
+val edges_by_level : t -> (int * int) list
+(** [(level, count)] per nesting level [1 .. max 1 dP]: how many β
+    edges bind into a formal whose owner is declared at that level.
+    Levels beyond 1 only appear in nested (Pascal-style) programs;
+    [sidefx stats] and [sidefx profile] print this so graph-shape
+    vocabulary agrees across commands. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** Sizes of β next to the sizes of [C], with the paper's [µ_f]/[µ_a]
     averages and the resulting blow-up factor [k] (§3.1's size

@@ -6,13 +6,20 @@ type t = {
   graph : Digraph.t;
 }
 
+let nodes_metric = Obs.Metric.gauge "callgraph.call.nodes"
+let edges_metric = Obs.Metric.gauge "callgraph.call.edges"
+
 let build prog =
+  Obs.Span.with_ "callgraph.call" @@ fun () ->
   let b = Digraph.Builder.create ~nodes:(Prog.n_procs prog) () in
   Prog.iter_sites prog (fun s ->
       let e = Digraph.Builder.add_edge b ~src:s.Prog.caller ~dst:s.Prog.callee in
       (* Site ids are dense and iterated in order, so edge id = sid. *)
       assert (e = s.Prog.sid));
-  { prog; graph = Digraph.Builder.freeze b }
+  let t = { prog; graph = Digraph.Builder.freeze b } in
+  Obs.Metric.set nodes_metric (Digraph.n_nodes t.graph);
+  Obs.Metric.set edges_metric (Digraph.n_edges t.graph);
+  t
 
 let site_of_edge t e = Prog.site t.prog e
 

@@ -14,7 +14,10 @@ type t = {
 
 let norm x y = if x <= y then (x, y) else (y, x)
 
+let pairs_metric = Obs.Metric.gauge "alias.pairs"
+
 let compute info =
+  Obs.Span.with_ "alias" @@ fun () ->
   let prog = Ir.Info.prog info in
   let np = Prog.n_procs prog in
   let alias = Array.make np Pair_set.empty in
@@ -83,6 +86,8 @@ let compute info =
     Prog.iter_sites prog process_site;
     inherit_down ()
   done;
+  Obs.Metric.set pairs_metric
+    (Array.fold_left (fun acc s -> acc + Pair_set.cardinal s) 0 alias);
   { info; alias }
 
 let pairs t pid = Pair_set.elements t.alias.(pid)

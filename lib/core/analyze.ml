@@ -18,25 +18,26 @@ type t = {
 }
 
 let run ?(force_flat = false) prog =
-  let info = Ir.Info.make prog in
+  Obs.Span.with_ "analyze" @@ fun () ->
+  let info = Obs.Span.with_ "info" (fun () -> Ir.Info.make prog) in
   let call = Callgraph.Call.build prog in
   let binding = Callgraph.Binding.build prog in
-  let imod = Frontend.Local.imod info in
-  let iuse = Frontend.Local.iuse info in
+  let imod = Obs.Span.with_ "local" (fun () -> Frontend.Local.imod info) in
+  let iuse = Obs.Span.with_ "local.use" (fun () -> Frontend.Local.iuse info) in
   let rmod = Rmod.solve binding ~imod in
-  let ruse = Rmod.solve binding ~imod:iuse in
+  let ruse = Rmod.solve ~label:"ruse" binding ~imod:iuse in
   let imod_plus = Imod_plus.compute info ~rmod ~imod in
-  let iuse_plus = Imod_plus.compute info ~rmod:ruse ~imod:iuse in
+  let iuse_plus = Imod_plus.compute ~label:"iuse_plus" info ~rmod:ruse ~imod:iuse in
   let nested = (not force_flat) && Prog.max_level prog > 1 in
   let gmod, guse =
     if nested then
       ( Gmod_nested.solve info call ~imod_plus,
-        Gmod_nested.solve info call ~imod_plus:iuse_plus )
+        Gmod_nested.solve ~label:"guse" info call ~imod_plus:iuse_plus )
     else
       (Gmod.solve info call ~imod_plus, Gmod.solve_use info call ~iuse_plus)
   in
   let alias = Alias.compute info in
-  let summary = Summary.make info ~gmod ~guse ~alias in
+  let summary = Obs.Span.with_ "summary" (fun () -> Summary.make info ~gmod ~guse ~alias) in
   {
     prog;
     info;

@@ -96,5 +96,8 @@ let solve_seeded info (call : Callgraph.Call.t) ~seed =
   done;
   gmod
 
-let solve info call ~imod_plus = solve_seeded info call ~seed:imod_plus
-let solve_use info call ~iuse_plus = solve_seeded info call ~seed:iuse_plus
+let solve ?(label = "gmod") info call ~imod_plus =
+  Obs.Span.with_ label (fun () -> solve_seeded info call ~seed:imod_plus)
+
+let solve_use ?(label = "guse") info call ~iuse_plus =
+  Obs.Span.with_ label (fun () -> solve_seeded info call ~seed:iuse_plus)

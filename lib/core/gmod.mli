@@ -18,9 +18,14 @@
     — [GMOD] of an unreachable procedure is only meaningful with
     respect to chains starting at it. *)
 
-val solve : Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
-(** Per-procedure [GMOD].  Fresh vectors. *)
+val solve :
+  ?label:string -> Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+(** Per-procedure [GMOD].  Fresh vectors.  Runs under an {!Obs.Span}
+    named [label] (default ["gmod"]), whose [bitvec.vector_ops] /
+    [bitvec.word_ops] deltas are the paper's bit-vector-step count. *)
 
-val solve_use : Ir.Info.t -> Callgraph.Call.t -> iuse_plus:Bitvec.t array -> Bitvec.t array
+val solve_use :
+  ?label:string -> Ir.Info.t -> Callgraph.Call.t -> iuse_plus:Bitvec.t array -> Bitvec.t array
 (** The identical algorithm seeded with [IUSE+], producing [GUSE] (§2:
-    "the USE problem has an analogous solution"). *)
+    "the USE problem has an analogous solution").  Span default
+    ["guse"]. *)

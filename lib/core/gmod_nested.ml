@@ -3,7 +3,9 @@ module Prog = Ir.Prog
 
 (* --- per-level repetition (reference implementation) --- *)
 
-let solve_by_levels info (call : Callgraph.Call.t) ~imod_plus =
+let solve_by_levels ?(label = "gmod.by_levels") info (call : Callgraph.Call.t)
+    ~imod_plus =
+  Obs.Span.with_ label @@ fun () ->
   let prog = call.Callgraph.Call.prog in
   let dp = Prog.max_level prog in
   let result = Array.map Bitvec.copy imod_plus in
@@ -31,7 +33,8 @@ let solve_by_levels info (call : Callgraph.Call.t) ~imod_plus =
 
 (* --- single-pass algorithm with lowlink vectors --- *)
 
-let solve info (call : Callgraph.Call.t) ~imod_plus =
+let solve ?(label = "gmod") info (call : Callgraph.Call.t) ~imod_plus =
+  Obs.Span.with_ label @@ fun () ->
   let prog = call.Callgraph.Call.prog in
   let g = call.Callgraph.Call.graph in
   let n = Digraph.n_nodes g in

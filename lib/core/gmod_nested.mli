@@ -35,9 +35,13 @@
 
     For [dP = 1] both reduce exactly to Figure 2. *)
 
-val solve : Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
-(** Single-pass algorithm, [O(E + dP·N)] bit-vector steps. *)
+val solve :
+  ?label:string -> Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+(** Single-pass algorithm, [O(E + dP·N)] bit-vector steps.  Runs under
+    an {!Obs.Span} named [label] (default ["gmod"], matching the flat
+    solver so profiles key on one phase name). *)
 
 val solve_by_levels :
-  Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
-(** Per-level repetition of Figure 2, [O(dP·(E+N))] bit-vector steps. *)
+  ?label:string -> Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+(** Per-level repetition of Figure 2, [O(dP·(E+N))] bit-vector steps.
+    Span default ["gmod.by_levels"]. *)

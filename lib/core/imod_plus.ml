@@ -1,7 +1,8 @@
 module Prog = Ir.Prog
 module Expr = Ir.Expr
 
-let compute info ~rmod ~imod =
+let compute ?(label = "imod_plus") info ~rmod ~imod =
+  Obs.Span.with_ label @@ fun () ->
   let prog = Ir.Info.prog info in
   let result = Array.map Bitvec.copy imod in
   Prog.iter_sites prog (fun s ->

@@ -14,6 +14,9 @@
     sites inflict on variables non-local to it belong to every
     enclosing procedure as well. *)
 
-val compute : Ir.Info.t -> rmod:Rmod.result -> imod:Bitvec.t array -> Bitvec.t array
+val compute :
+  ?label:string -> Ir.Info.t -> rmod:Rmod.result -> imod:Bitvec.t array -> Bitvec.t array
 (** Per-procedure [IMOD+]; [imod] must be the nesting-extended family
-    the [rmod] solve was seeded with. *)
+    the [rmod] solve was seeded with.  Runs under an {!Obs.Span} named
+    [label] (default ["imod_plus"]; the [USE] side passes
+    ["iuse_plus"]). *)

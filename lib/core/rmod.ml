@@ -9,7 +9,12 @@ type result = {
   steps : int;
 }
 
-let solve (binding : Binding.t) ~imod =
+(* The paper's O(Nβ + Eβ) bound counts simple boolean steps; mirror the
+   per-result [steps] field into the registry so spans see it. *)
+let steps_metric = Obs.Metric.counter "rmod.steps"
+
+let solve ?(label = "rmod") (binding : Binding.t) ~imod =
+  Obs.Span.with_ label @@ fun () ->
   let g = binding.Binding.graph in
   let n = Digraph.n_nodes g in
   let steps = ref 0 in
@@ -49,6 +54,7 @@ let solve (binding : Binding.t) ~imod =
     incr steps;
     rmod.(node) <- comp_val.(scc.Scc.comp.(node))
   done;
+  Obs.Metric.add steps_metric !steps;
   { binding; rmod; steps = !steps }
 
 let modified r vid =

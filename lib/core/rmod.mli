@@ -25,10 +25,14 @@ type result = {
           the empirical-linearity experiment. *)
 }
 
-val solve : Callgraph.Binding.t -> imod:Bitvec.t array -> result
+val solve : ?label:string -> Callgraph.Binding.t -> imod:Bitvec.t array -> result
 (** [imod] is the per-procedure [IMOD] family (nesting extension
     included) from {!Frontend.Local.imod}; only its formal-parameter
-    bits are consulted. *)
+    bits are consulted.
+
+    Runs under an {!Obs.Span} named [label] (default ["rmod"]; the
+    [USE]-side solve passes ["ruse"]) and adds its boolean step count
+    to the [rmod.steps] registry counter. *)
 
 val modified : result -> int -> bool
 (** [modified r vid]: is this by-reference formal modified?  [false]

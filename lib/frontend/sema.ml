@@ -459,9 +459,10 @@ let resolve (ast : Ast.program) : (Ir.Prog.t, error list) result =
       }
 
 let compile ?file src =
-  match Parser.parse ?file src with
+  Obs.Span.with_ "frontend.compile" @@ fun () ->
+  match Obs.Span.with_ "frontend.parse" (fun () -> Parser.parse ?file src) with
   | Result.Error (loc, msg) -> Error [ { loc; msg } ]
-  | Ok ast -> resolve ast
+  | Ok ast -> Obs.Span.with_ "frontend.resolve" (fun () -> resolve ast)
 
 let compile_exn ?file src =
   match compile ?file src with

@@ -147,13 +147,14 @@ let pp_program ppf (p : Prog.t) =
 
 let to_string p = Format.asprintf "%a@." pp_program p
 
+let qualified_var_name p vid =
+  let v = Prog.var p vid in
+  match Prog.var_owner v with
+  | None -> v.Prog.vname
+  | Some pid -> Printf.sprintf "%s.%s" (proc_name p pid) v.Prog.vname
+
 let pp_var_set p ppf set =
-  let qualified vid =
-    let v = Prog.var p vid in
-    match Prog.var_owner v with
-    | None -> v.Prog.vname
-    | Some pid -> Printf.sprintf "%s.%s" (proc_name p pid) v.Prog.vname
-  in
+  let qualified = qualified_var_name p in
   Format.fprintf ppf "{@[%a@]}"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")

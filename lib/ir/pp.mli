@@ -22,6 +22,10 @@ val to_string : Prog.t -> string
 val var_name : Prog.t -> int -> string
 (** Display name of a variable: its source name. *)
 
+val qualified_var_name : Prog.t -> int -> string
+(** The name as reports print it: bare for globals, [proc.x]
+    otherwise. *)
+
 val proc_name : Prog.t -> int -> string
 
 val pp_var_set : Prog.t -> Format.formatter -> Bitvec.t -> unit

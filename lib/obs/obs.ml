@@ -1,0 +1,458 @@
+(* Telemetry core.  See obs.mli for the contract.  Stdlib only: this
+   sits below bitvec in the dependency order, so it can depend on
+   nothing. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_to_string f =
+    if not (Float.is_finite f) then "null"
+    else
+      let s = Printf.sprintf "%.9g" f in
+      (* "%g" may print an integral float without '.' or exponent,
+         which would re-parse as Int and break encoding stability. *)
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_to_string f)
+    | String s -> escape_to buf s
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    emit buf j;
+    Buffer.contents buf
+
+  let pp ppf j = Format.pp_print_string ppf (to_string j)
+
+  exception Bad of int * string
+
+  let parse src =
+    let n = String.length src in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let peek () = if !pos < n then Some src.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub src !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected '%s'" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match src.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           match src.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'u' ->
+             advance ();
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub src !pos 4 in
+             let code =
+               try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+             in
+             pos := !pos + 4;
+             (* Re-encode as UTF-8 (the common BMP case; surrogate
+                pairs are out of scope for our own output). *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+             end
+           | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+        | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      if peek () = Some '-' then advance ();
+      let digits () =
+        let any = ref false in
+        while !pos < n && src.[!pos] >= '0' && src.[!pos] <= '9' do
+          any := true;
+          advance ()
+        done;
+        if not !any then fail "expected digit"
+      in
+      digits ();
+      if peek () = Some '.' then begin
+        is_float := true;
+        advance ();
+        digits ()
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ());
+      let text = String.sub src start (!pos - start) in
+      if !is_float then Float (float_of_string text)
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> Float (float_of_string text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          items_loop ();
+          List (List.rev !items)
+        end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad (at, msg) -> Error (Printf.sprintf "at offset %d: %s" at msg)
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+module Metric = struct
+  type kind = Counter | Gauge
+
+  type handle = {
+    id : int;
+    mname : string;
+    mkind : kind;
+    mutable value : int;
+  }
+
+  (* Registration order matters for stable output: keep both a reverse
+     list (cheap append) and a name index. *)
+  let registered : handle list ref = ref []
+  let by_name : (string, handle) Hashtbl.t = Hashtbl.create 32
+  let count = ref 0
+
+  let register mname mkind =
+    match Hashtbl.find_opt by_name mname with
+    | Some h ->
+      if h.mkind <> mkind then
+        invalid_arg
+          (Printf.sprintf "Obs.Metric: %s already registered with the other kind"
+             mname);
+      h
+    | None ->
+      let h = { id = !count; mname; mkind; value = 0 } in
+      incr count;
+      registered := h :: !registered;
+      Hashtbl.add by_name mname h;
+      h
+
+  let counter name = register name Counter
+  let gauge name = register name Gauge
+  let incr h = h.value <- h.value + 1
+  let add h n = h.value <- h.value + n
+  let set h v = h.value <- v
+  let value h = h.value
+  let name h = h.mname
+  let kind h = h.mkind
+  let find name = Hashtbl.find_opt by_name name
+
+  let in_order () = List.rev !registered
+
+  let all () = List.map (fun h -> (h.mname, h.mkind, h.value)) (in_order ())
+
+  type snapshot = int array
+  (* values.(id) at capture time; handles registered later read 0. *)
+
+  let snapshot () =
+    let values = Array.make !count 0 in
+    List.iter (fun h -> values.(h.id) <- h.value) !registered;
+    values
+
+  let value_since ~since h =
+    let base = if h.id < Array.length since then since.(h.id) else 0 in
+    h.value - base
+
+  let delta ~since =
+    List.map (fun h -> (h.mname, value_since ~since h)) (in_order ())
+end
+
+module Clock = struct
+  let source = ref Sys.time
+  let now () = !source ()
+  let set f = source := f
+end
+
+module Span = struct
+  type t = {
+    name : string;
+    elapsed : float;
+    metrics : (string * int) list;
+    children : t list;
+  }
+
+  type frame = {
+    fname : string;
+    start : float;
+    snap : Metric.snapshot;
+    mutable children_rev : t list;
+  }
+
+  let enabled_flag = ref false
+  let stack : frame list ref = ref []
+  let roots_rev : t list ref = ref []
+
+  let enabled () = !enabled_flag
+  let set_enabled b = enabled_flag := b
+
+  let close fr =
+    let elapsed = Clock.now () -. fr.start in
+    let span =
+      {
+        name = fr.fname;
+        elapsed;
+        metrics = Metric.delta ~since:fr.snap;
+        children = List.rev fr.children_rev;
+      }
+    in
+    (match !stack with
+    | top :: rest when top == fr -> stack := rest
+    | other -> stack := other (* unbalanced close; keep going *));
+    match !stack with
+    | parent :: _ -> parent.children_rev <- span :: parent.children_rev
+    | [] -> roots_rev := span :: !roots_rev
+
+  let record name f =
+    let fr =
+      { fname = name; start = Clock.now (); snap = Metric.snapshot (); children_rev = [] }
+    in
+    stack := fr :: !stack;
+    match f () with
+    | v ->
+      close fr;
+      v
+    | exception e ->
+      close fr;
+      raise e
+
+  (* The hot path: one branch when tracing is off. *)
+  let with_ name f = if not !enabled_flag then f () else record name f
+
+  let drain () =
+    let spans = List.rev !roots_rev in
+    roots_rev := [];
+    spans
+
+  let collect name f =
+    let saved_enabled = !enabled_flag in
+    let saved_stack = !stack in
+    let saved_roots = !roots_rev in
+    enabled_flag := true;
+    stack := [];
+    roots_rev := [];
+    let restore () =
+      enabled_flag := saved_enabled;
+      stack := saved_stack;
+      roots_rev := saved_roots
+    in
+    match record name f with
+    | v ->
+      let span =
+        match !roots_rev with
+        | [ s ] -> s
+        | l -> { name; elapsed = 0.0; metrics = []; children = List.rev l }
+      in
+      restore ();
+      (v, span)
+    | exception e ->
+      restore ();
+      raise e
+
+  let metric span name =
+    match List.assoc_opt name span.metrics with Some v -> v | None -> 0
+
+  let rec find span name =
+    if span.name = name then Some span
+    else
+      List.fold_left
+        (fun acc child -> match acc with Some _ -> acc | None -> find child name)
+        None span.children
+end
+
+(* --- sinks ----------------------------------------------------------- *)
+
+let vec_ops_name = "bitvec.vector_ops"
+let word_ops_name = "bitvec.word_ops"
+
+let pp_time ppf seconds =
+  let ms = seconds *. 1e3 in
+  if ms >= 1000.0 then Format.fprintf ppf "%9.2f s " (seconds)
+  else if ms >= 0.001 then Format.fprintf ppf "%9.3f ms" ms
+  else Format.fprintf ppf "%9.1f ns" (seconds *. 1e9)
+
+let pp_trace ppf spans =
+  Format.fprintf ppf "@[<v>%-40s %12s %12s %12s@," "phase" "time" "vector_ops"
+    "word_ops";
+  let rec go indent (s : Span.t) =
+    let pad = String.make (2 * indent) ' ' in
+    let others =
+      List.filter
+        (fun (k, v) -> v <> 0 && k <> vec_ops_name && k <> word_ops_name)
+        s.Span.metrics
+    in
+    Format.fprintf ppf "%-40s %a %12d %12d" (pad ^ s.Span.name) pp_time
+      s.Span.elapsed
+      (Span.metric s vec_ops_name)
+      (Span.metric s word_ops_name);
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v) others;
+    Format.fprintf ppf "@,";
+    List.iter (go (indent + 1)) s.Span.children
+  in
+  List.iter (go 0) spans;
+  Format.fprintf ppf "@]"
+
+let rec span_json (s : Span.t) =
+  Json.Obj
+    [
+      ("name", Json.String s.Span.name);
+      ("elapsed_s", Json.Float s.Span.elapsed);
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Span.metrics));
+      ("children", Json.List (List.map span_json s.Span.children));
+    ]
+
+let trace_json spans = Json.List (List.map span_json spans)
+
+let metrics_json () =
+  Json.Obj (List.map (fun (name, _, value) -> (name, Json.Int value)) (Metric.all ()))

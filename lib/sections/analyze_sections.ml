@@ -39,15 +39,26 @@ let imod_plus_sections info ~(rs : Rsmod.result) ~lrsd_of =
 let run prog =
   if not (applicable prog) then
     invalid_arg "Analyze_sections.run: nested programs are out of scope for §6";
+  Obs.Span.with_ "sections" @@ fun () ->
   let info = Ir.Info.make prog in
   let call = Callgraph.Call.build prog in
   let binding = Callgraph.Binding.build prog in
-  let rsmod = Rsmod.solve info binding in
-  let rsuse = Rsmod.solve_use info binding in
-  let imod_plus = imod_plus_sections info ~rs:rsmod ~lrsd_of:(Lrsd.lrsd_mod info) in
-  let iuse_plus = imod_plus_sections info ~rs:rsuse ~lrsd_of:(Lrsd.lrsd_use info) in
-  let gmod = Gmod_sections.solve info call ~seed:imod_plus in
-  let guse = Gmod_sections.solve info call ~seed:iuse_plus in
+  let rsmod = Obs.Span.with_ "sections.rsmod" (fun () -> Rsmod.solve info binding) in
+  let rsuse = Obs.Span.with_ "sections.rsuse" (fun () -> Rsmod.solve_use info binding) in
+  let imod_plus =
+    Obs.Span.with_ "sections.imod_plus" (fun () ->
+        imod_plus_sections info ~rs:rsmod ~lrsd_of:(Lrsd.lrsd_mod info))
+  in
+  let iuse_plus =
+    Obs.Span.with_ "sections.iuse_plus" (fun () ->
+        imod_plus_sections info ~rs:rsuse ~lrsd_of:(Lrsd.lrsd_use info))
+  in
+  let gmod =
+    Obs.Span.with_ "sections.gmod" (fun () -> Gmod_sections.solve info call ~seed:imod_plus)
+  in
+  let guse =
+    Obs.Span.with_ "sections.guse" (fun () -> Gmod_sections.solve info call ~seed:iuse_plus)
+  in
   { info; call; binding; rsmod; rsuse; imod_plus; iuse_plus; gmod; guse }
 
 (* Sectioned equation (2) projection for one site, under a chosen

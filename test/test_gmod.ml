@@ -79,6 +79,30 @@ end.|}
   let _, gmod = gmod_of prog in
   Helpers.check_var_set prog "rec" [ "g"; "rec.x" ] gmod.(Helpers.proc_id prog "rec")
 
+let test_vector_ops_linear () =
+  (* The paper's Figure-2 bound, read off the Obs registry: findgmod
+     performs O(N + E) bit-vector operations.  The constant absorbs the
+     per-node seeding/copy-back vectors and the per-edge unions of the
+     lowlink walk; 10 is generous (measured ratios sit around 3-4). *)
+  List.iter
+    (fun n ->
+      let prog = Workload.Families.fortran_style ~seed:5 ~n in
+      let p = Helpers.pipeline prog in
+      let snap = Obs.Metric.snapshot () in
+      ignore (Core.Gmod.solve p.Helpers.info p.Helpers.call
+                ~imod_plus:p.Helpers.imod_plus);
+      let vec_ops =
+        match Obs.Metric.find "bitvec.vector_ops" with
+        | Some h -> Obs.Metric.value_since ~since:snap h
+        | None -> Alcotest.fail "bitvec.vector_ops not registered"
+      in
+      let size = Ir.Prog.n_procs prog + Ir.Prog.n_sites prog in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: vector ops %d <= 10*(N+E) = %d" n vec_ops (10 * size))
+        true
+        (vec_ops <= 10 * size))
+    [ 50; 200; 800 ]
+
 (* --- equivalence properties --- *)
 
 let prop_equals_iterative seed =
@@ -212,6 +236,8 @@ let () =
           Alcotest.test_case "formals stay with their owner" `Quick
             test_formals_projected_not_inherited;
           Alcotest.test_case "self recursion" `Quick test_self_recursion;
+          Alcotest.test_case "linear vector-op count via registry" `Quick
+            test_vector_ops_linear;
         ] );
       ( "equivalence",
         [

@@ -1,0 +1,259 @@
+(* Obs telemetry tests: registry semantics, snapshot/delta arithmetic,
+   span nesting, JSON encode/parse round trips, and the "tracing off
+   costs nothing" guarantee the benchmarks rely on. *)
+
+(* --- metric registry --- *)
+
+let test_registry_basics () =
+  let c = Obs.Metric.counter "test.obs.counter" in
+  let g = Obs.Metric.gauge "test.obs.gauge" in
+  Helpers.check_int "fresh counter" 0 (Obs.Metric.value c);
+  Obs.Metric.incr c;
+  Obs.Metric.add c 41;
+  Helpers.check_int "incr + add" 42 (Obs.Metric.value c);
+  Obs.Metric.set g 7;
+  Obs.Metric.set g 5;
+  Helpers.check_int "gauge last write wins" 5 (Obs.Metric.value g);
+  Alcotest.(check string) "name" "test.obs.counter" (Obs.Metric.name c);
+  Helpers.check_bool "kind" true (Obs.Metric.kind c = Obs.Metric.Counter);
+  (* Re-registration returns the same handle, value preserved. *)
+  let c' = Obs.Metric.counter "test.obs.counter" in
+  Helpers.check_int "same handle" 42 (Obs.Metric.value c');
+  Helpers.check_bool "find" true (Obs.Metric.find "test.obs.counter" <> None);
+  Helpers.check_bool "find absent" true (Obs.Metric.find "test.obs.absent" = None);
+  (* A name cannot change kind. *)
+  Helpers.check_bool "kind clash raises" true
+    (try
+       ignore (Obs.Metric.gauge "test.obs.counter");
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_delta () =
+  let c = Obs.Metric.counter "test.obs.delta_counter" in
+  let g = Obs.Metric.gauge "test.obs.delta_gauge" in
+  Obs.Metric.add c 10;
+  Obs.Metric.set g 100;
+  let snap = Obs.Metric.snapshot () in
+  Obs.Metric.add c 5;
+  Obs.Metric.set g 103;
+  Helpers.check_int "counter delta" 5 (Obs.Metric.value_since ~since:snap c);
+  Helpers.check_int "gauge delta" 3 (Obs.Metric.value_since ~since:snap g);
+  let d = Obs.Metric.delta ~since:snap in
+  Helpers.check_int "delta lists counter" 5 (List.assoc "test.obs.delta_counter" d);
+  (* A metric registered after the snapshot counts from zero. *)
+  let late = Obs.Metric.counter "test.obs.late_counter" in
+  Obs.Metric.add late 9;
+  Helpers.check_int "late metric counts from 0" 9
+    (Obs.Metric.value_since ~since:snap late);
+  (* Snapshots are independent: reading one does not disturb another. *)
+  let snap2 = Obs.Metric.snapshot () in
+  Obs.Metric.add c 2;
+  Helpers.check_int "outer snapshot unaffected" 7
+    (Obs.Metric.value_since ~since:snap c);
+  Helpers.check_int "inner snapshot" 2 (Obs.Metric.value_since ~since:snap2 c)
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  let c = Obs.Metric.counter "test.obs.span_counter" in
+  let (), root =
+    Obs.Span.collect "root" @@ fun () ->
+    Obs.Metric.add c 1;
+    Obs.Span.with_ "child_a" (fun () -> Obs.Metric.add c 10);
+    Obs.Span.with_ "child_b" (fun () ->
+        Obs.Metric.add c 100;
+        Obs.Span.with_ "grandchild" (fun () -> Obs.Metric.add c 1000))
+  in
+  Alcotest.(check string) "root name" "root" root.Obs.Span.name;
+  Alcotest.(check (list string))
+    "children in completion order" [ "child_a"; "child_b" ]
+    (List.map (fun s -> s.Obs.Span.name) root.Obs.Span.children);
+  Helpers.check_int "root sees all increments" 1111
+    (Obs.Span.metric root "test.obs.span_counter");
+  (match Obs.Span.find root "grandchild" with
+  | None -> Alcotest.fail "grandchild not found"
+  | Some s ->
+    Helpers.check_int "grandchild sees its own" 1000
+      (Obs.Span.metric s "test.obs.span_counter"));
+  (match Obs.Span.find root "child_b" with
+  | None -> Alcotest.fail "child_b not found"
+  | Some s ->
+    Helpers.check_int "child_b includes grandchild" 1100
+      (Obs.Span.metric s "test.obs.span_counter"));
+  Helpers.check_bool "elapsed is non-negative" true (root.Obs.Span.elapsed >= 0.)
+
+let test_span_disabled_records_nothing () =
+  Helpers.check_bool "tracing starts disabled" false (Obs.Span.enabled ());
+  let r = Obs.Span.with_ "ghost" (fun () -> 17) in
+  Helpers.check_int "value passes through" 17 r;
+  Helpers.check_bool "nothing recorded" true (Obs.Span.drain () = [])
+
+let test_span_exception_still_closes () =
+  let (), root =
+    Obs.Span.collect "outer" @@ fun () ->
+    try Obs.Span.with_ "thrower" (fun () -> failwith "boom")
+    with Failure _ -> ()
+  in
+  Helpers.check_bool "thrower recorded as child" true
+    (Obs.Span.find root "thrower" <> None)
+
+let test_collect_isolated () =
+  (* collect inside an enabled trace must not leak spans in or out. *)
+  Obs.Span.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Span.set_enabled false;
+      ignore (Obs.Span.drain ()))
+  @@ fun () ->
+  Obs.Span.with_ "ambient" (fun () -> ());
+  let (), inner = Obs.Span.collect "island" (fun () -> Obs.Span.with_ "i" ignore) in
+  Helpers.check_bool "island has its child" true (Obs.Span.find inner "i" <> None);
+  Helpers.check_bool "tracing state restored" true (Obs.Span.enabled ());
+  let roots = List.map (fun s -> s.Obs.Span.name) (Obs.Span.drain ()) in
+  Helpers.check_bool "ambient kept, island not duplicated" true
+    (roots = [ "ambient" ])
+
+(* --- the no-cost-when-off guarantee --- *)
+
+let test_tracing_off_op_identical () =
+  (* The acceptance bar for instrumenting the solvers: an analyze run
+     with tracing off performs exactly the same counted operations as
+     one with tracing on (spans read counters; they never add to them). *)
+  let prog = Workload.Families.fortran_style ~seed:11 ~n:30 in
+  let counters_only d =
+    (* Gauges report levels, not work: a second identical run re-sets
+       them to the value they already hold, so only counter deltas are
+       comparable across runs. *)
+    List.filter
+      (fun (name, _) ->
+        match Obs.Metric.find name with
+        | Some h -> Obs.Metric.kind h = Obs.Metric.Counter
+        | None -> false)
+      d
+  in
+  let measure () =
+    let snap = Obs.Metric.snapshot () in
+    ignore (Core.Analyze.run prog);
+    counters_only (Obs.Metric.delta ~since:snap)
+  in
+  let off = measure () in
+  let (on_delta, _span) = Obs.Span.collect "traced" measure in
+  Helpers.check_bool "some ops counted" true
+    (List.exists (fun (_, v) -> v > 0) off);
+  List.iter2
+    (fun (name, a) (name', b) ->
+      Alcotest.(check string) "same metric order" name name';
+      Helpers.check_int (Printf.sprintf "%s identical on/off" name) a b)
+    off on_delta
+
+(* --- JSON --- *)
+
+let sample_values =
+  [
+    Obs.Json.Null;
+    Obs.Json.Bool true;
+    Obs.Json.Bool false;
+    Obs.Json.Int 0;
+    Obs.Json.Int (-42);
+    Obs.Json.Int max_int;
+    Obs.Json.Float 0.25;
+    Obs.Json.Float 1e-9;
+    Obs.Json.Float (-3.5e20);
+    Obs.Json.String "";
+    Obs.Json.String "plain";
+    Obs.Json.String "esc \" \\ \n \t \x01 \x7f";
+    Obs.Json.List [];
+    Obs.Json.Obj [];
+    Obs.Json.List [ Obs.Json.Int 1; Obs.Json.List [ Obs.Json.Null ] ];
+    Obs.Json.Obj
+      [
+        ("a", Obs.Json.Int 1);
+        ("b", Obs.Json.Obj [ ("nested", Obs.Json.Bool false) ]);
+        ("empty key", Obs.Json.String "x");
+      ];
+  ]
+
+let test_json_round_trip () =
+  List.iter
+    (fun j ->
+      let s = Obs.Json.to_string j in
+      match Obs.Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok j' ->
+        Alcotest.(check string)
+          (Printf.sprintf "stable re-encode of %s" s)
+          s (Obs.Json.to_string j'))
+    sample_values
+
+let test_json_parse_standard () =
+  (* Inputs we do not generate but must accept. *)
+  List.iter
+    (fun (s, expect) ->
+      match Obs.Json.parse s with
+      | Ok j -> Alcotest.(check string) s expect (Obs.Json.to_string j)
+      | Error e -> Alcotest.failf "parse %s: %s" s e)
+    [
+      ("  [ 1 , 2 ]  ", "[1,2]");
+      ("{\"k\" :\ttrue}", "{\"k\":true}");
+      ("\"\\u0041\\u00e9\"", Obs.Json.to_string (Obs.Json.String "A\xc3\xa9"));
+      ("1e3", Obs.Json.to_string (Obs.Json.Float 1000.));
+      ("-0.5", Obs.Json.to_string (Obs.Json.Float (-0.5)));
+    ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error for %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "nul"; "\"unterminated"; "1 2"; "{\"a\":}"; "[1] trailing" ]
+
+let test_json_member () =
+  let j = Obs.Json.Obj [ ("x", Obs.Json.Int 1) ] in
+  Helpers.check_bool "member hit" true (Obs.Json.member "x" j = Some (Obs.Json.Int 1));
+  Helpers.check_bool "member miss" true (Obs.Json.member "y" j = None);
+  Helpers.check_bool "member of non-obj" true
+    (Obs.Json.member "x" (Obs.Json.Int 3) = None)
+
+let test_trace_json_shape () =
+  let (), span = Obs.Span.collect "shape" (fun () -> Obs.Span.with_ "kid" ignore) in
+  let j = Obs.trace_json [ span ] in
+  let s = Obs.Json.to_string j in
+  (match Obs.Json.parse s with
+  | Error e -> Alcotest.failf "trace json reparses: %s" e
+  | Ok j' -> Alcotest.(check string) "stable" s (Obs.Json.to_string j'));
+  match j with
+  | Obs.Json.List [ root ] ->
+    List.iter
+      (fun key ->
+        Helpers.check_bool (key ^ " present") true (Obs.Json.member key root <> None))
+      [ "name"; "elapsed_s"; "metrics"; "children" ]
+  | _ -> Alcotest.fail "trace_json is a list of roots"
+
+let () =
+  Helpers.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_registry_basics;
+          Alcotest.test_case "snapshot/delta" `Quick test_snapshot_delta;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and attribution" `Quick test_span_nesting;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_span_disabled_records_nothing;
+          Alcotest.test_case "exception still closes" `Quick
+            test_span_exception_still_closes;
+          Alcotest.test_case "collect is isolated" `Quick test_collect_isolated;
+          Alcotest.test_case "tracing off is op-identical" `Quick
+            test_tracing_off_op_identical;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip is stable" `Quick test_json_round_trip;
+          Alcotest.test_case "accepts standard inputs" `Quick test_json_parse_standard;
+          Alcotest.test_case "rejects malformed inputs" `Quick test_json_parse_errors;
+          Alcotest.test_case "member lookup" `Quick test_json_member;
+          Alcotest.test_case "trace_json shape" `Quick test_trace_json_shape;
+        ] );
+    ]

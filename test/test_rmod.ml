@@ -105,6 +105,29 @@ let test_steps_linear () =
   Alcotest.(check bool) "steps <= 4*(Nb+Eb)" true
     (p.Helpers.rmod.Core.Rmod.steps <= 4 * size)
 
+let test_steps_metric_linear () =
+  (* The same O(Nβ + Eβ) bound read off the Obs registry: the
+     [rmod.steps] counter delta across a solve equals the result's
+     step field, so external observers (sidefx profile, benchmarks)
+     see the paper's cost unit without touching solver internals. *)
+  let prog = Workload.Families.fortran_style ~seed:3 ~n:300 in
+  let info = Ir.Info.make prog in
+  let binding = Callgraph.Binding.build prog in
+  let imod = Frontend.Local.imod info in
+  let snap = Obs.Metric.snapshot () in
+  let rmod = Core.Rmod.solve binding ~imod in
+  let counted =
+    match Obs.Metric.find "rmod.steps" with
+    | Some h -> Obs.Metric.value_since ~since:snap h
+    | None -> Alcotest.fail "rmod.steps not registered"
+  in
+  Helpers.check_int "registry delta = result.steps" rmod.Core.Rmod.steps counted;
+  let size = Callgraph.Binding.n_nodes binding + Callgraph.Binding.n_edges binding in
+  Alcotest.(check bool)
+    (Printf.sprintf "counted steps %d <= 4*(Nb+Eb) = %d" counted (4 * size))
+    true
+    (counted <= 4 * size)
+
 (* --- properties --- *)
 
 let prop_equals_iterative seed =
@@ -172,6 +195,8 @@ let () =
           Alcotest.test_case "element binding is whole-array" `Quick
             test_element_binding_conservative;
           Alcotest.test_case "linear step count" `Quick test_steps_linear;
+          Alcotest.test_case "linear step count via registry" `Quick
+            test_steps_metric_linear;
         ] );
       ( "equivalence",
         [
