@@ -25,10 +25,25 @@ profile-smoke:
 	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
 	done
 
+# Smoke-test the incremental engine end to end: for every example
+# program, run the same random edit script through batch and
+# incremental analysis, require identical output, and validate the
+# JSON report with the repo's own parser.
+incremental-smoke:
+	dune build bin/sidefx.exe
+	@for f in programs/*.mp; do \
+	  echo "== $$f"; \
+	  ./_build/default/bin/sidefx.exe edit $$f --random 8 --seed 7 > smoke_batch.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe edit $$f --random 8 --seed 7 --incremental > smoke_inc.tmp || exit 1; \
+	  diff smoke_batch.tmp smoke_inc.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe edit $$f --random 8 --seed 7 --incremental --json \
+	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	done; rm -f smoke_batch.tmp smoke_inc.tmp
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/parallelize.exe
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick profile-smoke examples
+.PHONY: all test test-force bench bench-quick profile-smoke incremental-smoke examples

@@ -212,6 +212,9 @@ The JSON report's key set is a stable contract (values are not):
   "elapsed_s":
   "file":
   "graph":
+  "incremental.edits":
+  "incremental.full_fallbacks":
+  "incremental.procs_resolved":
   "metrics":
   "name":
   "nesting_depth":
@@ -293,3 +296,63 @@ stdout untouched:
   frontend.resolve
   callgraph.call
   callgraph.binding
+
+Edit scripts: apply program edits and report analysis deltas.  The
+--incremental flag maintains the analysis across edits instead of
+re-running it, with identical output by construction:
+
+  $ cat > bank.edits <<'SCRIPT'
+  > # touch the audit trail from apply_interest, then mute audit
+  > add-assign apply_interest log_count = 9
+  > add-call bank audit 3
+  > remove-assign audit 0
+  > SCRIPT
+
+  $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits
+  == edits (3) ==
+    1. add-assign apply_interest log_count := 9
+    2. add-call bank -> audit/1
+    3. remove-assign audit #0
+  == GMOD delta ==
+    audit        -{log_count}
+    deposit      -{log_count}
+  == GUSE delta ==
+    apply_interest -{log_count}
+    audit        -{log_count}
+    bank         -{log_count}
+    deposit      -{log_count}
+  == sites after ==
+    s0   bank -> deposit  MOD {balance}  USE {balance}
+    s1   bank -> apply_interest  MOD {balance,log_count}  USE {balance,rate}
+    s2   deposit -> audit  MOD {}  USE {deposit.amount}
+    s3   apply_interest -> deposit  MOD {apply_interest.account,balance}  USE {apply_interest.account,apply_interest.delta,balance}
+    s4   bank -> audit  MOD {}  USE {}
+
+  $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits > batch.out
+  $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits --incremental > inc.out
+  $ diff batch.out inc.out
+
+  $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits --incremental --json | ../bin/sidefx.exe json-validate
+  json: ok
+
+  $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits --json | grep -o '"[A-Za-z0-9_.]*":' | sort -u
+  "added":
+  "callee":
+  "caller":
+  "edits":
+  "gmod_delta":
+  "guse_delta":
+  "mod":
+  "proc":
+  "program":
+  "removed":
+  "sid":
+  "sites":
+  "use":
+
+Bad scripts fail with the offending line:
+
+  $ echo 'add-assign nowhere g0' > bad.edits
+  $ ../bin/sidefx.exe edit ../programs/bank.mp --script bad.edits
+  bad.edits: line 1: no such procedure: nowhere
+  [1]

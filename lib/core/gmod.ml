@@ -4,12 +4,31 @@ module Prog = Ir.Prog
 (* Iterative rendering of Figure 2.  The recursion of [search] becomes
    an explicit frame stack; everything else follows the paper line by
    line: line 8 is the [gmod.(v) <- copy seed.(v)] on push, line 17 is
-   [add_escaped], lines 19-25 are [close_component]. *)
-let solve_seeded info (call : Callgraph.Call.t) ~seed =
+   [add_escaped], lines 19-25 are [close_component].
+
+   With [?region:(dirty, cached)] the traversal is confined to the
+   procedures in [dirty]: every other node keeps its [cached] vector
+   (shared, not copied) and is pre-marked as an already-closed
+   component, so an edge into it takes the forward/cross-edge branch
+   and folds the cached value in.  Because the dirty set is closed
+   under reachability-into-it (condensation ancestors), a clean node's
+   equation-(4) value cannot have changed, and the region run computes
+   the same fixpoint Figure 2 computes from scratch. *)
+let solve_seeded ?region info (call : Callgraph.Call.t) ~seed =
   let g = call.Callgraph.Call.graph in
   let n = Digraph.n_nodes g in
   let prog = call.Callgraph.Call.prog in
-  let gmod = Array.map Bitvec.copy seed in
+  let active =
+    match region with
+    | None -> fun _ -> true
+    | Some (dirty, _) -> Bitvec.get dirty
+  in
+  let gmod =
+    match region with
+    | None -> Array.map Bitvec.copy seed
+    | Some (_, cached) ->
+      Array.init n (fun v -> if active v then Bitvec.copy seed.(v) else cached.(v))
+  in
   let dfn = Array.make n 0 in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -38,13 +57,19 @@ let solve_seeded info (call : Callgraph.Call.t) ~seed =
   in
   let succs = Array.make n [||] in
   for v = 0 to n - 1 do
-    let deg = Digraph.out_degree g v in
-    let a = Array.make deg 0 in
-    let i = ref 0 in
-    Digraph.iter_succ g v (fun w ->
-        a.(!i) <- w;
-        incr i);
-    succs.(v) <- a
+    if active v then begin
+      let deg = Digraph.out_degree g v in
+      let a = Array.make deg 0 in
+      let i = ref 0 in
+      Digraph.iter_succ g v (fun w ->
+          a.(!i) <- w;
+          incr i);
+      succs.(v) <- a
+    end
+    else
+      (* A clean node is a closed component: edges into it fold its
+         cached value, edges out of it are never walked. *)
+      dfn.(v) <- -1
   done;
   let frame_node = Array.make (n + 1) 0 in
   let frame_next = Array.make (n + 1) 0 in
@@ -90,9 +115,9 @@ let solve_seeded info (call : Callgraph.Call.t) ~seed =
       done
     end
   in
-  search prog.Prog.main;
+  if active prog.Prog.main then search prog.Prog.main;
   for v = 0 to n - 1 do
-    search v
+    if active v then search v
   done;
   gmod
 
@@ -101,3 +126,7 @@ let solve ?(label = "gmod") info call ~imod_plus =
 
 let solve_use ?(label = "guse") info call ~iuse_plus =
   Obs.Span.with_ label (fun () -> solve_seeded info call ~seed:iuse_plus)
+
+let solve_region ?(label = "gmod.region") info call ~seed ~dirty ~cached =
+  Obs.Span.with_ label (fun () ->
+      solve_seeded ~region:(dirty, cached) info call ~seed)

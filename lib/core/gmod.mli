@@ -29,3 +29,23 @@ val solve_use :
 (** The identical algorithm seeded with [IUSE+], producing [GUSE] (§2:
     "the USE problem has an analogous solution").  Span default
     ["guse"]. *)
+
+val solve_region :
+  ?label:string ->
+  Ir.Info.t ->
+  Callgraph.Call.t ->
+  seed:Bitvec.t array ->
+  dirty:Bitvec.t ->
+  cached:Bitvec.t array ->
+  Bitvec.t array
+(** [findgmod] confined to a dirty region.  [dirty] must be closed
+    under reaches-into-it on the call multi-graph — every procedure
+    with a path to a procedure whose seed changed (condensation
+    ancestors) — so a clean procedure's fixpoint value is provably
+    [cached].  Runs Figure 2 over the dirty-induced subgraph, treating
+    each clean successor as an already-closed component whose [cached]
+    vector is folded in, and returns a full per-procedure array in
+    which clean entries {e share} (not copy) their [cached] vectors.
+    Bit-identical to {!solve} on the new seeds.  Cost: the dirty
+    procedures' nodes and out-edges only.  Span default
+    ["gmod.region"]. *)

@@ -9,11 +9,32 @@ type result = {
   steps : int;
 }
 
+type solution = {
+  res : result;
+  scc : Scc.result;
+  members : int list array;
+  edges_by_comp : int list array;
+  preds_by_comp : int list array;
+  comp_val : bool array;
+  seed : bool array;
+}
+
+module Int_set = Set.Make (Int)
+
 (* The paper's O(Nβ + Eβ) bound counts simple boolean steps; mirror the
    per-result [steps] field into the registry so spans see it. *)
 let steps_metric = Obs.Metric.counter "rmod.steps"
 
-let solve ?(label = "rmod") (binding : Binding.t) ~imod =
+let owner_of (binding : Binding.t) node =
+  let vid = Binding.var binding node in
+  match (Prog.var binding.Binding.prog vid).Prog.kind with
+  | Prog.Formal { proc; _ } -> proc
+  | Prog.Global | Prog.Local _ -> assert false
+
+let seed_bit (binding : Binding.t) imod node =
+  Bitvec.get imod.(owner_of binding node) (Binding.var binding node)
+
+let solve_cached ?(label = "rmod") (binding : Binding.t) ~imod =
   Obs.Span.with_ label @@ fun () ->
   let g = binding.Binding.graph in
   let n = Digraph.n_nodes g in
@@ -22,15 +43,12 @@ let solve ?(label = "rmod") (binding : Binding.t) ~imod =
   let scc = Scc.compute g in
   (* Step 2: each component's IMOD is the or of its members'. *)
   let comp_val = Array.make scc.Scc.n_comps false in
+  let seed = Array.make n false in
   for node = 0 to n - 1 do
     incr steps;
-    let vid = Binding.var binding node in
-    let owner =
-      match (Prog.var binding.Binding.prog vid).Prog.kind with
-      | Prog.Formal { proc; _ } -> proc
-      | Prog.Global | Prog.Local _ -> assert false
-    in
-    if Bitvec.get imod.(owner) vid then comp_val.(scc.Scc.comp.(node)) <- true
+    let b = seed_bit binding imod node in
+    seed.(node) <- b;
+    if b then comp_val.(scc.Scc.comp.(node)) <- true
   done;
   (* Step 3: leaves-to-roots pass over the condensation.  Components
      are numbered in reverse topological order (every inter-component
@@ -38,9 +56,13 @@ let solve ?(label = "rmod") (binding : Binding.t) ~imod =
      increasing order sees each successor final; one relaxation per
      edge applies equation (6). *)
   let edges_by_comp = Array.make scc.Scc.n_comps [] in
+  let preds_by_comp = Array.make scc.Scc.n_comps [] in
   Digraph.iter_edges g (fun _ src dst ->
       let cs = scc.Scc.comp.(src) and cd = scc.Scc.comp.(dst) in
-      if cs <> cd then edges_by_comp.(cs) <- cd :: edges_by_comp.(cs));
+      if cs <> cd then begin
+        edges_by_comp.(cs) <- cd :: edges_by_comp.(cs);
+        preds_by_comp.(cd) <- cs :: preds_by_comp.(cd)
+      end);
   for c = 0 to scc.Scc.n_comps - 1 do
     List.iter
       (fun cd ->
@@ -55,7 +77,96 @@ let solve ?(label = "rmod") (binding : Binding.t) ~imod =
     rmod.(node) <- comp_val.(scc.Scc.comp.(node))
   done;
   Obs.Metric.add steps_metric !steps;
-  { binding; rmod; steps = !steps }
+  {
+    res = { binding; rmod; steps = !steps };
+    scc;
+    members = Scc.members scc;
+    edges_by_comp;
+    preds_by_comp;
+    comp_val;
+    seed;
+  }
+
+let solve ?label binding ~imod = (solve_cached ?label binding ~imod).res
+
+let resolve ?(label = "rmod.region") sol ~imod ~changed_procs =
+  Obs.Span.with_ label @@ fun () ->
+  let binding = sol.res.binding in
+  let prog = binding.Binding.prog in
+  let steps = ref 0 in
+  (* Re-read the seed bit of the β nodes (by-reference formals) of the
+     procedures whose IMOD may have changed; a flipped bit queues the
+     node's component. *)
+  let seed = Array.copy sol.seed in
+  let queue = ref Int_set.empty in
+  List.iter
+    (fun pid ->
+      Array.iter
+        (fun vid ->
+          match Binding.node_opt binding vid with
+          | None -> ()
+          | Some node ->
+            incr steps;
+            let b = seed_bit binding imod node in
+            if b <> seed.(node) then begin
+              seed.(node) <- b;
+              queue := Int_set.add sol.scc.Scc.comp.(node) !queue
+            end)
+        (Prog.proc prog pid).Prog.formals)
+    changed_procs;
+  (* Change propagation leaves-to-roots over the cached condensation.
+     Components are numbered in reverse topological order, so taking
+     the smallest queued component always sees final successor values;
+     when a value actually changes, the component's condensation
+     predecessors (all larger-numbered) join the queue.  The walk stops
+     as soon as recomputed values come out unchanged — the
+     condensation-ancestor cone, pruned. *)
+  let comp_val = Array.copy sol.comp_val in
+  let changed_comps = ref [] in
+  while not (Int_set.is_empty !queue) do
+    let c = Int_set.min_elt !queue in
+    queue := Int_set.remove c !queue;
+    let v =
+      List.exists
+        (fun node ->
+          incr steps;
+          seed.(node))
+        sol.members.(c)
+      || List.exists
+           (fun cd ->
+             incr steps;
+             comp_val.(cd))
+           sol.edges_by_comp.(c)
+    in
+    if v <> comp_val.(c) then begin
+      comp_val.(c) <- v;
+      changed_comps := c :: !changed_comps;
+      List.iter
+        (fun cp ->
+          incr steps;
+          queue := Int_set.add cp !queue)
+        sol.preds_by_comp.(c)
+    end
+  done;
+  let rmod = Array.copy sol.res.rmod in
+  let changed_nodes = ref [] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun node ->
+          incr steps;
+          rmod.(node) <- comp_val.(c);
+          changed_nodes := node :: !changed_nodes)
+        sol.members.(c))
+    !changed_comps;
+  Obs.Metric.add steps_metric !steps;
+  ( {
+      sol with
+      res = { binding; rmod; steps = !steps };
+      comp_val;
+      seed;
+    },
+    !changed_nodes )
 
 let modified r vid =
   match Binding.node_opt r.binding vid with

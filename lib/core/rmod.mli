@@ -25,6 +25,21 @@ type result = {
           the empirical-linearity experiment. *)
 }
 
+type solution = {
+  res : result;
+  scc : Graphs.Scc.result;  (** Condensation of β, cached for reuse. *)
+  members : int list array;  (** β nodes per component. *)
+  edges_by_comp : int list array;
+      (** Inter-component successor lists ([cs -> cd] with [cd < cs]). *)
+  preds_by_comp : int list array;
+      (** The reverse adjacency — change propagation walks these. *)
+  comp_val : bool array;  (** Fixpoint value per component. *)
+  seed : bool array;  (** The [IMOD] seed bit each β node was solved with. *)
+}
+(** A solved instance together with the condensation it was solved on —
+    everything {!resolve} needs to push a seed change through without
+    re-walking the graph. *)
+
 val solve : ?label:string -> Callgraph.Binding.t -> imod:Bitvec.t array -> result
 (** [imod] is the per-procedure [IMOD] family (nesting extension
     included) from {!Frontend.Local.imod}; only its formal-parameter
@@ -33,6 +48,28 @@ val solve : ?label:string -> Callgraph.Binding.t -> imod:Bitvec.t array -> resul
     Runs under an {!Obs.Span} named [label] (default ["rmod"]; the
     [USE]-side solve passes ["ruse"]) and adds its boolean step count
     to the [rmod.steps] registry counter. *)
+
+val solve_cached : ?label:string -> Callgraph.Binding.t -> imod:Bitvec.t array -> solution
+(** As {!solve}, but keeps the condensation artifacts for incremental
+    re-solving. *)
+
+val resolve :
+  ?label:string ->
+  solution ->
+  imod:Bitvec.t array ->
+  changed_procs:int list ->
+  solution * int list
+(** [resolve sol ~imod ~changed_procs] updates a cached solution after
+    an edit that left the binding multi-graph intact but may have
+    changed the [IMOD] bits of the listed procedures.  Re-reads seeds
+    only for those procedures' by-reference formals, then runs change
+    propagation leaves-to-roots over the cached condensation: a
+    component is re-evaluated only if its own seed flipped or a
+    successor component's value actually changed (the
+    condensation-ancestor cone, pruned at unchanged values).  Returns
+    the new solution and the β nodes whose [RMOD] bit changed.  Equal,
+    bit for bit, to [solve] on the new seeds (default span label
+    ["rmod.region"]). *)
 
 val modified : result -> int -> bool
 (** [modified r vid]: is this by-reference formal modified?  [false]

@@ -1,0 +1,74 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+module Stmt = Ir.Stmt
+
+type t =
+  | Add_assign of { proc : int; target : int; value : Expr.t }
+  | Remove_assign of { proc : int; index : int }
+  | Add_call of { caller : int; callee : int; args : Prog.arg array }
+  | Remove_call of { sid : int }
+  | Retarget_call of { sid : int; callee : int }
+  | Add_proc of { name : string; writes : int list; reads : int list }
+  | Remove_proc of { pid : int }
+
+type kind =
+  | Body of { proc : int }
+  | Call_shape of { caller : int; local_sets_touched : bool }
+  | Structural
+
+let apply prog = function
+  | Add_assign { proc; target; value } ->
+    Ir.Patch.append_stmt prog ~proc (Stmt.Assign (Expr.Lvar target, value))
+  | Remove_assign { proc; index } -> Ir.Patch.remove_stmt prog ~proc ~index
+  | Add_call { caller; callee; args } ->
+    fst (Ir.Patch.add_call prog ~caller ~callee ~args)
+  | Remove_call { sid } -> Ir.Patch.remove_call prog ~sid
+  | Retarget_call { sid; callee } -> Ir.Patch.retarget_call prog ~sid ~callee
+  | Add_proc { name; writes; reads } ->
+    fst
+      (Ir.Patch.add_proc prog ~name ~formals:[] ~locals:[]
+         ~body:(fun ~formals:_ ~locals:_ ->
+           List.map (fun w -> Stmt.Assign (Expr.Lvar w, Expr.Int 1)) writes
+           @ List.map (fun r -> Stmt.Write (Expr.Var r)) reads))
+  | Remove_proc { pid } -> Ir.Patch.remove_proc prog ~pid
+
+let kind prog = function
+  | Add_assign { proc; _ } | Remove_assign { proc; _ } -> Body { proc }
+  | Add_call { caller; _ } -> Call_shape { caller; local_sets_touched = true }
+  | Remove_call { sid } ->
+    Call_shape
+      { caller = (Prog.site prog sid).Prog.caller; local_sets_touched = true }
+  | Retarget_call { sid; _ } ->
+    (* Same call statement, same argument expressions: the caller's
+       local MOD/USE sets cannot move, only the graphs do. *)
+    Call_shape
+      { caller = (Prog.site prog sid).Prog.caller; local_sets_touched = false }
+  | Add_proc _ | Remove_proc _ -> Structural
+
+let vname prog vid = (Prog.var prog vid).Prog.vname
+let pname prog pid = (Prog.proc prog pid).Prog.pname
+
+let pp prog ppf = function
+  | Add_assign { proc; target; value } ->
+    Format.fprintf ppf "add-assign %s %s := %a" (pname prog proc)
+      (vname prog target) (Ir.Pp.pp_expr prog) value
+  | Remove_assign { proc; index } ->
+    Format.fprintf ppf "remove-assign %s #%d" (pname prog proc) index
+  | Add_call { caller; callee; args } ->
+    Format.fprintf ppf "add-call %s -> %s/%d" (pname prog caller)
+      (pname prog callee) (Array.length args)
+  | Remove_call { sid } ->
+    let s = Prog.site prog sid in
+    Format.fprintf ppf "remove-call site %d (%s -> %s)" sid
+      (pname prog s.Prog.caller) (pname prog s.Prog.callee)
+  | Retarget_call { sid; callee } ->
+    let s = Prog.site prog sid in
+    Format.fprintf ppf "retarget-call site %d (%s -> %s, now %s)" sid
+      (pname prog s.Prog.caller) (pname prog s.Prog.callee) (pname prog callee)
+  | Add_proc { name; writes; reads } ->
+    Format.fprintf ppf "add-proc %s writes={%s} reads={%s}" name
+      (String.concat "," (List.map (vname prog) writes))
+      (String.concat "," (List.map (vname prog) reads))
+  | Remove_proc { pid } -> Format.fprintf ppf "remove-proc %s" (pname prog pid)
+
+let to_string prog e = Format.asprintf "%a" (pp prog) e

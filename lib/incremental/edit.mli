@@ -1,0 +1,55 @@
+(** The typed edit language over {!Ir.Prog.t}.
+
+    Each constructor names one program change the incremental driver
+    knows how to classify; {!apply} realises it through {!Ir.Patch}, so
+    a structurally impossible edit raises [Invalid_argument] and a
+    structurally possible one yields a program that {!Ir.Validate}
+    accepts whenever the edit is also scope- and type-sensible (the
+    generator in [Workload.Edits] only emits such edits; hand-written
+    scripts should revalidate). *)
+
+type t =
+  | Add_assign of { proc : int; target : int; value : Ir.Expr.t }
+      (** Append [target := value] to [proc]'s body.  Aimed at globals
+          and by-reference formals — the variables interprocedural
+          analysis can see — though any visible scalar is accepted. *)
+  | Remove_assign of { proc : int; index : int }
+      (** Remove the [index]-th top-level statement of [proc]'s body,
+          which must be an assignment. *)
+  | Add_call of { caller : int; callee : int; args : Ir.Prog.arg array }
+      (** Append a call statement (and its site-table entry). *)
+  | Remove_call of { sid : int }
+  | Retarget_call of { sid : int; callee : int }
+      (** Point site [sid] at a signature-compatible other callee. *)
+  | Add_proc of { name : string; writes : int list; reads : int list }
+      (** New top-level procedure whose body assigns each of [writes]
+          and reads each of [reads] (all global variable ids). *)
+  | Remove_proc of { pid : int }
+      (** Remove an uncalled, call-free, leaf procedure. *)
+
+(** How much cached analysis an edit can invalidate — the driver's
+    dispatch. *)
+type kind =
+  | Body of { proc : int }
+      (** One procedure's statements changed; the site table, both
+          multi-graphs, and the alias sets are untouched. *)
+  | Call_shape of { caller : int; local_sets_touched : bool }
+      (** The site table changed (graphs must be rebuilt, aliases
+          recomputed) but the declaration tables did not;
+          [local_sets_touched] is [false] when even the caller's
+          [LMOD]/[LUSE] are provably unchanged (retargeting keeps the
+          argument expressions). *)
+  | Structural
+      (** Declarations changed (procedure added or removed): ids are
+          renumbered, nothing survives — full re-analysis. *)
+
+val apply : Ir.Prog.t -> t -> Ir.Prog.t
+
+val kind : Ir.Prog.t -> t -> kind
+(** Classify against the {e pre-edit} program (site lookups for
+    [Remove_call]/[Retarget_call] use the old table). *)
+
+val pp : Ir.Prog.t -> Format.formatter -> t -> unit
+(** Render with pre-edit names. *)
+
+val to_string : Ir.Prog.t -> t -> string

@@ -1,0 +1,58 @@
+(** The incremental driver: a program plus its last {!Core.Analyze.t},
+    updated in place as {!Edit} values arrive.
+
+    The contract is the one the test suite enforces: after every edit,
+    {!analysis} is {e bit-identical} to [Core.Analyze.run] on the
+    edited program (the per-result operation counters aside).  What the
+    driver buys is locality:
+
+    - a {b body} edit reruns local analysis for the one edited
+      procedure, refolds the nesting cone above it, pushes flipped seed
+      bits through the cached β condensation ({!Core.Rmod.resolve}),
+      recomputes [IMOD+] for the touched callers, and reruns [findgmod]
+      only on the call-graph condensation ancestors of procedures whose
+      seeds changed ({!Core.Gmod.solve_region}) — everything else is
+      shared with the previous analysis;
+    - a {b call-shape} edit additionally rebuilds the two multi-graphs
+      and the alias sets (site-table products, linear in the site
+      count) and re-solves β in full (cheap single-word booleans), but
+      still confines the bit-vector [GMOD]/[GUSE] work to the ancestor
+      cone of the edited caller;
+    - a {b structural} edit (procedure added/removed — every id
+      renumbered), a dirty cone larger than [threshold × n_procs], or
+      a program nesting deeper than one level at the [GMOD] stage,
+      falls back to a full [Core.Analyze.run].
+
+    The engine never validates the edited program (that would cost the
+    [O(N)] it just avoided); callers that accept untrusted edit scripts
+    should run {!Ir.Validate} themselves.
+
+    Telemetry: counters [incremental.edits],
+    [incremental.procs_resolved] (per-side [GMOD]/[GUSE] procedure
+    re-solves), [incremental.full_fallbacks]; every {!apply} runs under
+    an [incremental.resolve] span. *)
+
+type t
+
+type outcome = {
+  fallback : string option;
+      (** [Some reason] when the edit took the full-re-analysis path. *)
+  procs_resolved : int;
+      (** Procedures whose [GMOD] or [GUSE] vector was recomputed (each
+          side counted; [2 × n_procs] for a full run). *)
+}
+
+val create : ?threshold:float -> Ir.Prog.t -> t
+(** Analyze from scratch and prime the caches.  [threshold] (default
+    [0.5]) is the dirty-cone fraction above which {!apply} abandons the
+    region path. *)
+
+val apply : t -> Edit.t -> outcome
+(** Apply one edit and bring {!analysis} up to date.  Raises
+    [Invalid_argument] (from {!Ir.Patch}) on structurally impossible
+    edits, leaving the engine untouched. *)
+
+val analysis : t -> Core.Analyze.t
+val prog : t -> Ir.Prog.t
+
+val edits_applied : t -> int

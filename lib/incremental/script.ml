@@ -1,0 +1,158 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+
+let ( let* ) = Result.bind
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let find_proc prog name =
+  match Prog.find_proc prog name with
+  | Some p -> Ok p.Prog.pid
+  | None -> err "no such procedure: %s" name
+
+let find_var prog ~proc name =
+  match Prog.find_var prog ~proc name with
+  | Some v -> Ok v.Prog.vid
+  | None ->
+    err "no variable %s visible in %s" name (Prog.proc prog proc).Prog.pname
+
+let int_of name s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> err "%s: not an integer: %s" name s
+
+let site_ok prog sid =
+  if sid >= 0 && sid < Prog.n_sites prog then Ok sid
+  else err "no such site: %d" sid
+
+(* One call argument: [&name] passes by reference, a bare name reads a
+   scalar, an integer literal is a constant. *)
+let parse_arg prog ~caller s =
+  if String.length s > 0 && s.[0] = '&' then
+    let name = String.sub s 1 (String.length s - 1) in
+    let* vid = find_var prog ~proc:caller name in
+    Ok (Prog.Arg_ref (Expr.Lvar vid))
+  else
+    match int_of_string_opt s with
+    | Some i -> Ok (Prog.Arg_value (Expr.Int i))
+    | None ->
+      let* vid = find_var prog ~proc:caller s in
+      Ok (Prog.Arg_value (Expr.Var vid))
+
+let split_names = function
+  | "" -> []
+  | s -> String.split_on_char ',' s
+
+(* [key=v1,v2] fields for add-proc. *)
+let parse_field prog key s =
+  match String.index_opt s '=' with
+  | Some i when String.sub s 0 i = key ->
+    let names = split_names (String.sub s (i + 1) (String.length s - i - 1)) in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest ->
+        let* vid = find_var prog ~proc:prog.Prog.main n in
+        resolve (vid :: acc) rest
+    in
+    Some (resolve [] names)
+  | _ -> None
+
+let parse_line prog line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> Ok None
+  | cmd :: args -> (
+    let ok e = Ok (Some e) in
+    match (cmd, args) with
+    | "add-assign", [ pname; vname ] | "add-assign", [ pname; vname; "="; "1" ]
+      ->
+      let* proc = find_proc prog pname in
+      let* target = find_var prog ~proc vname in
+      ok (Edit.Add_assign { proc; target; value = Expr.Int 1 })
+    | "add-assign", [ pname; vname; "="; v ] ->
+      let* proc = find_proc prog pname in
+      let* target = find_var prog ~proc vname in
+      let* i = int_of "add-assign" v in
+      ok (Edit.Add_assign { proc; target; value = Expr.Int i })
+    | "remove-assign", [ pname; idx ] ->
+      let* proc = find_proc prog pname in
+      let* index = int_of "remove-assign" idx in
+      ok (Edit.Remove_assign { proc; index })
+    | "add-call", caller_name :: callee_name :: raw_args ->
+      let* caller = find_proc prog caller_name in
+      let* callee = find_proc prog callee_name in
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | a :: rest ->
+          let* arg = parse_arg prog ~caller a in
+          resolve (arg :: acc) rest
+      in
+      let* args = resolve [] raw_args in
+      ok (Edit.Add_call { caller; callee; args = Array.of_list args })
+    | "remove-call", [ sid ] ->
+      let* sid = int_of "remove-call" sid in
+      let* sid = site_ok prog sid in
+      ok (Edit.Remove_call { sid })
+    | "retarget-call", [ sid; callee_name ] ->
+      let* sid = int_of "retarget-call" sid in
+      let* sid = site_ok prog sid in
+      let* callee = find_proc prog callee_name in
+      ok (Edit.Retarget_call { sid; callee })
+    | "add-proc", name :: fields ->
+      let rec collect writes reads = function
+        | [] -> Ok (writes, reads)
+        | f :: rest -> (
+          match parse_field prog "writes" f with
+          | Some r ->
+            let* ws = r in
+            collect ws reads rest
+          | None -> (
+            match parse_field prog "reads" f with
+            | Some r ->
+              let* rs = r in
+              collect writes rs rest
+            | None -> err "add-proc: bad field %S (want writes=.. or reads=..)" f))
+      in
+      let* writes, reads = collect [] [] fields in
+      if Prog.find_proc prog name <> None then
+        err "add-proc: procedure %s already exists" name
+      else ok (Edit.Add_proc { name; writes; reads })
+    | "remove-proc", [ pname ] ->
+      let* pid = find_proc prog pname in
+      ok (Edit.Remove_proc { pid })
+    | _ ->
+      err
+        "cannot parse edit %S (commands: add-assign, remove-assign, add-call, \
+         remove-call, retarget-call, add-proc, remove-proc)"
+        (String.trim line))
+
+let parse prog src =
+  let lines = String.split_on_char '\n' src in
+  let rec go prog acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line prog line with
+      | Error e -> err "line %d: %s" n e
+      | Ok None -> go prog acc (n + 1) rest
+      | Ok (Some edit) -> (
+        match Edit.apply prog edit with
+        | prog' -> (
+          match Ir.Validate.run prog' with
+          | Ok () -> go prog' ((edit, prog') :: acc) (n + 1) rest
+          | Error errs ->
+            err "line %d: edit %S leaves an invalid program: %a" n
+              (String.trim line)
+              (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+                 Ir.Validate.pp_error)
+              errs)
+        | exception Invalid_argument m -> err "line %d: %s" n m))
+  in
+  go prog [] 1 lines

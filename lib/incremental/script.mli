@@ -1,0 +1,28 @@
+(** The concrete edit-script syntax [sidefx edit --script] consumes.
+
+    One edit per line; [#] starts a comment; blank lines are skipped.
+    Names are resolved against the program {e as already edited by the
+    preceding lines} (procedure and variable ids shift under
+    [remove-proc], so scripts speak in names):
+
+    {v
+add-assign PROC VAR [= INT]     append VAR := INT (default 1) to PROC
+remove-assign PROC INDEX        delete PROC's INDEX-th top-level statement
+add-call CALLER CALLEE [ARG..]  append a call; ARG is &var | var | int
+remove-call SID                 delete call site SID
+retarget-call SID CALLEE        point site SID at CALLEE
+add-proc NAME [writes=g,h] [reads=i]   new top-level procedure
+remove-proc NAME                remove an uncalled, call-free procedure
+    v} *)
+
+val parse_line : Ir.Prog.t -> string -> (Edit.t option, string) result
+(** Parse one line against the given program ([Ok None] for a blank or
+    comment line).  Resolution errors (unknown names, bad integers)
+    come back as [Error]. *)
+
+val parse : Ir.Prog.t -> string -> ((Edit.t * Ir.Prog.t) list, string) result
+(** Parse a whole script, applying each edit as it is parsed so later
+    lines resolve against the edited program.  Each returned pair is an
+    edit and the (validated) program after it; errors carry the line
+    number, and an edit whose result fails {!Ir.Validate} is an
+    error. *)

@@ -58,6 +58,7 @@ let make prog =
   { prog; local; non_local; global; visible; var_level; by_level }
 
 let prog t = t.prog
+let with_prog t prog = { t with prog }
 let n_vars t = Prog.n_vars t.prog
 let local t pid = t.local.(pid)
 let non_local t pid = t.non_local.(pid)

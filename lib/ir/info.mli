@@ -11,6 +11,13 @@ val make : Prog.t -> t
 
 val prog : t -> Prog.t
 
+val with_prog : t -> Prog.t -> t
+(** O(1) re-association with a structurally identical program — same
+    variable/procedure tables, possibly different statement bodies or
+    site table.  The incremental engine uses this to reuse the set
+    views across body- and call-shape-preserving edits; passing a
+    program whose declarations differ invalidates every set in [t]. *)
+
 val n_vars : t -> int
 
 val local : t -> int -> Bitvec.t

@@ -1,0 +1,271 @@
+(* Structural surgery on resolved programs.  Every function returns a
+   fresh [Prog.t] (inputs are never mutated) preserving the table
+   invariants [Validate] checks: dense self-consistent ids, call
+   statements and the site table referencing each other exactly, and
+   the nesting tree shape.  Semantic well-formedness of the *edit*
+   (visibility of a variable in its new home, type agreement of a
+   retargeted call) is the caller's business — re-run [Validate] after
+   a batch of patches. *)
+
+let rec map_expr fv (e : Expr.t) =
+  match e with
+  | Expr.Int _ | Expr.Bool _ -> e
+  | Expr.Var v -> Expr.Var (fv v)
+  | Expr.Index (a, idx) -> Expr.Index (fv a, List.map (map_expr fv) idx)
+  | Expr.Binop (op, l, r) -> Expr.Binop (op, map_expr fv l, map_expr fv r)
+  | Expr.Unop (op, e) -> Expr.Unop (op, map_expr fv e)
+
+let map_lvalue fv (lv : Expr.lvalue) =
+  match lv with
+  | Expr.Lvar v -> Expr.Lvar (fv v)
+  | Expr.Lindex (a, idx) -> Expr.Lindex (fv a, List.map (map_expr fv) idx)
+
+(* Rewrite a statement list: variable ids through [fv], call-site ids
+   through [fsid] ([None] drops the call statement). *)
+let rec map_stmts ~fv ~fsid stmts =
+  List.filter_map
+    (fun (s : Stmt.t) ->
+      match s with
+      | Stmt.Assign (lv, e) -> Some (Stmt.Assign (map_lvalue fv lv, map_expr fv e))
+      | Stmt.If (c, a, b) ->
+        Some (Stmt.If (map_expr fv c, map_stmts ~fv ~fsid a, map_stmts ~fv ~fsid b))
+      | Stmt.While (c, b) -> Some (Stmt.While (map_expr fv c, map_stmts ~fv ~fsid b))
+      | Stmt.For (v, lo, hi, b) ->
+        Some (Stmt.For (fv v, map_expr fv lo, map_expr fv hi, map_stmts ~fv ~fsid b))
+      | Stmt.Call sid -> (
+        match fsid sid with
+        | None -> None
+        | Some sid' -> Some (Stmt.Call sid'))
+      | Stmt.Read lv -> Some (Stmt.Read (map_lvalue fv lv))
+      | Stmt.Write e -> Some (Stmt.Write (map_expr fv e)))
+    stmts
+
+let id_var v = v
+let keep_sid sid = Some sid
+
+let with_proc (p : Prog.t) pid f =
+  let procs = Array.copy p.Prog.procs in
+  procs.(pid) <- f procs.(pid);
+  { p with Prog.procs }
+
+let check_pid (p : Prog.t) pid what =
+  if pid < 0 || pid >= Prog.n_procs p then
+    invalid_arg (Printf.sprintf "Patch.%s: pid %d out of range" what pid)
+
+let forbid_calls what stmts =
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Call _ ->
+        invalid_arg (Printf.sprintf "Patch.%s: statement contains a call (use add_call)" what)
+      | Stmt.Assign _ | Stmt.If _ | Stmt.While _ | Stmt.For _ | Stmt.Read _
+      | Stmt.Write _ ->
+        ())
+    stmts
+
+let append_stmt p ~proc stmt =
+  check_pid p proc "append_stmt";
+  forbid_calls "append_stmt" [ stmt ];
+  with_proc p proc (fun pr -> { pr with Prog.body = pr.Prog.body @ [ stmt ] })
+
+let remove_stmt p ~proc ~index =
+  check_pid p proc "remove_stmt";
+  with_proc p proc (fun pr ->
+      let removed = ref None in
+      let body =
+        List.filteri
+          (fun i s ->
+            if i = index then begin
+              removed := Some s;
+              false
+            end
+            else true)
+          pr.Prog.body
+      in
+      match !removed with
+      | None -> invalid_arg "Patch.remove_stmt: index out of range"
+      | Some (Stmt.Assign _) -> { pr with Prog.body }
+      | Some _ -> invalid_arg "Patch.remove_stmt: statement at index is not an assignment")
+
+let add_call p ~caller ~callee ~args =
+  check_pid p caller "add_call";
+  check_pid p callee "add_call";
+  if callee = p.Prog.main then invalid_arg "Patch.add_call: cannot call main";
+  let formals = (Prog.proc p callee).Prog.formals in
+  if Array.length args <> Array.length formals then
+    invalid_arg
+      (Printf.sprintf "Patch.add_call: %d args for %d formals" (Array.length args)
+         (Array.length formals));
+  Array.iteri
+    (fun i arg ->
+      match (arg, Prog.formal_mode p (Prog.proc p callee) i) with
+      | Prog.Arg_ref _, Prog.By_ref | Prog.Arg_value _, Prog.By_value -> ()
+      | Prog.Arg_ref _, Prog.By_value | Prog.Arg_value _, Prog.By_ref ->
+        invalid_arg (Printf.sprintf "Patch.add_call: arg %d mode mismatch" i))
+    args;
+  let sid = Prog.n_sites p in
+  let sites = Array.append p.Prog.sites [| { Prog.sid; caller; callee; args } |] in
+  let p = { p with Prog.sites } in
+  (with_proc p caller (fun pr -> { pr with Prog.body = pr.Prog.body @ [ Stmt.Call sid ] }), sid)
+
+let remove_call p ~sid =
+  let ns = Prog.n_sites p in
+  if sid < 0 || sid >= ns then invalid_arg "Patch.remove_call: sid out of range";
+  let fsid s = if s = sid then None else Some (if s > sid then s - 1 else s) in
+  let sites =
+    Array.init (ns - 1) (fun i ->
+        let s = p.Prog.sites.(if i < sid then i else i + 1) in
+        { s with Prog.sid = i })
+  in
+  let procs =
+    Array.map
+      (fun pr -> { pr with Prog.body = map_stmts ~fv:id_var ~fsid pr.Prog.body })
+      p.Prog.procs
+  in
+  { p with Prog.sites; procs }
+
+let retarget_call p ~sid ~callee =
+  if sid < 0 || sid >= Prog.n_sites p then
+    invalid_arg "Patch.retarget_call: sid out of range";
+  check_pid p callee "retarget_call";
+  if callee = p.Prog.main then invalid_arg "Patch.retarget_call: cannot call main";
+  let s = Prog.site p sid in
+  let new_callee = Prog.proc p callee in
+  if Array.length s.Prog.args <> Array.length new_callee.Prog.formals then
+    invalid_arg "Patch.retarget_call: arity mismatch";
+  Array.iteri
+    (fun i arg ->
+      match (arg, Prog.formal_mode p new_callee i) with
+      | Prog.Arg_ref _, Prog.By_ref | Prog.Arg_value _, Prog.By_value -> ()
+      | Prog.Arg_ref _, Prog.By_value | Prog.Arg_value _, Prog.By_ref ->
+        invalid_arg (Printf.sprintf "Patch.retarget_call: arg %d mode mismatch" i))
+    s.Prog.args;
+  let sites = Array.copy p.Prog.sites in
+  sites.(sid) <- { s with Prog.callee };
+  { p with Prog.sites }
+
+let add_proc p ~name ~formals ~locals ~body =
+  let nv = Prog.n_vars p in
+  let pid = Prog.n_procs p in
+  let main = Prog.proc p p.Prog.main in
+  let formal_vids = Array.init (List.length formals) (fun i -> nv + i) in
+  let local_vids =
+    Array.init (List.length locals) (fun i -> nv + Array.length formal_vids + i)
+  in
+  let new_vars =
+    List.mapi
+      (fun i (vname, mode, vty) ->
+        {
+          Prog.vid = formal_vids.(i);
+          vname;
+          vty;
+          kind = Prog.Formal { proc = pid; index = i; mode };
+        })
+      formals
+    @ List.mapi
+        (fun i (vname, vty) ->
+          { Prog.vid = local_vids.(i); vname; vty; kind = Prog.Local pid })
+        locals
+  in
+  let body = body ~formals:formal_vids ~locals:local_vids in
+  forbid_calls "add_proc" body;
+  let new_proc =
+    {
+      Prog.pid;
+      pname = name;
+      parent = Some p.Prog.main;
+      level = main.Prog.level + 1;
+      formals = formal_vids;
+      locals = Array.to_list local_vids;
+      nested = [];
+      body;
+    }
+  in
+  let procs = Array.append p.Prog.procs [| new_proc |] in
+  procs.(p.Prog.main) <-
+    { main with Prog.nested = main.Prog.nested @ [ pid ] };
+  ({ p with Prog.vars = Array.append p.Prog.vars (Array.of_list new_vars); procs }, pid)
+
+let remove_proc p ~pid =
+  check_pid p pid "remove_proc";
+  if pid = p.Prog.main then invalid_arg "Patch.remove_proc: cannot remove main";
+  let pr = Prog.proc p pid in
+  if pr.Prog.nested <> [] then
+    invalid_arg "Patch.remove_proc: procedure has nested procedures";
+  Prog.iter_sites p (fun s ->
+      if s.Prog.callee = pid then invalid_arg "Patch.remove_proc: procedure is still called";
+      if s.Prog.caller = pid then
+        invalid_arg "Patch.remove_proc: procedure body contains call sites");
+  let nv = Prog.n_vars p in
+  let dead = Array.make nv false in
+  Array.iter (fun vid -> dead.(vid) <- true) pr.Prog.formals;
+  List.iter (fun vid -> dead.(vid) <- true) pr.Prog.locals;
+  let vid_map = Array.make nv (-1) in
+  let next = ref 0 in
+  for v = 0 to nv - 1 do
+    if not dead.(v) then begin
+      vid_map.(v) <- !next;
+      incr next
+    end
+  done;
+  let fv v =
+    let v' = vid_map.(v) in
+    (* Visibility means no surviving body can mention a dead variable. *)
+    assert (v' >= 0);
+    v'
+  in
+  let fp q = if q > pid then q - 1 else q in
+  let vars =
+    Array.of_list
+      (List.filter_map
+         (fun (v : Prog.var) ->
+           if dead.(v.Prog.vid) then None
+           else
+             Some
+               {
+                 v with
+                 Prog.vid = vid_map.(v.Prog.vid);
+                 kind =
+                   (match v.Prog.kind with
+                   | Prog.Global -> Prog.Global
+                   | Prog.Local q -> Prog.Local (fp q)
+                   | Prog.Formal f -> Prog.Formal { f with proc = fp f.proc });
+               })
+         (Array.to_list p.Prog.vars))
+  in
+  let procs =
+    Array.of_list
+      (List.filter_map
+         (fun (q : Prog.proc) ->
+           if q.Prog.pid = pid then None
+           else
+             Some
+               {
+                 q with
+                 Prog.pid = fp q.Prog.pid;
+                 parent = Option.map fp q.Prog.parent;
+                 formals = Array.map fv q.Prog.formals;
+                 locals = List.map fv q.Prog.locals;
+                 nested = List.filter_map (fun c -> if c = pid then None else Some (fp c)) q.Prog.nested;
+                 body = map_stmts ~fv ~fsid:keep_sid q.Prog.body;
+               })
+         (Array.to_list p.Prog.procs))
+  in
+  let sites =
+    Array.map
+      (fun (s : Prog.site) ->
+        {
+          s with
+          Prog.caller = fp s.Prog.caller;
+          callee = fp s.Prog.callee;
+          args =
+            Array.map
+              (fun arg ->
+                match arg with
+                | Prog.Arg_ref lv -> Prog.Arg_ref (map_lvalue fv lv)
+                | Prog.Arg_value e -> Prog.Arg_value (map_expr fv e))
+              s.Prog.args;
+        })
+      p.Prog.sites
+  in
+  { p with Prog.vars; procs; sites; main = fp p.Prog.main }

@@ -1,0 +1,61 @@
+(** Structural surgery on resolved programs.
+
+    The incremental engine's edit language bottoms out here: each
+    function builds a fresh {!Prog.t} (inputs are never mutated) that
+    preserves the table invariants {!Validate} enforces — dense
+    self-consistent variable/procedure/site ids, call statements and
+    the site table referencing each other exactly, and the nesting
+    tree shape.  Semantic well-formedness of an edit (the assigned
+    variable is visible in its new home, a retargeted call's argument
+    types match) is deliberately {e not} checked here; callers are
+    expected to revalidate with {!Validate.run} after a batch of
+    patches (the test suite does so after every generated edit).
+
+    All functions raise [Invalid_argument] on structurally impossible
+    requests (out-of-range ids, arity/mode mismatches, removing a
+    procedure that is still called). *)
+
+val append_stmt : Prog.t -> proc:int -> Stmt.t -> Prog.t
+(** Append a call-free statement to a procedure's body.  Use
+    {!add_call} for calls — a [Call] statement needs a site-table
+    entry. *)
+
+val remove_stmt : Prog.t -> proc:int -> index:int -> Prog.t
+(** Remove the [index]-th top-level statement of a procedure's body.
+    The statement must be an assignment (removing a call statement
+    must go through {!remove_call} so the site table stays exact). *)
+
+val add_call : Prog.t -> caller:int -> callee:int -> args:Prog.arg array -> Prog.t * int
+(** Append a fresh call site (returned id is [n_sites] of the input)
+    and a matching [Call] statement at the end of the caller's body.
+    Args must match the callee's formals in arity and mode. *)
+
+val remove_call : Prog.t -> sid:int -> Prog.t
+(** Delete a call site: its [Call] statement disappears from the
+    caller's body and every later site id shifts down by one (ids stay
+    dense; call statements are renumbered program-wide). *)
+
+val retarget_call : Prog.t -> sid:int -> callee:int -> Prog.t
+(** Point an existing site at a different callee with the same arity
+    and parameter modes.  Argument {e types} are left to
+    {!Validate}. *)
+
+val add_proc :
+  Prog.t ->
+  name:string ->
+  formals:(string * Prog.param_mode * Types.t) list ->
+  locals:(string * Types.t) list ->
+  body:(formals:int array -> locals:int array -> Stmt.t list) ->
+  Prog.t * int
+(** Append a new top-level procedure (a child of main, level 1).  New
+    variable ids are allocated densely after the existing ones and
+    passed to the [body] builder; the body must be call-free (wire the
+    new procedure up with {!add_call} afterwards).  Returns the new
+    pid ([n_procs] of the input). *)
+
+val remove_proc : Prog.t -> pid:int -> Prog.t
+(** Remove a leaf procedure that is never called and contains no call
+    sites (cascade removals are the edit layer's job).  Its variables
+    disappear and every table — variable kinds, parent/nested links,
+    formal/local lists, bodies, site arguments — is renumbered to keep
+    ids dense. *)

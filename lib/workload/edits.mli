@@ -1,0 +1,22 @@
+(** Seeded random edit scripts over well-formed programs.
+
+    Each generated edit is constructed to be scope- and type-correct
+    against the program {e as edited so far} — by-reference arguments
+    get visible variables of exactly the formal's type, retargets pick
+    signature-compatible callees, removals pick procedures nothing
+    references — and the generator re-validates after every step,
+    failing loudly if it ever emits an edit {!Ir.Validate} rejects.
+    This is the workload half of the incremental engine's differential
+    test: scripts from here exercise every {!Incremental.Edit}
+    constructor without tripping the patch layer's preconditions. *)
+
+val gen :
+  rand:Random.State.t ->
+  steps:int ->
+  Ir.Prog.t ->
+  (Incremental.Edit.t * Ir.Prog.t) list
+(** [gen ~rand ~steps prog] draws up to [steps] edits (a step is
+    skipped when the drawn edit kind is not constructible — e.g. no
+    call site left to remove).  Each pair is an edit and the validated
+    program after applying it; edits apply in order, each against the
+    previous pair's program. *)

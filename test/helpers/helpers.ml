@@ -83,8 +83,42 @@ let arb_nested_prog =
 let nested_of_seed ?(n = 40) ?(depth = 4) seed =
   Workload.Families.pascal_style ~seed ~n ~depth
 
+(* Replayable property tests: the generator seed comes from the
+   QCHECK_SEED environment variable when set, and is printed on any
+   failure so `QCHECK_SEED=n dune runtest` reproduces the exact run. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> Fmt.failwith "QCHECK_SEED must be an integer, got %S" s)
+    | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000)
+
 let qtest ?(count = 100) name arb prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+  let seed = Lazy.force qcheck_seed in
+  let announced = ref false in
+  let announce () =
+    if not !announced then (
+      announced := true;
+      Printf.eprintf "[qcheck] %s failed; replay with QCHECK_SEED=%d\n%!" name
+        seed)
+  in
+  let prop x =
+    match prop x with
+    | true -> true
+    | false ->
+      announce ();
+      false
+    | exception e ->
+      announce ();
+      raise e
+  in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| seed |])
+    (QCheck.Test.make ~count ~name arb prop)
 
 let gmod_arrays_equal a b = Array.for_all2 Bitvec.equal a b
 

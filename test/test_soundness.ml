@@ -9,8 +9,7 @@
    really happened.  This validates the entire pipeline against an
    implementation that shares nothing with it but the IR. *)
 
-let check_program ?(fuel = 10_000) prog =
-  let t = Core.Analyze.run prog in
+let check_analysis ?(fuel = 10_000) t prog =
   let o = Interp.run ~fuel ~max_depth:256 prog in
   let bad = ref [] in
   Ir.Prog.iter_sites prog (fun s ->
@@ -24,6 +23,8 @@ let check_program ?(fuel = 10_000) prog =
           bad := (sid, "USE") :: !bad
       end);
   !bad
+
+let check_program ?fuel prog = check_analysis ?fuel (Core.Analyze.run prog) prog
 
 let prop_sound prog =
   match check_program prog with
@@ -62,6 +63,32 @@ let prop_sound_nested seed = prop_sound (Helpers.nested_of_seed seed)
 
 let prop_sound_nested_deep seed =
   prop_sound (Helpers.nested_of_seed ~n:25 ~depth:6 seed)
+
+(* Post-edit programs, analysed *incrementally*: the engine's cached
+   answers — not a fresh run — must still cover everything the
+   interpreter observes, after every step of a random edit script. *)
+let prop_sound_edited seed =
+  let prog = Helpers.flat_of_seed ~n:20 seed in
+  let rand = Random.State.make [| seed; 0x50ed |] in
+  let script = Workload.Edits.gen ~rand ~steps:6 prog in
+  let engine = Incremental.Engine.create prog in
+  List.for_all
+    (fun (edit, _) ->
+      let before = Incremental.Engine.prog engine in
+      let (_ : Incremental.Engine.outcome) =
+        Incremental.Engine.apply engine edit
+      in
+      match
+        check_analysis
+          (Incremental.Engine.analysis engine)
+          (Incremental.Engine.prog engine)
+      with
+      | [] -> true
+      | (sid, what) :: _ ->
+        QCheck.Test.fail_reportf "after %s: site %d observed %s not predicted"
+          (Incremental.Edit.to_string before edit)
+          sid what)
+    script
 
 (* Sections: the flattened sectioned MOD, closed under alias pairs the
    way §5 closes DMOD (the sectioned projection itself is alias-free,
@@ -127,5 +154,7 @@ let () =
             Helpers.arb_nested_prog prop_sound_nested_deep;
           Helpers.qtest ~count:40 "sectioned MOD sound" Helpers.arb_flat_prog
             prop_sections_sound;
+          Helpers.qtest ~count:40 "post-edit programs sound (incremental)"
+            Helpers.arb_flat_prog prop_sound_edited;
         ] );
     ]
