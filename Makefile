@@ -2,6 +2,7 @@
 
 all:
 	dune build @all
+	$(MAKE) --no-print-directory parallel-smoke
 
 test:
 	dune runtest
@@ -40,10 +41,25 @@ incremental-smoke:
 	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
 	done; rm -f smoke_batch.tmp smoke_inc.tmp
 
+# Smoke-test the parallel solvers: analyze every sample program
+# sequentially and on a 4-way domain pool and require byte-identical
+# output — parallelism must be a pure performance knob (docs/parallel.md).
+parallel-smoke:
+	dune build bin/sidefx.exe
+	@for f in examples/*.mp programs/*.mp; do \
+	  echo "== $$f"; \
+	  ./_build/default/bin/sidefx.exe analyze $$f > smoke_seq.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe analyze $$f --jobs 4 > smoke_par.tmp || exit 1; \
+	  diff smoke_seq.tmp smoke_par.tmp || exit 1; \
+	done; rm -f smoke_seq.tmp smoke_par.tmp
+
+bench-parallel:
+	dune exec bench/bench_parallel.exe
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/parallelize.exe
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick profile-smoke incremental-smoke examples
+.PHONY: all test test-force bench bench-quick bench-parallel profile-smoke incremental-smoke parallel-smoke examples

@@ -13,13 +13,28 @@
    RMOD/RUSE are compared bit for bit against the fresh run it is being
    timed against.
 
-     dune exec bench/bench_incremental.exe        # writes BENCH_incremental.json *)
+     dune exec bench/bench_incremental.exe                  # writes BENCH_incremental.json
+     dune exec bench/bench_incremental.exe -- --jobs 4      # cone re-solves on a 4-way pool *)
 
 module A = Core.Analyze
 module Engine = Incremental.Engine
 module Edit = Incremental.Edit
 
 let edits_per_size = 20
+
+(* --jobs N: run both sides (engine cone re-solves and the from-scratch
+   baseline) on a shared domain pool; output is identical by the
+   determinism contract, only the timings move. *)
+let jobs =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then 1
+    else if Sys.argv.(i) = "--jobs" then int_of_string Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  Par.Pool.effective_jobs (scan 1)
+
+let pool = if jobs > 1 then Some (Par.Pool.create ~jobs) else None
+let () = at_exit (fun () -> Option.iter Par.Pool.shutdown pool)
 
 let bool_arrays_equal = Array.for_all2 Bool.equal
 let vec_arrays_equal = Array.for_all2 Bitvec.equal
@@ -48,7 +63,7 @@ let measure family build n =
   let resolved = Obs.Metric.counter "incremental.procs_resolved" in
   let fallbacks = Obs.Metric.counter "incremental.full_fallbacks" in
   let snap = Obs.Metric.snapshot () in
-  let engine = Engine.create prog in
+  let engine = Engine.create ?pool prog in
   let inc_time = ref 0.0 and batch_time = ref 0.0 in
   let cur = ref prog in
   for i = 0 to edits_per_size - 1 do
@@ -58,7 +73,7 @@ let measure family build n =
     inc_time := !inc_time +. (Obs.Clock.now () -. t0);
     cur := Edit.apply !cur edit;
     let t0 = Obs.Clock.now () in
-    let batch = A.run !cur in
+    let batch = A.run ?pool !cur in
     batch_time := !batch_time +. (Obs.Clock.now () -. t0);
     assert_equal ~family ~n ~i (Engine.analysis engine) batch
   done;
@@ -83,8 +98,8 @@ let measure family build n =
 
 let () =
   Printf.printf
-    "== incremental re-analysis vs from-scratch (head edit, %d edits/row) ==\n"
-    edits_per_size;
+    "== incremental re-analysis vs from-scratch (head edit, %d edits/row, jobs=%d) ==\n"
+    edits_per_size jobs;
   Printf.printf "   %-12s %6s | %10s %10s | %9s | %6s %4s\n" "family" "N"
     "inc (s)" "batch (s)" "speedup" "rslv" "fb";
   let rows =

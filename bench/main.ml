@@ -7,11 +7,26 @@
    by roughly what factor, and that the new algorithms scale linearly.
    Absolute numbers are machine-dependent.
 
-     dune exec bench/main.exe            # run everything
-     dune exec bench/main.exe -- quick   # smaller quota *)
+     dune exec bench/main.exe               # run everything
+     dune exec bench/main.exe -- quick      # smaller quota
+     dune exec bench/main.exe -- --jobs 4   # pooled solvers where supported *)
 
 open Bechamel
 open Toolkit
+
+(* --jobs N: run the pool-aware solvers (figure1 RMOD, findgmod,
+   by-levels nesting, whole-pipeline analyze) on a shared domain pool.
+   Results are bit-identical either way; only the timings move. *)
+let jobs =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then 1
+    else if Sys.argv.(i) = "--jobs" then int_of_string Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  Par.Pool.effective_jobs (scan 1)
+
+let pool = if jobs > 1 then Some (Par.Pool.create ~jobs) else None
+let () = at_exit (fun () -> Option.iter Par.Pool.shutdown pool)
 
 (* --- prepared inputs ------------------------------------------------ *)
 
@@ -58,7 +73,7 @@ let f1_tests =
     (fun p ->
       let tag alg = Printf.sprintf "rmod/%s/n=%d" alg p.n in
       [
-        t (tag "figure1") (fun () -> Core.Rmod.solve p.binding ~imod:p.imod);
+        t (tag "figure1") (fun () -> Core.Rmod.solve ?pool p.binding ~imod:p.imod);
         t (tag "swift") (fun () -> Baseline.Swift.rmod p.binding ~imod:p.imod);
         t (tag "iterative") (fun () -> Baseline.Iterative.rmod p.binding ~imod:p.imod);
       ])
@@ -86,7 +101,7 @@ let f2_tests =
     (fun p ->
       let tag alg = Printf.sprintf "gmod/%s/n=%d" alg p.n in
       [
-        t (tag "findgmod") (fun () -> Core.Gmod.solve p.info p.call ~imod_plus:p.imod_plus);
+        t (tag "findgmod") (fun () -> Core.Gmod.solve ?pool p.info p.call ~imod_plus:p.imod_plus);
         t (tag "iterative") (fun () ->
             Baseline.Iterative.gmod p.info p.call ~imod_plus:p.imod_plus);
       ]
@@ -111,7 +126,7 @@ let f3_tests =
           (let info = p.info and binding = p.binding in
            fun () -> Sections.Rsmod.solve info binding);
         t (tag "full-sectioned") (fun () -> Sections.Analyze_sections.run prog);
-        t (tag "bit-level") (fun () -> Core.Analyze.run prog);
+        t (tag "bit-level") (fun () -> Core.Analyze.run ?pool prog);
       ])
     kernels
 
@@ -125,7 +140,7 @@ let c1_tests =
         t (tag "one-pass") (fun () ->
             Core.Gmod_nested.solve p.info p.call ~imod_plus:p.imod_plus);
         t (tag "by-levels") (fun () ->
-            Core.Gmod_nested.solve_by_levels p.info p.call ~imod_plus:p.imod_plus);
+            Core.Gmod_nested.solve_by_levels ?pool p.info p.call ~imod_plus:p.imod_plus);
       ])
     nested
 
@@ -135,7 +150,7 @@ let c2_tests =
     (fun p ->
       let src = Ir.Pp.to_string p.prog in
       [
-        t (Printf.sprintf "pipeline/analyze/n=%d" p.n) (fun () -> Core.Analyze.run p.prog);
+        t (Printf.sprintf "pipeline/analyze/n=%d" p.n) (fun () -> Core.Analyze.run ?pool p.prog);
         t
           (Printf.sprintf "pipeline/frontend/n=%d" p.n)
           (fun () -> Frontend.Sema.compile_exn ~file:"bench" src);

@@ -40,6 +40,14 @@ let json_arg =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit machine-readable JSON on stdout instead of text.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:
+             "Worker domains for the condensation-wavefront scheduler.  1 \
+              (default) runs the sequential solvers unchanged; 0 means all \
+              recommended cores.  Results are bit-identical at every setting.")
+
 (* Run a command body with span recording per [trace]; the table goes
    to stderr so stdout stays parseable. *)
 let with_trace trace f =
@@ -64,18 +72,37 @@ let var_set_json prog set =
        (fun vid -> Obs.Json.String (Ir.Pp.qualified_var_name prog vid))
        (Bitvec.to_list set))
 
+(* Wavefront leveling of a graph's SCC condensation: how many
+   sequential batches the parallel scheduler needs, and the widest one
+   (the available parallelism). *)
+let condensation_levels graph (scc : Graphs.Scc.result) =
+  let csuccs = Array.make (max 1 scc.Graphs.Scc.n_comps) [] in
+  Graphs.Digraph.iter_edges graph (fun _ src dst ->
+      let cs = scc.Graphs.Scc.comp.(src) and cd = scc.Graphs.Scc.comp.(dst) in
+      if cs <> cd then csuccs.(cs) <- cd :: csuccs.(cs));
+  Par.Wavefront.of_comp_succs ~n_comps:scc.Graphs.Scc.n_comps
+    ~succs_of:(Array.get csuccs)
+
 let graph_shape_json call binding =
   let prog = call.Callgraph.Call.prog in
   let call_scc = Graphs.Scc.compute call.Callgraph.Call.graph in
   let beta_scc = Graphs.Scc.compute binding.Callgraph.Binding.graph in
+  let call_levels = condensation_levels call.Callgraph.Call.graph call_scc in
+  let beta_levels =
+    condensation_levels binding.Callgraph.Binding.graph beta_scc
+  in
   Obs.Json.Obj
     [
       ("procedures", Obs.Json.Int (Ir.Prog.n_procs prog));
       ("call_sites", Obs.Json.Int (Ir.Prog.n_sites prog));
       ("call_sccs", Obs.Json.Int call_scc.Graphs.Scc.n_comps);
+      ("call_levels", Obs.Json.Int call_levels.Par.Wavefront.n_levels);
+      ("call_max_width", Obs.Json.Int call_levels.Par.Wavefront.max_width);
       ("beta_nodes", Obs.Json.Int (Callgraph.Binding.n_nodes binding));
       ("beta_edges", Obs.Json.Int (Callgraph.Binding.n_edges binding));
       ("beta_sccs", Obs.Json.Int beta_scc.Graphs.Scc.n_comps);
+      ("beta_levels", Obs.Json.Int beta_levels.Par.Wavefront.n_levels);
+      ("beta_max_width", Obs.Json.Int beta_levels.Par.Wavefront.max_width);
       ( "beta_edges_by_level",
         Obs.Json.Obj
           (List.map
@@ -145,10 +172,13 @@ let analysis_json (t : Core.Analyze.t) =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run file flat trace json =
+  let run file flat trace json jobs =
     with_trace trace @@ fun () ->
     let prog = load file in
-    let t = Core.Analyze.run ~force_flat:flat prog in
+    let t =
+      Par.Pool.with_pool ~jobs (fun pool ->
+          Core.Analyze.run ~force_flat:flat ?pool prog)
+    in
     if json then print_endline (Obs.Json.to_string (analysis_json t))
     else Format.printf "%a@." Core.Analyze.pp_report t
   in
@@ -158,7 +188,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Interprocedural MOD/USE analysis of a MiniProc file.")
-    Term.(const run $ file_arg $ flat $ trace_arg $ json_arg)
+    Term.(const run $ file_arg $ flat $ trace_arg $ json_arg $ jobs_arg)
 
 (* --- sections --- *)
 
@@ -194,6 +224,14 @@ let stats_cmd =
          (List.map
             (fun (lvl, count) -> Printf.sprintf "L%d=%d" lvl count)
             (Callgraph.Binding.edges_by_level binding)));
+    let call_scc = Graphs.Scc.compute call.Callgraph.Call.graph in
+    let cl = condensation_levels call.Callgraph.Call.graph call_scc in
+    let bl = condensation_levels binding.Callgraph.Binding.graph beta_scc in
+    Format.printf
+      "condensation wavefront: call %d levels (max width %d); beta %d levels \
+       (max width %d)@."
+      cl.Par.Wavefront.n_levels cl.Par.Wavefront.max_width
+      bl.Par.Wavefront.n_levels bl.Par.Wavefront.max_width;
     let reach = Callgraph.Call.reachable_from_main call in
     Format.printf "procedures reachable from main: %d / %d@." (Bitvec.cardinal reach)
       (Ir.Prog.n_procs prog);
@@ -206,8 +244,9 @@ let stats_cmd =
 (* --- profile --- *)
 
 let profile_cmd =
-  let run file json =
+  let run file json jobs =
     let source = read_file file in
+    Par.Pool.with_pool ~jobs @@ fun pool ->
     let (prog, t), span =
       Obs.Span.collect "profile" @@ fun () ->
       let prog =
@@ -220,7 +259,7 @@ let profile_cmd =
             errs;
           exit 1
       in
-      let t = Core.Analyze.run prog in
+      let t = Core.Analyze.run ?pool prog in
       (* Force the per-site §5 summaries so their cost is on the trace
          (Analyze.run computes them lazily per query). *)
       Obs.Span.with_ "sites" (fun () ->
@@ -251,7 +290,7 @@ let profile_cmd =
        ~doc:
          "Run the full analysis pipeline under tracing and report per-phase wall \
           time and operation-counter deltas (the paper's cost units).")
-    Term.(const run $ file_arg $ json_arg)
+    Term.(const run $ file_arg $ json_arg $ jobs_arg)
 
 (* --- json-validate --- *)
 
@@ -519,7 +558,8 @@ let edit_cmd =
              ])
          rows)
   in
-  let run file script random seed incremental json =
+  let run file script random seed incremental json jobs =
+    Par.Pool.with_pool ~jobs @@ fun pool ->
     let prog = load file in
     let steps =
       match (script, random) with
@@ -537,10 +577,10 @@ let edit_cmd =
         Format.eprintf "edit: give exactly one of --script or --random@.";
         exit 1
     in
-    let before = Core.Analyze.run prog in
+    let before = Core.Analyze.run ?pool prog in
     let after =
       if incremental then begin
-        let engine = Incremental.Engine.create prog in
+        let engine = Incremental.Engine.create ?pool prog in
         List.iter
           (fun (edit, _) ->
             let (_ : Incremental.Engine.outcome) =
@@ -551,7 +591,7 @@ let edit_cmd =
         Incremental.Engine.analysis engine
       end
       else
-        Core.Analyze.run
+        Core.Analyze.run ?pool
           (match List.rev steps with [] -> prog | (_, p) :: _ -> p)
     in
     let edits_rendered =
@@ -654,7 +694,7 @@ let edit_cmd =
           (GMOD/GUSE by procedure, MOD/USE by call site).")
     Term.(
       const run $ file_arg $ script_arg $ random_arg $ seed_arg
-      $ incremental_arg $ json_arg)
+      $ incremental_arg $ json_arg $ jobs_arg)
 
 let bench_table_cmd =
   let run sizes =

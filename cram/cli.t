@@ -4,6 +4,7 @@ Graph statistics for the quickstart program:
   4 procedures, 4 call sites, 4 SCCs
   C: 4 nodes, 4 edges; beta: 2 nodes, 1 edges; mu_f = 1.33, mu_a = 1.50; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.25
   beta SCCs: 2; beta edges by level: L1=1
+  condensation wavefront: call 4 levels (max width 1); beta 2 levels (max width 1)
   procedures reachable from main: 4 / 4
   nesting depth dP = 1
 
@@ -78,6 +79,7 @@ Nested procedures: stats and analysis both handle dP = 3:
   4 procedures, 4 call sites, 4 SCCs
   C: 4 nodes, 4 edges; beta: 2 nodes, 2 edges; mu_f = 0.67, mu_a = 0.75; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.50
   beta SCCs: 2; beta edges by level: L1=0 L2=2 L3=0
+  condensation wavefront: call 4 levels (max width 1); beta 2 levels (max width 1)
   procedures reachable from main: 4 / 4
   nesting depth dP = 3
 
@@ -134,6 +136,7 @@ Generation is deterministic and generated programs are accepted back:
   4 procedures, 9 call sites, 4 SCCs
   C: 4 nodes, 9 edges; beta: 3 nodes, 2 edges; mu_f = 1.67, mu_a = 1.22; size ratio N_beta/N_C = 0.75, E_beta/E_C = 0.22
   beta SCCs: 3; beta edges by level: L1=2
+  condensation wavefront: call 3 levels (max width 2); beta 2 levels (max width 2)
   procedures reachable from main: 4 / 4
   nesting depth dP = 1
 
@@ -198,10 +201,14 @@ The JSON report's key set is a stable contract (values are not):
   "alias.pairs":
   "beta_edges":
   "beta_edges_by_level":
+  "beta_levels":
+  "beta_max_width":
   "beta_nodes":
   "beta_sccs":
   "bitvec.vector_ops":
   "bitvec.word_ops":
+  "call_levels":
+  "call_max_width":
   "call_sccs":
   "call_sites":
   "callgraph.beta.edges":
@@ -218,6 +225,8 @@ The JSON report's key set is a stable contract (values are not):
   "metrics":
   "name":
   "nesting_depth":
+  "par.batches":
+  "par.tasks":
   "procedures":
   "program":
   "rmod.steps":
@@ -254,8 +263,12 @@ Machine-readable analysis results, self-validated:
   "aliases":
   "beta_edges":
   "beta_edges_by_level":
+  "beta_levels":
+  "beta_max_width":
   "beta_nodes":
   "beta_sccs":
+  "call_levels":
+  "call_max_width":
   "call_sccs":
   "call_sites":
   "callee":
@@ -288,6 +301,7 @@ stdout untouched:
   4 procedures, 4 call sites, 4 SCCs
   C: 4 nodes, 4 edges; beta: 2 nodes, 1 edges; mu_f = 1.33, mu_a = 1.50; size ratio N_beta/N_C = 0.50, E_beta/E_C = 0.25
   beta SCCs: 2; beta edges by level: L1=1
+  condensation wavefront: call 4 levels (max width 1); beta 2 levels (max width 1)
   procedures reachable from main: 4 / 4
   nesting depth dP = 1
   $ awk 'NR>1 && NF {print $1}' trace.err
@@ -356,3 +370,57 @@ Bad scripts fail with the offending line:
   $ ../bin/sidefx.exe edit ../programs/bank.mp --script bad.edits
   bad.edits: line 1: no such procedure: nowhere
   [1]
+
+Parallel analysis (--jobs) is a pure performance knob: output is
+bit-identical to the sequential run on every sample program, for both
+the human-readable and JSON forms:
+
+  $ for p in ../programs/*.mp; do
+  >   ../bin/sidefx.exe analyze "$p" > seq.out
+  >   ../bin/sidefx.exe analyze "$p" --jobs 4 > par.out
+  >   diff seq.out par.out || echo "MISMATCH: $p"
+  > done
+
+  $ ../bin/sidefx.exe analyze ../programs/bank.mp --json > seq.json
+  $ ../bin/sidefx.exe analyze ../programs/bank.mp --json --jobs 4 > par.json
+  $ diff seq.json par.json
+
+and the parallel JSON report keeps the same stable key set:
+
+  $ ../bin/sidefx.exe analyze ../programs/bank.mp --json --jobs 4 | grep -o '"[A-Za-z0-9_.]*":' | sort -u
+  "L1":
+  "aliases":
+  "beta_edges":
+  "beta_edges_by_level":
+  "beta_levels":
+  "beta_max_width":
+  "beta_nodes":
+  "beta_sccs":
+  "call_levels":
+  "call_max_width":
+  "call_sccs":
+  "call_sites":
+  "callee":
+  "caller":
+  "gmod":
+  "graph":
+  "guse":
+  "imod_plus":
+  "mod":
+  "name":
+  "nesting_depth":
+  "procedures":
+  "program":
+  "rmod":
+  "sid":
+  "sites":
+  "use":
+
+--jobs also applies to profiling and to edit scripts (incremental or
+batch), again without changing any output:
+
+  $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits --incremental --jobs 4 > inc4.out
+  $ diff inc.out inc4.out
+
+  $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --json --jobs 4 | ../bin/sidefx.exe json-validate
+  json: ok

@@ -20,16 +20,35 @@ module Stats = struct
   (* Deprecated shim over the registry.  [reset] no longer zeroes the
      global counters (that would clobber any concurrent snapshot/delta
      measurement); it re-bases this module's private baseline, so the
-     old read-after-reset protocol keeps its exact semantics. *)
+     old read-after-reset protocol keeps its exact semantics.
+
+     The baseline pair is mutex-guarded so concurrent [reset]/readers
+     cannot observe a torn (vector from one reset, word from another)
+     baseline.  Exactness of the values themselves follows the sharded
+     registry contract: reads are exact at quiescent points (e.g.
+     after a Par.Pool batch join); a read racing live worker
+     increments may lag them. *)
+  let mu = Mutex.create ()
   let base_vector = ref 0
   let base_word = ref 0
 
   let reset () =
-    base_vector := Obs.Metric.value vector_ops_metric;
-    base_word := Obs.Metric.value word_ops_metric
+    let v = Obs.Metric.value vector_ops_metric in
+    let w = Obs.Metric.value word_ops_metric in
+    Mutex.lock mu;
+    base_vector := v;
+    base_word := w;
+    Mutex.unlock mu
 
-  let vector_ops () = Obs.Metric.value vector_ops_metric - !base_vector
-  let word_ops () = Obs.Metric.value word_ops_metric - !base_word
+  let read metric base =
+    let v = Obs.Metric.value metric in
+    Mutex.lock mu;
+    let b = !base in
+    Mutex.unlock mu;
+    v - b
+
+  let vector_ops () = read vector_ops_metric base_vector
+  let word_ops () = read word_ops_metric base_word
 end
 
 let count_words n =
@@ -143,9 +162,30 @@ let is_empty v =
   let rec loop w = w < 0 || (v.words.(w) = 0 && loop (w - 1)) in
   loop (Array.length v.words - 1)
 
+(* Branch-free SWAR popcount.  The masks are built programmatically
+   because the usual 0x5555... literals overflow OCaml's 63-bit [int];
+   repeating the pattern across [Sys.int_size] bits (high partial
+   repetition truncated by [lsl]) gives the same field layout.  The
+   final multiply accumulates the byte sums into the top byte; the
+   top field is only [int_size mod 8] bits wide, but the total count
+   (<= int_size < 128) always fits. *)
+let rep pattern width =
+  let rec go acc shift =
+    if shift >= Sys.int_size then acc else go (acc lor (pattern lsl shift)) (shift + width)
+  in
+  go 0 0
+
+let m1 = rep 0x1 2
+let m2 = rep 0x3 4
+let m4 = rep 0xf 8
+let m8 = rep 0x01 8
+let popcount_shift = (Sys.int_size - 1) / 8 * 8
+
 let popcount_word x =
-  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
-  loop x 0
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * m8) lsr popcount_shift
 
 let cardinal v =
   count_words (Array.length v.words);

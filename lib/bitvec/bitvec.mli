@@ -72,6 +72,11 @@ val is_empty : t -> bool
 val cardinal : t -> int
 (** Number of set bits. *)
 
+val popcount_word : int -> int
+(** Population count of a raw machine word — the branch-free SWAR
+    kernel under {!cardinal}.  Exposed so tests can pin it against a
+    reference implementation; counts nothing. *)
+
 val iter : (int -> unit) -> t -> unit
 (** [iter f v] applies [f] to the index of every set bit, ascending. *)
 
@@ -107,7 +112,14 @@ val pp : Format.formatter -> t -> unit
     under nesting where the reset protocol clobbers outer measurements.
     This shim keeps the historical semantics: [reset] re-bases a module
     baseline (the registry counters themselves are never reset) and the
-    readers report counts since the last [reset]. *)
+    readers report counts since the last [reset].
+
+    Domain-safety: the baseline is mutex-guarded, so concurrent calls
+    cannot tear it, and the underlying counters are per-domain sharded
+    (see {!Obs.Metric}).  Values are exact when the reader is
+    quiescent with respect to worker domains — e.g. after a
+    [Par.Pool.run] batch join; a read racing live workers may lag
+    their most recent increments but never over-counts. *)
 module Stats : sig
   val reset : unit -> unit
   val vector_ops : unit -> int

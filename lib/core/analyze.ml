@@ -17,24 +17,30 @@ type t = {
   summary : Summary.t;
 }
 
-let run ?(force_flat = false) prog =
+let run_with ?(force_flat = false) ?pool prog =
   Obs.Span.with_ "analyze" @@ fun () ->
   let info = Obs.Span.with_ "info" (fun () -> Ir.Info.make prog) in
   let call = Callgraph.Call.build prog in
   let binding = Callgraph.Binding.build prog in
-  let imod = Obs.Span.with_ "local" (fun () -> Frontend.Local.imod info) in
-  let iuse = Obs.Span.with_ "local.use" (fun () -> Frontend.Local.iuse info) in
-  let rmod = Rmod.solve binding ~imod in
-  let ruse = Rmod.solve ~label:"ruse" binding ~imod:iuse in
+  let imod = Obs.Span.with_ "local" (fun () -> Frontend.Local.imod ?pool info) in
+  let iuse =
+    Obs.Span.with_ "local.use" (fun () -> Frontend.Local.iuse ?pool info)
+  in
+  let rmod = Rmod.solve ?pool binding ~imod in
+  let ruse = Rmod.solve ~label:"ruse" ?pool binding ~imod:iuse in
   let imod_plus = Imod_plus.compute info ~rmod ~imod in
   let iuse_plus = Imod_plus.compute ~label:"iuse_plus" info ~rmod:ruse ~imod:iuse in
   let nested = (not force_flat) && Prog.max_level prog > 1 in
   let gmod, guse =
     if nested then
+      (* The single-pass multi-level algorithm interleaves its per-level
+         stacks in one traversal; it has no wavefront form and stays
+         sequential regardless of the pool. *)
       ( Gmod_nested.solve info call ~imod_plus,
         Gmod_nested.solve ~label:"guse" info call ~imod_plus:iuse_plus )
     else
-      (Gmod.solve info call ~imod_plus, Gmod.solve_use info call ~iuse_plus)
+      ( Gmod.solve ?pool info call ~imod_plus,
+        Gmod.solve_use ?pool info call ~iuse_plus )
   in
   let alias = Alias.compute info in
   let summary = Obs.Span.with_ "summary" (fun () -> Summary.make info ~gmod ~guse ~alias) in
@@ -54,6 +60,12 @@ let run ?(force_flat = false) prog =
     alias;
     summary;
   }
+
+let run ?force_flat ?(jobs = 1) ?pool prog =
+  match pool with
+  | Some _ -> run_with ?force_flat ?pool prog
+  | None ->
+    Par.Pool.with_pool ~jobs (fun pool -> run_with ?force_flat ?pool prog)
 
 let mod_of_site t sid = Summary.mod_site t.summary sid
 let use_of_site t sid = Summary.use_site t.summary sid

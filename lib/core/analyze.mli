@@ -28,11 +28,19 @@ type t = {
   summary : Summary.t;
 }
 
-val run : ?force_flat:bool -> Ir.Prog.t -> t
+val run : ?force_flat:bool -> ?jobs:int -> ?pool:Par.Pool.t -> Ir.Prog.t -> t
 (** Analyze a program.  When the program declares procedures below
     nesting level 1 the multi-level [findgmod] is used automatically;
     [force_flat] forces plain Figure 2 regardless (used by tests and
-    ablations). *)
+    ablations).
+
+    Parallelism: [?pool], when given, is used for the local, [RMOD],
+    and flat [GMOD]/[GUSE] phases (the nested single-pass solver stays
+    sequential); otherwise [?jobs] (default [1]; [0] means
+    [Domain.recommended_domain_count ()]) builds a transient
+    {!Par.Pool} for this run — [jobs = 1] takes the sequential code
+    paths unchanged.  Results and [bitvec.vector_ops]/[word_ops]
+    totals are bit-identical at every jobs setting (docs/parallel.md). *)
 
 val mod_of_site : t -> int -> Bitvec.t
 (** [MOD(s)] — §5's final answer for a call site. *)

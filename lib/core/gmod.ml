@@ -14,7 +14,7 @@ module Prog = Ir.Prog
    under reachability-into-it (condensation ancestors), a clean node's
    equation-(4) value cannot have changed, and the region run computes
    the same fixpoint Figure 2 computes from scratch. *)
-let solve_seeded ?region info (call : Callgraph.Call.t) ~seed =
+let solve_seq ?region info (call : Callgraph.Call.t) ~seed =
   let g = call.Callgraph.Call.graph in
   let n = Digraph.n_nodes g in
   let prog = call.Callgraph.Call.prog in
@@ -121,12 +121,149 @@ let solve_seeded ?region info (call : Callgraph.Call.t) ~seed =
   done;
   gmod
 
-let solve ?(label = "gmod") info call ~imod_plus =
-  Obs.Span.with_ label (fun () -> solve_seeded info call ~seed:imod_plus)
+(* Condensation-wavefront rendering of the same pass (docs/parallel.md).
 
-let solve_use ?(label = "guse") info call ~iuse_plus =
-  Obs.Span.with_ label (fun () -> solve_seeded info call ~seed:iuse_plus)
+   A graph-only Tarjan ([Par.Wavefront.schedule], replicating the
+   sequential visit order exactly) first condenses the active subgraph
+   and levels the condensation.  Each component then becomes one task:
+   a Figure-2 traversal restricted to the component's members, started
+   at the node where the sequential DFS first entered it.  Every edge
+   leaving the component points to a strictly lower level — complete
+   before this level's batch started — so it takes the
+   forward/cross-edge branch of line 17 and folds in a {e final}
+   value, exactly as the sequential run folds closed components (the
+   sequential run's tree-edge detours into lower components change
+   nothing inside this component before that same fold, and their
+   lowlink propagation is provably a no-op).  Discovery order,
+   branching, and close order inside the component replicate the
+   sequential run, so both the resulting vectors and the
+   [bitvec.vector_ops]/[word_ops] totals are identical.
 
-let solve_region ?(label = "gmod.region") info call ~seed ~dirty ~cached =
+   Race discipline: a task checks [comp.(q) <> c] {e first} and never
+   reads [dfn]/[lowlink]/[on_stack]/[gmod] of a node owned by another
+   same-level component; lower-level state is frozen by the batch
+   join.  Seed copies happen at first visit (push) instead of
+   up-front — one copy per active node either way. *)
+let solve_par ?region info (call : Callgraph.Call.t) ~seed ~pool =
+  let g = call.Callgraph.Call.graph in
+  let n = Digraph.n_nodes g in
+  let prog = call.Callgraph.Call.prog in
+  let active =
+    match region with
+    | None -> fun _ -> true
+    | Some (dirty, _) -> Bitvec.get dirty
+  in
+  let succs = Array.make n [||] in
+  for v = 0 to n - 1 do
+    if active v then begin
+      let deg = Digraph.out_degree g v in
+      let a = Array.make deg 0 in
+      let i = ref 0 in
+      Digraph.iter_succ g v (fun w ->
+          a.(!i) <- w;
+          incr i);
+      succs.(v) <- a
+    end
+  done;
+  let sched =
+    Par.Wavefront.schedule ~n ~active ~first_root:prog.Prog.main ~succs ()
+  in
+  let comp = sched.Par.Wavefront.comp in
+  (* Active entries are placeholders (never read before the first-visit
+     copy overwrites them); clean entries share their cached vector. *)
+  let gmod =
+    match region with
+    | None -> Array.copy seed
+    | Some (_, cached) ->
+      Array.init n (fun v -> if active v then seed.(v) else cached.(v))
+  in
+  let jobs = Par.Pool.jobs pool in
+  let n_vars = Ir.Info.n_vars info in
+  let scratches = Array.init jobs (fun _ -> Bitvec.create n_vars) in
+  let frame_nodes = Array.init jobs (fun _ -> Array.make (n + 1) 0) in
+  let frame_nexts = Array.init jobs (fun _ -> Array.make (n + 1) 0) in
+  let dfn = Array.make n 0 in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let run_comp ~slot ~comp:c =
+    let scratch = scratches.(slot) in
+    let frame_node = frame_nodes.(slot) in
+    let frame_next = frame_nexts.(slot) in
+    let add_escaped ~src ~dst =
+      Bitvec.blit ~src:gmod.(src) ~dst:scratch;
+      ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info src) ~dst:scratch);
+      ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(dst))
+    in
+    let tarjan_stack = ref [] in
+    let close_component root =
+      Bitvec.blit ~src:gmod.(root) ~dst:scratch;
+      ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info root) ~dst:scratch);
+      let rec pop () =
+        match !tarjan_stack with
+        | [] -> assert false
+        | u :: rest ->
+          tarjan_stack := rest;
+          on_stack.(u) <- false;
+          ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(u));
+          if u <> root then pop ()
+      in
+      pop ()
+    in
+    (* Task-local numbering: only same-component dfn values are ever
+       compared, so relative order is all that matters. *)
+    let next_dfn = ref 1 in
+    let sp = ref 0 in
+    let push v =
+      gmod.(v) <- Bitvec.copy seed.(v);
+      dfn.(v) <- !next_dfn;
+      lowlink.(v) <- !next_dfn;
+      incr next_dfn;
+      tarjan_stack := v :: !tarjan_stack;
+      on_stack.(v) <- true;
+      frame_node.(!sp) <- v;
+      frame_next.(!sp) <- 0;
+      incr sp
+    in
+    push sched.Par.Wavefront.entry.(c);
+    while !sp > 0 do
+      let v = frame_node.(!sp - 1) in
+      let i = frame_next.(!sp - 1) in
+      if i < Array.length succs.(v) then begin
+        frame_next.(!sp - 1) <- i + 1;
+        let q = succs.(v).(i) in
+        if comp.(q) <> c then
+          (* Strictly lower level (or clean): final, fold it in. *)
+          add_escaped ~src:q ~dst:v
+        else if dfn.(q) = 0 then push q
+        else if on_stack.(q) && dfn.(q) < dfn.(v) then
+          lowlink.(v) <- min dfn.(q) lowlink.(v)
+        else add_escaped ~src:q ~dst:v
+      end
+      else begin
+        decr sp;
+        if lowlink.(v) = dfn.(v) then close_component v;
+        if !sp > 0 then begin
+          let parent = frame_node.(!sp - 1) in
+          lowlink.(parent) <- min lowlink.(parent) lowlink.(v);
+          add_escaped ~src:v ~dst:parent
+        end
+      end
+    done
+  in
+  Par.Wavefront.iter (Some pool) sched.Par.Wavefront.levels ~f:run_comp;
+  gmod
+
+let solve_seeded ?region ?pool info call ~seed =
+  match pool with
+  | Some pool -> solve_par ?region info call ~seed ~pool
+  | None -> solve_seq ?region info call ~seed
+
+let solve ?(label = "gmod") ?pool info call ~imod_plus =
+  Obs.Span.with_ label (fun () -> solve_seeded ?pool info call ~seed:imod_plus)
+
+let solve_use ?(label = "guse") ?pool info call ~iuse_plus =
+  Obs.Span.with_ label (fun () -> solve_seeded ?pool info call ~seed:iuse_plus)
+
+let solve_region ?(label = "gmod.region") ?pool info call ~seed ~dirty ~cached =
   Obs.Span.with_ label (fun () ->
-      solve_seeded ~region:(dirty, cached) info call ~seed)
+      solve_seeded ~region:(dirty, cached) ?pool info call ~seed)

@@ -16,22 +16,36 @@
     procedure not reachable from main is then covered by further
     searches so the result is total, but — exactly as the paper assumes
     — [GMOD] of an unreachable procedure is only meaningful with
-    respect to chains starting at it. *)
+    respect to chains starting at it.
+
+    Every solver takes [?pool].  With a pool, the pass is scheduled as
+    a condensation wavefront: components of the call multi-graph are
+    evaluated level-by-level, concurrently within a level, each by a
+    Figure-2 traversal restricted to the component and started where
+    the sequential DFS first entered it.  Results {e and} the
+    [bitvec.vector_ops]/[word_ops] step counts are bit-identical to
+    the sequential pass (see docs/parallel.md); without a pool the
+    original sequential code runs unchanged. *)
 
 val solve :
-  ?label:string -> Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+  ?label:string ->
+  ?pool:Par.Pool.t ->
+  Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
 (** Per-procedure [GMOD].  Fresh vectors.  Runs under an {!Obs.Span}
     named [label] (default ["gmod"]), whose [bitvec.vector_ops] /
     [bitvec.word_ops] deltas are the paper's bit-vector-step count. *)
 
 val solve_use :
-  ?label:string -> Ir.Info.t -> Callgraph.Call.t -> iuse_plus:Bitvec.t array -> Bitvec.t array
+  ?label:string ->
+  ?pool:Par.Pool.t ->
+  Ir.Info.t -> Callgraph.Call.t -> iuse_plus:Bitvec.t array -> Bitvec.t array
 (** The identical algorithm seeded with [IUSE+], producing [GUSE] (§2:
     "the USE problem has an analogous solution").  Span default
     ["guse"]. *)
 
 val solve_region :
   ?label:string ->
+  ?pool:Par.Pool.t ->
   Ir.Info.t ->
   Callgraph.Call.t ->
   seed:Bitvec.t array ->

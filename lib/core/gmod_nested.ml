@@ -3,8 +3,8 @@ module Prog = Ir.Prog
 
 (* --- per-level repetition (reference implementation) --- *)
 
-let solve_by_levels ?(label = "gmod.by_levels") info (call : Callgraph.Call.t)
-    ~imod_plus =
+let solve_by_levels ?(label = "gmod.by_levels") ?pool info
+    (call : Callgraph.Call.t) ~imod_plus =
   Obs.Span.with_ label @@ fun () ->
   let prog = call.Callgraph.Call.prog in
   let dp = Prog.max_level prog in
@@ -16,7 +16,7 @@ let solve_by_levels ?(label = "gmod.by_levels") info (call : Callgraph.Call.t)
         if (Prog.proc prog s.Prog.callee).Prog.level >= i then
           ignore (Digraph.Builder.add_edge b ~src:s.Prog.caller ~dst:s.Prog.callee));
     let call_i = { call with Callgraph.Call.graph = Digraph.Builder.freeze b } in
-    let gmod_i = Gmod.solve info call_i ~imod_plus in
+    let gmod_i = Gmod.solve ?pool info call_i ~imod_plus in
     (* Problem i owns the variables declared at level i - 1. *)
     let mask = Ir.Info.level_at_most info (i - 1) in
     let strict =

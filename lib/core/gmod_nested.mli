@@ -42,6 +42,13 @@ val solve :
     solver so profiles key on one phase name). *)
 
 val solve_by_levels :
-  ?label:string -> Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
+  ?label:string ->
+  ?pool:Par.Pool.t ->
+  Ir.Info.t -> Callgraph.Call.t -> imod_plus:Bitvec.t array -> Bitvec.t array
 (** Per-level repetition of Figure 2, [O(dP·(E+N))] bit-vector steps.
-    Span default ["gmod.by_levels"]. *)
+    Span default ["gmod.by_levels"].  [?pool] is forwarded to each
+    level's {!Gmod.solve}; the per-level loop itself is sequential
+    (each [C_i] is an independent problem, but the masked unions fold
+    into one shared result array).  {!solve} — the single-pass
+    algorithm — has no parallel form: its per-level stacks are one
+    global traversal state. *)

@@ -40,16 +40,23 @@ type solution = {
     everything {!resolve} needs to push a seed change through without
     re-walking the graph. *)
 
-val solve : ?label:string -> Callgraph.Binding.t -> imod:Bitvec.t array -> result
+val solve :
+  ?label:string -> ?pool:Par.Pool.t -> Callgraph.Binding.t -> imod:Bitvec.t array -> result
 (** [imod] is the per-procedure [IMOD] family (nesting extension
     included) from {!Frontend.Local.imod}; only its formal-parameter
     bits are consulted.
+
+    With [?pool], steps 2 and 4 are chunked across workers and step 3
+    runs as a condensation wavefront (step 1, the SCC pass, stays
+    sequential); results and the [steps] total are identical to the
+    sequential pass.
 
     Runs under an {!Obs.Span} named [label] (default ["rmod"]; the
     [USE]-side solve passes ["ruse"]) and adds its boolean step count
     to the [rmod.steps] registry counter. *)
 
-val solve_cached : ?label:string -> Callgraph.Binding.t -> imod:Bitvec.t array -> solution
+val solve_cached :
+  ?label:string -> ?pool:Par.Pool.t -> Callgraph.Binding.t -> imod:Bitvec.t array -> solution
 (** As {!solve}, but keeps the condensation artifacts for incremental
     re-solving. *)
 

@@ -35,20 +35,46 @@ let luse_stmt p (s : Stmt.t) =
   in
   Int_set.elements set
 
-(* Per-procedure union of a per-statement set. *)
-let flat_union info per_stmt =
+(* Per-procedure union of a per-statement set.  Procedures are
+   independent, so with a pool they fill in chunked tasks; only
+   single-bit sets are involved (nothing counted), and the batch join
+   publishes every vector before the caller reads them. *)
+let flat_union ?pool info per_stmt =
   let p = Ir.Info.prog info in
-  Array.map
-    (fun (pr : Prog.proc) ->
-      let acc = Ir.Info.fresh info in
-      Stmt.iter
-        (fun s -> List.iter (fun v -> Bitvec.set acc v) (per_stmt p s))
-        pr.Prog.body;
-      acc)
-    p.Prog.procs
+  let fill (pr : Prog.proc) acc =
+    Stmt.iter
+      (fun s -> List.iter (fun v -> Bitvec.set acc v) (per_stmt p s))
+      pr.Prog.body
+  in
+  match pool with
+  | None ->
+    Array.map
+      (fun pr ->
+        let acc = Ir.Info.fresh info in
+        fill pr acc;
+        acc)
+      p.Prog.procs
+  | Some pool ->
+    let procs = p.Prog.procs in
+    let n = Array.length procs in
+    let result = Array.init n (fun _ -> Ir.Info.fresh info) in
+    if n > 0 then begin
+      let jobs = Par.Pool.jobs pool in
+      let chunk = max 1 ((n + (jobs * 4) - 1) / (jobs * 4)) in
+      let n_tasks = (n + chunk - 1) / chunk in
+      Par.Pool.run pool
+        (Array.init n_tasks (fun ti _slot ->
+             for i = ti * chunk to min n ((ti + 1) * chunk) - 1 do
+               fill procs.(i) result.(i)
+             done))
+    end;
+    result
 
-let imod_flat info = flat_union info lmod_stmt
-let iuse_flat info = flat_union info luse_stmt
+let imod_flat ?pool info = flat_union ?pool info lmod_stmt
+let iuse_flat ?pool info = flat_union ?pool info luse_stmt
 
-let imod info = Ir.Info.fold_up_nesting info (imod_flat info)
-let iuse info = Ir.Info.fold_up_nesting info (iuse_flat info)
+(* The nesting fold is a short bottom-up pass over the declaration
+   tree; it stays sequential (its unions are ordered along tree
+   paths). *)
+let imod ?pool info = Ir.Info.fold_up_nesting info (imod_flat ?pool info)
+let iuse ?pool info = Ir.Info.fold_up_nesting info (iuse_flat ?pool info)

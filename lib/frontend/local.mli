@@ -26,13 +26,18 @@ val luse_stmt : Ir.Prog.t -> Ir.Stmt.t -> int list
 (** Variables directly used by this one statement (not its
     sub-statements), ascending. *)
 
-val imod_flat : Ir.Info.t -> Bitvec.t array
-(** Per-procedure [⋃ LMOD(s)] without the nesting extension. *)
+val imod_flat : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
+(** Per-procedure [⋃ LMOD(s)] without the nesting extension.  With
+    [?pool], procedures are scanned in parallel chunks (the
+    per-procedure sets are independent); identical results and — these
+    passes perform no whole-vector operations — identical counter
+    state. *)
 
-val iuse_flat : Ir.Info.t -> Bitvec.t array
+val iuse_flat : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
 
-val imod : Ir.Info.t -> Bitvec.t array
-(** Per-procedure [IMOD] with the §3.3 nesting extension. *)
+val imod : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
+(** Per-procedure [IMOD] with the §3.3 nesting extension (the nesting
+    fold itself is sequential). *)
 
-val iuse : Ir.Info.t -> Bitvec.t array
+val iuse : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
 (** Per-procedure [IUSE] with the §3.3 nesting extension. *)

@@ -33,6 +33,7 @@ type caches = {
 
 type t = {
   threshold : float;
+  pool : Par.Pool.t option;
   mutable analysis : Analyze.t;
   mutable caches : caches;
   mutable edits : int;
@@ -157,21 +158,29 @@ let refold_region info prog ~flat ~folded ~seeds =
 let rebind (sol : Rmod.solution) binding =
   { sol with Rmod.res = { sol.Rmod.res with Rmod.binding } }
 
-let build_caches (a : Analyze.t) =
+let build_caches ?pool (a : Analyze.t) =
   let prog = a.Analyze.prog in
   {
-    imod_flat = Frontend.Local.imod_flat a.Analyze.info;
-    iuse_flat = Frontend.Local.iuse_flat a.Analyze.info;
+    imod_flat = Frontend.Local.imod_flat ?pool a.Analyze.info;
+    iuse_flat = Frontend.Local.iuse_flat ?pool a.Analyze.info;
     imod_aug = aug_full prog ~imod:a.Analyze.imod ~rmod:a.Analyze.rmod;
     iuse_aug = aug_full prog ~imod:a.Analyze.iuse ~rmod:a.Analyze.ruse;
-    rmod_sol = Rmod.solve_cached a.Analyze.binding ~imod:a.Analyze.imod;
-    ruse_sol = Rmod.solve_cached ~label:"ruse" a.Analyze.binding ~imod:a.Analyze.iuse;
+    rmod_sol = Rmod.solve_cached ?pool a.Analyze.binding ~imod:a.Analyze.imod;
+    ruse_sol =
+      Rmod.solve_cached ~label:"ruse" ?pool a.Analyze.binding
+        ~imod:a.Analyze.iuse;
     sites = site_index prog;
   }
 
-let create ?(threshold = 0.5) prog =
-  let analysis = Analyze.run prog in
-  { threshold; analysis; caches = build_caches analysis; edits = 0 }
+let create ?(threshold = 0.5) ?pool prog =
+  let analysis = Analyze.run ?pool prog in
+  {
+    threshold;
+    pool;
+    analysis;
+    caches = build_caches ?pool analysis;
+    edits = 0;
+  }
 
 let analysis t = t.analysis
 let prog t = t.analysis.Analyze.prog
@@ -179,9 +188,9 @@ let edits_applied t = t.edits
 
 let full t prog reason =
   Obs.Metric.incr fallbacks_c;
-  let analysis = Analyze.run prog in
+  let analysis = Analyze.run ?pool:t.pool prog in
   t.analysis <- analysis;
-  t.caches <- build_caches analysis;
+  t.caches <- build_caches ?pool:t.pool analysis;
   let resolved = 2 * Prog.n_procs prog in
   Obs.Metric.add procs_resolved_c resolved;
   { fallback = Some reason; procs_resolved = resolved }
@@ -330,7 +339,8 @@ let incremental t prog kind =
             raise
               (Fallback
                  (Printf.sprintf "dirty fraction %d/%d over threshold" card np));
-          (Gmod.solve_region info call ~seed:plus ~dirty ~cached, card)
+          ( Gmod.solve_region ?pool:t.pool info call ~seed:plus ~dirty ~cached,
+            card )
       in
       let gmod, n_mod = side imod_plus_changed imod_plus old.Analyze.gmod in
       let guse, n_use = side iuse_plus_changed iuse_plus old.Analyze.guse in

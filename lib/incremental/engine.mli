@@ -42,10 +42,13 @@ type outcome = {
           side counted; [2 × n_procs] for a full run). *)
 }
 
-val create : ?threshold:float -> Ir.Prog.t -> t
+val create : ?threshold:float -> ?pool:Par.Pool.t -> Ir.Prog.t -> t
 (** Analyze from scratch and prime the caches.  [threshold] (default
     [0.5]) is the dirty-cone fraction above which {!apply} abandons the
-    region path. *)
+    region path.  [?pool], when given, is retained for the engine's
+    lifetime and reused by the initial analysis, every full-fallback
+    re-analysis, and the region [GMOD]/[GUSE] cone re-solves; the pool
+    remains owned by the caller (the engine never shuts it down). *)
 
 val apply : t -> Edit.t -> outcome
 (** Apply one edit and bring {!analysis} up to date.  Raises

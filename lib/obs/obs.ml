@@ -255,55 +255,136 @@ module Metric = struct
     id : int;
     mname : string;
     mkind : kind;
-    mutable value : int;
+    mutable gvalue : int;  (* gauges only; counters live in the shards *)
   }
 
+  (* Counter storage is sharded per domain: each domain owns one int
+     array indexed by metric id (its shard), registered in a global
+     list the first time the domain touches any counter.  The hot path
+     ([incr]/[add]) writes the caller's own shard — no lock, no
+     contention — and reads aggregate by summing every shard.  Shards
+     of terminated domains stay registered so their counts survive;
+     sums are exact whenever the reader synchronises with all writers
+     (the pool's batch join provides that barrier; see Par.Pool). *)
+  let shards : int array ref list ref = ref []
+  let shards_mu = Mutex.create ()
+
+  let shard_key =
+    Domain.DLS.new_key (fun () ->
+        let s = ref [||] in
+        Mutex.lock shards_mu;
+        shards := s :: !shards;
+        Mutex.unlock shards_mu;
+        s)
+
   (* Registration order matters for stable output: keep both a reverse
-     list (cheap append) and a name index. *)
+     list (cheap append) and a name index.  Guarded by a mutex so a
+     worker-domain registration cannot corrupt the table (in practice
+     all registration happens at module initialisation, before any
+     domain is spawned). *)
+  let registry_mu = Mutex.create ()
   let registered : handle list ref = ref []
   let by_name : (string, handle) Hashtbl.t = Hashtbl.create 32
   let count = ref 0
 
   let register mname mkind =
-    match Hashtbl.find_opt by_name mname with
-    | Some h ->
-      if h.mkind <> mkind then
-        invalid_arg
-          (Printf.sprintf "Obs.Metric: %s already registered with the other kind"
-             mname);
-      h
-    | None ->
-      let h = { id = !count; mname; mkind; value = 0 } in
-      incr count;
-      registered := h :: !registered;
-      Hashtbl.add by_name mname h;
-      h
+    Mutex.lock registry_mu;
+    let h =
+      match Hashtbl.find_opt by_name mname with
+      | Some h ->
+        if h.mkind <> mkind then begin
+          Mutex.unlock registry_mu;
+          invalid_arg
+            (Printf.sprintf "Obs.Metric: %s already registered with the other kind"
+               mname)
+        end;
+        h
+      | None ->
+        let h = { id = !count; mname; mkind; gvalue = 0 } in
+        incr count;
+        registered := h :: !registered;
+        Hashtbl.add by_name mname h;
+        h
+    in
+    Mutex.unlock registry_mu;
+    h
 
   let counter name = register name Counter
   let gauge name = register name Gauge
-  let incr h = h.value <- h.value + 1
-  let add h n = h.value <- h.value + n
-  let set h v = h.value <- v
-  let value h = h.value
+
+  (* The calling domain's shard, grown to cover [id]. *)
+  let slot id =
+    let s = Domain.DLS.get shard_key in
+    let a = !s in
+    if id < Array.length a then a
+    else begin
+      let b = Array.make (max 16 (max (id + 1) (2 * Array.length a))) 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      s := b;
+      b
+    end
+
+  let add h n =
+    match h.mkind with
+    | Counter ->
+      let a = slot h.id in
+      a.(h.id) <- a.(h.id) + n
+    | Gauge -> h.gvalue <- h.gvalue + n
+
+  let incr h = add h 1
+
+  let sum_shards id =
+    Mutex.lock shards_mu;
+    let l = !shards in
+    Mutex.unlock shards_mu;
+    List.fold_left
+      (fun acc s ->
+        let a = !s in
+        acc + (if id < Array.length a then a.(id) else 0))
+      0 l
+
+  let value h =
+    match h.mkind with Gauge -> h.gvalue | Counter -> sum_shards h.id
+
+  let set h v =
+    match h.mkind with
+    | Gauge -> h.gvalue <- v
+    | Counter ->
+      (* Legacy absolute write on a counter: adjust the caller's shard
+         so the aggregate becomes [v].  Only meaningful at quiescent
+         points (no concurrent writers). *)
+      let a = slot h.id in
+      a.(h.id) <- a.(h.id) + (v - sum_shards h.id)
+
   let name h = h.mname
   let kind h = h.mkind
-  let find name = Hashtbl.find_opt by_name name
 
-  let in_order () = List.rev !registered
+  let find name =
+    Mutex.lock registry_mu;
+    let r = Hashtbl.find_opt by_name name in
+    Mutex.unlock registry_mu;
+    r
 
-  let all () = List.map (fun h -> (h.mname, h.mkind, h.value)) (in_order ())
+  let in_order () =
+    Mutex.lock registry_mu;
+    let l = !registered in
+    Mutex.unlock registry_mu;
+    List.rev l
+
+  let all () = List.map (fun h -> (h.mname, h.mkind, value h)) (in_order ())
 
   type snapshot = int array
   (* values.(id) at capture time; handles registered later read 0. *)
 
   let snapshot () =
+    let handles = in_order () in
     let values = Array.make !count 0 in
-    List.iter (fun h -> values.(h.id) <- h.value) !registered;
+    List.iter (fun h -> values.(h.id) <- value h) handles;
     values
 
   let value_since ~since h =
     let base = if h.id < Array.length since then since.(h.id) else 0 in
-    h.value - base
+    value h - base
 
   let delta ~since =
     List.map (fun h -> (h.mname, value_since ~since h)) (in_order ())
@@ -330,14 +411,23 @@ module Span = struct
     mutable children_rev : t list;
   }
 
-  let enabled_flag = ref false
-  let stack : frame list ref = ref []
-  let roots_rev : t list ref = ref []
+  (* The open-frame stack and the completed-root buffer are per domain
+     (DLS): a span opened inside a worker task nests under that
+     worker's own frames, never under another domain's, so the trace
+     tree is race-free by construction.  Only the main domain's roots
+     are observable through [drain]/[collect] in practice — the solvers
+     open spans around whole phases, outside any pool task.  The
+     enabled flag is an [Atomic] so workers read a coherent value. *)
+  type state = { mutable stack : frame list; mutable roots_rev : t list }
 
-  let enabled () = !enabled_flag
-  let set_enabled b = enabled_flag := b
+  let state_key = Domain.DLS.new_key (fun () -> { stack = []; roots_rev = [] })
+  let state () = Domain.DLS.get state_key
+  let enabled_flag = Atomic.make false
 
-  let close fr =
+  let enabled () = Atomic.get enabled_flag
+  let set_enabled b = Atomic.set enabled_flag b
+
+  let close st fr =
     let elapsed = Clock.now () -. fr.start in
     let span =
       {
@@ -347,50 +437,53 @@ module Span = struct
         children = List.rev fr.children_rev;
       }
     in
-    (match !stack with
-    | top :: rest when top == fr -> stack := rest
-    | other -> stack := other (* unbalanced close; keep going *));
-    match !stack with
+    (match st.stack with
+    | top :: rest when top == fr -> st.stack <- rest
+    | other -> st.stack <- other (* unbalanced close; keep going *));
+    match st.stack with
     | parent :: _ -> parent.children_rev <- span :: parent.children_rev
-    | [] -> roots_rev := span :: !roots_rev
+    | [] -> st.roots_rev <- span :: st.roots_rev
 
   let record name f =
+    let st = state () in
     let fr =
       { fname = name; start = Clock.now (); snap = Metric.snapshot (); children_rev = [] }
     in
-    stack := fr :: !stack;
+    st.stack <- fr :: st.stack;
     match f () with
     | v ->
-      close fr;
+      close st fr;
       v
     | exception e ->
-      close fr;
+      close st fr;
       raise e
 
   (* The hot path: one branch when tracing is off. *)
-  let with_ name f = if not !enabled_flag then f () else record name f
+  let with_ name f = if not (Atomic.get enabled_flag) then f () else record name f
 
   let drain () =
-    let spans = List.rev !roots_rev in
-    roots_rev := [];
+    let st = state () in
+    let spans = List.rev st.roots_rev in
+    st.roots_rev <- [];
     spans
 
   let collect name f =
-    let saved_enabled = !enabled_flag in
-    let saved_stack = !stack in
-    let saved_roots = !roots_rev in
-    enabled_flag := true;
-    stack := [];
-    roots_rev := [];
+    let st = state () in
+    let saved_enabled = Atomic.get enabled_flag in
+    let saved_stack = st.stack in
+    let saved_roots = st.roots_rev in
+    Atomic.set enabled_flag true;
+    st.stack <- [];
+    st.roots_rev <- [];
     let restore () =
-      enabled_flag := saved_enabled;
-      stack := saved_stack;
-      roots_rev := saved_roots
+      Atomic.set enabled_flag saved_enabled;
+      st.stack <- saved_stack;
+      st.roots_rev <- saved_roots
     in
     match record name f with
     | v ->
       let span =
-        match !roots_rev with
+        match st.roots_rev with
         | [ s ] -> s
         | l -> { name; elapsed = 0.0; metrics = []; children = List.rev l }
       in

@@ -57,10 +57,23 @@ end
 (** Named monotonic counters and gauges.
 
     Registration returns a {e handle}; the hot path ([incr]/[add]) is
-    an [O(1)] unsynchronised field update on the handle, so solvers
+    an [O(1)] update of the calling domain's own storage, so solvers
     register at module initialisation and count inside inner loops.
     Metrics are process-global and never reset; consumers measure by
-    taking a {!snapshot} before and reading {!delta} after. *)
+    taking a {!snapshot} before and reading {!delta} after.
+
+    {b Domain safety.}  Counters are {e sharded per domain}: each
+    domain increments a private shard (no lock, no cache-line
+    contention), and {!value}/{!snapshot} aggregate by summing every
+    shard ever created — shards of terminated domains are retained, so
+    no count is ever lost.  The aggregate is exact at any point that
+    {e happens-after} all writers' increments; a [Par.Pool] batch join
+    is such a point, which is how [bitvec.vector_ops]/[word_ops] stay
+    exact under the parallel wavefront solver.  An aggregate read that
+    races a worker mid-batch may miss in-flight increments (it never
+    invents counts).  Gauges remain plain last-write-wins fields and
+    should be [set] from one domain at a time (all in-tree gauges are
+    written by the main domain only). *)
 module Metric : sig
   type kind =
     | Counter  (** Monotonic; observed as a delta between snapshots. *)
@@ -79,7 +92,9 @@ module Metric : sig
   val add : handle -> int -> unit
 
   val set : handle -> int -> unit
-  (** Overwrite the value (intended for gauges). *)
+  (** Overwrite the value (intended for gauges).  On a counter this
+      adjusts the calling domain's shard so the aggregate becomes the
+      given value — only meaningful with no concurrent writers. *)
 
   val value : handle -> int
   val name : handle -> string
@@ -110,7 +125,15 @@ end
     wall-clock time and the {!Metric} delta across it, nested under the
     enclosing span.  When tracing is disabled the call is a single
     branch and a tail call — no allocation, no clock read — so
-    instrumented solvers cost nothing in benchmarks. *)
+    instrumented solvers cost nothing in benchmarks.
+
+    {b Domain safety.}  The open-frame stack and the completed-root
+    buffer are per domain, so a span opened inside a worker task nests
+    under that worker's own frames and cannot corrupt the main trace;
+    {!drain} and {!collect} observe the calling domain's roots only.
+    The in-tree solvers open spans around whole phases — outside any
+    pool task — so traces are unchanged by [--jobs].  The enabled flag
+    is shared (atomic) across domains. *)
 module Span : sig
   type t = {
     name : string;

@@ -1,0 +1,49 @@
+(** A reusable pool of worker domains executing task batches.
+
+    [create ~jobs] spawns [jobs - 1] worker domains (none for
+    [jobs <= 1]); [run] publishes an array of tasks, participates in
+    executing them on the calling domain, and returns once every task
+    has finished.  Tasks within a batch run concurrently in unspecified
+    order, so they must write disjoint state; consecutive batches are
+    totally ordered — the batch join is a synchronisation point, so
+    every write made by a task (result arrays, sharded {!Obs.Metric}
+    counters) happens-before anything the caller does after [run]
+    returns.  This is exactly the barrier discipline the
+    condensation-wavefront scheduler ({!Wavefront}) needs: one batch
+    per topological level.
+
+    Counters [par.tasks] and [par.batches] record scheduling volume
+    (per parallel batch; the [jobs = 1] in-line path counts nothing). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [max 1 jobs] total workers (the caller counts as
+    worker 0, so [jobs - 1] domains are spawned).  Call {!shutdown}
+    when done; a pool whose owner exits without shutdown leaves its
+    domains blocked on the queue, which is safe but unjoined. *)
+
+val jobs : t -> int
+(** Total parallelism, caller included.  Task slot indices are
+    [0 .. jobs t - 1]. *)
+
+val run : t -> (int -> unit) array -> unit
+(** [run t tasks] executes every task and returns when all are done.
+    Each task receives the {e slot} of the worker running it — a stable
+    index in [0 .. jobs t - 1] — for indexing per-worker scratch
+    state.  If tasks raise, one of the exceptions is re-raised in the
+    caller after the whole batch has drained.  With [jobs t = 1] the
+    tasks simply run in order on the calling domain.  Not reentrant:
+    tasks must not call [run] on their own pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent. *)
+
+val effective_jobs : int -> int
+(** The CLI convention: [0] means [Domain.recommended_domain_count ()],
+    anything else is clamped to at least 1. *)
+
+val with_pool : jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f]: applies {!effective_jobs}, then runs [f None]
+    when the result is 1 (callers take their unchanged sequential
+    path), or [f (Some pool)] with shutdown guaranteed afterwards. *)

@@ -1,0 +1,61 @@
+(** Condensation-wavefront scheduling.
+
+    Both [findgmod] (Figure 2) and the RMOD pass (Figure 1) factor
+    through a strongly-connected-component condensation whose
+    reverse-topological {e levels} are embarrassingly parallel: a
+    component only reads values of components it has edges into, all
+    of which sit at strictly smaller levels.  The wavefront schedule
+    evaluates level 0 (the sinks) first, then each successive level as
+    one {!Pool} batch — the batch join is the barrier that makes every
+    lower-level result (and its operation counts) visible.  Work
+    {e inside} a component is left to the caller and stays sequential
+    per task, which is what keeps parallel results bit-identical to
+    the sequential one-pass (see docs/parallel.md). *)
+
+type levels = {
+  level : int array;  (** Per component. *)
+  n_levels : int;
+  by_level : int array array;
+      (** Components of each level, ascending component id. *)
+  max_width : int;
+      (** Largest level population — the available parallelism. *)
+}
+
+val of_comp_succs : n_comps:int -> succs_of:(int -> int list) -> levels
+(** Level a condensation given per-component successor lists.
+    Component ids must be reverse-topological (every inter-component
+    edge points to a smaller id — what {!Graphs.Scc.compute} and
+    {!schedule} produce); duplicate edges and self-loops are ignored.
+    [level.(c) = 1 + max] over successors, [0] at sinks.  O(N + E). *)
+
+type schedule = {
+  n_comps : int;
+  comp : int array;  (** Component per node; [-1] for inactive nodes. *)
+  entry : int array;
+      (** Per component: the node at which a sequential Figure-2 DFS —
+          [first_root] first, then index order — first enters the
+          component.  Restarting a per-component traversal there
+          reproduces the sequential visit order exactly. *)
+  levels : levels;
+}
+
+val schedule :
+  n:int ->
+  ?active:(int -> bool) ->
+  first_root:int ->
+  succs:int array array ->
+  unit ->
+  schedule
+(** Tarjan over the active subgraph in the sequential solver's exact
+    visit order, plus the leveling of the resulting condensation.
+    [succs] rows of inactive nodes are never read; edges to inactive
+    nodes are skipped.  Graph work only — performs no bit-vector
+    operations, so it adds nothing to the paper's step counts. *)
+
+val iter :
+  Pool.t option -> levels -> f:(slot:int -> comp:int -> unit) -> unit
+(** Evaluate every component, level by level.  With a pool, each level
+    is one task batch (components chunked a few per worker, ascending
+    id); [f] must only write state owned by [comp] and only read state
+    of strictly lower levels, plus per-[slot] scratch.  With [None],
+    plain sequential iteration in level-then-id order. *)

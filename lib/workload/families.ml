@@ -135,6 +135,17 @@ let fortran_style ~seed ~n =
       max_depth = 1;
     }
 
+let dag_style ~seed ~n =
+  let rng = Random.State.make [| seed; n; 0xda |] in
+  Gen.generate rng
+    {
+      Gen.default with
+      Gen.n_procs = n;
+      n_globals = (n / 4) + 8;
+      max_depth = 1;
+      recursion = 0.0;
+    }
+
 let pascal_style ~seed ~n ~depth =
   let rng = Random.State.make [| seed; n; depth; 0x9a |] in
   Gen.generate rng

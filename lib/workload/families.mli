@@ -38,5 +38,12 @@ val fortran_style : seed:int -> n:int -> Ir.Prog.t
 (** {!Gen.generate} with defaults scaled to [n] procedures, flat, for
     scaling experiments. *)
 
+val dag_style : seed:int -> n:int -> Ir.Prog.t
+(** Like {!fortran_style} but with call-back edges disabled
+    ([recursion = 0]): the call graph is an acyclic DAG of singleton
+    components, so its condensation has wide levels — the
+    high-parallelism case for the wavefront scheduler (and the
+    Fortran-77 reality: the language forbids recursion). *)
+
 val pascal_style : seed:int -> n:int -> depth:int -> Ir.Prog.t
 (** Nested variant. *)

@@ -82,6 +82,33 @@ let test_blit_clear () =
   check_list "clear" [] b;
   check_list "src untouched" [ 0; 32 ] a
 
+(* Pin the branch-free SWAR popcount against the old one-bit-at-a-time
+   loop it replaced (Kernighan's bit clear), on the edge words and a
+   haystack of random full-width words. *)
+let test_popcount_word () =
+  let reference x =
+    let c = ref 0 and x = ref x in
+    while !x <> 0 do
+      incr c;
+      x := !x land (!x - 1)
+    done;
+    !c
+  in
+  List.iter
+    (fun x ->
+      Alcotest.(check int)
+        (Printf.sprintf "popcount %#x" x)
+        (reference x) (B.popcount_word x))
+    [ 0; 1; 2; 3; -1; max_int; min_int; min_int + 1; 0x1234; lnot 0x1234 ];
+  let st = Random.State.make [| 0x5ca1e |] in
+  for _ = 1 to 10_000 do
+    let x = Int64.to_int (Random.State.bits64 st) in
+    let want = reference x in
+    let got = B.popcount_word x in
+    if want <> got then
+      Alcotest.failf "popcount_word %#x: want %d, got %d" x want got
+  done
+
 let test_stats_counters () =
   B.Stats.reset ();
   let a = B.create 1000 and b = B.create 1000 in
@@ -143,6 +170,8 @@ let () =
           Alcotest.test_case "cardinal and choose" `Quick test_cardinal_choose;
           Alcotest.test_case "fold and exists" `Quick test_fold_exists;
           Alcotest.test_case "blit and clear" `Quick test_blit_clear;
+          Alcotest.test_case "popcount_word vs reference" `Quick
+            test_popcount_word;
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
         ] );
       ( "properties",

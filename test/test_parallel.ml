@@ -1,0 +1,238 @@
+(* The parallel engine: the Par.Pool/Par.Wavefront machinery itself,
+   and the headline determinism contract — [Analyze.run ~jobs:k] is
+   bit-identical to [~jobs:1] for every k, results and
+   [bitvec.vector_ops]/[word_ops] step counts both (docs/parallel.md).
+
+   The worker-count property holds on any host: correctness of the
+   wavefront schedule does not depend on how many cores actually back
+   the domains. *)
+
+open Helpers
+module A = Core.Analyze
+module Pool = Par.Pool
+module Wavefront = Par.Wavefront
+
+(* One shared 4-way pool for the whole binary: pools are reusable, and
+   spawning domains per qcheck case would dominate the run. *)
+let pool4 = lazy (Pool.create ~jobs:4)
+
+let () =
+  at_exit (fun () -> if Lazy.is_val pool4 then Pool.shutdown (Lazy.force pool4))
+
+(* --- Pool --- *)
+
+let test_pool_runs_all () =
+  let pool = Lazy.force pool4 in
+  let n = 100 in
+  let hits = Array.make n 0 in
+  let slots = Array.make n (-1) in
+  Pool.run pool
+    (Array.init n (fun i slot ->
+         hits.(i) <- hits.(i) + 1;
+         slots.(i) <- slot));
+  Array.iteri (fun i h -> check_int (Printf.sprintf "task %d ran once" i) 1 h) hits;
+  Array.iter
+    (fun s -> check_bool "slot in range" true (s >= 0 && s < Pool.jobs pool))
+    slots;
+  (* Batches are reusable: a second run on the same pool. *)
+  let sum = Atomic.make 0 in
+  Pool.run pool
+    (Array.init 37 (fun i _slot -> ignore (Atomic.fetch_and_add sum (i + 1))));
+  check_int "second batch total" (37 * 38 / 2) (Atomic.get sum)
+
+let test_pool_empty_and_errors () =
+  let pool = Lazy.force pool4 in
+  Pool.run pool [||];
+  (* One failing task: the batch drains and the exception resurfaces. *)
+  let ran = Atomic.make 0 in
+  (try
+     Pool.run pool
+       (Array.init 16 (fun i _slot ->
+            ignore (Atomic.fetch_and_add ran 1);
+            if i = 7 then failwith "boom"));
+     Alcotest.fail "expected the task exception to propagate"
+   with Failure m -> check_bool "task exception" true (m = "boom"));
+  check_int "whole batch still drained" 16 (Atomic.get ran);
+  (* And the pool survives: it is not poisoned by a failed batch. *)
+  Pool.run pool (Array.init 4 (fun _ _ -> ()))
+
+let test_effective_jobs () =
+  check_int "1 is 1" 1 (Pool.effective_jobs 1);
+  check_int "4 is 4" 4 (Pool.effective_jobs 4);
+  check_bool "0 is recommended (>= 1)" true (Pool.effective_jobs 0 >= 1);
+  check_int "negative clamps to 1" 1 (Pool.effective_jobs (-3));
+  Pool.with_pool ~jobs:1 (fun p -> check_bool "jobs=1 has no pool" true (p = None));
+  Pool.with_pool ~jobs:2 (fun p ->
+      match p with
+      | None -> Alcotest.fail "jobs=2 should build a pool"
+      | Some p -> check_int "pool width" 2 (Pool.jobs p))
+
+(* --- Wavefront --- *)
+
+let test_leveling () =
+  (* 4 <- {2,3} <- ... a diamond condensation: 0 and 1 are sinks,
+     2 and 3 depend on them, 4 on both of those. *)
+  let succs = [| []; []; [ 0; 1 ]; [ 1 ]; [ 2; 3 ] |]
+  in
+  let l = Wavefront.of_comp_succs ~n_comps:5 ~succs_of:(fun c -> succs.(c)) in
+  check_int "n_levels" 3 l.Wavefront.n_levels;
+  check_int "max_width" 2 l.Wavefront.max_width;
+  Alcotest.(check (list int)) "level 0" [ 0; 1 ]
+    (Array.to_list l.Wavefront.by_level.(0));
+  Alcotest.(check (list int)) "level 1" [ 2; 3 ]
+    (Array.to_list l.Wavefront.by_level.(1));
+  Alcotest.(check (list int)) "level 2" [ 4 ]
+    (Array.to_list l.Wavefront.by_level.(2))
+
+let test_schedule_diamond () =
+  (* main(0) -> a(1), b(2); a,b -> c(3); c is the only sink. *)
+  let succs = [| [| 1; 2 |]; [| 3 |]; [| 3 |]; [||] |] in
+  let s = Wavefront.schedule ~n:4 ~first_root:0 ~succs () in
+  check_int "4 singleton components" 4 s.Wavefront.n_comps;
+  (* Reverse topological: c first, main last. *)
+  check_int "comp of c is 0" 0 s.Wavefront.comp.(3);
+  check_int "comp of main is largest" 3 s.Wavefront.comp.(0);
+  Array.iteri
+    (fun c v -> check_int (Printf.sprintf "entry of comp %d" c) c s.Wavefront.comp.(v))
+    s.Wavefront.entry;
+  check_int "3 levels" 3 s.Wavefront.levels.Wavefront.n_levels;
+  check_int "a,b share a level" 2 s.Wavefront.levels.Wavefront.max_width;
+  (* Sequential and pooled iteration both visit every component once,
+     and never a component before all of its successors. *)
+  List.iter
+    (fun pool ->
+      let done_ = Array.make s.Wavefront.n_comps false in
+      let mu = Mutex.create () in
+      Wavefront.iter pool s.Wavefront.levels ~f:(fun ~slot:_ ~comp ->
+          Mutex.lock mu;
+          check_bool "not evaluated twice" false done_.(comp);
+          done_.(comp) <- true;
+          Mutex.unlock mu);
+      Array.iter (fun b -> check_bool "all components evaluated" true b) done_)
+    [ None; Some (Lazy.force pool4) ]
+
+let test_schedule_cycle_entry () =
+  (* 0 -> 1 <-> 2, entered at 1: the SCC {1,2} must record entry 1 —
+     where a sequential DFS from 0 first touches it. *)
+  let succs = [| [| 1 |]; [| 2 |]; [| 1 |]; [||] |] in
+  let s = Wavefront.schedule ~n:4 ~first_root:0 ~succs () in
+  check_int "three components" 3 s.Wavefront.n_comps;
+  let c12 = s.Wavefront.comp.(1) in
+  check_int "1 and 2 share a component" c12 s.Wavefront.comp.(2);
+  check_int "entered at 1" 1 s.Wavefront.entry.(c12)
+
+let test_schedule_active_subset () =
+  (* Restricting to the active subset must ignore inactive nodes and
+     the edges touching them. *)
+  let succs = [| [| 1; 2 |]; [| 2 |]; [| 0 |]; [||] |] in
+  let s =
+    Wavefront.schedule ~n:4 ~active:(fun v -> v <> 2) ~first_root:0 ~succs ()
+  in
+  check_int "inactive node has no component" (-1) s.Wavefront.comp.(2);
+  check_int "two active components" 3 s.Wavefront.n_comps;
+  check_bool "0 and 1 in different components" true
+    (s.Wavefront.comp.(0) <> s.Wavefront.comp.(1))
+
+(* --- determinism: jobs=4 vs jobs=1, values and step counts --- *)
+
+let bool_arrays_equal = Array.for_all2 Bool.equal
+
+let check_same_analysis msg (seq : A.t) (par : A.t) =
+  let ok name b = if not b then Alcotest.failf "%s: %s differs" msg name in
+  ok "RMOD" (bool_arrays_equal seq.A.rmod.Core.Rmod.rmod par.A.rmod.Core.Rmod.rmod);
+  ok "RUSE" (bool_arrays_equal seq.A.ruse.Core.Rmod.rmod par.A.ruse.Core.Rmod.rmod);
+  ok "RMOD steps" (seq.A.rmod.Core.Rmod.steps = par.A.rmod.Core.Rmod.steps);
+  ok "IMOD" (gmod_arrays_equal seq.A.imod par.A.imod);
+  ok "IUSE" (gmod_arrays_equal seq.A.iuse par.A.iuse);
+  ok "IMOD+" (gmod_arrays_equal seq.A.imod_plus par.A.imod_plus);
+  ok "IUSE+" (gmod_arrays_equal seq.A.iuse_plus par.A.iuse_plus);
+  ok "GMOD" (gmod_arrays_equal seq.A.gmod par.A.gmod);
+  ok "GUSE" (gmod_arrays_equal seq.A.guse par.A.guse);
+  for sid = 0 to Ir.Prog.n_sites seq.A.prog - 1 do
+    ok
+      (Printf.sprintf "MOD(s%d)" sid)
+      (Bitvec.equal (A.mod_of_site seq sid) (A.mod_of_site par sid));
+    ok
+      (Printf.sprintf "USE(s%d)" sid)
+      (Bitvec.equal (A.use_of_site seq sid) (A.use_of_site par sid))
+  done
+
+let vector_ops = lazy (Option.get (Obs.Metric.find "bitvec.vector_ops"))
+let word_ops = lazy (Option.get (Obs.Metric.find "bitvec.word_ops"))
+
+(* Run [f] and report its (vector_ops, word_ops) interval. *)
+let counted f =
+  let snap = Obs.Metric.snapshot () in
+  let r = f () in
+  ( r,
+    Obs.Metric.value_since ~since:snap (Lazy.force vector_ops),
+    Obs.Metric.value_since ~since:snap (Lazy.force word_ops) )
+
+let prop_jobs_deterministic of_seed seed =
+  let prog = of_seed seed in
+  let seq, sv, sw = counted (fun () -> A.run prog) in
+  let par, pv, pw =
+    counted (fun () -> A.run ~pool:(Lazy.force pool4) prog)
+  in
+  check_same_analysis (Printf.sprintf "seed %d" seed) seq par;
+  check_int "vector_ops identical" sv pv;
+  check_int "word_ops identical" sw pw;
+  true
+
+let prop_incremental_deterministic seed =
+  let prog = flat_of_seed ~n:24 seed in
+  let mk_script () =
+    (* Same rand stream both times, so both engines replay one script. *)
+    let rand = Random.State.make [| seed; 0xed17 |] in
+    Workload.Edits.gen ~rand ~steps:6 prog
+  in
+  let seq = Incremental.Engine.create prog in
+  let par = Incremental.Engine.create ~pool:(Lazy.force pool4) prog in
+  check_same_analysis "initial"
+    (Incremental.Engine.analysis seq)
+    (Incremental.Engine.analysis par);
+  List.iteri
+    (fun i ((edit, _expected), (edit', _)) ->
+      assert (edit = edit');
+      let (_ : Incremental.Engine.outcome) = Incremental.Engine.apply seq edit in
+      let (_ : Incremental.Engine.outcome) = Incremental.Engine.apply par edit in
+      check_same_analysis
+        (Printf.sprintf "seed %d edit %d" seed i)
+        (Incremental.Engine.analysis seq)
+        (Incremental.Engine.analysis par))
+    (List.combine (mk_script ()) (mk_script ()));
+  true
+
+let () =
+  run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "runs every task once" `Quick test_pool_runs_all;
+          Alcotest.test_case "empty batches and errors" `Quick
+            test_pool_empty_and_errors;
+          Alcotest.test_case "effective_jobs / with_pool" `Quick
+            test_effective_jobs;
+        ] );
+      ( "wavefront",
+        [
+          Alcotest.test_case "leveling of a diamond" `Quick test_leveling;
+          Alcotest.test_case "schedule: diamond" `Quick test_schedule_diamond;
+          Alcotest.test_case "schedule: cycle entry" `Quick
+            test_schedule_cycle_entry;
+          Alcotest.test_case "schedule: active subset" `Quick
+            test_schedule_active_subset;
+        ] );
+      ( "determinism",
+        [
+          qtest ~count:160 "analyze jobs=4 = jobs=1 (flat)" arb_flat_prog
+            (prop_jobs_deterministic (flat_of_seed ~n:40));
+          qtest ~count:60 "analyze jobs=4 = jobs=1 (dag)" arb_flat_prog
+            (prop_jobs_deterministic (fun seed ->
+                 Workload.Families.dag_style ~seed ~n:40));
+          qtest ~count:40 "analyze jobs=4 = jobs=1 (nested)" arb_nested_prog
+            (prop_jobs_deterministic (nested_of_seed ~n:24 ~depth:3));
+          qtest ~count:30 "incremental engine jobs=4 = jobs=1" arb_flat_prog
+            prop_incremental_deterministic;
+        ] );
+    ]
