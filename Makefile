@@ -3,6 +3,7 @@
 all:
 	dune build @all
 	$(MAKE) --no-print-directory parallel-smoke
+	$(MAKE) --no-print-directory lint-smoke
 
 test:
 	dune runtest
@@ -53,6 +54,22 @@ parallel-smoke:
 	  diff smoke_seq.tmp smoke_par.tmp || exit 1; \
 	done; rm -f smoke_seq.tmp smoke_par.tmp
 
+# Smoke-test the lint pipeline: lint every sample program, validate the
+# JSON report with the repo's own parser, and require the 4-way pooled
+# run to be byte-identical.  lint exits 1 when it has findings (most
+# samples do), so only exit codes >= 2 are failures here.
+lint-smoke:
+	dune build bin/sidefx.exe
+	@for f in examples/*.mp programs/*.mp; do \
+	  echo "== $$f"; \
+	  ./_build/default/bin/sidefx.exe lint $$f --json > lint_smoke.tmp; \
+	  [ $$? -le 1 ] || exit 1; \
+	  ./_build/default/bin/sidefx.exe json-validate < lint_smoke.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe lint $$f --json --jobs 4 > lint_smoke4.tmp; \
+	  [ $$? -le 1 ] || exit 1; \
+	  cmp lint_smoke.tmp lint_smoke4.tmp || exit 1; \
+	done; rm -f lint_smoke.tmp lint_smoke4.tmp
+
 bench-parallel:
 	dune exec bench/bench_parallel.exe
 
@@ -62,4 +79,4 @@ examples:
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick bench-parallel profile-smoke incremental-smoke parallel-smoke examples
+.PHONY: all test test-force bench bench-quick bench-parallel profile-smoke incremental-smoke parallel-smoke lint-smoke examples

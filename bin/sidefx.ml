@@ -24,6 +24,15 @@ let load path =
       errs;
     exit 1
 
+let load_with_locs path =
+  match Frontend.Sema.compile_with_locs ~file:path (read_file path) with
+  | Ok pair -> pair
+  | Error errs ->
+    Format.eprintf "@[<v>%a@]@."
+      (Format.pp_print_list ~pp_sep:Format.pp_print_newline Frontend.Sema.pp_error)
+      errs;
+    exit 1
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniProc source file.")
 
@@ -189,6 +198,103 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Interprocedural MOD/USE analysis of a MiniProc file.")
     Term.(const run $ file_arg $ flat $ trace_arg $ json_arg $ jobs_arg)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let severity_conv =
+    let parse s =
+      match Lint.Diagnostic.severity_of_string s with
+      | Some sev -> Ok sev
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown severity '%s' (note|warning|error)" s))
+    in
+    let print ppf s =
+      Format.pp_print_string ppf (Lint.Diagnostic.severity_to_string s)
+    in
+    Arg.conv (parse, print)
+  in
+  let run file rule_names json threshold trace jobs =
+    let code =
+      with_trace trace @@ fun () ->
+      let prog, locs = load_with_locs file in
+      let rules =
+        match rule_names with
+        | [] -> Lint.Rule.all
+        | names ->
+          List.map
+            (fun name ->
+              match Lint.Rule.find name with
+              | Some r -> r
+              | None ->
+                Format.eprintf "lint: unknown rule '%s' (known: %s)@." name
+                  (String.concat ", "
+                     (List.map (fun r -> r.Lint.Rule.name) Lint.Rule.all));
+                exit 2)
+            names
+      in
+      let findings =
+        Par.Pool.with_pool ~jobs (fun pool ->
+            let t = Core.Analyze.run ?pool prog in
+            Lint.Engine.run ?pool ~locs ~rules t)
+      in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Lint.Engine.report_json ~program:prog.Ir.Prog.name ~rules findings))
+      else if findings = [] then Format.printf "no findings@."
+      else begin
+        List.iter
+          (fun d -> Format.printf "@[<v>%a@]@." Lint.Diagnostic.pp d)
+          findings;
+        let count sev =
+          List.length
+            (List.filter (fun d -> d.Lint.Diagnostic.severity = sev) findings)
+        in
+        Format.printf "%d findings: %d error, %d warning, %d note@."
+          (List.length findings)
+          (count Lint.Diagnostic.Error)
+          (count Lint.Diagnostic.Warning)
+          (count Lint.Diagnostic.Note)
+      end;
+      let over = Lint.Diagnostic.severity_order threshold in
+      if
+        List.exists
+          (fun d -> Lint.Diagnostic.severity_order d.Lint.Diagnostic.severity >= over)
+          findings
+      then 1
+      else 0
+    in
+    if code <> 0 then exit code
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "rules" ] ~docv:"RULES"
+          ~doc:
+            "Comma-separated subset of rules to run (default: all).  Known \
+             rules: unused-formal, write-only-global, pure-proc, \
+             alias-inflation, aliased-actuals, loop-parallel.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt severity_conv Lint.Diagnostic.Warning
+      & info [ "severity-threshold" ] ~docv:"SEV"
+          ~doc:
+            "Exit non-zero when any finding is at or above this severity \
+             (note|warning|error; default warning).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Summary-driven interprocedural diagnostics: unused reference \
+          formals, write-only globals, pure procedures, alias-inflated call \
+          sites, aliased-actual hazards, and loop-parallelisability verdicts.")
+    Term.(
+      const run $ file_arg $ rules_arg $ json_arg $ threshold_arg $ trace_arg
+      $ jobs_arg)
 
 (* --- sections --- *)
 
@@ -431,12 +537,18 @@ let check_cmd =
 (* --- dot --- *)
 
 let dot_cmd =
-  let run file which output =
+  let run file which output highlight =
     let prog = load file in
     let dot =
-      match which with
-      | `Call -> Callgraph.Dot.call_graph (Callgraph.Call.build prog)
-      | `Binding -> Callgraph.Dot.binding_graph (Callgraph.Binding.build prog)
+      match (which, highlight) with
+      | `Call, None -> Callgraph.Dot.call_graph (Callgraph.Call.build prog)
+      | `Call, Some `Lint ->
+        let highlight = Lint.Engine.highlight (Core.Analyze.run prog) in
+        Callgraph.Dot.call_graph ~highlight (Callgraph.Call.build prog)
+      | `Binding, Some _ ->
+        Format.eprintf "dot: --highlight applies to the call graph only@.";
+        exit 1
+      | `Binding, None -> Callgraph.Dot.binding_graph (Callgraph.Binding.build prog)
     in
     match output with
     | None -> print_string dot
@@ -451,9 +563,19 @@ let dot_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Output file (default stdout).")
   in
+  let highlight =
+    Arg.(
+      value
+      & opt (some (enum [ ("lint", `Lint) ])) None
+      & info [ "highlight" ] ~docv:"WHAT"
+          ~doc:
+            "Decorate the call graph from analysis results: 'lint' fills pure \
+             procedures (empty GMOD, no I/O) green and colours \
+             alias-inflated call edges red.")
+  in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit the call or binding multi-graph in Graphviz format.")
-    Term.(const run $ file_arg $ which $ output)
+    Term.(const run $ file_arg $ which $ output $ highlight)
 
 (* --- constants --- *)
 
@@ -558,7 +680,7 @@ let edit_cmd =
              ])
          rows)
   in
-  let run file script random seed incremental json jobs =
+  let run file script random seed incremental lint json jobs =
     Par.Pool.with_pool ~jobs @@ fun pool ->
     let prog = load file in
     let steps =
@@ -578,7 +700,8 @@ let edit_cmd =
         exit 1
     in
     let before = Core.Analyze.run ?pool prog in
-    let after =
+    let lint_before = if lint then Some (Lint.Engine.run ?pool before) else None in
+    let after, lint_after =
       if incremental then begin
         let engine = Incremental.Engine.create ?pool prog in
         List.iter
@@ -588,11 +711,23 @@ let edit_cmd =
             in
             ())
           steps;
-        Incremental.Engine.analysis engine
+        let lint_after =
+          if lint then Some (Incremental.Engine.lint engine) else None
+        in
+        (Incremental.Engine.analysis engine, lint_after)
       end
-      else
-        Core.Analyze.run ?pool
-          (match List.rev steps with [] -> prog | (_, p) :: _ -> p)
+      else begin
+        let a =
+          Core.Analyze.run ?pool
+            (match List.rev steps with [] -> prog | (_, p) :: _ -> p)
+        in
+        (a, if lint then Some (Lint.Engine.run ?pool a) else None)
+      end
+    in
+    let lint_delta =
+      match (lint_before, lint_after) with
+      | Some b, Some a -> Some (Lint.Engine.delta ~before:b ~after:a)
+      | _ -> None
     in
     let edits_rendered =
       List.rev
@@ -605,11 +740,22 @@ let edit_cmd =
     let gmod_rows = proc_rows before after (fun t -> t.Core.Analyze.gmod) in
     let guse_rows = proc_rows before after (fun t -> t.Core.Analyze.guse) in
     let aprog = after.Core.Analyze.prog in
+    let lint_json_fields =
+      match lint_delta with
+      | None -> []
+      | Some (added, removed) ->
+        [
+          ( "lint_added",
+            Obs.Json.List (List.map Lint.Diagnostic.to_json added) );
+          ( "lint_removed",
+            Obs.Json.List (List.map Lint.Diagnostic.to_json removed) );
+        ]
+    in
     if json then
       print_endline
         (Obs.Json.to_string
            (Obs.Json.Obj
-              [
+              ([
                 ("program", Obs.Json.String prog.Ir.Prog.name);
                 ( "edits",
                   Obs.Json.List
@@ -642,7 +788,8 @@ let edit_cmd =
                              ];
                          ])
                        (Array.to_list aprog.Ir.Prog.sites)) );
-              ]))
+              ]
+              @ lint_json_fields)))
     else begin
       Format.printf "== edits (%d) ==@." (List.length edits_rendered);
       List.iteri (fun i e -> Format.printf "  %d. %s@." (i + 1) e) edits_rendered;
@@ -657,7 +804,20 @@ let edit_cmd =
             (String.concat ","
                (set_names aprog (Core.Analyze.mod_of_site after sid)))
             (String.concat ","
-               (set_names aprog (Core.Analyze.use_of_site after sid))))
+               (set_names aprog (Core.Analyze.use_of_site after sid))));
+      match lint_delta with
+      | None -> ()
+      | Some (added, removed) ->
+        Format.printf "== lint delta ==@.";
+        if added = [] && removed = [] then Format.printf "  (none)@."
+        else begin
+          List.iter
+            (fun d -> Format.printf "  + @[<v>%a@]@." Lint.Diagnostic.pp d)
+            added;
+          List.iter
+            (fun d -> Format.printf "  - @[<v>%a@]@." Lint.Diagnostic.pp d)
+            removed
+        end
     end
   in
   let script_arg =
@@ -687,6 +847,15 @@ let edit_cmd =
              re-analysing from scratch at the end.  Output is identical by \
              construction; only the work done differs.")
   in
+  let lint_arg =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Also lint before and after the script and report the diagnostic \
+             delta (findings added and removed by the edits; positions are \
+             dummy, matching is on code/scope/message).")
+  in
   Cmd.v
     (Cmd.info "edit"
        ~doc:
@@ -694,7 +863,7 @@ let edit_cmd =
           (GMOD/GUSE by procedure, MOD/USE by call site).")
     Term.(
       const run $ file_arg $ script_arg $ random_arg $ seed_arg
-      $ incremental_arg $ json_arg $ jobs_arg)
+      $ incremental_arg $ lint_arg $ json_arg $ jobs_arg)
 
 let bench_table_cmd =
   let run sizes =
@@ -740,4 +909,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sidefx" ~version:"1.0.0"
              ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
-          [ analyze_cmd; sections_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; bench_table_cmd ]))
+          [ analyze_cmd; lint_cmd; sections_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; bench_table_cmd ]))

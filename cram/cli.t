@@ -424,3 +424,163 @@ batch), again without changing any output:
 
   $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --json --jobs 4 | ../bin/sidefx.exe json-validate
   json: ok
+
+Lint: summary-driven diagnostics with stable codes.  The demo program
+triggers all seven codes; exit status is 1 because findings reach the
+default warning threshold:
+
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp
+  ../programs/lint_demo.mp:14:12: warning[SFX002] lint_demo: global 'unread' is written but never read
+      hint: delete the variable and the stores into it
+  ../programs/lint_demo.mp:19:11: note[SFX003] scale: procedure 'scale' has no global side effects
+      hint: it writes only through its reference formals; calls with disjoint actuals can run in parallel
+  ../programs/lint_demo.mp:19:34: warning[SFX001] scale: by-reference formal 'dead' (parameter 2) is never modified or used by any invocation
+      hint: drop the parameter, or pass it by value
+  ../programs/lint_demo.mp:26:11: note[SFX003] stepper: procedure 'stepper' has no global side effects
+      hint: it writes only through its reference formals; calls with disjoint actuals can run in parallel
+  ../programs/lint_demo.mp:34:11: note[SFX003] outer: procedure 'outer' has no global side effects
+      hint: it writes only through its reference formals; calls with disjoint actuals can run in parallel
+  ../programs/lint_demo.mp:34:34: warning[SFX001] outer: by-reference formal 'v' (parameter 2) is never modified or used by any invocation
+      hint: drop the parameter, or pass it by value
+  ../programs/lint_demo.mp:36:8: warning[SFX004] outer: call to 'stepper' may modify 'outer.v' only through alias pair <outer.u, outer.v>
+      hint: the alias pair widens MOD beyond DMOD; passing distinct variables restores precision
+  ../programs/lint_demo.mp:36:8: warning[SFX004] outer: call to 'stepper' may modify 'total' only through alias pair <outer.u, total>
+      hint: the alias pair widens MOD beyond DMOD; passing distinct variables restores precision
+  ../programs/lint_demo.mp:55:8: error[SFX005] lint_demo: arguments 1 and 2 of call to 'outer' may name the same location ('total' and 'total'), and 'outer' modifies formal 'u'
+      hint: copy one argument into a temporary before the call
+  ../programs/lint_demo.mp:57:7: note[SFX007] lint_demo: loop over 'i' is parallelisable: iterations are provably independent
+      hint: candidate for data decomposition
+  ../programs/lint_demo.mp:60:7: warning[SFX006] lint_demo: loop over 'i' is not parallelisable: 'total' (scalar total written by every iteration)
+      hint: privatise the conflicting variables or split the loop
+  11 findings: 1 error, 6 warning, 4 note
+  [1]
+
+--rules restricts the run to a comma-separated subset:
+
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --rules aliased-actuals,write-only-global
+  ../programs/lint_demo.mp:14:12: warning[SFX002] lint_demo: global 'unread' is written but never read
+      hint: delete the variable and the stores into it
+  ../programs/lint_demo.mp:55:8: error[SFX005] lint_demo: arguments 1 and 2 of call to 'outer' may name the same location ('total' and 'total'), and 'outer' modifies formal 'u'
+      hint: copy one argument into a temporary before the call
+  2 findings: 1 error, 1 warning, 0 note
+  [1]
+
+Notes alone don't reach the error threshold, so the exit status is 0:
+
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --rules pure-proc --severity-threshold error
+  ../programs/lint_demo.mp:19:11: note[SFX003] scale: procedure 'scale' has no global side effects
+      hint: it writes only through its reference formals; calls with disjoint actuals can run in parallel
+  ../programs/lint_demo.mp:26:11: note[SFX003] stepper: procedure 'stepper' has no global side effects
+      hint: it writes only through its reference formals; calls with disjoint actuals can run in parallel
+  ../programs/lint_demo.mp:34:11: note[SFX003] outer: procedure 'outer' has no global side effects
+      hint: it writes only through its reference formals; calls with disjoint actuals can run in parallel
+  3 findings: 0 error, 0 warning, 3 note
+
+Unknown rule names are a usage error:
+
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --rules nope
+  lint: unknown rule 'nope' (known: unused-formal, write-only-global, pure-proc, alias-inflation, aliased-actuals, loop-parallel)
+  [2]
+
+The JSON report is self-validating and its key set is a stable
+contract:
+
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --json | ../bin/sidefx.exe json-validate
+  json: ok
+
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --json | grep -o '"[A-Za-z0-9_.]*":' | sort -u
+  "code":
+  "col":
+  "counts":
+  "error":
+  "file":
+  "findings":
+  "hint":
+  "line":
+  "message":
+  "note":
+  "program":
+  "rule":
+  "rules":
+  "scope":
+  "severity":
+  "warning":
+
+Lint rules run on the domain pool under --jobs, with byte-identical
+output:
+
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --json > lint_seq.json
+  [1]
+  $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --json --jobs 4 > lint_par.json
+  [1]
+  $ diff lint_seq.json lint_par.json
+
+dot --highlight lint paints SFX003-pure procedures palegreen and
+alias-inflated call edges red:
+
+  $ ../bin/sidefx.exe dot ../programs/lint_demo.mp --highlight lint
+  digraph callgraph {
+    rankdir=LR;
+    node [shape=box, fontname="monospace"];
+    p0 [label="lint_demo\nlevel 0", style=bold];
+    p1 [label="scale\nlevel 1", style=filled, fillcolor=palegreen];
+    p2 [label="stepper\nlevel 1", style=filled, fillcolor=palegreen];
+    p3 [label="outer\nlevel 1", style=filled, fillcolor=palegreen];
+    p4 [label="logit\nlevel 1"];
+    p5 [label="tally\nlevel 1"];
+    p0 -> p1 [label="s0"];
+    p0 -> p3 [label="s1"];
+    p0 -> p4 [label="s2"];
+    p0 -> p2 [label="s3"];
+    p0 -> p5 [label="s4"];
+    p3 -> p2 [label="s5", color=red, fontcolor=red];
+  }
+
+edit --lint reports the diagnostic delta of an edit script: writing a
+global from a previously pure procedure retracts its SFX003 note.  The
+incremental path produces the identical report:
+
+  $ cat > pure.mp <<'SRC'
+  > program pure;
+  > var g : int;
+  > var h : int;
+  > 
+  > procedure q(var x : int);
+  > begin
+  >   x := x + 1;
+  > end;
+  > 
+  > begin
+  >   g := 0;
+  >   call q(g);
+  >   h := g;
+  >   write h;
+  > end.
+  > SRC
+  $ cat > pure.edits <<'SCRIPT'
+  > add-assign q g = 1
+  > SCRIPT
+
+  $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint
+  == edits (1) ==
+    1. add-assign q g := 1
+  == GMOD delta ==
+    q            +{g}
+  == GUSE delta ==
+    (none)
+  == sites after ==
+    s0   pure -> q  MOD {g}  USE {g}
+  == lint delta ==
+    - note[SFX003] q: procedure 'q' has no global side effects
+          hint: it writes only through its reference formals; calls with disjoint actuals can run in parallel
+
+  $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint > lint_batch.out
+  $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint --incremental > lint_inc.out
+  $ diff lint_batch.out lint_inc.out
+
+  $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint --incremental --json | ../bin/sidefx.exe json-validate
+  json: ok
+
+  $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint --json | grep -o '"lint[a-z_]*":' | sort -u
+  "lint_added":
+  "lint_removed":

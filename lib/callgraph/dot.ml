@@ -10,16 +10,35 @@ let escape s =
          | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let call_graph (t : Call.t) =
+type highlight = {
+  pure_procs : int list;
+  inflated_sites : int list;
+}
+
+let no_highlight = { pure_procs = []; inflated_sites = [] }
+
+let call_graph ?(highlight = no_highlight) (t : Call.t) =
   let buf = Buffer.create 1024 in
   let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   b "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
   Prog.iter_procs t.Call.prog (fun pr ->
+      let main = pr.Prog.pid = t.Call.prog.Prog.main in
+      let pure = List.mem pr.Prog.pid highlight.pure_procs in
+      let attrs =
+        match (main, pure) with
+        | false, false -> ""
+        | true, false -> ", style=bold"
+        | false, true -> ", style=filled, fillcolor=palegreen"
+        | true, true -> ", style=\"bold,filled\", fillcolor=palegreen"
+      in
       b "  p%d [label=\"%s\\nlevel %d\"%s];\n" pr.Prog.pid
-        (escape pr.Prog.pname) pr.Prog.level
-        (if pr.Prog.pid = t.Call.prog.Prog.main then ", style=bold" else ""));
+        (escape pr.Prog.pname) pr.Prog.level attrs);
   Prog.iter_sites t.Call.prog (fun s ->
-      b "  p%d -> p%d [label=\"s%d\"];\n" s.Prog.caller s.Prog.callee s.Prog.sid);
+      b "  p%d -> p%d [label=\"s%d\"%s];\n" s.Prog.caller s.Prog.callee
+        s.Prog.sid
+        (if List.mem s.Prog.sid highlight.inflated_sites then
+           ", color=red, fontcolor=red"
+         else ""));
   b "}\n";
   Buffer.contents buf
 

@@ -7,7 +7,22 @@
     [proc.formal]), one edge per binding event (labelled with its site;
     dashed when the binding passes an array element). *)
 
-val call_graph : Call.t -> string
+type highlight = {
+  pure_procs : int list;
+      (** Pids drawn filled green — procedures with no global side
+          effects (the lint engine's [pure-proc] verdict). *)
+  inflated_sites : int list;
+      (** Site ids drawn red — call edges whose [MOD] was strictly
+          enlarged by the alias closure ([alias-inflation]). *)
+}
+(** Analysis-derived decoration for {!call_graph}.  The fields are
+    supplied by [Lint.Engine.highlight]; this module only knows how to
+    colour, not why. *)
+
+val no_highlight : highlight
+(** Both lists empty — the undecorated graph. *)
+
+val call_graph : ?highlight:highlight -> Call.t -> string
 
 val binding_graph : Binding.t -> string
 

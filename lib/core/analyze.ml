@@ -67,6 +67,17 @@ let run ?force_flat ?(jobs = 1) ?pool prog =
   | None ->
     Par.Pool.with_pool ~jobs (fun pool -> run_with ?force_flat ?pool prog)
 
+let union_over t family family' =
+  let acc = Ir.Info.fresh t.info in
+  Prog.iter_procs t.prog (fun pr ->
+      let pid = pr.Prog.pid in
+      ignore (Bitvec.union_into ~src:family.(pid) ~dst:acc);
+      ignore (Bitvec.union_into ~src:family'.(pid) ~dst:acc));
+  acc
+
+let modified_anywhere t = union_over t t.gmod t.imod
+let used_anywhere t = union_over t t.guse t.iuse
+
 let mod_of_site t sid = Summary.mod_site t.summary sid
 let use_of_site t sid = Summary.use_site t.summary sid
 let dmod_of_site t sid = Summary.dmod_site t.summary sid

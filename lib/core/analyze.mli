@@ -55,6 +55,15 @@ val gmod_of : t -> int -> Bitvec.t
 
 val guse_of : t -> int -> Bitvec.t
 
+val modified_anywhere : t -> Bitvec.t
+(** [⋃_p GMOD(p) ∪ IMOD(p)] — every variable some procedure may write.
+    Fresh vector; client analyses (the lint engine's write-only-global
+    rule) read whole-program effect coverage off this. *)
+
+val used_anywhere : t -> Bitvec.t
+(** [⋃_p GUSE(p) ∪ IUSE(p)] — every variable some procedure may read
+    (argument-evaluation [LUSE] included, via [IUSE]).  Fresh vector. *)
+
 val pp_report : Format.formatter -> t -> unit
 (** Human-readable report: per-procedure [RMOD]/[GMOD]/[GUSE], alias
     pairs, and per-site [MOD]/[USE] sets. *)

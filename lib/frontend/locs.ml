@@ -1,0 +1,36 @@
+type t = {
+  procs : Loc.t array;
+  vars : Loc.t array;
+  sites : Loc.t array;
+  loops : Loc.t array array;
+}
+
+let count_loops body =
+  let n = ref 0 in
+  Ir.Stmt.iter
+    (fun s ->
+      match s with
+      | Ir.Stmt.For _ -> incr n
+      | Ir.Stmt.Assign _ | Ir.Stmt.If _ | Ir.Stmt.While _ | Ir.Stmt.Call _
+      | Ir.Stmt.Read _ | Ir.Stmt.Write _ ->
+        ())
+    body;
+  !n
+
+let dummy prog =
+  {
+    procs = Array.make (Ir.Prog.n_procs prog) Loc.dummy;
+    vars = Array.make (Ir.Prog.n_vars prog) Loc.dummy;
+    sites = Array.make (Ir.Prog.n_sites prog) Loc.dummy;
+    loops =
+      Array.init (Ir.Prog.n_procs prog) (fun pid ->
+          Array.make (count_loops (Ir.Prog.proc prog pid).Ir.Prog.body) Loc.dummy);
+  }
+
+let proc t pid = t.procs.(pid)
+let var t vid = t.vars.(vid)
+let site t sid = t.sites.(sid)
+
+let loop t ~proc ordinal =
+  let row = t.loops.(proc) in
+  if ordinal >= 0 && ordinal < Array.length row then row.(ordinal) else Loc.dummy

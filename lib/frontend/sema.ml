@@ -20,6 +20,12 @@ type ctx = {
   mutable sites : Ir.Prog.site list; (* reverse order *)
   mutable n_sites : int;
   mutable proc_names : unit Smap.t; (* global uniqueness of procedure names *)
+  (* Source positions for the Locs side table, recorded as ids are
+     assigned (all reverse order; loops are (caller pid, loc) pairs in
+     statement pre-order per procedure). *)
+  mutable var_locs : Loc.t list;
+  mutable site_locs : Loc.t list;
+  mutable loop_locs : (int * Loc.t) list;
 }
 
 let report ctx loc fmt =
@@ -37,10 +43,11 @@ let ty_of_ast = function
   | Ast.Ty_bool -> Types.Bool
   | Ast.Ty_array dims -> Types.Array dims
 
-let fresh_var ctx ~name ~ty ~kind =
+let fresh_var ctx ~loc ~name ~ty ~kind =
   let vid = ctx.n_vars in
   ctx.n_vars <- vid + 1;
   ctx.vars <- { Ir.Prog.vid; vname = name; vty = ty; kind } :: ctx.vars;
+  ctx.var_locs <- loc :: ctx.var_locs;
   vid
 
 (* Declaration pass output, one record per procedure: everything body
@@ -48,6 +55,7 @@ let fresh_var ctx ~name ~ty ~kind =
 type pending = {
   pid : int;
   pname : string;
+  ploc : Loc.t;
   parent : int option;
   level : int;
   formals : int array;
@@ -96,7 +104,7 @@ let declare_scope ctx ~pid ~params ~decls venv =
         | (Ir.Prog.By_ref | Ir.Prog.By_value), _ -> ());
         ignore (check_dup p.Ast.p_name);
         let vid =
-          fresh_var ctx ~name:p.Ast.p_name.Ast.name ~ty
+          fresh_var ctx ~loc:p.Ast.p_name.Ast.loc ~name:p.Ast.p_name.Ast.name ~ty
             ~kind:(Ir.Prog.Formal { proc = pid; index; mode = p.Ast.p_mode })
         in
         venv := Smap.add p.Ast.p_name.Ast.name vid !venv;
@@ -112,7 +120,8 @@ let declare_scope ctx ~pid ~params ~decls venv =
             check_array_extents ctx d.Ast.d_ty id.Ast.loc;
             if check_dup id then begin
               let vid =
-                fresh_var ctx ~name:id.Ast.name ~ty ~kind:(Ir.Prog.Local pid)
+                fresh_var ctx ~loc:id.Ast.loc ~name:id.Ast.name ~ty
+                  ~kind:(Ir.Prog.Local pid)
               in
               venv := Smap.add id.Ast.name vid !venv;
               Some vid
@@ -167,6 +176,7 @@ let rec declare_procs ctx ~next_pid ~parent ~level ~venv ~penv
           {
             pid;
             pname = p.Ast.proc_name.Ast.name;
+            ploc = p.Ast.proc_name.Ast.loc;
             parent = Some parent;
             level = level + 1;
             formals;
@@ -309,6 +319,7 @@ let resolve_call ctx tb ~caller ~pendings venv penv (callee : Ast.ident) args =
   ctx.sites <-
     { Ir.Prog.sid; caller; callee = callee_pid; args = Array.of_list resolved_args }
     :: ctx.sites;
+  ctx.site_locs <- callee.Ast.loc :: ctx.site_locs;
   sid
 
 let rec resolve_stmts ctx tb ~caller ~pendings venv penv (stmts : Ast.stmt list) :
@@ -342,6 +353,9 @@ and resolve_stmt ctx tb ~caller ~pendings venv penv (s : Ast.stmt) : Ir.Stmt.t o
     | ty ->
       bail ctx v.Ast.loc "loop variable '%s' must be int, found %s" v.Ast.name
         (Types.to_string ty));
+    (* Recorded before the body so loop ordinals follow statement
+       pre-order, matching Ir.Stmt.iter on the resolved program. *)
+    ctx.loop_locs <- (caller, v.Ast.loc) :: ctx.loop_locs;
     let lo' = resolve_expr_expect ctx tb venv lo Types.Int in
     let hi' = resolve_expr_expect ctx tb venv hi Types.Int in
     let body' = resolve_stmts ctx tb ~caller ~pendings venv penv body in
@@ -359,7 +373,7 @@ and resolve_stmt ctx tb ~caller ~pendings venv penv (s : Ast.stmt) : Ir.Stmt.t o
 
 (* --- entry point --- *)
 
-let resolve (ast : Ast.program) : (Ir.Prog.t, error list) result =
+let resolve_with_locs (ast : Ast.program) : (Ir.Prog.t * Locs.t, error list) result =
   let ctx =
     {
       errors = [];
@@ -368,6 +382,9 @@ let resolve (ast : Ast.program) : (Ir.Prog.t, error list) result =
       sites = [];
       n_sites = 0;
       proc_names = Smap.empty;
+      var_locs = [];
+      site_locs = [];
+      loop_locs = [];
     }
   in
   (* Globals. *)
@@ -383,7 +400,10 @@ let resolve (ast : Ast.program) : (Ir.Prog.t, error list) result =
             report ctx id.Ast.loc "duplicate global '%s'" id.Ast.name
           else begin
             Hashtbl.add seen_globals id.Ast.name ();
-            let vid = fresh_var ctx ~name:id.Ast.name ~ty ~kind:Ir.Prog.Global in
+            let vid =
+              fresh_var ctx ~loc:id.Ast.loc ~name:id.Ast.name ~ty
+                ~kind:Ir.Prog.Global
+            in
             genv := Smap.add id.Ast.name vid !genv
           end)
         d.Ast.d_names)
@@ -405,6 +425,7 @@ let resolve (ast : Ast.program) : (Ir.Prog.t, error list) result =
     {
       pid = 0;
       pname = ast.Ast.prog_name.Ast.name;
+      ploc = ast.Ast.prog_name.Ast.loc;
       parent = None;
       level = 0;
       formals = [||];
@@ -449,7 +470,7 @@ let resolve (ast : Ast.program) : (Ir.Prog.t, error list) result =
              })
            pendings bodies)
     in
-    Ok
+    let prog =
       {
         Ir.Prog.name = ast.Ast.prog_name.Ast.name;
         vars = tb.var_arr;
@@ -457,12 +478,30 @@ let resolve (ast : Ast.program) : (Ir.Prog.t, error list) result =
         sites = Array.of_list (List.rev ctx.sites);
         main = 0;
       }
+    in
+    let loops = Array.make (Array.length procs) [] in
+    List.iter
+      (fun (pid, loc) -> loops.(pid) <- loc :: loops.(pid))
+      ctx.loop_locs (* reversed input, so consing restores pre-order *);
+    let locs =
+      {
+        Locs.procs = Array.of_list (List.map (fun p -> p.ploc) pendings);
+        vars = Array.of_list (List.rev ctx.var_locs);
+        sites = Array.of_list (List.rev ctx.site_locs);
+        loops = Array.map Array.of_list loops;
+      }
+    in
+    Ok (prog, locs)
 
-let compile ?file src =
+let resolve ast = Result.map fst (resolve_with_locs ast)
+
+let compile_with_locs ?file src =
   Obs.Span.with_ "frontend.compile" @@ fun () ->
   match Obs.Span.with_ "frontend.parse" (fun () -> Parser.parse ?file src) with
   | Result.Error (loc, msg) -> Error [ { loc; msg } ]
-  | Ok ast -> Obs.Span.with_ "frontend.resolve" (fun () -> resolve ast)
+  | Ok ast -> Obs.Span.with_ "frontend.resolve" (fun () -> resolve_with_locs ast)
+
+let compile ?file src = Result.map fst (compile_with_locs ?file src)
 
 let compile_exn ?file src =
   match compile ?file src with

@@ -37,6 +37,9 @@ type t = {
   mutable analysis : Analyze.t;
   mutable caches : caches;
   mutable edits : int;
+  mutable lint_cache : (int * string list * Lint.Diagnostic.t list) option;
+      (** Findings computed at (edit count, rule names) — any [apply]
+          bumps the edit count and so invalidates the entry. *)
 }
 
 type outcome = {
@@ -180,11 +183,28 @@ let create ?(threshold = 0.5) ?pool prog =
     analysis;
     caches = build_caches ?pool analysis;
     edits = 0;
+    lint_cache = None;
   }
 
 let analysis t = t.analysis
 let prog t = t.analysis.Analyze.prog
 let edits_applied t = t.edits
+
+let lint ?(rules = Lint.Rule.all) t =
+  let names = List.map (fun r -> r.Lint.Rule.name) rules in
+  match t.lint_cache with
+  | Some (edits, cached_names, ds) when edits = t.edits && cached_names = names
+    ->
+    ds
+  | _ ->
+    (* Dummy locations on purpose: edited programs have no source
+       positions (Ir.Patch renumbers ids), and using them for the
+       initial program too keeps the incremental findings comparable —
+       and bit-identical — to a batch [Lint.Engine.run] on the same
+       edited program. *)
+    let ds = Lint.Engine.run ?pool:t.pool ~rules t.analysis in
+    t.lint_cache <- Some (t.edits, names, ds);
+    ds
 
 let full t prog reason =
   Obs.Metric.incr fallbacks_c;

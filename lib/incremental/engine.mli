@@ -59,3 +59,13 @@ val analysis : t -> Core.Analyze.t
 val prog : t -> Ir.Prog.t
 
 val edits_applied : t -> int
+
+val lint : ?rules:Lint.Rule.t list -> t -> Lint.Diagnostic.t list
+(** Findings for the current {!analysis} (default: every rule), at
+    dummy source positions — edits renumber ids, so edited programs
+    have no spans, and the pre-edit run uses dummies too so that the
+    result is bit-identical to a batch [Lint.Engine.run] on the same
+    program.  Cached until the next {!apply} (keyed on the edit count
+    and the rule-name list); [sidefx edit --lint] calls this around
+    every edit to report diagnostic deltas ({!Lint.Engine.delta}) and
+    pays one lint pass per distinct program version. *)

@@ -1,0 +1,77 @@
+type severity =
+  | Note
+  | Warning
+  | Error
+
+let severity_to_string = function
+  | Note -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "note" -> Some Note
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_order = function
+  | Note -> 0
+  | Warning -> 1
+  | Error -> 2
+
+type t = {
+  code : string;
+  rule : string;
+  severity : severity;
+  loc : Frontend.Loc.t;
+  scope : string;
+  message : string;
+  hint : string option;
+}
+
+let compare a b =
+  Stdlib.compare
+    ( a.loc.Frontend.Loc.file,
+      a.loc.Frontend.Loc.line,
+      a.loc.Frontend.Loc.col,
+      a.code,
+      a.scope,
+      a.message )
+    ( b.loc.Frontend.Loc.file,
+      b.loc.Frontend.Loc.line,
+      b.loc.Frontend.Loc.col,
+      b.code,
+      b.scope,
+      b.message )
+
+let key d = (d.code, d.scope, d.message)
+
+let pp ppf d =
+  if d.loc = Frontend.Loc.dummy then
+    Format.fprintf ppf "%s[%s] %s: %s"
+      (severity_to_string d.severity)
+      d.code d.scope d.message
+  else
+    Format.fprintf ppf "%a: %s[%s] %s: %s" Frontend.Loc.pp d.loc
+      (severity_to_string d.severity)
+      d.code d.scope d.message;
+  match d.hint with
+  | None -> ()
+  | Some h -> Format.fprintf ppf "@,    hint: %s" h
+
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("code", Obs.Json.String d.code);
+      ("rule", Obs.Json.String d.rule);
+      ("severity", Obs.Json.String (severity_to_string d.severity));
+      ("file", Obs.Json.String d.loc.Frontend.Loc.file);
+      ("line", Obs.Json.Int d.loc.Frontend.Loc.line);
+      ("col", Obs.Json.Int d.loc.Frontend.Loc.col);
+      ("scope", Obs.Json.String d.scope);
+      ("message", Obs.Json.String d.message);
+      ( "hint",
+        match d.hint with
+        | None -> Obs.Json.Null
+        | Some h -> Obs.Json.String h );
+    ]

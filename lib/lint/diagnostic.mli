@@ -1,0 +1,52 @@
+(** Lint findings: stable codes, severities, source spans, and the two
+    reporters (text and stable JSON).
+
+    Codes are {e stable identifiers} ([SFX001], [SFX002], …): once a
+    code has shipped its meaning never changes, so editor integrations
+    and suppression lists can key on it.  Messages and hints may be
+    reworded freely.
+
+    Ordering is deterministic: {!compare} sorts by source position,
+    then code, scope, and message — so a finding list is reproducible
+    across runs, rule orderings, and [--jobs] settings. *)
+
+type severity =
+  | Note  (** Informational — an opportunity, not a problem. *)
+  | Warning  (** Likely mistake or precision loss. *)
+  | Error  (** A real hazard (e.g. writes through aliased names). *)
+
+val severity_to_string : severity -> string
+(** ["note"] / ["warning"] / ["error"] — the JSON encoding and the
+    [--severity-threshold] vocabulary. *)
+
+val severity_of_string : string -> severity option
+
+val severity_order : severity -> int
+(** [Note < Warning < Error]; used by threshold comparisons. *)
+
+type t = {
+  code : string;  (** Stable code, [SFX001..]. *)
+  rule : string;  (** Emitting rule's CLI name (e.g. ["pure-proc"]). *)
+  severity : severity;
+  loc : Frontend.Loc.t;  (** {!Frontend.Loc.dummy} when the program has no source. *)
+  scope : string;  (** Enclosing procedure (the program name for globals). *)
+  message : string;
+  hint : string option;  (** A suggested fix, when the rule has one. *)
+}
+
+val compare : t -> t -> int
+(** Total order: [(loc.file, loc.line, loc.col, code, scope, message)]. *)
+
+val key : t -> string * string * string
+(** Location-free identity [(code, scope, message)] — what diagnostic
+    deltas match on (edits renumber ids and invalidate positions, but a
+    finding that persists keeps its key). *)
+
+val pp : Format.formatter -> t -> unit
+(** One text-report entry: [file:line:col: severity[CODE] scope:
+    message], the position omitted when it is {!Frontend.Loc.dummy},
+    with an indented [hint:] line when present. *)
+
+val to_json : t -> Obs.Json.t
+(** Stable key set: [code], [rule], [severity], [file], [line], [col],
+    [scope], [message], [hint] (JSON [null] when absent). *)

@@ -1,0 +1,56 @@
+(** The lint driver: runs a rule selection over a solved analysis and
+    produces the deterministic finding list, the JSON report, finding
+    deltas (for the incremental path), and the graph decoration.
+
+    Determinism contract: the result of {!run} is a function of the
+    analysis, the location table, and the {e set} of selected rules —
+    not of rule order, scheduling, or [?pool].  Rules write private
+    result slots; slots are concatenated in catalogue order and then
+    sorted with {!Diagnostic.compare}, so [--jobs N] output is
+    bit-identical to the sequential run (tested by property in
+    [test_lint.ml] and pinned in the CLI cram suite). *)
+
+val run :
+  ?pool:Par.Pool.t ->
+  ?locs:Frontend.Locs.t ->
+  ?rules:Rule.t list ->
+  Core.Analyze.t ->
+  Diagnostic.t list
+(** Evaluate the rules (default: all of {!Rule.all}) and return the
+    sorted, deduplicated findings.
+
+    [?locs] defaults to {!Frontend.Locs.dummy} — every finding at the
+    dummy position — which is what generated and edited programs use;
+    the CLI passes the table from
+    {!Frontend.Sema.compile_with_locs}.
+
+    [?pool] runs independent rules as one task batch (the §6 sectioned
+    analysis, when some selected rule needs it and the program is flat,
+    is computed once on the calling domain first).
+
+    Telemetry: everything runs under a span named ["lint"]; on the
+    sequential path each rule additionally gets a ["lint.<rule>"]
+    sub-span (pool tasks record no spans — worker-domain traces would
+    vary with scheduling).  Each rule's finding count is added to its
+    [lint.findings.*] counter, on the calling domain, in catalogue
+    order.  Counters are registered on entry, not at module
+    initialisation, so merely linking the library does not widen the
+    [sidefx profile] metric set. *)
+
+val report_json :
+  program:string -> rules:Rule.t list -> Diagnostic.t list -> Obs.Json.t
+(** Stable shape: [{"program", "rules": [names...], "findings":
+    [{!Diagnostic.to_json}...], "counts": {"note", "warning",
+    "error"}}]. *)
+
+val delta :
+  before:Diagnostic.t list ->
+  after:Diagnostic.t list ->
+  Diagnostic.t list * Diagnostic.t list
+(** [(added, removed)], matched on {!Diagnostic.key} — the
+    location-free identity, because edits renumber positions.  Each
+    side is deduplicated by key and in {!Diagnostic.compare} order. *)
+
+val highlight : Core.Analyze.t -> Callgraph.Dot.highlight
+(** The [sidefx dot --highlight lint] decoration: {!Rule.pure_procs}
+    filled green, {!Rule.inflated_sites} edges red. *)

@@ -1,0 +1,377 @@
+module P = Ir.Prog
+module A = Core.Analyze
+
+type ctx = {
+  analysis : Core.Analyze.t;
+  locs : Frontend.Locs.t;
+  sections : Sections.Analyze_sections.t option;
+}
+
+type t = {
+  name : string;
+  codes : string list;
+  doc : string;
+  metric : string;
+  needs_sections : bool;
+  run : ctx -> Diagnostic.t list;
+}
+
+let name_of ctx vid = Ir.Pp.var_name ctx.analysis.A.prog vid
+let qname_of ctx vid = Ir.Pp.qualified_var_name ctx.analysis.A.prog vid
+let proc_name ctx pid = (P.proc ctx.analysis.A.prog pid).P.pname
+
+(* Transitive I/O: a procedure whose body contains a read/write
+   statement, or that (transitively) calls one that does.  GMOD is
+   blind to I/O effects, so the pure-proc rule must mask these out. *)
+let io_procs prog =
+  let io = Array.make (P.n_procs prog) false in
+  P.iter_procs prog (fun pr ->
+      Ir.Stmt.iter
+        (fun st ->
+          match st with
+          | Ir.Stmt.Read _ | Ir.Stmt.Write _ -> io.(pr.P.pid) <- true
+          | _ -> ())
+        pr.P.body);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    P.iter_sites prog (fun s ->
+        if io.(s.P.callee) && not io.(s.P.caller) then begin
+          io.(s.P.caller) <- true;
+          changed := true
+        end)
+  done;
+  io
+
+(* SFX001 — by-reference formals no invocation modifies or uses. *)
+let unused_formal ctx =
+  let t = ctx.analysis in
+  let out = ref [] in
+  P.iter_vars t.A.prog (fun v ->
+      match v.P.kind with
+      | P.Formal { proc; mode = P.By_ref; index } ->
+          if
+            (not (Core.Rmod.modified t.A.rmod v.P.vid))
+            && not (Core.Rmod.modified t.A.ruse v.P.vid)
+          then
+            out :=
+              {
+                Diagnostic.code = "SFX001";
+                rule = "unused-formal";
+                severity = Diagnostic.Warning;
+                loc = Frontend.Locs.var ctx.locs v.P.vid;
+                scope = proc_name ctx proc;
+                message =
+                  Printf.sprintf
+                    "by-reference formal '%s' (parameter %d) is never \
+                     modified or used by any invocation"
+                    v.P.vname (index + 1);
+                hint = Some "drop the parameter, or pass it by value";
+              }
+              :: !out
+      | _ -> ());
+  !out
+
+(* SFX002 — globals some procedure writes but none ever reads. *)
+let write_only_global ctx =
+  let t = ctx.analysis in
+  let written = A.modified_anywhere t in
+  let read = A.used_anywhere t in
+  let out = ref [] in
+  Bitvec.iter
+    (fun vid ->
+      if not (Bitvec.get read vid) then
+        out :=
+          {
+            Diagnostic.code = "SFX002";
+            rule = "write-only-global";
+            severity = Diagnostic.Warning;
+            loc = Frontend.Locs.var ctx.locs vid;
+            scope = t.A.prog.P.name;
+            message =
+              Printf.sprintf "global '%s' is written but never read"
+                (name_of ctx vid);
+            hint = Some "delete the variable and the stores into it";
+          }
+          :: !out)
+    (Bitvec.inter written (Ir.Info.global t.A.info));
+  !out
+
+(* "Pure" here means no effect visible outside the invocation except
+   through the reference formals: GMOD(p) ⊆ LOCAL(p).  (This repo's
+   GMOD convention keeps a procedure's own modified formals in the set,
+   so plain emptiness would be too strict.)  I/O is invisible to GMOD
+   and masked separately. *)
+let pure_procs t =
+  let io = io_procs t.A.prog in
+  let out = ref [] in
+  P.iter_procs t.A.prog (fun pr ->
+      let pid = pr.P.pid in
+      if
+        pid <> t.A.prog.P.main
+        && Bitvec.subset t.A.gmod.(pid) (Ir.Info.local t.A.info pid)
+        && not io.(pid)
+      then out := pid :: !out);
+  List.rev !out
+
+(* SFX003 — GMOD(p) escapes nothing, and no transitive I/O. *)
+let pure_proc ctx =
+  let t = ctx.analysis in
+  List.map
+    (fun pid ->
+      let writes_formal =
+        Core.Rmod.rmod_of_proc t.A.rmod pid <> []
+      in
+      {
+        Diagnostic.code = "SFX003";
+        rule = "pure-proc";
+        severity = Diagnostic.Note;
+        loc = Frontend.Locs.proc ctx.locs pid;
+        scope = proc_name ctx pid;
+        message =
+          Printf.sprintf "procedure '%s' has no global side effects"
+            (proc_name ctx pid);
+        hint =
+          Some
+            (if writes_formal then
+               "it writes only through its reference formals; calls with \
+                disjoint actuals can run in parallel"
+             else "candidate for memoization and parallel execution");
+      })
+    (pure_procs t)
+
+let inflated_sites t =
+  let out = ref [] in
+  P.iter_sites t.A.prog (fun s ->
+      let dmod = A.dmod_of_site t s.P.sid in
+      let m = A.mod_of_site t s.P.sid in
+      if not (Bitvec.subset m dmod) then out := s.P.sid :: !out);
+  List.rev !out
+
+(* SFX004 — sites where the §5 alias closure strictly enlarges DMOD. *)
+let alias_inflation ctx =
+  let t = ctx.analysis in
+  List.concat_map
+    (fun sid ->
+      let s = P.site t.A.prog sid in
+      let dmod = A.dmod_of_site t sid in
+      let added = Bitvec.diff (A.mod_of_site t sid) dmod in
+      Bitvec.fold
+        (fun y acc ->
+          let witness =
+            List.find_opt
+              (fun x -> Bitvec.get dmod x)
+              (Core.Alias.aliases_of t.A.alias ~proc:s.P.caller ~var:y)
+          in
+          let message =
+            match witness with
+            | Some x ->
+                Printf.sprintf
+                  "call to '%s' may modify '%s' only through alias pair <%s, \
+                   %s>"
+                  (proc_name ctx s.P.callee) (qname_of ctx y) (qname_of ctx x)
+                  (qname_of ctx y)
+            | None ->
+                Printf.sprintf
+                  "call to '%s' may modify '%s' only through aliasing"
+                  (proc_name ctx s.P.callee) (qname_of ctx y)
+          in
+          {
+            Diagnostic.code = "SFX004";
+            rule = "alias-inflation";
+            severity = Diagnostic.Warning;
+            loc = Frontend.Locs.site ctx.locs sid;
+            scope = proc_name ctx s.P.caller;
+            message;
+            hint =
+              Some
+                "the alias pair widens MOD beyond DMOD; passing distinct \
+                 variables restores precision";
+          }
+          :: acc)
+        added []
+      |> List.rev)
+    (inflated_sites t)
+
+(* SFX005 — one call passing aliased storage at two by-reference
+   positions while a bound formal is in RMOD. *)
+let aliased_actuals ctx =
+  let t = ctx.analysis in
+  let out = ref [] in
+  P.iter_sites t.A.prog (fun s ->
+      let callee = P.proc t.A.prog s.P.callee in
+      let refs = ref [] in
+      Array.iteri
+        (fun i arg ->
+          match arg with
+          | P.Arg_ref lv -> refs := (i, Ir.Expr.lvalue_base lv) :: !refs
+          | P.Arg_value _ -> ())
+        s.P.args;
+      let refs = List.rev !refs in
+      List.iteri
+        (fun k (i, bi) ->
+          List.iteri
+            (fun k' (j, bj) ->
+              if k' > k then
+                let aliased =
+                  bi = bj
+                  || Core.Alias.may_alias t.A.alias ~proc:s.P.caller bi bj
+                in
+                let fi = callee.P.formals.(i) and fj = callee.P.formals.(j) in
+                let modified =
+                  Core.Rmod.modified t.A.rmod fi
+                  || Core.Rmod.modified t.A.rmod fj
+                in
+                if aliased && modified then
+                  let wf =
+                    if Core.Rmod.modified t.A.rmod fi then fi else fj
+                  in
+                  out :=
+                    {
+                      Diagnostic.code = "SFX005";
+                      rule = "aliased-actuals";
+                      severity = Diagnostic.Error;
+                      loc = Frontend.Locs.site ctx.locs s.P.sid;
+                      scope = proc_name ctx s.P.caller;
+                      message =
+                        Printf.sprintf
+                          "arguments %d and %d of call to '%s' may name the \
+                           same location ('%s' and '%s'), and '%s' modifies \
+                           formal '%s'"
+                          (i + 1) (j + 1) callee.P.pname (qname_of ctx bi)
+                          (qname_of ctx bj) callee.P.pname (name_of ctx wf);
+                      hint =
+                        Some
+                          "copy one argument into a temporary before the call";
+                    }
+                    :: !out)
+            refs)
+        refs);
+  List.rev !out
+
+(* SFX006 / SFX007 — §6 loop verdicts, for loops that call procedures. *)
+let loop_parallel ctx =
+  match ctx.sections with
+  | None -> []
+  | Some sec ->
+      let t = ctx.analysis in
+      let out = ref [] in
+      P.iter_procs t.A.prog (fun pr ->
+          let ord = ref 0 in
+          Ir.Stmt.iter
+            (fun st ->
+              match st with
+              | Ir.Stmt.For (ivar, _, _, body) ->
+                  let k = !ord in
+                  incr ord;
+                  if Ir.Stmt.call_sites body <> [] then begin
+                    let loc = Frontend.Locs.loop ctx.locs ~proc:pr.P.pid k in
+                    let scope = pr.P.pname in
+                    let mod_map, use_map =
+                      Sections.Analyze_sections.loop_summary sec
+                        ~proc:pr.P.pid ~ivar ~body
+                    in
+                    let v =
+                      Sections.Deps.analyze_loop t.A.prog ~ivar ~mod_map
+                        ~use_map
+                    in
+                    if v.Sections.Deps.parallel then
+                      out :=
+                        {
+                          Diagnostic.code = "SFX007";
+                          rule = "loop-parallel";
+                          severity = Diagnostic.Note;
+                          loc;
+                          scope;
+                          message =
+                            Printf.sprintf
+                              "loop over '%s' is parallelisable: iterations \
+                               are provably independent"
+                              (name_of ctx ivar);
+                          hint = Some "candidate for data decomposition";
+                        }
+                        :: !out
+                    else
+                      let conflicts =
+                        List.map
+                          (fun (vid, reason) ->
+                            Printf.sprintf "'%s' (%s)" (qname_of ctx vid)
+                              reason)
+                          v.Sections.Deps.conflicts
+                        |> String.concat "; "
+                      in
+                      out :=
+                        {
+                          Diagnostic.code = "SFX006";
+                          rule = "loop-parallel";
+                          severity = Diagnostic.Warning;
+                          loc;
+                          scope;
+                          message =
+                            Printf.sprintf
+                              "loop over '%s' is not parallelisable: %s"
+                              (name_of ctx ivar) conflicts;
+                          hint =
+                            Some
+                              "privatise the conflicting variables or split \
+                               the loop";
+                        }
+                        :: !out
+                  end
+              | _ -> ())
+            pr.P.body);
+      List.rev !out
+
+let all =
+  [
+    {
+      name = "unused-formal";
+      codes = [ "SFX001" ];
+      doc = "by-reference formals no invocation modifies or uses";
+      metric = "lint.findings.unused_formal";
+      needs_sections = false;
+      run = unused_formal;
+    };
+    {
+      name = "write-only-global";
+      codes = [ "SFX002" ];
+      doc = "globals that are written somewhere but read nowhere";
+      metric = "lint.findings.write_only_global";
+      needs_sections = false;
+      run = write_only_global;
+    };
+    {
+      name = "pure-proc";
+      codes = [ "SFX003" ];
+      doc = "procedures with empty GMOD and no transitive I/O";
+      metric = "lint.findings.pure_proc";
+      needs_sections = false;
+      run = pure_proc;
+    };
+    {
+      name = "alias-inflation";
+      codes = [ "SFX004" ];
+      doc = "call sites where the alias closure strictly enlarges DMOD";
+      metric = "lint.findings.alias_inflation";
+      needs_sections = false;
+      run = alias_inflation;
+    };
+    {
+      name = "aliased-actuals";
+      codes = [ "SFX005" ];
+      doc = "calls passing aliased storage to a modified reference formal";
+      metric = "lint.findings.aliased_actuals";
+      needs_sections = false;
+      run = aliased_actuals;
+    };
+    {
+      name = "loop-parallel";
+      codes = [ "SFX006"; "SFX007" ];
+      doc = "section-based parallelisability verdicts for call-bearing loops";
+      metric = "lint.findings.loop_parallel";
+      needs_sections = true;
+      run = loop_parallel;
+    };
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) all

@@ -1,0 +1,60 @@
+(** The rule set — every diagnostic the engine knows how to derive from
+    a solved analysis.
+
+    Rules are pure functions of a {!ctx}: they read the summaries
+    ({!Core.Analyze.t} exposes both the pre-alias [DMOD] and the
+    post-alias [MOD] of every site), never re-solve anything, and emit
+    located {!Diagnostic} values.  Because they share no mutable state
+    they can run concurrently on a {!Par.Pool} (see {!Engine.run}).
+
+    Catalogue (stable codes — see docs/lint.md for triggering examples):
+
+    - [unused-formal] [SFX001] {e warning} — a by-reference formal in
+      neither [RMOD] nor [RUSE]: no invocation ever touches it.
+    - [write-only-global] [SFX002] {e warning} — a global in some
+      [GMOD]/[IMOD] but in no [GUSE]/[IUSE] anywhere: stored, never read.
+    - [pure-proc] [SFX003] {e note} — no global side effects
+      ([GMOD(p) ⊆ LOCAL(p)]; this repo's [GMOD] keeps a procedure's own
+      modified formals in the set) and no transitive I/O: a memoization
+      / parallelization candidate.
+    - [alias-inflation] [SFX004] {e warning} — a call site where the §5
+      alias closure strictly enlarges [DMOD], with the pair named.
+    - [aliased-actuals] [SFX005] {e error} — two actuals of one call
+      bound to aliased storage while a bound formal is in [RMOD].
+    - [loop-parallel] [SFX006] {e warning} / [SFX007] {e note} — the
+      §6 {!Sections.Deps.analyze_loop} verdict of each [for] loop:
+      conflict variables and reasons, or provable parallelisability. *)
+
+type ctx = {
+  analysis : Core.Analyze.t;
+  locs : Frontend.Locs.t;
+      (** Source spans; {!Frontend.Locs.dummy} for generated or edited
+          programs. *)
+  sections : Sections.Analyze_sections.t option;
+      (** The §6 sectioned analysis, present when the program is flat
+          and a selected rule needs it; [None] disables the loop
+          verdicts. *)
+}
+
+type t = {
+  name : string;  (** CLI name ([--rules name,...]). *)
+  codes : string list;  (** Diagnostic codes this rule may emit. *)
+  doc : string;  (** One-line description (rule catalogue, [--help]). *)
+  metric : string;  (** Registry counter fed with the finding count. *)
+  needs_sections : bool;
+  run : ctx -> Diagnostic.t list;
+}
+
+val all : t list
+(** Every rule, in catalogue order. *)
+
+val find : string -> t option
+
+val pure_procs : Core.Analyze.t -> int list
+(** Pids with [GMOD(p) ⊆ LOCAL(p)] and no transitive I/O, ascending
+    (main excluded) — the [pure-proc] predicate, exposed for graph
+    highlighting. *)
+
+val inflated_sites : Core.Analyze.t -> int list
+(** Sites where the alias closure strictly enlarges [DMOD], ascending —
+    the [alias-inflation] predicate, exposed for graph highlighting. *)

@@ -33,16 +33,16 @@ let analyze_loop prog ~ivar ~mod_map ~use_map =
         if not (loop_independent ~ivar msec msec) then
           conflict vid
             (Printf.sprintf "array %s: writes of distinct iterations may collide"
+               v.Ir.Prog.vname);
+        let usec = Secmap.get use_map vid in
+        if not (loop_independent ~ivar msec usec) then
+          conflict vid
+            (Printf.sprintf
+               "array %s: a write may collide with another iteration's read"
                v.Ir.Prog.vname)
-        else begin
-          let usec = Secmap.get use_map vid in
-          if not (loop_independent ~ivar msec usec) then
-            conflict vid
-              (Printf.sprintf
-                 "array %s: a write may collide with another iteration's read"
-                 v.Ir.Prog.vname)
-        end
       end)
     (Secmap.touched mod_map);
-  let conflicts = List.rev !conflicts in
+  (* Deduped and sorted so downstream consumers (the lint engine emits
+     one finding per pair) see a canonical list. *)
+  let conflicts = List.sort_uniq compare !conflicts in
   { parallel = conflicts = []; conflicts }

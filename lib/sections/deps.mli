@@ -19,7 +19,10 @@ type verdict = {
   parallel : bool;
   conflicts : (int * string) list;
       (** Variables (and a human-readable reason) that prevent
-          parallelisation; empty iff [parallel]. *)
+          parallelisation; empty iff [parallel].  Deduplicated and
+          sorted by [(vid, reason)], so a variable that conflicts for
+          several reasons appears once per distinct reason and repeated
+          detections of the same conflict never repeat an entry. *)
 }
 
 val loop_independent : ivar:int -> Section.t -> Section.t -> bool

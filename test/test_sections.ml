@@ -319,6 +319,56 @@ let test_deps () =
   Alcotest.(check bool) "bottom independent" true
     (Sections.Deps.loop_independent ~ivar row_i S.bottom)
 
+(* A loop whose body both writes and reads a shared scalar trips the
+   conflict detector several ways (mod/mod and mod/use); the verdict
+   must still list each (variable, reason) pair exactly once, sorted —
+   the canonical form downstream consumers (the lint engine's one
+   finding per pair) rely on. *)
+let test_conflicts_deduped () =
+  let prog =
+    Helpers.compile
+      {|program dedup;
+var n, i, total : int;
+var a : array[8] of int;
+
+procedure bump(var cell : int);
+begin
+  total := total + cell;
+  cell := total;
+end;
+
+begin
+  n := 8;
+  for i := 1 to n do
+    call bump(a[i]);
+  end;
+  write total;
+end.|}
+  in
+  let t = Sections.Analyze_sections.run prog in
+  let main = Ir.Prog.proc prog prog.Ir.Prog.main in
+  let ivar, body =
+    match
+      List.find_map
+        (function
+          | Ir.Stmt.For (iv, _, _, body) -> Some (iv, body)
+          | _ -> None)
+        main.Ir.Prog.body
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "no loop in main"
+  in
+  let mod_map, use_map =
+    Sections.Analyze_sections.loop_summary t ~proc:prog.Ir.Prog.main ~ivar
+      ~body
+  in
+  let v = Sections.Deps.analyze_loop prog ~ivar ~mod_map ~use_map in
+  Alcotest.(check bool) "conflicting" false v.Sections.Deps.parallel;
+  Alcotest.(check bool) "non-empty" true (v.Sections.Deps.conflicts <> []);
+  Alcotest.(check bool) "deduplicated and sorted" true
+    (v.Sections.Deps.conflicts
+    = List.sort_uniq compare v.Sections.Deps.conflicts)
+
 let () =
   Helpers.run "sections"
     [
@@ -357,5 +407,9 @@ let () =
             prop_cycle_condition;
         ] );
       ( "dependence",
-        [ Alcotest.test_case "loop independence verdicts" `Quick test_deps ] );
+        [
+          Alcotest.test_case "loop independence verdicts" `Quick test_deps;
+          Alcotest.test_case "conflicts deduplicated and sorted" `Quick
+            test_conflicts_deduped;
+        ] );
     ]
