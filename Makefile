@@ -4,6 +4,7 @@ all:
 	dune build @all
 	$(MAKE) --no-print-directory parallel-smoke
 	$(MAKE) --no-print-directory lint-smoke
+	$(MAKE) --no-print-directory dataflow-smoke
 
 test:
 	dune runtest
@@ -70,8 +71,31 @@ lint-smoke:
 	  cmp lint_smoke.tmp lint_smoke4.tmp || exit 1; \
 	done; rm -f lint_smoke.tmp lint_smoke4.tmp
 
+# Smoke-test the statement-level dataflow layer: the per-procedure
+# solver summary must emit valid JSON and be byte-identical on a 4-way
+# pool, and the dead-store / rmw-hint rules must be jobs-invariant too
+# (lint exits 1 when it has findings, so only codes >= 2 fail).
+dataflow-smoke:
+	dune build bin/sidefx.exe
+	@for f in examples/*.mp programs/*.mp; do \
+	  echo "== $$f"; \
+	  ./_build/default/bin/sidefx.exe dataflow $$f --json > df_smoke.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe json-validate < df_smoke.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe dataflow $$f --json --jobs 4 > df_smoke4.tmp || exit 1; \
+	  cmp df_smoke.tmp df_smoke4.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe lint $$f --rules dead-store,rmw-hint --json > df_lint.tmp; \
+	  [ $$? -le 1 ] || exit 1; \
+	  ./_build/default/bin/sidefx.exe json-validate < df_lint.tmp || exit 1; \
+	  ./_build/default/bin/sidefx.exe lint $$f --rules dead-store,rmw-hint --json --jobs 4 > df_lint4.tmp; \
+	  [ $$? -le 1 ] || exit 1; \
+	  cmp df_lint.tmp df_lint4.tmp || exit 1; \
+	done; rm -f df_smoke.tmp df_smoke4.tmp df_lint.tmp df_lint4.tmp
+
 bench-parallel:
 	dune exec bench/bench_parallel.exe
+
+bench-dataflow:
+	dune exec bench/bench_dataflow.exe
 
 examples:
 	dune exec examples/quickstart.exe
@@ -79,4 +103,4 @@ examples:
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick bench-parallel profile-smoke incremental-smoke parallel-smoke lint-smoke examples
+.PHONY: all test test-force bench bench-quick bench-parallel bench-dataflow profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke examples

@@ -275,7 +275,8 @@ let lint_cmd =
           ~doc:
             "Comma-separated subset of rules to run (default: all).  Known \
              rules: unused-formal, write-only-global, pure-proc, \
-             alias-inflation, aliased-actuals, loop-parallel.")
+             alias-inflation, aliased-actuals, loop-parallel, dead-store, \
+             rmw-hint.")
   in
   let threshold_arg =
     Arg.(
@@ -312,6 +313,102 @@ let sections_cmd =
   Cmd.v
     (Cmd.info "sections" ~doc:"Regular-section (array subsection) analysis, §6.")
     Term.(const run $ file_arg $ trace_arg)
+
+(* --- sections-report --- *)
+
+let sections_report_cmd =
+  let run file json trace =
+    with_trace trace @@ fun () ->
+    let prog = load file in
+    if not (Sections.Analyze_sections.applicable prog) then begin
+      Format.eprintf "section-precision report requires a flat program@.";
+      exit 1
+    end;
+    let t = Sections.Analyze_sections.run prog in
+    let rows = Sections.Precision.report t in
+    if json then
+      print_endline (Obs.Json.to_string (Sections.Precision.to_json prog rows))
+    else Format.printf "%a@." (Sections.Precision.pp prog) rows
+  in
+  Cmd.v
+    (Cmd.info "sections-report"
+       ~doc:
+         "Per-array §6 precision report: how many GMOD/GUSE and per-site \
+          MOD/USE contexts keep a proper section (row, column, element) \
+          instead of collapsing to bottom or whole-array.")
+    Term.(const run $ file_arg $ json_arg $ trace_arg)
+
+(* --- dataflow --- *)
+
+let dataflow_cmd =
+  let run file blocks json trace jobs =
+    with_trace trace @@ fun () ->
+    let prog, locs = load_with_locs file in
+    Par.Pool.with_pool ~jobs (fun pool ->
+        let t = Core.Analyze.run ?pool prog in
+        let drv = Dataflow.Driver.create ~locs t in
+        Dataflow.Driver.solve_all ?pool drv;
+        let sol pid = Dataflow.Driver.solution drv pid in
+        if json then begin
+          let procs =
+            let acc = ref [] in
+            Ir.Prog.iter_procs prog (fun pr ->
+                let s = sol pr.Ir.Prog.pid in
+                acc :=
+                  Obs.Json.Obj
+                    [
+                      ("name", Obs.Json.String pr.Ir.Prog.pname);
+                      ("blocks", Obs.Json.Int (Dataflow.Cfg.n_blocks s.Dataflow.Driver.cfg));
+                      ("edges", Obs.Json.Int (Dataflow.Cfg.n_edges s.Dataflow.Driver.cfg));
+                      ("instrs", Obs.Json.Int (Dataflow.Cfg.n_instrs s.Dataflow.Driver.cfg));
+                      ("defs", Obs.Json.Int (Dataflow.Reach.n_defs s.Dataflow.Driver.reach));
+                      ("live_passes", Obs.Json.Int (Dataflow.Live.passes s.Dataflow.Driver.live));
+                      ( "reach_passes",
+                        Obs.Json.Int (Dataflow.Reach.passes s.Dataflow.Driver.reach) );
+                    ]
+                  :: !acc);
+            Obs.Json.List (List.rev !acc)
+          in
+          print_endline
+            (Obs.Json.to_string
+               (Obs.Json.Obj
+                  [
+                    ("program", Obs.Json.String prog.Ir.Prog.name);
+                    ("procedures", procs);
+                  ]))
+        end
+        else begin
+          Format.printf "== dataflow: %s ==@." prog.Ir.Prog.name;
+          Ir.Prog.iter_procs prog (fun pr ->
+              let s = sol pr.Ir.Prog.pid in
+              Format.printf
+                "%-12s %3d blocks %3d edges %3d instrs %3d defs  live %d passes, \
+                 reach %d passes@."
+                pr.Ir.Prog.pname
+                (Dataflow.Cfg.n_blocks s.Dataflow.Driver.cfg)
+                (Dataflow.Cfg.n_edges s.Dataflow.Driver.cfg)
+                (Dataflow.Cfg.n_instrs s.Dataflow.Driver.cfg)
+                (Dataflow.Reach.n_defs s.Dataflow.Driver.reach)
+                (Dataflow.Live.passes s.Dataflow.Driver.live)
+                (Dataflow.Reach.passes s.Dataflow.Driver.reach);
+              if blocks then
+                Format.printf "@[<v 2>  %a@]@."
+                  (Dataflow.Cfg.pp prog)
+                  s.Dataflow.Driver.cfg)
+        end)
+  in
+  let blocks_arg =
+    Arg.(value & flag
+         & info [ "blocks" ] ~doc:"Also print each procedure's basic-block listing.")
+  in
+  Cmd.v
+    (Cmd.info "dataflow"
+       ~doc:
+         "Statement-level dataflow summary: per-procedure CFG sizes and \
+          round-robin solver pass counts for liveness and reaching \
+          definitions (calls made transparent by the interprocedural \
+          summaries).")
+    Term.(const run $ file_arg $ blocks_arg $ json_arg $ trace_arg $ jobs_arg)
 
 (* --- stats --- *)
 
@@ -909,4 +1006,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sidefx" ~version:"1.0.0"
              ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
-          [ analyze_cmd; lint_cmd; sections_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; bench_table_cmd ]))
+          [ analyze_cmd; lint_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; bench_table_cmd ]))

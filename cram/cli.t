@@ -73,6 +73,18 @@ Regular sections on the stencil kernels (8.2):
                                                       i*}
   
 
+The per-array precision report counts how many contexts keep a proper
+section instead of collapsing to bottom or whole-array:
+
+  $ ../bin/sidefx.exe sections-report ../programs/stencil.mp
+  array        rank          GMOD b/p/w     site MOD b/p/w  partial
+  grid            2      3/   1/    2      1/   0/    3      16%
+  a               2      4/   2/    0      4/   0/    0     100%
+  total: 8 contexts touch an array, 3 (37%) stay sectioned
+
+  $ ../bin/sidefx.exe sections-report ../programs/stencil.mp --json | ../bin/sidefx.exe json-validate
+  json: ok
+
 Nested procedures: stats and analysis both handle dP = 3:
 
   $ ../bin/sidefx.exe stats ../programs/report.mp
@@ -216,6 +228,11 @@ The JSON report's key set is a stable contract (values are not):
   "callgraph.call.edges":
   "callgraph.call.nodes":
   "children":
+  "dataflow.blocks":
+  "dataflow.invalidated":
+  "dataflow.live_passes":
+  "dataflow.procs_solved":
+  "dataflow.reach_passes":
   "elapsed_s":
   "file":
   "graph":
@@ -446,13 +463,23 @@ default warning threshold:
       hint: the alias pair widens MOD beyond DMOD; passing distinct variables restores precision
   ../programs/lint_demo.mp:36:8: warning[SFX004] outer: call to 'stepper' may modify 'total' only through alias pair <outer.u, total>
       hint: the alias pair widens MOD beyond DMOD; passing distinct variables restores precision
+  ../programs/lint_demo.mp:36:8: note[SFX009] outer: call to 'stepper' reads and writes 'total', 'outer.u', 'outer.v', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
+  ../programs/lint_demo.mp:54:8: note[SFX009] lint_demo: call to 'scale' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
   ../programs/lint_demo.mp:55:8: error[SFX005] lint_demo: arguments 1 and 2 of call to 'outer' may name the same location ('total' and 'total'), and 'outer' modifies formal 'u'
       hint: copy one argument into a temporary before the call
+  ../programs/lint_demo.mp:55:8: note[SFX009] lint_demo: call to 'outer' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
   ../programs/lint_demo.mp:57:7: note[SFX007] lint_demo: loop over 'i' is parallelisable: iterations are provably independent
       hint: candidate for data decomposition
+  ../programs/lint_demo.mp:58:10: note[SFX009] lint_demo: call to 'stepper' reads and writes 'data', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
   ../programs/lint_demo.mp:60:7: warning[SFX006] lint_demo: loop over 'i' is not parallelisable: 'total' (scalar total written by every iteration)
       hint: privatise the conflicting variables or split the loop
-  11 findings: 1 error, 6 warning, 4 note
+  ../programs/lint_demo.mp:61:10: note[SFX009] lint_demo: call to 'tally' reads and writes 'total', 'data', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
+  16 findings: 1 error, 6 warning, 9 note
   [1]
 
 --rules restricts the run to a comma-separated subset:
@@ -479,8 +506,35 @@ Notes alone don't reach the error threshold, so the exit status is 0:
 Unknown rule names are a usage error:
 
   $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --rules nope
-  lint: unknown rule 'nope' (known: unused-formal, write-only-global, pure-proc, alias-inflation, aliased-actuals, loop-parallel)
+  lint: unknown rule 'nope' (known: unused-formal, write-only-global, pure-proc, alias-inflation, aliased-actuals, loop-parallel, dead-store, rmw-hint)
   [2]
+
+The statement-level rules run liveness over per-procedure CFGs with the
+summary-derived transfer functions (docs/dataflow.md):
+
+  $ ../bin/sidefx.exe lint ../programs/dataflow_demo.mp --rules dead-store,rmw-hint
+  ../programs/dataflow_demo.mp:37:8: note[SFX009] outer: call to 'readx' reads and writes 'acc', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
+  ../programs/dataflow_demo.mp:42:3: warning[SFX008] dataflow_demo: value stored to 'tmp' is never read: every path definitely overwrites it or ends its lifetime first
+      hint: delete the store, or use the value before it is overwritten
+  ../programs/dataflow_demo.mp:45:8: note[SFX009] dataflow_demo: call to 'bump' reads and writes 'acc', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
+  ../programs/dataflow_demo.mp:46:8: note[SFX009] dataflow_demo: call to 'outer' reads and writes 'acc', 'final', and the caller reads the result: a read-modify-write the caller could batch
+      hint: hoist the read or batch the updates to cut call-boundary traffic
+  4 findings: 0 error, 1 warning, 3 note
+  [1]
+
+The dataflow command summarises each procedure's CFG and solver work:
+
+  $ ../bin/sidefx.exe dataflow ../programs/dataflow_demo.mp
+  == dataflow: dataflow_demo ==
+  dataflow_demo   2 blocks   1 edges   7 instrs   6 defs  live 2 passes, reach 2 passes
+  bump           2 blocks   1 edges   1 instrs   1 defs  live 2 passes, reach 2 passes
+  readx          2 blocks   1 edges   1 instrs   1 defs  live 2 passes, reach 2 passes
+  outer          2 blocks   1 edges   3 instrs   3 defs  live 2 passes, reach 2 passes
+
+  $ ../bin/sidefx.exe dataflow ../programs/dataflow_demo.mp --json | ../bin/sidefx.exe json-validate
+  json: ok
 
 The JSON report is self-validating and its key set is a stable
 contract:

@@ -1,0 +1,254 @@
+module P = Ir.Prog
+module S = Ir.Stmt
+module Loc = Frontend.Loc
+
+type instr =
+  | Assign of Ir.Expr.lvalue * Ir.Expr.t
+  | Call of int
+  | Read of Ir.Expr.lvalue
+  | Write of Ir.Expr.t
+  | Cond of Ir.Expr.t
+  | For_init of int * Ir.Expr.t * Ir.Expr.t
+  | For_test of int
+  | For_step of int
+
+type block = {
+  bid : int;
+  instrs : (int * instr) array;
+  succs : int array;
+  preds : int array;
+  span : (Loc.t * Loc.t) option;
+}
+
+type t = {
+  proc : int;
+  blocks : block array;
+  entry : int;
+  exit_ : int;
+  n_stmts : int;
+}
+
+(* Mutable block under construction; instruction and successor lists
+   are accumulated in reverse. *)
+type bb = {
+  id : int;
+  mutable rinstrs : (int * instr) list;
+  mutable rsuccs : int list;
+}
+
+let loc_le a b = a.Loc.line < b.Loc.line || (a.Loc.line = b.Loc.line && a.Loc.col <= b.Loc.col)
+
+let span_of_ords locs pid ords =
+  match locs with
+  | None -> None
+  | Some locs ->
+    List.fold_left
+      (fun acc o ->
+        let l = Frontend.Locs.stmt locs ~proc:pid o in
+        if l = Loc.dummy then acc
+        else
+          match acc with
+          | None -> Some (l, l)
+          | Some (lo, hi) ->
+            Some ((if loc_le l lo then l else lo), if loc_le hi l then l else hi))
+      None ords
+
+let build ?locs prog pid =
+  let body = (P.proc prog pid).P.body in
+  let rev_blocks = ref [] in
+  let n = ref 0 in
+  let new_block () =
+    let b = { id = !n; rinstrs = []; rsuccs = [] } in
+    incr n;
+    rev_blocks := b :: !rev_blocks;
+    b
+  in
+  let edge a b = a.rsuccs <- b.id :: a.rsuccs in
+  let add b ord i = b.rinstrs <- (ord, i) :: b.rinstrs in
+  let next_ord = ref 0 in
+  let take_ord () =
+    let o = !next_ord in
+    incr next_ord;
+    o
+  in
+  (* Walk a statement list, threading the block new instructions land
+     in; returns the block control falls out of. *)
+  let rec walk cur stmts = List.fold_left step cur stmts
+  and step cur s =
+    let o = take_ord () in
+    match s with
+    | S.Assign (lv, e) ->
+      add cur o (Assign (lv, e));
+      cur
+    | S.Read lv ->
+      add cur o (Read lv);
+      cur
+    | S.Write e ->
+      add cur o (Write e);
+      cur
+    | S.Call sid ->
+      add cur o (Call sid);
+      cur
+    | S.If (c, then_, else_) ->
+      add cur o (Cond c);
+      let bt = new_block () in
+      let be = new_block () in
+      edge cur bt;
+      edge cur be;
+      let tend = walk bt then_ in
+      let eend = walk be else_ in
+      let join = new_block () in
+      edge tend join;
+      edge eend join;
+      join
+    | S.While (c, body) ->
+      let test = new_block () in
+      edge cur test;
+      add test o (Cond c);
+      let bb = new_block () in
+      edge test bb;
+      let bend = walk bb body in
+      edge bend test;
+      let join = new_block () in
+      edge test join;
+      join
+    | S.For (v, lo, hi, body) ->
+      add cur o (For_init (v, lo, hi));
+      let test = new_block () in
+      edge cur test;
+      add test o (For_test v);
+      let bb = new_block () in
+      edge test bb;
+      let bend = walk bb body in
+      let latch = new_block () in
+      edge bend latch;
+      add latch o (For_step v);
+      edge latch test;
+      let join = new_block () in
+      edge test join;
+      join
+  in
+  let b0 = new_block () in
+  let last = walk b0 body in
+  let ex = new_block () in
+  edge last ex;
+  let n = !n in
+  let by_id = Array.make n None in
+  List.iter (fun b -> by_id.(b.id) <- Some b) !rev_blocks;
+  let preds = Array.make n [] in
+  Array.iter
+    (fun b ->
+      match b with
+      | None -> assert false
+      | Some b -> List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) b.rsuccs)
+    by_id;
+  let blocks =
+    Array.map
+      (fun b ->
+        match b with
+        | None -> assert false
+        | Some b ->
+          let instrs = Array.of_list (List.rev b.rinstrs) in
+          {
+            bid = b.id;
+            instrs;
+            succs = Array.of_list (List.rev b.rsuccs);
+            preds = Array.of_list (List.rev preds.(b.id));
+            span = span_of_ords locs pid (List.map fst (List.rev b.rinstrs));
+          })
+      by_id
+  in
+  { proc = pid; blocks; entry = 0; exit_ = n - 1; n_stmts = !next_ord }
+
+let n_blocks t = Array.length t.blocks
+let n_edges t = Array.fold_left (fun acc b -> acc + Array.length b.succs) 0 t.blocks
+let n_instrs t = Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 t.blocks
+
+let iter_instrs t f =
+  Array.iter (fun b -> Array.iter (fun (o, i) -> f ~block:b.bid o i) b.instrs) t.blocks
+
+let validate ?locs prog =
+  let errors = ref [] in
+  P.iter_procs prog (fun pr ->
+      let pid = pr.P.pid in
+      let where = Printf.sprintf "dataflow(%s)" pr.P.pname in
+      let cfg = build ?locs prog pid in
+      let es =
+        Ir.Validate.check_cfg ~where ~n_blocks:(n_blocks cfg) ~entry:cfg.entry
+          ~exit_:cfg.exit_ ~succs:(fun b ->
+            Array.to_list cfg.blocks.(b).succs)
+      in
+      errors := List.rev_append es !errors;
+      (* Span discipline: ordered pairs, in the procedure's file, no
+         earlier than the procedure-name token. *)
+      (match locs with
+      | None -> ()
+      | Some locs ->
+        let ploc = Frontend.Locs.proc locs pid in
+        Array.iter
+          (fun b ->
+            match b.span with
+            | None -> ()
+            | Some (lo, hi) ->
+              let fail fmt =
+                Format.kasprintf
+                  (fun what -> errors := { Ir.Validate.where; what } :: !errors)
+                  fmt
+              in
+              if not (loc_le lo hi) then
+                fail "cfg: block %d span inverted (%a after %a)" b.bid Loc.pp lo
+                  Loc.pp hi;
+              if ploc <> Loc.dummy then begin
+                if lo.Loc.file <> ploc.Loc.file then
+                  fail "cfg: block %d span in file %s, procedure in %s" b.bid
+                    lo.Loc.file ploc.Loc.file;
+                if not (loc_le ploc lo) then
+                  fail "cfg: block %d span %a precedes the procedure at %a" b.bid
+                    Loc.pp lo Loc.pp ploc
+              end)
+          cfg.blocks);
+      (* Ordinal discipline: instruction ordinals stay within the
+         statement universe. *)
+      Array.iter
+        (fun b ->
+          Array.iter
+            (fun (o, _) ->
+              if o < 0 || o >= cfg.n_stmts then
+                errors :=
+                  {
+                    Ir.Validate.where;
+                    what =
+                      Printf.sprintf "cfg: block %d ordinal %d outside 0..%d" b.bid
+                        o (cfg.n_stmts - 1);
+                  }
+                  :: !errors)
+            b.instrs)
+        cfg.blocks);
+  match List.rev !errors with
+  | [] -> Ok ()
+  | es -> Error es
+
+let pp_instr prog ppf i =
+  let name v = (P.var prog v).P.vname in
+  match i with
+  | Assign (lv, _) -> Format.fprintf ppf "assign %s" (name (Ir.Expr.lvalue_base lv))
+  | Call sid -> Format.fprintf ppf "call %s" (P.proc prog (P.site prog sid).P.callee).P.pname
+  | Read lv -> Format.fprintf ppf "read %s" (name (Ir.Expr.lvalue_base lv))
+  | Write _ -> Format.fprintf ppf "write"
+  | Cond _ -> Format.fprintf ppf "cond"
+  | For_init (v, _, _) -> Format.fprintf ppf "for-init %s" (name v)
+  | For_test v -> Format.fprintf ppf "for-test %s" (name v)
+  | For_step v -> Format.fprintf ppf "for-step %s" (name v)
+
+let pp prog ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i b ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "b%d:" b.bid;
+      Array.iter (fun (o, ins) -> Format.fprintf ppf " [%d]%a" o (pp_instr prog) ins) b.instrs;
+      Format.fprintf ppf " ->";
+      Array.iter (Format.fprintf ppf " b%d") b.succs;
+      if b.bid = t.exit_ then Format.fprintf ppf " (exit)")
+    t.blocks;
+  Format.fprintf ppf "@]"

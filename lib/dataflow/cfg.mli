@@ -1,0 +1,67 @@
+(** Per-procedure control-flow graphs over {!Ir.Stmt}.
+
+    MiniProc is fully structured, so the CFG is built in one
+    deterministic pass: straight-line statements accumulate in the
+    current block; [if] opens a then-block, an else-block and a join;
+    [while] a test, a body and a join; [for] appends the one-shot
+    initialisation to the current block and opens a test, a body, a
+    latch and a join.  Block 0 is the entry; the exit block is created
+    last, so the block order — and with it every solver result — is a
+    pure function of the statement list.
+
+    Every instruction carries the pre-order ordinal of the statement it
+    came from (the position {!Ir.Stmt.iter} visits it at), which is the
+    index into {!Frontend.Locs.stmts}.  A [for] statement contributes
+    three instructions — init, test, step — that share its ordinal,
+    mirroring the interpreter: bounds are evaluated once at entry, the
+    test reads only the loop variable, the step reads and writes it. *)
+
+type instr =
+  | Assign of Ir.Expr.lvalue * Ir.Expr.t
+  | Call of int  (** Call-site id. *)
+  | Read of Ir.Expr.lvalue
+  | Write of Ir.Expr.t
+  | Cond of Ir.Expr.t  (** [if]/[while] test; uses only. *)
+  | For_init of int * Ir.Expr.t * Ir.Expr.t
+      (** Evaluate bounds, store the lower into the loop variable. *)
+  | For_test of int  (** Reads only the loop variable. *)
+  | For_step of int  (** Reads and writes the loop variable. *)
+
+type block = {
+  bid : int;
+  instrs : (int * instr) array;  (** (statement ordinal, instruction). *)
+  succs : int array;  (** Deterministic order: branch targets before joins. *)
+  preds : int array;
+  span : (Frontend.Loc.t * Frontend.Loc.t) option;
+      (** Source extent of the member statements, [(first, last)] in
+          (line, column) order; [None] for empty blocks or when the
+          program has no positions ({!Frontend.Locs.dummy}). *)
+}
+
+type t = {
+  proc : int;
+  blocks : block array;
+  entry : int;  (** Always 0. *)
+  exit_ : int;  (** Always the last block; no successors. *)
+  n_stmts : int;  (** Statements of the body, pre-order universe. *)
+}
+
+val build : ?locs:Frontend.Locs.t -> Ir.Prog.t -> int -> t
+(** CFG of one procedure's body.  Spans come from [locs] when given. *)
+
+val n_blocks : t -> int
+val n_edges : t -> int
+val n_instrs : t -> int
+
+val iter_instrs : t -> (block:int -> int -> instr -> unit) -> unit
+(** Every instruction, blocks in id order, with its statement ordinal. *)
+
+val validate : ?locs:Frontend.Locs.t -> Ir.Prog.t -> (unit, Ir.Validate.error list) result
+(** Build every procedure's CFG and check well-formedness with
+    {!Ir.Validate.check_cfg}, plus the span discipline the builder
+    promises: block spans are ordered pairs in the procedure's source
+    file, no earlier than the procedure's own position. *)
+
+val pp : Ir.Prog.t -> Format.formatter -> t -> unit
+(** Debug listing: one line per block with instruction ordinals and
+    successor ids. *)

@@ -1,0 +1,52 @@
+type t = {
+  cfg_ : Cfg.t;
+  res : Solver.result;
+}
+
+(* Block-level gen/kill composed backward over member instructions:
+   gen = uses upward-exposed past earlier kills, kill = union of
+   definite defs. *)
+let block_sets tf nv instrs =
+  let gen = Bitvec.create nv and kill = Bitvec.create nv in
+  for i = Array.length instrs - 1 downto 0 do
+    let _, ins = instrs.(i) in
+    Transfer.iter_must_def tf ins (fun v ->
+        Bitvec.unset gen v;
+        Bitvec.set kill v);
+    Transfer.add_use tf gen ins
+  done;
+  (gen, kill)
+
+let solve tf cfg =
+  let a = Transfer.analysis tf in
+  let nv = Ir.Prog.n_vars a.Core.Analyze.prog in
+  let sets =
+    Array.map (fun b -> block_sets tf nv b.Cfg.instrs) cfg.Cfg.blocks
+  in
+  let problem =
+    {
+      Solver.direction = Solver.Backward;
+      n_bits = nv;
+      gen = (fun b -> fst sets.(b));
+      kill = (fun b -> snd sets.(b));
+      boundary = Transfer.exit_live tf cfg.Cfg.proc;
+    }
+  in
+  { cfg_ = cfg; res = Solver.solve cfg problem }
+
+let cfg t = t.cfg_
+let passes t = t.res.Solver.passes
+let live_in t b = t.res.Solver.in_.(b)
+let live_out t b = t.res.Solver.out.(b)
+
+let fold_instrs t tf ~block ~init ~f =
+  let live = Bitvec.copy (live_out t block) in
+  let instrs = t.cfg_.Cfg.blocks.(block).Cfg.instrs in
+  let acc = ref init in
+  for i = Array.length instrs - 1 downto 0 do
+    let ord, ins = instrs.(i) in
+    acc := f !acc ~live_after:live ~ord ins;
+    Transfer.iter_must_def tf ins (fun v -> Bitvec.unset live v);
+    Transfer.add_use tf live ins
+  done;
+  !acc

@@ -1,0 +1,77 @@
+type def = {
+  did : int;
+  block : int;
+  ord : int;
+  var : int;
+  must : bool;
+}
+
+type t = {
+  cfg_ : Cfg.t;
+  defs : def array;
+  by_var : int list array;  (** Per variable, ascending dids. *)
+  res : Solver.result;
+}
+
+let enumerate tf cfg nv =
+  let rev = ref [] in
+  let n = ref 0 in
+  Cfg.iter_instrs cfg (fun ~block ord ins ->
+      let must = Bitvec.create nv in
+      Transfer.iter_must_def tf ins (fun v -> Bitvec.set must v);
+      Transfer.iter_may_def tf ins (fun v ->
+          rev := { did = !n; block; ord; var = v; must = Bitvec.get must v } :: !rev;
+          incr n));
+  let defs = Array.of_list (List.rev !rev) in
+  let by_var = Array.make nv [] in
+  for d = Array.length defs - 1 downto 0 do
+    by_var.(defs.(d).var) <- d :: by_var.(defs.(d).var)
+  done;
+  (defs, by_var)
+
+let solve tf cfg =
+  let a = Transfer.analysis tf in
+  let nv = Ir.Prog.n_vars a.Core.Analyze.prog in
+  let defs, by_var = enumerate tf cfg nv in
+  let nd = Array.length defs in
+  let gen = Array.map (fun _ -> Bitvec.create nd) cfg.Cfg.blocks in
+  let kill = Array.map (fun _ -> Bitvec.create nd) cfg.Cfg.blocks in
+  (* Forward composition per block: a definite write first kills every
+     definition of the variable, then the instruction's own definitions
+     (definite or not) are downward-exposed. *)
+  let cursor = ref 0 in
+  Array.iteri
+    (fun bid b ->
+      let g = gen.(bid) and k = kill.(bid) in
+      Array.iter
+        (fun (_, ins) ->
+          Transfer.iter_must_def tf ins (fun v ->
+              List.iter
+                (fun d ->
+                  Bitvec.unset g d;
+                  Bitvec.set k d)
+                by_var.(v));
+          Transfer.iter_may_def tf ins (fun _ ->
+              Bitvec.set g !cursor;
+              incr cursor))
+        b.Cfg.instrs)
+    cfg.Cfg.blocks;
+  assert (!cursor = nd);
+  let problem =
+    {
+      Solver.direction = Solver.Forward;
+      n_bits = nd;
+      gen = (fun b -> gen.(b));
+      kill = (fun b -> kill.(b));
+      boundary = Bitvec.create nd;  (* Nothing reaches procedure entry. *)
+    }
+  in
+  { cfg_ = cfg; defs; by_var; res = Solver.solve cfg problem }
+
+let cfg t = t.cfg_
+let passes t = t.res.Solver.passes
+let n_defs t = Array.length t.defs
+let def t d = t.defs.(d)
+let defs_of_var t v = t.by_var.(v)
+let reach_in t b = t.res.Solver.in_.(b)
+let reach_out t b = t.res.Solver.out.(b)

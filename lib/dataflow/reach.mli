@@ -1,0 +1,31 @@
+(** Reaching definitions — the forward instance over definition ids.
+
+    The definition universe is one id per (instruction occurrence,
+    variable written): ordinary writes contribute a single pair, a call
+    one pair per variable of [MOD(s)] — a summary-sized proxy for every
+    store the callee might do.  A definition is killed only by a
+    definite overwrite (the same must-def sets liveness kills with), so
+    call sites kill through {!Transfer.kill_of_site}. *)
+
+type def = {
+  did : int;
+  block : int;
+  ord : int;  (** Statement ordinal of the writing instruction. *)
+  var : int;
+  must : bool;  (** Whether the write is definite (kills other defs). *)
+}
+
+type t
+
+val solve : Transfer.t -> Cfg.t -> t
+val cfg : t -> Cfg.t
+val passes : t -> int
+val n_defs : t -> int
+val def : t -> int -> def
+val defs_of_var : t -> int -> int list
+(** Definition ids writing a variable, ascending. *)
+
+val reach_in : t -> int -> Bitvec.t
+(** Definitions reaching block entry.  Do not mutate. *)
+
+val reach_out : t -> int -> Bitvec.t

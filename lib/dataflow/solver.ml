@@ -1,0 +1,113 @@
+type direction =
+  | Forward
+  | Backward
+
+type problem = {
+  direction : direction;
+  n_bits : int;
+  gen : int -> Bitvec.t;
+  kill : int -> Bitvec.t;
+  boundary : Bitvec.t;
+}
+
+type result = {
+  in_ : Bitvec.t array;
+  out : Bitvec.t array;
+  passes : int;
+}
+
+(* Reverse postorder via an explicit stack (structured CFGs are
+   shallow, but join chains make recursion depth linear in block
+   count).  Every block is reachable from the start by construction;
+   stray ones are appended defensively so the solver still terminates
+   on graphs that fail validation. *)
+let rpo cfg direction =
+  let n = Array.length cfg.Cfg.blocks in
+  let next b =
+    match direction with
+    | Forward -> cfg.Cfg.blocks.(b).Cfg.succs
+    | Backward -> cfg.Cfg.blocks.(b).Cfg.preds
+  in
+  let start =
+    match direction with
+    | Forward -> cfg.Cfg.entry
+    | Backward -> cfg.Cfg.exit_
+  in
+  let visited = Array.make n false in
+  let post = ref [] in
+  let dfs root =
+    if not visited.(root) then begin
+      visited.(root) <- true;
+      let stack = ref [ (root, 0) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (b, i) :: rest ->
+          let ss = next b in
+          if i < Array.length ss then begin
+            stack := (b, i + 1) :: rest;
+            let s = ss.(i) in
+            if not visited.(s) then begin
+              visited.(s) <- true;
+              stack := (s, 0) :: !stack
+            end
+          end
+          else begin
+            stack := rest;
+            post := b :: !post
+          end
+      done
+    end
+  in
+  dfs start;
+  for b = 0 to n - 1 do
+    dfs b
+  done;
+  Array.of_list !post
+
+let solve cfg p =
+  let blocks = cfg.Cfg.blocks in
+  let n = Array.length blocks in
+  let order = rpo cfg p.direction in
+  let in_ = Array.init n (fun _ -> Bitvec.create p.n_bits) in
+  let out = Array.init n (fun _ -> Bitvec.create p.n_bits) in
+  (* For forward problems [into] is block-in and [from] block-out of
+     the meet edges; swapped for backward. *)
+  let into, from =
+    match p.direction with
+    | Forward -> (in_, out)
+    | Backward -> (out, in_)
+  in
+  let meet_edges b =
+    match p.direction with
+    | Forward -> blocks.(b).Cfg.preds
+    | Backward -> blocks.(b).Cfg.succs
+  in
+  let start =
+    match p.direction with
+    | Forward -> cfg.Cfg.entry
+    | Backward -> cfg.Cfg.exit_
+  in
+  let scratch = Bitvec.create p.n_bits in
+  let passes = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr passes;
+    Array.iter
+      (fun b ->
+        Bitvec.clear scratch;
+        if b = start then ignore (Bitvec.union_into ~src:p.boundary ~dst:scratch);
+        Array.iter
+          (fun e -> ignore (Bitvec.union_into ~src:from.(e) ~dst:scratch))
+          (meet_edges b);
+        Bitvec.blit ~src:scratch ~dst:into.(b);
+        ignore (Bitvec.diff_into ~src:(p.kill b) ~dst:scratch);
+        ignore (Bitvec.union_into ~src:(p.gen b) ~dst:scratch);
+        if not (Bitvec.equal scratch from.(b)) then begin
+          Bitvec.blit ~src:scratch ~dst:from.(b);
+          changed := true
+        end)
+      order
+  done;
+  { in_; out; passes = !passes }

@@ -3,6 +3,7 @@ type t = {
   vars : Loc.t array;
   sites : Loc.t array;
   loops : Loc.t array array;
+  stmts : Loc.t array array;
 }
 
 let count_loops body =
@@ -25,6 +26,9 @@ let dummy prog =
     loops =
       Array.init (Ir.Prog.n_procs prog) (fun pid ->
           Array.make (count_loops (Ir.Prog.proc prog pid).Ir.Prog.body) Loc.dummy);
+    stmts =
+      Array.init (Ir.Prog.n_procs prog) (fun pid ->
+          Array.make (Ir.Stmt.count (Ir.Prog.proc prog pid).Ir.Prog.body) Loc.dummy);
   }
 
 let proc t pid = t.procs.(pid)
@@ -33,4 +37,8 @@ let site t sid = t.sites.(sid)
 
 let loop t ~proc ordinal =
   let row = t.loops.(proc) in
+  if ordinal >= 0 && ordinal < Array.length row then row.(ordinal) else Loc.dummy
+
+let stmt t ~proc ordinal =
+  let row = t.stmts.(proc) in
   if ordinal >= 0 && ordinal < Array.length row then row.(ordinal) else Loc.dummy

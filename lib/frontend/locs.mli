@@ -20,6 +20,12 @@ type t = {
   loops : Loc.t array array;
       (** By pid, then [for]-loop ordinal in statement pre-order (the
           order {!Ir.Stmt.iter} visits them). *)
+  stmts : Loc.t array array;
+      (** By pid, then statement ordinal in pre-order — {e every}
+          statement of the body, not just loops, so statement-level
+          clients (the dataflow layer's dead-store rule) can point at
+          the exact statement.  Statements inside a [for] body carry
+          their own positions, not the loop header's. *)
 }
 
 val dummy : Ir.Prog.t -> t
@@ -33,3 +39,8 @@ val loop : t -> proc:int -> int -> Loc.t
 (** Location of the [ordinal]-th [for] loop of a procedure in pre-order;
     {!Loc.dummy} when out of range (a table from {!dummy}, or an edited
     program). *)
+
+val stmt : t -> proc:int -> int -> Loc.t
+(** Location of the [ordinal]-th statement of a procedure's body in
+    pre-order ({!Ir.Stmt.iter} order, the ordinal a CFG instruction
+    carries); {!Loc.dummy} when out of range. *)

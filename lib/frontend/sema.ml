@@ -26,6 +26,7 @@ type ctx = {
   mutable var_locs : Loc.t list;
   mutable site_locs : Loc.t list;
   mutable loop_locs : (int * Loc.t) list;
+  mutable stmt_locs : (int * Loc.t) list;
 }
 
 let report ctx loc fmt =
@@ -331,6 +332,22 @@ let rec resolve_stmts ctx tb ~caller ~pendings venv penv (stmts : Ast.stmt list)
     stmts
 
 and resolve_stmt ctx tb ~caller ~pendings venv penv (s : Ast.stmt) : Ir.Stmt.t option =
+  (* Statement locations are recorded up front, before any sub-body is
+     resolved, so their ordinals follow pre-order — the order
+     Ir.Stmt.iter visits the resolved body.  [Skip] resolves to no
+     statement at all and must record nothing.  A statement that bails
+     leaves a stray entry, but then ctx.errors is non-empty and the loc
+     tables are never built. *)
+  (match s with
+  | Ast.Skip -> ()
+  | Ast.Assign (lv, _) | Ast.Read lv ->
+    ctx.stmt_locs <- (caller, Ast.lvalue_loc lv) :: ctx.stmt_locs
+  | Ast.If (c, _, _) | Ast.While (c, _) ->
+    ctx.stmt_locs <- (caller, Ast.expr_loc c) :: ctx.stmt_locs
+  | Ast.For (v, _, _, _) -> ctx.stmt_locs <- (caller, v.Ast.loc) :: ctx.stmt_locs
+  | Ast.Call (callee, _) ->
+    ctx.stmt_locs <- (caller, callee.Ast.loc) :: ctx.stmt_locs
+  | Ast.Write e -> ctx.stmt_locs <- (caller, Ast.expr_loc e) :: ctx.stmt_locs);
   match s with
   | Ast.Skip -> None
   | Ast.Assign (lv, e) ->
@@ -385,6 +402,7 @@ let resolve_with_locs (ast : Ast.program) : (Ir.Prog.t * Locs.t, error list) res
       var_locs = [];
       site_locs = [];
       loop_locs = [];
+      stmt_locs = [];
     }
   in
   (* Globals. *)
@@ -483,12 +501,17 @@ let resolve_with_locs (ast : Ast.program) : (Ir.Prog.t * Locs.t, error list) res
     List.iter
       (fun (pid, loc) -> loops.(pid) <- loc :: loops.(pid))
       ctx.loop_locs (* reversed input, so consing restores pre-order *);
+    let stmts = Array.make (Array.length procs) [] in
+    List.iter
+      (fun (pid, loc) -> stmts.(pid) <- loc :: stmts.(pid))
+      ctx.stmt_locs (* reversed input, so consing restores pre-order *);
     let locs =
       {
         Locs.procs = Array.of_list (List.map (fun p -> p.ploc) pendings);
         vars = Array.of_list (List.rev ctx.var_locs);
         sites = Array.of_list (List.rev ctx.site_locs);
         loops = Array.map Array.of_list loops;
+        stmts = Array.map Array.of_list stmts;
       }
     in
     Ok (prog, locs)

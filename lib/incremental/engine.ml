@@ -40,6 +40,11 @@ type t = {
   mutable lint_cache : (int * string list * Lint.Diagnostic.t list) option;
       (** Findings computed at (edit count, rule names) — any [apply]
           bumps the edit count and so invalidates the entry. *)
+  mutable dataflow : Dataflow.Driver.t option;
+      (** Statement-level solution cache, created the first time {!lint}
+          runs a dataflow rule.  Body edits invalidate it per procedure
+          ({!Dataflow.Driver.refresh}); shape or structural changes
+          renumber sites and drop it wholesale. *)
 }
 
 type outcome = {
@@ -184,6 +189,7 @@ let create ?(threshold = 0.5) ?pool prog =
     caches = build_caches ?pool analysis;
     edits = 0;
     lint_cache = None;
+    dataflow = None;
   }
 
 let analysis t = t.analysis
@@ -202,7 +208,15 @@ let lint ?(rules = Lint.Rule.all) t =
        initial program too keeps the incremental findings comparable —
        and bit-identical — to a batch [Lint.Engine.run] on the same
        edited program. *)
-    let ds = Lint.Engine.run ?pool:t.pool ~rules t.analysis in
+    let drv =
+      match t.dataflow with
+      | Some d when Dataflow.Driver.analysis d == t.analysis -> d
+      | Some _ | None ->
+        let d = Dataflow.Driver.create t.analysis in
+        t.dataflow <- Some d;
+        d
+    in
+    let ds = Lint.Engine.run ?pool:t.pool ~dataflow:drv ~rules t.analysis in
     t.lint_cache <- Some (t.edits, names, ds);
     ds
 
@@ -211,6 +225,7 @@ let full t prog reason =
   let analysis = Analyze.run ?pool:t.pool prog in
   t.analysis <- analysis;
   t.caches <- build_caches ?pool:t.pool analysis;
+  t.dataflow <- None;
   let resolved = 2 * Prog.n_procs prog in
   Obs.Metric.add procs_resolved_c resolved;
   { fallback = Some reason; procs_resolved = resolved }
@@ -388,6 +403,15 @@ let incremental t prog kind =
     };
   t.caches <-
     { imod_flat; iuse_flat; imod_aug; iuse_aug; rmod_sol; ruse_sol; sites };
+  (match t.dataflow with
+  | None -> ()
+  | Some d -> (
+    match kind with
+    | `Body proc -> ignore (Dataflow.Driver.refresh d t.analysis ~edited:[ proc ])
+    | `Shape _ ->
+      (* Call-shape edits renumber the site table the cached CFGs
+         index into. *)
+      Dataflow.Driver.reset d t.analysis));
   Obs.Metric.add procs_resolved_c resolved;
   { fallback = None; procs_resolved = resolved }
 

@@ -68,4 +68,12 @@ val lint : ?rules:Lint.Rule.t list -> t -> Lint.Diagnostic.t list
     program.  Cached until the next {!apply} (keyed on the edit count
     and the rule-name list); [sidefx edit --lint] calls this around
     every edit to report diagnostic deltas ({!Lint.Engine.delta}) and
-    pays one lint pass per distinct program version. *)
+    pays one lint pass per distinct program version.
+
+    Statement-level rules (dead-store, rmw-hint) reuse a
+    {!Dataflow.Driver.t} held by the engine: body edits only drop the
+    solutions of the edited procedure and of callers whose callee
+    summaries actually changed; call-shape and structural edits drop
+    the cache (sites renumber).  Findings stay bit-identical to the
+    batch run either way — the cache can only skip recomputing answers
+    whose inputs are unchanged. *)

@@ -28,9 +28,18 @@ type activation = {
 type call_record = {
   writes : (int * int, unit) Hashtbl.t;
   reads : (int * int, unit) Hashtbl.t;
+  live_reads : (int * int, unit) Hashtbl.t;
+      (* Reads NOT preceded by a write to the same cell within this
+         call's extent: the cells whose pre-call value the call actually
+         consumed — the dynamic witness of liveness across the site. *)
 }
 
-let fresh_record () = { writes = Hashtbl.create 16; reads = Hashtbl.create 16 }
+let fresh_record () =
+  {
+    writes = Hashtbl.create 16;
+    reads = Hashtbl.create 16;
+    live_reads = Hashtbl.create 16;
+  }
 
 type entry_summary =
   | Never
@@ -43,6 +52,7 @@ type outcome = {
   truncated : bool;
   site_mods : Bitvec.t array;
   site_uses : Bitvec.t array;
+  site_lives : Bitvec.t array;
   calls_executed : int array;
   formal_entry : entry_summary array;
 }
@@ -65,6 +75,7 @@ type state = {
   mutable output_rev : int list;
   site_mods : Bitvec.t array;
   site_uses : Bitvec.t array;
+  site_lives : Bitvec.t array;
   calls_executed : int array;
   formal_entry : entry_summary array;
 }
@@ -110,7 +121,12 @@ let record st is_write block idx =
   match st.records with
   | [] -> ()
   | r :: _ ->
-    Hashtbl.replace (if is_write then r.writes else r.reads) (block.bid, idx) ()
+    let key = (block.bid, idx) in
+    if is_write then Hashtbl.replace r.writes key ()
+    else begin
+      if not (Hashtbl.mem r.writes key) then Hashtbl.replace r.live_reads key ();
+      Hashtbl.replace r.reads key ()
+    end
 
 let truth n = n <> 0
 let of_bool b = if b then 1 else 0
@@ -341,9 +357,18 @@ and exec_call st act sid =
     in
     match_into st.site_mods.(sid) mine.writes;
     match_into st.site_uses.(sid) mine.reads;
+    match_into st.site_lives.(sid) mine.live_reads;
     match st.records with
     | [] -> ()
     | parent :: _ ->
+      (* A read live across this call is live across the parent's
+         extent only if the parent had not already written the cell
+         before the call began — test before merging the writes. *)
+      Hashtbl.iter
+        (fun k () ->
+          if not (Hashtbl.mem parent.writes k) then
+            Hashtbl.replace parent.live_reads k ())
+        mine.live_reads;
       Hashtbl.iter (fun k () -> Hashtbl.replace parent.writes k ()) mine.writes;
       Hashtbl.iter (fun k () -> Hashtbl.replace parent.reads k ()) mine.reads
   in
@@ -367,6 +392,7 @@ let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
       output_rev = [];
       site_mods = Array.init ns (fun _ -> Bitvec.create nv);
       site_uses = Array.init ns (fun _ -> Bitvec.create nv);
+      site_lives = Array.init ns (fun _ -> Bitvec.create nv);
       calls_executed = Array.make ns 0;
       formal_entry = Array.make nv Never;
     }
@@ -392,9 +418,11 @@ let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
     truncated;
     site_mods = st.site_mods;
     site_uses = st.site_uses;
+    site_lives = st.site_lives;
     calls_executed = st.calls_executed;
     formal_entry = st.formal_entry;
   }
 
 let observed_mod (o : outcome) sid = o.site_mods.(sid)
 let observed_use (o : outcome) sid = o.site_uses.(sid)
+let observed_live (o : outcome) sid = o.site_lives.(sid)

@@ -43,6 +43,13 @@ type outcome = {
       (** Per call site: caller-nameable variables observed modified
           during the site's executions (union over executions). *)
   site_uses : Bitvec.t array;  (** Same for loads. *)
+  site_lives : Bitvec.t array;
+      (** Per call site: caller-nameable variables some execution of
+          the site {e read before writing} — cells whose pre-call value
+          the call consumed.  The dynamic witness of liveness into a
+          call: soundness of the statement-level liveness solver demands
+          [observed_live ⊆ alias-closure(b_e(LIVE_in(callee entry)))]
+          for executed sites of non-truncated runs. *)
   calls_executed : int array;  (** Per site: how many times it ran. *)
   formal_entry : entry_summary array;
       (** Per variable id: entry-value summary for formals (the
@@ -59,3 +66,7 @@ val observed_mod : outcome -> int -> Bitvec.t
 (** Per site id.  Do not mutate. *)
 
 val observed_use : outcome -> int -> Bitvec.t
+
+val observed_live : outcome -> int -> Bitvec.t
+(** Per site id: variables read-before-written in the site's dynamic
+    extent.  Do not mutate. *)

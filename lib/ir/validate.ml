@@ -200,3 +200,59 @@ let check_exn p =
       (Format.asprintf "Validate.check_exn:@,%a"
          (Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_error)
          es)
+
+(* --- CFG well-formedness --- *)
+
+let check_cfg ~where ~n_blocks ~entry ~exit_ ~succs =
+  let errors = ref [] in
+  let fail fmt =
+    Format.kasprintf (fun what -> errors := { where; what } :: !errors) fmt
+  in
+  let ok b = b >= 0 && b < n_blocks in
+  if n_blocks <= 0 then fail "cfg: %d blocks" n_blocks;
+  if not (ok entry) then fail "cfg: entry %d out of range" entry;
+  if not (ok exit_) then fail "cfg: exit %d out of range" exit_;
+  if ok entry && ok exit_ then begin
+    let edge_ok = ref true in
+    for b = 0 to n_blocks - 1 do
+      List.iter
+        (fun s ->
+          if not (ok s) then begin
+            edge_ok := false;
+            fail "cfg: edge %d -> %d out of range" b s
+          end)
+        (succs b)
+    done;
+    if !edge_ok then begin
+      (* Forward reachability from entry. *)
+      let reach = Array.make n_blocks false in
+      let rec fwd b =
+        if not reach.(b) then begin
+          reach.(b) <- true;
+          List.iter fwd (succs b)
+        end
+      in
+      fwd entry;
+      for b = 0 to n_blocks - 1 do
+        if not reach.(b) then fail "cfg: block %d unreachable from entry" b
+      done;
+      (* Co-reachability: every block must reach the exit. *)
+      let preds = Array.make n_blocks [] in
+      for b = 0 to n_blocks - 1 do
+        List.iter (fun s -> preds.(s) <- b :: preds.(s)) (succs b)
+      done;
+      let coreach = Array.make n_blocks false in
+      let rec bwd b =
+        if not coreach.(b) then begin
+          coreach.(b) <- true;
+          List.iter bwd preds.(b)
+        end
+      in
+      bwd exit_;
+      for b = 0 to n_blocks - 1 do
+        if not coreach.(b) then fail "cfg: block %d cannot reach exit" b
+      done;
+      if succs exit_ <> [] then fail "cfg: exit %d has successors" exit_
+    end
+  end;
+  List.rev !errors

@@ -22,3 +22,19 @@ val check_exn : Prog.t -> unit
 (** Raises [Invalid_argument] with a formatted report on failure. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val check_cfg :
+  where:string ->
+  n_blocks:int ->
+  entry:int ->
+  exit_:int ->
+  succs:(int -> int list) ->
+  error list
+(** Well-formedness of a control-flow graph given abstractly (this
+    library cannot depend on the dataflow layer that builds CFGs):
+    blocks are [0..n_blocks-1]; entry/exit and every edge endpoint in
+    range; every block reachable from [entry]; every block co-reachable
+    from [exit_] (structured statements guarantee both); the exit block
+    has no successors.  Returns all violations, empty when well-formed.
+    Span nesting is checked by the CFG builder itself, which owns the
+    source positions. *)

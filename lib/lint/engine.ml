@@ -1,4 +1,4 @@
-let run ?pool ?locs ?(rules = Rule.all) analysis =
+let run ?pool ?locs ?dataflow ?(rules = Rule.all) analysis =
   let prog = analysis.Core.Analyze.prog in
   let locs =
     match locs with Some l -> l | None -> Frontend.Locs.dummy prog
@@ -17,7 +17,24 @@ let run ?pool ?locs ?(rules = Rule.all) analysis =
                  Sections.Analyze_sections.run prog))
         else None
       in
-      let ctx = { Rule.analysis; locs; sections } in
+      let dataflow =
+        if List.exists (fun r -> r.Rule.needs_dataflow) rules then begin
+          let drv =
+            match dataflow with
+            (* A caller-cached driver is only usable against the very
+               analysis we are linting. *)
+            | Some d when Dataflow.Driver.analysis d == analysis -> d
+            | Some _ | None -> Dataflow.Driver.create ~locs analysis
+          in
+          (* Presolve every procedure before rules fan out: rules on a
+             pool must only read the solution cache. *)
+          Obs.Span.with_ "lint.dataflow" (fun () ->
+              Dataflow.Driver.solve_all ?pool drv);
+          Some drv
+        end
+        else None
+      in
+      let ctx = { Rule.analysis; locs; sections; dataflow } in
       let rules_a = Array.of_list rules in
       let results = Array.make (Array.length rules_a) [] in
       (match pool with

@@ -13,6 +13,7 @@
 val run :
   ?pool:Par.Pool.t ->
   ?locs:Frontend.Locs.t ->
+  ?dataflow:Dataflow.Driver.t ->
   ?rules:Rule.t list ->
   Core.Analyze.t ->
   Diagnostic.t list
@@ -27,6 +28,14 @@ val run :
     [?pool] runs independent rules as one task batch (the §6 sectioned
     analysis, when some selected rule needs it and the program is flat,
     is computed once on the calling domain first).
+
+    [?dataflow] lets the incremental engine donate its per-procedure
+    solution cache; it is used only when it targets exactly this
+    [analysis] value (otherwise a fresh driver is built), and when some
+    selected rule needs statement-level solutions they are presolved —
+    ["lint.dataflow"] span, {!Dataflow.Driver.solve_all} under [?pool]
+    — before rules fan out, so pooled rules never mutate shared
+    state.
 
     Telemetry: everything runs under a span named ["lint"]; on the
     sequential path each rule additionally gets a ["lint.<rule>"]

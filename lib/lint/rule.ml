@@ -5,6 +5,7 @@ type ctx = {
   analysis : Core.Analyze.t;
   locs : Frontend.Locs.t;
   sections : Sections.Analyze_sections.t option;
+  dataflow : Dataflow.Driver.t option;
 }
 
 type t = {
@@ -13,6 +14,7 @@ type t = {
   doc : string;
   metric : string;
   needs_sections : bool;
+  needs_dataflow : bool;
   run : ctx -> Diagnostic.t list;
 }
 
@@ -322,6 +324,119 @@ let loop_parallel ctx =
             pr.P.body);
       List.rev !out
 
+(* SFX008 — scalar stores no execution path can read.  The liveness
+   solver already treats calls as transparent (gen = the site's
+   alias-closed USE, kill = its must-DMOD scalars), so a store is
+   flagged only when neither the variable nor any §5 alias of it is
+   live after the assignment: a value a callee might still read through
+   an aliased name keeps the store. *)
+let dead_store ctx =
+  match ctx.dataflow with
+  | None -> []
+  | Some drv ->
+    let t = ctx.analysis in
+    let prog = t.A.prog in
+    let tf = Dataflow.Driver.transfer drv in
+    let out = ref [] in
+    P.iter_procs prog (fun pr ->
+        let pid = pr.P.pid in
+        let sol = Dataflow.Driver.solution drv pid in
+        let aliases = Hashtbl.create 8 in
+        let aliases_of v =
+          match Hashtbl.find_opt aliases v with
+          | Some l -> l
+          | None ->
+            let l = Core.Alias.aliases_of t.A.alias ~proc:pid ~var:v in
+            Hashtbl.add aliases v l;
+            l
+        in
+        for b = 0 to Dataflow.Cfg.n_blocks sol.Dataflow.Driver.cfg - 1 do
+          out :=
+            Dataflow.Live.fold_instrs sol.Dataflow.Driver.live tf ~block:b
+              ~init:!out ~f:(fun acc ~live_after ~ord ins ->
+                match ins with
+                | Dataflow.Cfg.Assign (Ir.Expr.Lvar v, _)
+                  when (not (Ir.Types.is_array (P.var prog v).P.vty))
+                       && (not (Bitvec.get live_after v))
+                       && List.for_all
+                            (fun w -> not (Bitvec.get live_after w))
+                            (aliases_of v) ->
+                  {
+                    Diagnostic.code = "SFX008";
+                    rule = "dead-store";
+                    severity = Diagnostic.Warning;
+                    loc = Frontend.Locs.stmt ctx.locs ~proc:pid ord;
+                    scope = proc_name ctx pid;
+                    message =
+                      Printf.sprintf
+                        "value stored to '%s' is never read: every path \
+                         definitely overwrites it or ends its lifetime first"
+                        (name_of ctx v);
+                    hint = Some "delete the store, or use the value before it is overwritten";
+                  }
+                  :: acc
+                | _ -> acc)
+        done);
+    !out
+
+(* SFX009 — a call both reads and writes a location the caller still
+   needs afterwards: USE(s) ∩ MOD(s) restricted to what is live after
+   the call.  Pure ordering information — the kind of read-modify-write
+   a caller could batch across a loop instead of paying per call. *)
+let rmw_hint ctx =
+  match ctx.dataflow with
+  | None -> []
+  | Some drv ->
+    let t = ctx.analysis in
+    let prog = t.A.prog in
+    let tf = Dataflow.Driver.transfer drv in
+    let out = ref [] in
+    P.iter_procs prog (fun pr ->
+        let pid = pr.P.pid in
+        let sol = Dataflow.Driver.solution drv pid in
+        for b = 0 to Dataflow.Cfg.n_blocks sol.Dataflow.Driver.cfg - 1 do
+          out :=
+            Dataflow.Live.fold_instrs sol.Dataflow.Driver.live tf ~block:b
+              ~init:!out ~f:(fun acc ~live_after ~ord:_ ins ->
+                match ins with
+                | Dataflow.Cfg.Call sid ->
+                  let rmw =
+                    Bitvec.inter
+                      (Dataflow.Transfer.use_of_site tf sid)
+                      (Dataflow.Transfer.mod_of_site tf sid)
+                  in
+                  ignore (Bitvec.inter_into ~src:live_after ~dst:rmw);
+                  if Bitvec.is_empty rmw then acc
+                  else
+                    let callee =
+                      (P.proc prog (P.site prog sid).P.callee).P.pname
+                    in
+                    {
+                      Diagnostic.code = "SFX009";
+                      rule = "rmw-hint";
+                      severity = Diagnostic.Note;
+                      loc = Frontend.Locs.site ctx.locs sid;
+                      scope = proc_name ctx pid;
+                      message =
+                        Printf.sprintf
+                          "call to '%s' reads and writes %s, and the caller \
+                           reads the result: a read-modify-write the caller \
+                           could batch"
+                          callee
+                          (String.concat ", "
+                             (List.map
+                                (fun v -> Printf.sprintf "'%s'" (qname_of ctx v))
+                                (Bitvec.to_list rmw)));
+                      hint =
+                        Some
+                          "hoist the read or batch the updates to cut \
+                           call-boundary traffic";
+                    }
+                    :: acc
+                | _ -> acc)
+        done);
+    !out
+
 let all =
   [
     {
@@ -330,6 +445,7 @@ let all =
       doc = "by-reference formals no invocation modifies or uses";
       metric = "lint.findings.unused_formal";
       needs_sections = false;
+      needs_dataflow = false;
       run = unused_formal;
     };
     {
@@ -338,6 +454,7 @@ let all =
       doc = "globals that are written somewhere but read nowhere";
       metric = "lint.findings.write_only_global";
       needs_sections = false;
+      needs_dataflow = false;
       run = write_only_global;
     };
     {
@@ -346,6 +463,7 @@ let all =
       doc = "procedures with empty GMOD and no transitive I/O";
       metric = "lint.findings.pure_proc";
       needs_sections = false;
+      needs_dataflow = false;
       run = pure_proc;
     };
     {
@@ -354,6 +472,7 @@ let all =
       doc = "call sites where the alias closure strictly enlarges DMOD";
       metric = "lint.findings.alias_inflation";
       needs_sections = false;
+      needs_dataflow = false;
       run = alias_inflation;
     };
     {
@@ -362,6 +481,7 @@ let all =
       doc = "calls passing aliased storage to a modified reference formal";
       metric = "lint.findings.aliased_actuals";
       needs_sections = false;
+      needs_dataflow = false;
       run = aliased_actuals;
     };
     {
@@ -370,7 +490,26 @@ let all =
       doc = "section-based parallelisability verdicts for call-bearing loops";
       metric = "lint.findings.loop_parallel";
       needs_sections = true;
+      needs_dataflow = false;
       run = loop_parallel;
+    };
+    {
+      name = "dead-store";
+      codes = [ "SFX008" ];
+      doc = "scalar stores no execution path can read, across call sites";
+      metric = "lint.findings.dead_store";
+      needs_sections = false;
+      needs_dataflow = true;
+      run = dead_store;
+    };
+    {
+      name = "rmw-hint";
+      codes = [ "SFX009" ];
+      doc = "calls that read and write a location the caller still needs";
+      metric = "lint.findings.rmw_hint";
+      needs_sections = false;
+      needs_dataflow = true;
+      run = rmw_hint;
     };
   ]
 

@@ -23,7 +23,15 @@
       bound to aliased storage while a bound formal is in [RMOD].
     - [loop-parallel] [SFX006] {e warning} / [SFX007] {e note} — the
       §6 {!Sections.Deps.analyze_loop} verdict of each [for] loop:
-      conflict variables and reasons, or provable parallelisability. *)
+      conflict variables and reasons, or provable parallelisability.
+    - [dead-store] [SFX008] {e warning} — a scalar store no execution
+      path can read before it is definitely overwritten or the value's
+      lifetime ends, judged by the statement-level liveness solver with
+      calls made transparent by [b_e(GUSE(q))]/must-[DMOD] transfer
+      functions and the §5 alias closure (docs/dataflow.md).
+    - [rmw-hint] [SFX009] {e note} — a call site whose [USE ∩ MOD] is
+      non-empty on a location the caller still reads afterwards: a
+      read-modify-write a caller could batch. *)
 
 type ctx = {
   analysis : Core.Analyze.t;
@@ -34,6 +42,10 @@ type ctx = {
       (** The §6 sectioned analysis, present when the program is flat
           and a selected rule needs it; [None] disables the loop
           verdicts. *)
+  dataflow : Dataflow.Driver.t option;
+      (** Statement-level CFG/liveness solutions, present when a
+          selected rule needs them.  Presolved by the engine before
+          rules fan out, so concurrent rule execution only reads. *)
 }
 
 type t = {
@@ -42,6 +54,7 @@ type t = {
   doc : string;  (** One-line description (rule catalogue, [--help]). *)
   metric : string;  (** Registry counter fed with the finding count. *)
   needs_sections : bool;
+  needs_dataflow : bool;
   run : ctx -> Diagnostic.t list;
 }
 

@@ -1,0 +1,148 @@
+module P = Ir.Prog
+
+type counts = {
+  bottom : int;
+  partial : int;
+  whole : int;
+}
+
+type row = {
+  vid : int;
+  rank : int;
+  gmod : counts;
+  guse : counts;
+  site_mod : counts;
+  site_use : counts;
+}
+
+let zero = { bottom = 0; partial = 0; whole = 0 }
+let touched c = c.partial + c.whole
+
+let partial_pct c =
+  let t = touched c in
+  if t = 0 then 0 else 100 * c.partial / t
+
+let classify (s : Section.t) =
+  match s with
+  | Section.Bottom -> `Bottom
+  | Section.Section dims ->
+    if Array.exists (fun d -> match d with Section.Exact _ -> true | Section.Star -> false) dims
+    then `Partial
+    else `Whole
+
+let bump c s =
+  match classify s with
+  | `Bottom -> { c with bottom = c.bottom + 1 }
+  | `Partial -> { c with partial = c.partial + 1 }
+  | `Whole -> { c with whole = c.whole + 1 }
+
+let report (t : Analyze_sections.t) =
+  let prog = Ir.Info.prog t.Analyze_sections.info in
+  let arrays = ref [] in
+  P.iter_vars prog (fun v ->
+      if Ir.Types.is_array v.P.vty then arrays := v.P.vid :: !arrays);
+  let arrays = List.rev !arrays in
+  let np = P.n_procs prog and ns = P.n_sites prog in
+  (* Site maps are derived on demand by Analyze_sections; compute each
+     once, not once per array. *)
+  let site_mods = Array.init ns (Analyze_sections.mod_of_site t) in
+  let site_uses = Array.init ns (Analyze_sections.use_of_site t) in
+  List.map
+    (fun vid ->
+      let over n maps =
+        let c = ref zero in
+        for i = 0 to n - 1 do
+          c := bump !c (Secmap.get maps.(i) vid)
+        done;
+        !c
+      in
+      let rank =
+        match (P.var prog vid).P.vty with
+        | Ir.Types.Array dims -> List.length dims
+        | _ -> 0
+      in
+      {
+        vid;
+        rank;
+        gmod = over np t.Analyze_sections.gmod;
+        guse = over np t.Analyze_sections.guse;
+        site_mod = over ns site_mods;
+        site_use = over ns site_uses;
+      })
+    arrays
+
+let total rows =
+  List.fold_left
+    (fun acc r ->
+      let add a b =
+        {
+          bottom = a.bottom + b.bottom;
+          partial = a.partial + b.partial;
+          whole = a.whole + b.whole;
+        }
+      in
+      add (add (add (add acc r.gmod) r.guse) r.site_mod) r.site_use)
+    zero rows
+
+let combined r = total [ r ]
+
+let pp prog ppf rows =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%-12s %4s  %18s %18s  %7s@," "array" "rank" "GMOD b/p/w"
+    "site MOD b/p/w" "partial";
+  List.iter
+    (fun r ->
+      let all = combined r in
+      Format.fprintf ppf "%-12s %4d  %5d/%4d/%5d %6d/%4d/%5d  %6d%%@,"
+        (P.var prog r.vid).P.vname r.rank
+        (r.gmod.bottom + r.guse.bottom)
+        (r.gmod.partial + r.guse.partial)
+        (r.gmod.whole + r.guse.whole)
+        (r.site_mod.bottom + r.site_use.bottom)
+        (r.site_mod.partial + r.site_use.partial)
+        (r.site_mod.whole + r.site_use.whole)
+        (partial_pct all))
+    rows;
+  let t = total rows in
+  Format.fprintf ppf "total: %d contexts touch an array, %d (%d%%) stay sectioned@]"
+    (touched t) t.partial (partial_pct t)
+
+let counts_json c =
+  Obs.Json.Obj
+    [
+      ("bottom", Obs.Json.Int c.bottom);
+      ("partial", Obs.Json.Int c.partial);
+      ("whole", Obs.Json.Int c.whole);
+    ]
+
+let to_json prog rows =
+  let t = total rows in
+  Obs.Json.Obj
+    [
+      ("program", Obs.Json.String prog.P.name);
+      ( "arrays",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               let all = combined r in
+               Obs.Json.Obj
+                 [
+                   ("array", Obs.Json.String (P.var prog r.vid).P.vname);
+                   ("rank", Obs.Json.Int r.rank);
+                   ("gmod", counts_json r.gmod);
+                   ("guse", counts_json r.guse);
+                   ("site_mod", counts_json r.site_mod);
+                   ("site_use", counts_json r.site_use);
+                   ("touched", Obs.Json.Int (touched all));
+                   ("partial", Obs.Json.Int all.partial);
+                   ("precision_pct", Obs.Json.Int (partial_pct all));
+                 ])
+             rows) );
+      ( "totals",
+        Obs.Json.Obj
+          [
+            ("touched", Obs.Json.Int (touched t));
+            ("partial", Obs.Json.Int t.partial);
+            ("precision_pct", Obs.Json.Int (partial_pct t));
+          ] );
+    ]
