@@ -5,6 +5,7 @@ all:
 	$(MAKE) --no-print-directory parallel-smoke
 	$(MAKE) --no-print-directory lint-smoke
 	$(MAKE) --no-print-directory dataflow-smoke
+	$(MAKE) --no-print-directory obs-smoke
 
 test:
 	dune runtest
@@ -91,6 +92,49 @@ dataflow-smoke:
 	  cmp df_lint.tmp df_lint4.tmp || exit 1; \
 	done; rm -f df_smoke.tmp df_smoke4.tmp df_lint.tmp df_lint4.tmp
 
+# Smoke-test the explain/provenance surface and the deep-profiling
+# sinks: one witnessed fact per lint code (SFX008 only fires in
+# dataflow_demo.mp, the rest in lint_demo.mp), the --all completeness
+# contract on every sample program, and a Chrome trace-event export
+# plus stats --json histogram table validated with the repo's own
+# JSON parser.
+obs-smoke:
+	dune build bin/sidefx.exe
+	@for code in SFX001 SFX002 SFX003 SFX004 SFX005 SFX006 SFX007 SFX009; do \
+	  echo "== diag:$$code"; \
+	  ./_build/default/bin/sidefx.exe explain programs/lint_demo.mp \
+	    --fact diag:$$code || exit 1; \
+	  ./_build/default/bin/sidefx.exe explain programs/lint_demo.mp \
+	    --fact diag:$$code --json \
+	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	done
+	@echo "== diag:SFX008"; \
+	./_build/default/bin/sidefx.exe explain programs/dataflow_demo.mp \
+	  --fact diag:SFX008 || exit 1; \
+	./_build/default/bin/sidefx.exe explain programs/dataflow_demo.mp \
+	  --fact diag:SFX008 --json \
+	  | ./_build/default/bin/sidefx.exe json-validate || exit 1
+	@for f in examples/*.mp programs/*.mp; do \
+	  echo "== explain --all $$f"; \
+	  ./_build/default/bin/sidefx.exe explain $$f --all || exit 1; \
+	  ./_build/default/bin/sidefx.exe explain $$f --all --json \
+	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	done
+	@echo "== profile --trace-out"; \
+	./_build/default/bin/sidefx.exe profile programs/lint_demo.mp \
+	  --trace-out obs_smoke_trace.tmp > /dev/null || exit 1; \
+	./_build/default/bin/sidefx.exe json-validate < obs_smoke_trace.tmp \
+	  || exit 1; \
+	grep -q '"traceEvents"' obs_smoke_trace.tmp || exit 1; \
+	rm -f obs_smoke_trace.tmp
+	@echo "== stats --json histograms"; \
+	./_build/default/bin/sidefx.exe stats programs/lint_demo.mp --json \
+	  > obs_smoke_stats.tmp || exit 1; \
+	./_build/default/bin/sidefx.exe json-validate < obs_smoke_stats.tmp \
+	  || exit 1; \
+	grep -q '"histograms"' obs_smoke_stats.tmp || exit 1; \
+	rm -f obs_smoke_stats.tmp
+
 bench-parallel:
 	dune exec bench/bench_parallel.exe
 
@@ -103,4 +147,4 @@ examples:
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick bench-parallel bench-dataflow profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke examples
+.PHONY: all test test-force bench bench-quick bench-parallel bench-dataflow profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke examples

@@ -33,6 +33,7 @@ let solve_fresh t () =
 
 let measure n =
   let prog = Workload.Families.fortran_style ~seed:7 ~n in
+  let gc0 = Gc.quick_stat () in
   let t = A.run prog in
   let d = solve_fresh t () in
   let blocks = ref 0 and instrs = ref 0 and defs = ref 0 in
@@ -74,6 +75,11 @@ let measure n =
       ("elapsed_s", Obs.Json.Float elapsed);
       ("us_per_instr", Obs.Json.Float us_per_instr);
       ("ns_per_defblock", Obs.Json.Float ns_per_defblock);
+      ( "major_collections",
+        Obs.Json.Int
+          ((Gc.quick_stat ()).Gc.major_collections - gc0.Gc.major_collections)
+      );
+      ("top_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
     ]
 
 let () =

@@ -63,6 +63,7 @@ let measure family build n =
   let resolved = Obs.Metric.counter "incremental.procs_resolved" in
   let fallbacks = Obs.Metric.counter "incremental.full_fallbacks" in
   let snap = Obs.Metric.snapshot () in
+  let gc0 = Gc.quick_stat () in
   let engine = Engine.create ?pool prog in
   let inc_time = ref 0.0 and batch_time = ref 0.0 in
   let cur = ref prog in
@@ -94,6 +95,11 @@ let measure family build n =
         Obs.Json.Int (Obs.Metric.value_since ~since:snap resolved) );
       ( "full_fallbacks",
         Obs.Json.Int (Obs.Metric.value_since ~since:snap fallbacks) );
+      ( "major_collections",
+        Obs.Json.Int
+          ((Gc.quick_stat ()).Gc.major_collections - gc0.Gc.major_collections)
+      );
+      ("top_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
     ]
 
 let () =

@@ -82,6 +82,7 @@ let measure family build n =
   let prog = build ~seed:7 ~n in
   let call = Callgraph.Call.build prog in
   let levels = condensation call.Callgraph.Call.graph in
+  let gc0 = Gc.quick_stat () in
   let seq, seq_vec, _, _ = counted (fun () -> A.run prog) in
   let seq_s = timed (fun () -> A.run prog) in
   let rows =
@@ -124,6 +125,11 @@ let measure family build n =
       ("call_max_width", Obs.Json.Int levels.Par.Wavefront.max_width);
       ("vector_ops", Obs.Json.Int seq_vec);
       ("sequential_s", Obs.Json.Float seq_s);
+      ( "major_collections",
+        Obs.Json.Int
+          ((Gc.quick_stat ()).Gc.major_collections - gc0.Gc.major_collections)
+      );
+      ("top_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
       ("parallel", Obs.Json.List rows);
     ]
 

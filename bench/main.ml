@@ -314,6 +314,10 @@ let () =
             ("gmod_word_ops", Obs.Json.Int word_ops);
             ("gmod_vector_ops_per_size", Obs.Json.Float gmod_per);
             ("gmod_elapsed_s", Obs.Json.Float gmod_span.Obs.Span.elapsed);
+            ( "major_collections",
+              Obs.Json.Int gmod_span.Obs.Span.gc.Obs.Span.major_collections );
+            ( "top_heap_words",
+              Obs.Json.Int gmod_span.Obs.Span.gc.Obs.Span.top_heap_words );
           ])
       [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
   in

@@ -297,6 +297,250 @@ let lint_cmd =
       const run $ file_arg $ rules_arg $ json_arg $ threshold_arg $ trace_arg
       $ jobs_arg)
 
+(* --- explain --- *)
+
+(* Fact grammar (the --fact argument):
+     gmod:P:V   why V ∈ GMOD(P)        guse:P:V   why V ∈ GUSE(P)
+     rmod:P:F   why formal F of P is in RMOD      ruse:P:F   ... RUSE
+     alias:P:X:Y   why <X, Y> ∈ ALIAS(P)
+     diag:CODE[:FILTER]   witnesses of the lint findings with that code
+                          (FILTER substring-matches scope or message) *)
+type fact =
+  | Fglobal of [ `Mod | `Use ] * string * string
+  | Fref of [ `Mod | `Use ] * string * string
+  | Falias of string * string * string
+  | Fdiag of string * string option
+
+let parse_fact s =
+  match String.split_on_char ':' s with
+  | [ "gmod"; p; v ] -> Ok (Fglobal (`Mod, p, v))
+  | [ "guse"; p; v ] -> Ok (Fglobal (`Use, p, v))
+  | [ "rmod"; p; f ] -> Ok (Fref (`Mod, p, f))
+  | [ "ruse"; p; f ] -> Ok (Fref (`Use, p, f))
+  | [ "alias"; p; x; y ] -> Ok (Falias (p, x, y))
+  | [ "diag"; code ] -> Ok (Fdiag (code, None))
+  | "diag" :: code :: rest -> Ok (Fdiag (code, Some (String.concat ":" rest)))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unrecognised fact '%s' (expected gmod:P:V | guse:P:V | rmod:P:F | \
+          ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"
+         s)
+
+let explain_cmd =
+  let run file fact all json jobs =
+    if (fact = None) = not all then begin
+      Format.eprintf "explain: give exactly one of --fact or --all@.";
+      exit 2
+    end;
+    let prog, locs = load_with_locs file in
+    Par.Pool.with_pool ~jobs @@ fun pool ->
+    let t = Core.Analyze.run ?pool ~provenance:true prog in
+    let resolve_proc name =
+      match Ir.Prog.find_proc prog name with
+      | Some pr -> pr.Ir.Prog.pid
+      | None ->
+        Format.eprintf "explain: unknown procedure '%s'@." name;
+        exit 2
+    in
+    let resolve_var ~proc name =
+      match Ir.Prog.find_var prog ~proc name with
+      | Some v -> v.Ir.Prog.vid
+      | None ->
+        Format.eprintf "explain: unknown variable '%s' in scope of '%s'@." name
+          (Ir.Prog.proc prog proc).Ir.Prog.pname;
+        exit 2
+    in
+    let witness_json fact lines =
+      Obs.Json.Obj
+        [
+          ("fact", Obs.Json.String fact);
+          ( "witness",
+            match lines with
+            | None -> Obs.Json.Null
+            | Some ls -> Obs.Json.List (List.map (fun l -> Obs.Json.String l) ls)
+          );
+        ]
+    in
+    if all then begin
+      (* Enumerate every derivable fact and demand a witness for each:
+         the executable form of the completeness contract. *)
+      let results = ref [] in
+      let push fact lines = results := (fact, lines) :: !results in
+      Ir.Prog.iter_procs prog (fun pr ->
+          let pid = pr.Ir.Prog.pid in
+          let pn = pr.Ir.Prog.pname in
+          List.iter
+            (fun (label, side, sets) ->
+              List.iter
+                (fun vid ->
+                  push
+                    (Printf.sprintf "%s:%s:%s" label pn (Ir.Pp.var_name prog vid))
+                    (Core.Explain.explain_gmod t ~locs ~side ~proc:pid ~var:vid))
+                (Bitvec.to_list sets.(pid)))
+            [
+              ("gmod", `Mod, t.Core.Analyze.gmod);
+              ("guse", `Use, t.Core.Analyze.guse);
+            ];
+          List.iter
+            (fun (x, y) ->
+              push
+                (Printf.sprintf "alias:%s:%s:%s" pn (Ir.Pp.var_name prog x)
+                   (Ir.Pp.var_name prog y))
+                (Core.Explain.explain_alias t ~locs ~proc:pid x y))
+            (Core.Alias.pairs t.Core.Analyze.alias pid));
+      Ir.Prog.iter_vars prog (fun v ->
+          match v.Ir.Prog.kind with
+          | Ir.Prog.Formal { proc; mode = Ir.Prog.By_ref; _ } ->
+            let pn = (Ir.Prog.proc prog proc).Ir.Prog.pname in
+            if Core.Rmod.modified t.Core.Analyze.rmod v.Ir.Prog.vid then
+              push
+                (Printf.sprintf "rmod:%s:%s" pn v.Ir.Prog.vname)
+                (Core.Explain.explain_rmod t ~locs ~side:`Mod ~var:v.Ir.Prog.vid);
+            if Core.Rmod.modified t.Core.Analyze.ruse v.Ir.Prog.vid then
+              push
+                (Printf.sprintf "ruse:%s:%s" pn v.Ir.Prog.vname)
+                (Core.Explain.explain_rmod t ~locs ~side:`Use ~var:v.Ir.Prog.vid)
+          | _ -> ());
+      List.iter
+        (fun d ->
+          push
+            (Printf.sprintf "diag:%s:%s" d.Lint.Diagnostic.code
+               d.Lint.Diagnostic.scope)
+            (match d.Lint.Diagnostic.witness with [] -> None | w -> Some w))
+        (Lint.Engine.run ?pool ~locs t);
+      let results = List.rev !results in
+      let missing = List.filter (fun (_, w) -> w = None) results in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Obj
+                [
+                  ("file", Obs.Json.String file);
+                  ("program", Obs.Json.String prog.Ir.Prog.name);
+                  ( "facts",
+                    Obs.Json.List
+                      (List.map (fun (f, w) -> witness_json f w) results) );
+                  ("total", Obs.Json.Int (List.length results));
+                  ("missing", Obs.Json.Int (List.length missing));
+                ]))
+      else begin
+        Format.printf "explained %d/%d facts@."
+          (List.length results - List.length missing)
+          (List.length results);
+        List.iter
+          (fun (f, _) -> Format.printf "missing witness: %s@." f)
+          missing
+      end;
+      if missing <> [] then exit 1
+    end
+    else begin
+      let fact_str = Option.get fact in
+      match parse_fact fact_str with
+      | Error msg ->
+        Format.eprintf "explain: %s@." msg;
+        exit 2
+      | Ok (Fdiag (code, filter)) ->
+        let matches d =
+          d.Lint.Diagnostic.code = code
+          && match filter with
+             | None -> true
+             | Some sub ->
+               let has hay =
+                 let n = String.length sub and m = String.length hay in
+                 let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+                 n = 0 || go 0
+               in
+               has d.Lint.Diagnostic.scope || has d.Lint.Diagnostic.message
+        in
+        let found =
+          List.filter matches (Lint.Engine.run ?pool ~locs t)
+        in
+        if found = [] then begin
+          Format.eprintf "explain: no finding matches '%s'@." fact_str;
+          exit 1
+        end;
+        if json then
+          print_endline
+            (Obs.Json.to_string
+               (Obs.Json.Obj
+                  [
+                    ("file", Obs.Json.String file);
+                    ("program", Obs.Json.String prog.Ir.Prog.name);
+                    ("fact", Obs.Json.String fact_str);
+                    ( "findings",
+                      Obs.Json.List (List.map Lint.Diagnostic.to_json found) );
+                  ]))
+        else
+          List.iter
+            (fun d -> Format.printf "@[<v>%a@]@." Lint.Diagnostic.pp d)
+            found
+      | Ok fact ->
+        let lines =
+          match fact with
+          | Fglobal (side, p, v) ->
+            let pid = resolve_proc p in
+            let vid = resolve_var ~proc:pid v in
+            Core.Explain.explain_gmod t ~locs ~side ~proc:pid ~var:vid
+          | Fref (side, p, f) ->
+            let pid = resolve_proc p in
+            let vid = resolve_var ~proc:pid f in
+            Core.Explain.explain_rmod t ~locs ~side ~var:vid
+          | Falias (p, x, y) ->
+            let pid = resolve_proc p in
+            Core.Explain.explain_alias t ~locs ~proc:pid
+              (resolve_var ~proc:pid x) (resolve_var ~proc:pid y)
+          | Fdiag _ -> assert false
+        in
+        match lines with
+        | None ->
+          Format.eprintf "explain: fact '%s' does not hold@." fact_str;
+          exit 1
+        | Some ls ->
+          if json then
+            print_endline
+              (Obs.Json.to_string
+                 (Obs.Json.Obj
+                    [
+                      ("file", Obs.Json.String file);
+                      ("program", Obs.Json.String prog.Ir.Prog.name);
+                      ("fact", Obs.Json.String fact_str);
+                      ( "witness",
+                        Obs.Json.List (List.map (fun l -> Obs.Json.String l) ls)
+                      );
+                    ]))
+          else List.iter print_endline ls
+    end
+  in
+  let fact_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fact" ] ~docv:"FACT"
+          ~doc:
+            "The fact to explain: $(b,gmod:P:V) / $(b,guse:P:V) (why variable \
+             V is in GMOD/GUSE of procedure P), $(b,rmod:P:F) / $(b,ruse:P:F) \
+             (why reference formal F of P is in RMOD/RUSE), \
+             $(b,alias:P:X:Y) (why X and Y may alias in P), or \
+             $(b,diag:CODE[:FILTER]) (witnesses of the lint findings with \
+             that code, FILTER substring-matching scope or message).")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Instead of --fact, enumerate every GMOD/GUSE, RMOD/RUSE and \
+             alias fact plus every lint finding, check each has a witness, \
+             and exit non-zero if any lacks one.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Print the derivation chain (witness) of an analysis fact: the β/call \
+          path that carried it, ending at source-level evidence with spans.")
+    Term.(const run $ file_arg $ fact_arg $ all_arg $ json_arg $ jobs_arg)
+
 (* --- sections --- *)
 
 let sections_cmd =
@@ -413,9 +657,41 @@ let dataflow_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
-  let run file trace =
+  let run file trace json =
     with_trace trace @@ fun () ->
     let prog = load file in
+    if json then begin
+      (* The JSON view additionally runs the full analysis under a
+         collected span, so it can report latency histograms (per
+         phase) and the GC pressure of the run. *)
+      let (t, reach), span =
+        Obs.Span.collect "stats" @@ fun () ->
+        let t = Core.Analyze.run prog in
+        (t, Callgraph.Call.reachable_from_main t.Core.Analyze.call)
+      in
+      let gc = span.Obs.Span.gc in
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("program", Obs.Json.String prog.Ir.Prog.name);
+                ( "graph",
+                  graph_shape_json t.Core.Analyze.call t.Core.Analyze.binding );
+                ("reachable", Obs.Json.Int (Bitvec.cardinal reach));
+                ( "gc",
+                  Obs.Json.Obj
+                    [
+                      ( "minor_collections",
+                        Obs.Json.Int gc.Obs.Span.minor_collections );
+                      ( "major_collections",
+                        Obs.Json.Int gc.Obs.Span.major_collections );
+                      ("promoted_words", Obs.Json.Int gc.Obs.Span.promoted_words);
+                      ("top_heap_words", Obs.Json.Int gc.Obs.Span.top_heap_words);
+                    ] );
+                ("histograms", Obs.histograms_json ());
+              ]))
+    end
+    else begin
     let call = Callgraph.Call.build prog in
     let binding = Callgraph.Binding.build prog in
     Format.printf "%a@.%a@." Callgraph.Call.pp_stats call Callgraph.Binding.pp_stats
@@ -439,15 +715,20 @@ let stats_cmd =
     Format.printf "procedures reachable from main: %d / %d@." (Bitvec.cardinal reach)
       (Ir.Prog.n_procs prog);
     Format.printf "nesting depth dP = %d@." (Ir.Prog.max_level prog)
+    end
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Sizes of the call multi-graph C and binding multi-graph β.")
-    Term.(const run $ file_arg $ trace_arg)
+    (Cmd.info "stats"
+       ~doc:
+         "Sizes of the call multi-graph C and binding multi-graph β.  With \
+          --json, additionally run the analysis and report per-phase latency \
+          histograms and GC statistics.")
+    Term.(const run $ file_arg $ trace_arg $ json_arg)
 
 (* --- profile --- *)
 
 let profile_cmd =
-  let run file json jobs =
+  let run file json trace_out jobs =
     let source = read_file file in
     Par.Pool.with_pool ~jobs @@ fun pool ->
     let (prog, t), span =
@@ -471,6 +752,17 @@ let profile_cmd =
               ignore (Core.Analyze.use_of_site t s.Ir.Prog.sid)));
       (prog, t)
     in
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Obs.Json.to_string (Obs.trace_events_json [ span ]));
+          output_char oc '\n');
+      Format.eprintf "trace-event JSON written to %s@." path);
     if json then
       print_endline
         (Obs.Json.to_string
@@ -488,12 +780,22 @@ let profile_cmd =
       Format.printf "%a@." Obs.pp_trace [ span ]
     end
   in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the span tree as Chrome trace-event JSON to $(docv) \
+             (loadable in Perfetto or chrome://tracing): one complete event \
+             per phase, nonzero metric deltas and GC counters as args.")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Run the full analysis pipeline under tracing and report per-phase wall \
           time and operation-counter deltas (the paper's cost units).")
-    Term.(const run $ file_arg $ json_arg $ jobs_arg)
+    Term.(const run $ file_arg $ json_arg $ trace_out_arg $ jobs_arg)
 
 (* --- json-validate --- *)
 
@@ -1006,4 +1308,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sidefx" ~version:"1.0.0"
              ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
-          [ analyze_cmd; lint_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; bench_table_cmd ]))
+          [ analyze_cmd; lint_cmd; explain_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; bench_table_cmd ]))

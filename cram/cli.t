@@ -235,18 +235,24 @@ The JSON report's key set is a stable contract (values are not):
   "dataflow.reach_passes":
   "elapsed_s":
   "file":
+  "gc":
   "graph":
   "incremental.edits":
   "incremental.full_fallbacks":
   "incremental.procs_resolved":
+  "major_collections":
   "metrics":
+  "minor_collections":
   "name":
   "nesting_depth":
   "par.batches":
   "par.tasks":
   "procedures":
   "program":
+  "promoted_words":
   "rmod.steps":
+  "start_s":
+  "top_heap_words":
   "trace":
 
   $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --json | grep -o '"name":"[a-z_.]*"' | sort -u
@@ -310,6 +316,34 @@ Machine-readable analysis results, self-validated:
   $ echo '{"broken":' | ../bin/sidefx.exe json-validate
   json: invalid (at offset 11: unexpected end of input)
   [1]
+
+profile --trace-out writes the span tree as Chrome trace-event JSON
+(Perfetto-loadable): one complete event per phase, GC counters in args:
+
+  $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --trace-out trace_events.json >/dev/null 2>/dev/null
+  $ ../bin/sidefx.exe json-validate < trace_events.json
+  json: ok
+  $ grep -o '"traceEvents":\|"displayTimeUnit":\|"ph":"X"\|"gc.major_collections":\|"dur":\|"ts":' trace_events.json | sort -u
+  "displayTimeUnit":
+  "dur":
+  "gc.major_collections":
+  "ph":"X"
+  "traceEvents":
+  "ts":
+
+stats --json additionally runs the analysis and reports per-phase
+latency histograms (log2 ns buckets) and GC statistics:
+
+  $ ../bin/sidefx.exe stats ../programs/bank.mp --json | ../bin/sidefx.exe json-validate
+  json: ok
+  $ ../bin/sidefx.exe stats ../programs/bank.mp --json | grep -o '"gc":\|"histograms":\|"phase.analyze":\|"buckets":\|"sum_ns":\|"minor_collections":\|"top_heap_words":' | sort -u
+  "buckets":
+  "gc":
+  "histograms":
+  "minor_collections":
+  "phase.analyze":
+  "sum_ns":
+  "top_heap_words":
 
 --trace works on any command and writes its table to stderr, leaving
 stdout untouched:
@@ -559,6 +593,7 @@ contract:
   "scope":
   "severity":
   "warning":
+  "witness":
 
 Lint rules run on the domain pool under --jobs, with byte-identical
 output:
@@ -568,6 +603,50 @@ output:
   $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --json --jobs 4 > lint_par.json
   [1]
   $ diff lint_seq.json lint_par.json
+
+explain reconstructs the derivation of any analysis fact as a witness
+chain ending at source-level evidence:
+
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact rmod:stepper:cell
+  'stepper.cell' ∈ RMOD
+  stepper writes 'cell' at ../programs/lint_demo.mp:28:3
+
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact gmod:tally:total
+  'total' ∈ GMOD(tally): tally
+  tally writes 'total' at ../programs/lint_demo.mp:48:3
+
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact alias:outer:u:v
+  <u, v> ∈ ALIAS(outer)
+  <u, v> in outer: 'total' is passed by reference at both args 0 and 1 of site 1 at ../programs/lint_demo.mp:55:8
+
+diag facts print the matching lint findings with their witness blocks:
+
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact diag:SFX005
+  ../programs/lint_demo.mp:55:8: error[SFX005] lint_demo: arguments 1 and 2 of call to 'outer' may name the same location ('total' and 'total'), and 'outer' modifies formal 'u'
+      hint: copy one argument into a temporary before the call
+      witness:
+        arguments 1 and 2 both pass 'total'
+        'outer.u' ∈ RMOD
+        'outer.u' is bound by reference to 'stepper.cell' at site 5 (arg 0) at ../programs/lint_demo.mp:36:8
+        stepper writes 'cell' at ../programs/lint_demo.mp:28:3
+
+Unknown grammar exits 2; a fact that does not hold exits 1:
+
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact nonsense
+  explain: unrecognised fact 'nonsense' (expected gmod:P:V | guse:P:V | rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])
+  [2]
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact gmod:scale:unread
+  explain: fact 'gmod:scale:unread' does not hold
+  [1]
+
+--all enumerates every GMOD/GUSE, RMOD/RUSE and alias fact plus every
+lint finding and demands a witness for each — the completeness
+contract, machine-checked:
+
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --all
+  explained 51/51 facts
+  $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --all --json | ../bin/sidefx.exe json-validate
+  json: ok
 
 dot --highlight lint paints SFX003-pure procedures palegreen and
 alias-inflated call edges red:

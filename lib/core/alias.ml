@@ -16,19 +16,33 @@ let norm x y = if x <= y then (x, y) else (y, x)
 
 let pairs_metric = Obs.Metric.gauge "alias.pairs"
 
-let compute info =
+let compute ?provenance info =
   Obs.Span.with_ "alias" @@ fun () ->
   let prog = Ir.Info.prog info in
   let np = Prog.n_procs prog in
   let alias = Array.make np Pair_set.empty in
   let changed = ref true in
-  let add pid pair =
+  (* Provenance hook: remember the rule that first put the pair in.
+     [add] is only called under [not mem], so first-add-wins and the
+     recorded reasons reference strictly earlier facts.  Recording is
+     pure hashtable work — the bit-vector op counts cannot differ. *)
+  let record =
+    match provenance with
+    | None -> fun _ _ _ -> ()
+    | Some table ->
+      fun pid (x, y) reason ->
+        if not (Hashtbl.mem table (pid, x, y)) then
+          Hashtbl.add table (pid, x, y) reason
+  in
+  let add pid pair reason =
     if not (Pair_set.mem pair alias.(pid)) then begin
+      record pid pair reason;
       alias.(pid) <- Pair_set.add pair alias.(pid);
       changed := true
     end
   in
-  (* By-reference bindings of one site: (formal vid, actual base vid). *)
+  (* By-reference bindings of one site:
+     (argument position, formal vid, actual base vid). *)
   let ref_bindings (s : Prog.site) =
     let callee = Prog.proc prog s.Prog.callee in
     let acc = ref [] in
@@ -37,7 +51,7 @@ let compute info =
         match arg with
         | Prog.Arg_value _ -> ()
         | Prog.Arg_ref lv ->
-          acc := (callee.Prog.formals.(i), Expr.lvalue_base lv) :: !acc)
+          acc := (i, callee.Prog.formals.(i), Expr.lvalue_base lv) :: !acc)
       s.Prog.args;
     List.rev !acc
   in
@@ -51,32 +65,44 @@ let compute info =
         match pr.Prog.parent with
         | None -> ()
         | Some parent ->
-          Pair_set.iter (fun pair -> add pr.Prog.pid pair) alias.(parent))
+          Pair_set.iter
+            (fun pair ->
+              add pr.Prog.pid pair (Provenance.Ainherited { parent }))
+            alias.(parent))
   in
   let process_site (s : Prog.site) =
     let callee = s.Prog.callee in
+    let sid = s.Prog.sid in
     let bindings = ref_bindings s in
     (* Introduction: same base at two positions; visible base. *)
-    List.iteri
-      (fun i (fi, bi) ->
-        List.iteri
-          (fun j (fj, bj) ->
-            if i < j && bi = bj then add callee (norm fi fj))
+    List.iter
+      (fun (pi, fi, bi) ->
+        List.iter
+          (fun (pj, fj, bj) ->
+            if pi < pj && bi = bj then
+              add callee (norm fi fj)
+                (Provenance.Apositions { site = sid; pos_i = pi; pos_j = pj }))
           bindings;
-        if Prog.visible prog ~proc:callee ~var:bi then add callee (norm fi bi))
+        (* [fi = bi] only at a direct recursive call passing a formal to
+           itself — a reflexive "pair" no consumer treats as an alias
+           ([may_alias] is irreflexive), so never introduce one. *)
+        if bi <> fi && Prog.visible prog ~proc:callee ~var:bi then
+          add callee (norm fi bi) (Provenance.Avisible { site = sid; pos = pi }))
       bindings;
     (* Propagation of the caller's pairs through the bindings. *)
     Pair_set.iter
       (fun (x, y) ->
+        let reason = Provenance.Apropagated { site = sid; from_pair = (x, y) } in
         List.iter
-          (fun (fi, bi) ->
+          (fun (_, fi, bi) ->
             if bi = x || bi = y then begin
               let other = if bi = x then y else x in
               List.iter
-                (fun (fj, bj) -> if fj <> fi && bj = other then add callee (norm fi fj))
+                (fun (_, fj, bj) ->
+                  if fj <> fi && bj = other then add callee (norm fi fj) reason)
                 bindings;
-              if Prog.visible prog ~proc:callee ~var:other then
-                add callee (norm fi other)
+              if other <> fi && Prog.visible prog ~proc:callee ~var:other then
+                add callee (norm fi other) reason
             end)
           bindings)
       alias.(s.Prog.caller)

@@ -27,7 +27,15 @@
 
 type t
 
-val compute : Ir.Info.t -> t
+val norm : int -> int -> int * int
+(** Order a pair as [(min, max)] — the key form of {!pairs} and of
+    {!Provenance.alias_table}. *)
+
+val compute : ?provenance:Provenance.alias_table -> Ir.Info.t -> t
+(** With [~provenance], the fixpoint records the §5 rule that first
+    introduced each pair into the given table (see {!Provenance});
+    the computed pairs — and the counted bit-vector operations — are
+    identical either way. *)
 
 val pairs : t -> int -> (int * int) list
 (** [ALIAS(p)] as normalised [(min vid, max vid)] pairs, sorted. *)

@@ -15,9 +15,10 @@ type t = {
   guse : Bitvec.t array;
   alias : Alias.t;
   summary : Summary.t;
+  provenance : Provenance.t option;
 }
 
-let run_with ?(force_flat = false) ?pool prog =
+let run_with ?(force_flat = false) ?pool ?(provenance = false) prog =
   Obs.Span.with_ "analyze" @@ fun () ->
   let info = Obs.Span.with_ "info" (fun () -> Ir.Info.make prog) in
   let call = Callgraph.Call.build prog in
@@ -42,8 +43,20 @@ let run_with ?(force_flat = false) ?pool prog =
       ( Gmod.solve ?pool info call ~imod_plus,
         Gmod.solve_use ?pool info call ~iuse_plus )
   in
-  let alias = Alias.compute info in
+  let alias_table =
+    if provenance then Some (Provenance.create_alias_table ()) else None
+  in
+  let alias = Alias.compute ?provenance:alias_table info in
   let summary = Obs.Span.with_ "summary" (fun () -> Summary.make info ~gmod ~guse ~alias) in
+  let prov =
+    match alias_table with
+    | None -> None
+    | Some table ->
+      Some
+        (Obs.Span.with_ "provenance" (fun () ->
+             Provenance.compute info ~binding ~imod ~iuse ~rmod ~ruse ~imod_plus
+               ~iuse_plus ~gmod ~guse ~alias:table))
+  in
   {
     prog;
     info;
@@ -59,13 +72,14 @@ let run_with ?(force_flat = false) ?pool prog =
     guse;
     alias;
     summary;
+    provenance = prov;
   }
 
-let run ?force_flat ?(jobs = 1) ?pool prog =
+let run ?force_flat ?(jobs = 1) ?pool ?provenance prog =
   match pool with
-  | Some _ -> run_with ?force_flat ?pool prog
+  | Some _ -> run_with ?force_flat ?pool ?provenance prog
   | None ->
-    Par.Pool.with_pool ~jobs (fun pool -> run_with ?force_flat ?pool prog)
+    Par.Pool.with_pool ~jobs (fun pool -> run_with ?force_flat ?pool ?provenance prog)
 
 let union_over t family family' =
   let acc = Ir.Info.fresh t.info in

@@ -26,9 +26,18 @@ type t = {
   guse : Bitvec.t array;
   alias : Alias.t;
   summary : Summary.t;
+  provenance : Provenance.t option;
+      (** Derivation forest over the facts above; present iff the run
+          asked for it.  [sidefx explain] and lint witnesses read it. *)
 }
 
-val run : ?force_flat:bool -> ?jobs:int -> ?pool:Par.Pool.t -> Ir.Prog.t -> t
+val run :
+  ?force_flat:bool ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  ?provenance:bool ->
+  Ir.Prog.t ->
+  t
 (** Analyze a program.  When the program declares procedures below
     nesting level 1 the multi-level [findgmod] is used automatically;
     [force_flat] forces plain Figure 2 regardless (used by tests and
@@ -40,7 +49,13 @@ val run : ?force_flat:bool -> ?jobs:int -> ?pool:Par.Pool.t -> Ir.Prog.t -> t
     [Domain.recommended_domain_count ()]) builds a transient
     {!Par.Pool} for this run — [jobs = 1] takes the sequential code
     paths unchanged.  Results and [bitvec.vector_ops]/[word_ops]
-    totals are bit-identical at every jobs setting (docs/parallel.md). *)
+    totals are bit-identical at every jobs setting (docs/parallel.md).
+
+    [~provenance:true] (default [false]) additionally records the
+    first derivation reason of every fact ({!Provenance}); the
+    analysis results and the counted bit-vector operations are
+    identical either way — provenance construction reads bits only
+    through uncounted single-bit operations. *)
 
 val mod_of_site : t -> int -> Bitvec.t
 (** [MOD(s)] — §5's final answer for a call site. *)

@@ -1,0 +1,301 @@
+(* Witness reconstruction.  See explain.mli. *)
+
+module Prog = Ir.Prog
+module Binding = Callgraph.Binding
+module Digraph = Graphs.Digraph
+module Locs = Frontend.Locs
+module Loc = Frontend.Loc
+
+type side = [ `Mod | `Use ]
+
+type gmod_step = { proc : int; reason : Provenance.gmod_reason }
+type rmod_step = { node : int; reason : Provenance.rmod_reason }
+
+type alias_link = {
+  aproc : int;
+  pair : int * int;
+  reason : Provenance.alias_reason;
+}
+
+let gset (a : Analyze.t) side =
+  match side with `Mod -> a.Analyze.gmod | `Use -> a.Analyze.guse
+
+let gname side = match side with `Mod -> "GMOD" | `Use -> "GUSE"
+let rname side = match side with `Mod -> "RMOD" | `Use -> "RUSE"
+let verb side = match side with `Mod -> "writes" | `Use -> "reads"
+
+(* --- structured chains ------------------------------------------------ *)
+
+let gmod_chain (a : Analyze.t) ~side ~proc ~var =
+  match a.Analyze.provenance with
+  | None -> None
+  | Some p ->
+    if not (Bitvec.get (gset a side).(proc) var) then None
+    else begin
+      let table = Provenance.gmod_reasons p ~side in
+      let prog = a.Analyze.prog in
+      let rec go pid acc seen =
+        if List.mem pid seen then Some (List.rev acc)
+        else
+          match Hashtbl.find_opt table (pid, var) with
+          | None -> None
+          | Some reason -> (
+            let acc = { proc = pid; reason } :: acc in
+            match reason with
+            | Provenance.Gcall sid ->
+              go (Prog.site prog sid).Prog.callee acc (pid :: seen)
+            | Provenance.Gnested child -> go child acc (pid :: seen)
+            | Provenance.Glocal | Provenance.Gbind _ -> Some (List.rev acc))
+      in
+      go proc [] []
+    end
+
+let rmod_chain (a : Analyze.t) ~side ~var =
+  match a.Analyze.provenance with
+  | None -> None
+  | Some p -> (
+    let binding = a.Analyze.binding in
+    match Binding.node_opt binding var with
+    | None -> None
+    | Some node0 ->
+      let reasons = Provenance.rmod_reasons p ~side in
+      let g = binding.Binding.graph in
+      let rec go node acc seen =
+        if List.mem node seen then Some (List.rev acc)
+        else
+          match reasons.(node) with
+          | None -> None
+          | Some (Provenance.Rseed as reason) ->
+            Some (List.rev ({ node; reason } :: acc))
+          | Some (Provenance.Redge eid as reason) ->
+            go (Digraph.edge_dst g eid) ({ node; reason } :: acc) (node :: seen)
+      in
+      go node0 [] [])
+
+let alias_links (a : Analyze.t) ~proc x y =
+  match a.Analyze.provenance with
+  | None -> None
+  | Some p ->
+    let prog = a.Analyze.prog in
+    let links = ref [] in
+    let seen = Hashtbl.create 16 in
+    let rec go pid (x, y) =
+      let x, y = if x <= y then (x, y) else (y, x) in
+      if not (Hashtbl.mem seen (pid, x, y)) then begin
+        Hashtbl.add seen (pid, x, y) ();
+        match Provenance.alias_reason p ~proc:pid x y with
+        | None -> ()
+        | Some reason ->
+          links := { aproc = pid; pair = (x, y); reason } :: !links;
+          (match reason with
+          | Provenance.Apropagated { site; from_pair } ->
+            go (Prog.site prog site).Prog.caller from_pair
+          | Provenance.Ainherited { parent } -> go parent (x, y)
+          | Provenance.Apositions _ | Provenance.Avisible _ -> ())
+      end
+    in
+    go proc (x, y);
+    (match Provenance.alias_reason p ~proc x y with
+    | None -> None
+    | Some _ -> Some (List.rev !links))
+
+(* --- rendering -------------------------------------------------------- *)
+
+let vname prog vid = Ir.Pp.var_name prog vid
+let qvname prog vid = Ir.Pp.qualified_var_name prog vid
+let pname prog pid = Ir.Pp.proc_name prog pid
+
+let loc_suffix loc =
+  if loc = Loc.dummy then "" else Printf.sprintf " at %s" (Loc.to_string loc)
+
+let site_loc locs sid = Locs.site locs sid
+
+(* First statement of [proc]'s own body — else of a lexical descendant
+   — whose direct effect touches [var]. *)
+let find_def (a : Analyze.t) ~side ~proc ~var =
+  let prog = a.Analyze.prog in
+  let per_stmt =
+    match side with
+    | `Mod -> Frontend.Local.lmod_stmt
+    | `Use -> Frontend.Local.luse_stmt
+  in
+  let in_body pid =
+    let ord = ref (-1) in
+    let found = ref None in
+    Ir.Stmt.iter
+      (fun s ->
+        incr ord;
+        if !found = None && List.mem var (per_stmt prog s) then
+          found := Some !ord)
+      (Prog.proc prog pid).Prog.body;
+    !found
+  in
+  let rec search pid =
+    match in_body pid with
+    | Some ord -> Some (pid, ord)
+    | None ->
+      List.fold_left
+        (fun acc child -> match acc with Some _ -> acc | None -> search child)
+        None (Prog.proc prog pid).Prog.nested
+  in
+  search proc
+
+let def_line a ~locs ~side ~proc ~var =
+  let prog = a.Analyze.prog in
+  match find_def a ~side ~proc ~var with
+  | Some (pid, ord) ->
+    Printf.sprintf "%s %s '%s'%s" (pname prog pid) (verb side)
+      (vname prog var)
+      (loc_suffix (Locs.stmt locs ~proc:pid ord))
+  | None ->
+    (* Defensive: the fact held, so a def-site should exist. *)
+    Printf.sprintf "%s %s '%s'" (pname prog proc) (verb side) (vname prog var)
+
+let rmod_lines (a : Analyze.t) ~locs ~side steps =
+  let prog = a.Analyze.prog in
+  let binding = a.Analyze.binding in
+  List.concat_map
+    (fun { node; reason } ->
+      let f = Binding.var binding node in
+      match reason with
+      | Provenance.Rseed ->
+        let owner =
+          match (Prog.var prog f).Prog.kind with
+          | Prog.Formal { proc; _ } -> proc
+          | _ -> assert false
+        in
+        [ def_line a ~locs ~side ~proc:owner ~var:f ]
+      | Provenance.Redge eid ->
+        let info = binding.Binding.edges.(eid) in
+        let dst = Digraph.edge_dst binding.Binding.graph eid in
+        let fdst = Binding.var binding dst in
+        [
+          Printf.sprintf "'%s' is bound by reference to '%s' at site %d (arg %d)%s"
+            (qvname prog f) (qvname prog fdst) info.Binding.site
+            info.Binding.arg_pos
+            (loc_suffix (site_loc locs info.Binding.site));
+        ])
+    steps
+
+let explain_rmod (a : Analyze.t) ~locs ~side ~var =
+  match rmod_chain a ~side ~var with
+  | None -> None
+  | Some steps ->
+    let prog = a.Analyze.prog in
+    let head =
+      Printf.sprintf "'%s' ∈ %s" (qvname prog var) (rname side)
+    in
+    Some (head :: rmod_lines a ~locs ~side steps)
+
+let explain_gmod (a : Analyze.t) ~locs ~side ~proc ~var =
+  match gmod_chain a ~side ~proc ~var with
+  | None -> None
+  | Some steps ->
+    let prog = a.Analyze.prog in
+    (* Compact arrow chain: p →site 3 q ⊃ r … *)
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (pname prog proc);
+    List.iter
+      (fun ({ reason; _ } : gmod_step) ->
+        match reason with
+        | Provenance.Gcall sid ->
+          Buffer.add_string buf
+            (Printf.sprintf " →site %d %s" sid
+               (pname prog (Prog.site prog sid).Prog.callee))
+        | Provenance.Gnested child ->
+          Buffer.add_string buf (Printf.sprintf " ⊃ %s" (pname prog child))
+        | Provenance.Glocal | Provenance.Gbind _ -> ())
+      steps;
+    let chain_line =
+      Printf.sprintf "'%s' ∈ %s(%s): %s" (vname prog var) (gname side)
+        (pname prog proc) (Buffer.contents buf)
+    in
+    let step_lines =
+      List.concat_map
+        (fun { proc = pid; reason } ->
+          match reason with
+          | Provenance.Glocal -> [ def_line a ~locs ~side ~proc:pid ~var ]
+          | Provenance.Gcall sid ->
+            let callee = (Prog.site prog sid).Prog.callee in
+            [
+              Printf.sprintf "%s calls %s at site %d%s; '%s' ∈ %s(%s) and is not local to %s"
+                (pname prog pid) (pname prog callee) sid
+                (loc_suffix (site_loc locs sid))
+                (vname prog var) (gname side) (pname prog callee)
+                (pname prog callee);
+            ]
+          | Provenance.Gnested child ->
+            [
+              Printf.sprintf "'%s' escapes from %s, declared inside %s"
+                (vname prog var) (pname prog child) (pname prog pid);
+            ]
+          | Provenance.Gbind { site; arg_pos } ->
+            let s = Prog.site prog site in
+            let callee = Prog.proc prog s.Prog.callee in
+            let f = callee.Prog.formals.(arg_pos) in
+            let bind_line =
+              Printf.sprintf
+                "%s passes '%s' by reference at site %d (arg %d)%s, binding '%s'; '%s' ∈ %s"
+                (pname prog pid) (vname prog var) site arg_pos
+                (loc_suffix (site_loc locs site))
+                (qvname prog f) (qvname prog f) (rname side)
+            in
+            let tail =
+              match rmod_chain a ~side ~var:f with
+              | Some steps -> rmod_lines a ~locs ~side steps
+              | None -> []
+            in
+            bind_line :: tail)
+        steps
+    in
+    Some (chain_line :: step_lines)
+
+let alias_link_lines (a : Analyze.t) ~locs links =
+  let prog = a.Analyze.prog in
+  List.map
+    (fun { aproc; pair = (x, y); reason } ->
+      let pair_str =
+        Printf.sprintf "<%s, %s>" (vname prog x) (vname prog y)
+      in
+      match reason with
+      | Provenance.Apositions { site; pos_i; pos_j } ->
+        let s = Prog.site prog site in
+        let base =
+          match s.Prog.args.(pos_i) with
+          | Prog.Arg_ref lv -> Ir.Expr.lvalue_base lv
+          | Prog.Arg_value _ -> x
+        in
+        Printf.sprintf
+          "%s in %s: '%s' is passed by reference at both args %d and %d of site %d%s"
+          pair_str (pname prog aproc) (vname prog base) pos_i pos_j site
+          (loc_suffix (site_loc locs site))
+      | Provenance.Avisible { site; pos } ->
+        let f = (Prog.proc prog aproc).Prog.formals.(pos) in
+        let b = if f = x then y else x in
+        Printf.sprintf
+          "%s in %s: '%s', still visible inside %s, is passed by reference at arg %d of site %d%s"
+          pair_str (pname prog aproc) (vname prog b) (pname prog aproc) pos
+          site
+          (loc_suffix (site_loc locs site))
+      | Provenance.Apropagated { site; from_pair = (fx, fy) } ->
+        Printf.sprintf
+          "%s in %s: pair <%s, %s> holding in %s flows through the bindings of site %d%s"
+          pair_str (pname prog aproc) (vname prog fx) (vname prog fy)
+          (pname prog (Prog.site prog site).Prog.caller)
+          site
+          (loc_suffix (site_loc locs site))
+      | Provenance.Ainherited { parent } ->
+        Printf.sprintf "%s in %s: inherited from lexical parent %s" pair_str
+          (pname prog aproc) (pname prog parent))
+    links
+
+let explain_alias (a : Analyze.t) ~locs ~proc x y =
+  match alias_links a ~proc x y with
+  | None -> None
+  | Some links ->
+    let prog = a.Analyze.prog in
+    let head =
+      Printf.sprintf "<%s, %s> ∈ ALIAS(%s)" (vname prog (min x y))
+        (vname prog (max x y)) (pname prog proc)
+    in
+    Some (head :: alias_link_lines a ~locs links)

@@ -1,0 +1,81 @@
+(** Witness reconstruction from a {!Provenance} forest.
+
+    Where {!Provenance} stores one machine word per first-set event,
+    this module walks those reasons back into complete {e witness
+    chains} — the call/β path that carried a fact to where it was
+    observed, ending at source-level evidence (a def-site, a reference
+    binding, an alias introduction).  Chains come in two forms:
+
+    - {e structured} ({!gmod_chain}, {!rmod_chain}, {!alias_links}) —
+      the raw steps, for tests that replay a chain against the graphs
+      and for JSON output;
+    - {e rendered} ({!explain_gmod}, {!explain_rmod},
+      {!explain_alias}) — human-readable lines with source spans from
+      a {!Frontend.Locs.t} table, the form [sidefx explain] prints and
+      lint findings embed as their [witness] field.
+
+    Every function returns [None] when the analysis carries no
+    provenance, when the queried fact does not hold, or (for [rmod])
+    when the variable has no β node. *)
+
+type side = [ `Mod | `Use ]
+
+type gmod_step = { proc : int; reason : Provenance.gmod_reason }
+(** One link of a [GMOD]/[GUSE] chain: why [var ∈ GMOD(proc)].  A
+    [Gcall]/[Gnested] reason continues at the callee/child with the
+    same variable; [Glocal]/[Gbind] reasons are terminal. *)
+
+type rmod_step = { node : int; reason : Provenance.rmod_reason }
+(** One link of an [RMOD]/[RUSE] chain over β nodes; [Rseed] is
+    terminal, [Redge e] continues at [e]'s destination. *)
+
+type alias_link = {
+  aproc : int;
+  pair : int * int;
+  reason : Provenance.alias_reason;
+}
+(** One recorded derivation step of the §5 closure, in the procedure
+    [aproc] the pair holds in. *)
+
+val gmod_chain :
+  Analyze.t -> side:side -> proc:int -> var:int -> gmod_step list option
+(** The derivation path from [var ∈ GMOD(proc)] (resp. [GUSE]) down to
+    its eq. 5 seed.  The head's [proc] is the queried procedure; each
+    [Gcall sid] step continues at [sid]'s callee, each [Gnested c] at
+    the child [c]; the last step carries the terminal reason. *)
+
+val rmod_chain : Analyze.t -> side:side -> var:int -> rmod_step list option
+(** The β path from the by-reference formal [var]'s node to a seed
+    node (a formal in its owner's folded [IMOD]/[IUSE]). *)
+
+val alias_links :
+  Analyze.t -> proc:int -> int -> int -> alias_link list option
+(** The full derivation of an alias pair: the queried pair's reason
+    first, followed (depth-first) by the derivations of every pair a
+    [Apropagated]/[Ainherited] reason references.  Acyclic because
+    reasons reference strictly earlier fixpoint facts; each pair is
+    expanded once. *)
+
+val explain_gmod :
+  Analyze.t ->
+  locs:Frontend.Locs.t ->
+  side:side ->
+  proc:int ->
+  var:int ->
+  string list option
+(** Rendered witness: a compact arrow chain ([p →site 3 q ⊃ r]) plus
+    one evidence line per step, def-sites and call sites located
+    through [locs]. *)
+
+val explain_rmod :
+  Analyze.t -> locs:Frontend.Locs.t -> side:side -> var:int -> string list option
+
+val explain_alias :
+  Analyze.t -> locs:Frontend.Locs.t -> proc:int -> int -> int -> string list option
+
+val find_def :
+  Analyze.t -> side:side -> proc:int -> var:int -> (int * int) option
+(** [(procedure, statement ordinal)] of the first statement (pre-order,
+    the {!Frontend.Locs.stmt} ordinal) in [proc]'s own body — or,
+    failing that, a lexical descendant's — whose direct
+    [LMOD]/[LUSE] contains [var]. *)

@@ -9,6 +9,7 @@ module Gmod = Core.Gmod
 let edits_c = Obs.Metric.counter "incremental.edits"
 let procs_resolved_c = Obs.Metric.counter "incremental.procs_resolved"
 let fallbacks_c = Obs.Metric.counter "incremental.full_fallbacks"
+let edit_hist = Obs.Metric.histogram "incremental.edit_s"
 
 (* Per-program site indexes: which sites a procedure contains, and
    which sites bind an actual to a given by-reference formal.  Both are
@@ -34,6 +35,7 @@ type caches = {
 type t = {
   threshold : float;
   pool : Par.Pool.t option;
+  provenance : bool;
   mutable analysis : Analyze.t;
   mutable caches : caches;
   mutable edits : int;
@@ -180,11 +182,12 @@ let build_caches ?pool (a : Analyze.t) =
     sites = site_index prog;
   }
 
-let create ?(threshold = 0.5) ?pool prog =
-  let analysis = Analyze.run ?pool prog in
+let create ?(threshold = 0.5) ?pool ?(provenance = false) prog =
+  let analysis = Analyze.run ?pool ~provenance prog in
   {
     threshold;
     pool;
+    provenance;
     analysis;
     caches = build_caches ?pool analysis;
     edits = 0;
@@ -222,7 +225,7 @@ let lint ?(rules = Lint.Rule.all) t =
 
 let full t prog reason =
   Obs.Metric.incr fallbacks_c;
-  let analysis = Analyze.run ?pool:t.pool prog in
+  let analysis = Analyze.run ?pool:t.pool ~provenance:t.provenance prog in
   t.analysis <- analysis;
   t.caches <- build_caches ?pool:t.pool analysis;
   t.dataflow <- None;
@@ -382,8 +385,41 @@ let incremental t prog kind =
       (gmod, guse, n_mod + n_use)
     end
   in
-  let alias = if graph_changed then Core.Alias.compute info else old.Analyze.alias in
+  (* A body edit leaves the site table — and therefore the alias pairs
+     and their recorded reasons — untouched; a shape edit recomputes
+     both, recording into a fresh table. *)
+  let alias, alias_table =
+    if graph_changed then begin
+      let table =
+        if t.provenance then Some (Core.Provenance.create_alias_table ())
+        else None
+      in
+      (Core.Alias.compute ?provenance:table info, table)
+    end
+    else
+      ( old.Analyze.alias,
+        match old.Analyze.provenance with
+        | Some p -> Some p.Core.Provenance.alias
+        | None -> None )
+  in
   let summary = Core.Summary.make info ~gmod ~guse ~alias in
+  (* Provenance is a post-pass over the final solutions, so a cone
+     re-solve just rebuilds the forest against whatever the caches now
+     hold — reasons can never go stale. *)
+  let provenance =
+    if not t.provenance then None
+    else begin
+      let table =
+        match alias_table with
+        | Some tbl -> tbl
+        | None -> Core.Provenance.create_alias_table ()
+      in
+      Some
+        (Core.Provenance.compute info ~binding ~imod ~iuse
+           ~rmod:rmod_sol.Rmod.res ~ruse:ruse_sol.Rmod.res ~imod_plus
+           ~iuse_plus ~gmod ~guse ~alias:table)
+    end
+  in
   t.analysis <-
     {
       Analyze.prog;
@@ -400,6 +436,7 @@ let incremental t prog kind =
       guse;
       alias;
       summary;
+      provenance;
     };
   t.caches <-
     { imod_flat; iuse_flat; imod_aug; iuse_aug; rmod_sol; ruse_sol; sites };
@@ -416,16 +453,21 @@ let incremental t prog kind =
   { fallback = None; procs_resolved = resolved }
 
 let apply t edit =
-  Obs.Span.with_ "incremental.resolve" @@ fun () ->
-  let old_prog = t.analysis.Analyze.prog in
-  let kind = Edit.kind old_prog edit in
-  let prog = Edit.apply old_prog edit in
-  Obs.Metric.incr edits_c;
-  t.edits <- t.edits + 1;
-  match kind with
-  | Edit.Structural -> full t prog "structural edit"
-  | Edit.Body { proc } -> (
-    try incremental t prog (`Body proc) with Fallback r -> full t prog r)
-  | Edit.Call_shape { caller; local_sets_touched } -> (
-    try incremental t prog (`Shape (caller, local_sets_touched))
-    with Fallback r -> full t prog r)
+  let t0 = Obs.Clock.now () in
+  let outcome =
+    Obs.Span.with_ "incremental.resolve" @@ fun () ->
+    let old_prog = t.analysis.Analyze.prog in
+    let kind = Edit.kind old_prog edit in
+    let prog = Edit.apply old_prog edit in
+    Obs.Metric.incr edits_c;
+    t.edits <- t.edits + 1;
+    match kind with
+    | Edit.Structural -> full t prog "structural edit"
+    | Edit.Body { proc } -> (
+      try incremental t prog (`Body proc) with Fallback r -> full t prog r)
+    | Edit.Call_shape { caller; local_sets_touched } -> (
+      try incremental t prog (`Shape (caller, local_sets_touched))
+      with Fallback r -> full t prog r)
+  in
+  Obs.Metric.observe edit_hist (Obs.Clock.now () -. t0);
+  outcome

@@ -30,7 +30,8 @@
     Telemetry: counters [incremental.edits],
     [incremental.procs_resolved] (per-side [GMOD]/[GUSE] procedure
     re-solves), [incremental.full_fallbacks]; every {!apply} runs under
-    an [incremental.resolve] span. *)
+    an [incremental.resolve] span and records its wall-clock latency in
+    the [incremental.edit_s] histogram ({!Obs.Metric.histogram}). *)
 
 type t
 
@@ -42,13 +43,19 @@ type outcome = {
           side counted; [2 × n_procs] for a full run). *)
 }
 
-val create : ?threshold:float -> ?pool:Par.Pool.t -> Ir.Prog.t -> t
+val create :
+  ?threshold:float -> ?pool:Par.Pool.t -> ?provenance:bool -> Ir.Prog.t -> t
 (** Analyze from scratch and prime the caches.  [threshold] (default
     [0.5]) is the dirty-cone fraction above which {!apply} abandons the
     region path.  [?pool], when given, is retained for the engine's
     lifetime and reused by the initial analysis, every full-fallback
     re-analysis, and the region [GMOD]/[GUSE] cone re-solves; the pool
-    remains owned by the caller (the engine never shuts it down). *)
+    remains owned by the caller (the engine never shuts it down).
+    [?provenance] (default [false]) keeps a {!Core.Provenance}
+    derivation forest alive across edits: after every {!apply} the
+    forest is rebuilt against the updated solutions (a post-pass
+    linear in the fact count — the cone re-solve itself is unchanged),
+    so witnesses never go stale. *)
 
 val apply : t -> Edit.t -> outcome
 (** Apply one edit and bring {!analysis} up to date.  Raises

@@ -27,6 +27,7 @@ type t = {
   scope : string;
   message : string;
   hint : string option;
+  witness : string list;
 }
 
 let compare a b =
@@ -55,9 +56,14 @@ let pp ppf d =
     Format.fprintf ppf "%a: %s[%s] %s: %s" Frontend.Loc.pp d.loc
       (severity_to_string d.severity)
       d.code d.scope d.message;
-  match d.hint with
+  (match d.hint with
   | None -> ()
-  | Some h -> Format.fprintf ppf "@,    hint: %s" h
+  | Some h -> Format.fprintf ppf "@,    hint: %s" h);
+  match d.witness with
+  | [] -> ()
+  | lines ->
+    Format.fprintf ppf "@,    witness:";
+    List.iter (fun l -> Format.fprintf ppf "@,      %s" l) lines
 
 let to_json d =
   Obs.Json.Obj
@@ -74,4 +80,5 @@ let to_json d =
         match d.hint with
         | None -> Obs.Json.Null
         | Some h -> Obs.Json.String h );
+      ("witness", Obs.Json.List (List.map (fun l -> Obs.Json.String l) d.witness));
     ]

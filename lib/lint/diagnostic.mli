@@ -32,6 +32,12 @@ type t = {
   scope : string;  (** Enclosing procedure (the program name for globals). *)
   message : string;
   hint : string option;  (** A suggested fix, when the rule has one. *)
+  witness : string list;
+      (** Derivation evidence, one rendered line per step — filled by
+          the rules when the analysis carries {!Core.Provenance} (the
+          [sidefx explain]/[lint --explain] path), empty otherwise.
+          Not part of {!key} or {!compare}: a finding's identity does
+          not depend on how it was derived. *)
 }
 
 val compare : t -> t -> int
@@ -45,8 +51,10 @@ val key : t -> string * string * string
 val pp : Format.formatter -> t -> unit
 (** One text-report entry: [file:line:col: severity[CODE] scope:
     message], the position omitted when it is {!Frontend.Loc.dummy},
-    with an indented [hint:] line when present. *)
+    with an indented [hint:] line when present and indented [witness:]
+    lines when the finding carries a derivation chain. *)
 
 val to_json : t -> Obs.Json.t
 (** Stable key set: [code], [rule], [severity], [file], [line], [col],
-    [scope], [message], [hint] (JSON [null] when absent). *)
+    [scope], [message], [hint] (JSON [null] when absent), [witness]
+    (list of strings, empty when no provenance was recorded). *)

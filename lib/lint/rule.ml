@@ -22,6 +22,106 @@ let name_of ctx vid = Ir.Pp.var_name ctx.analysis.A.prog vid
 let qname_of ctx vid = Ir.Pp.qualified_var_name ctx.analysis.A.prog vid
 let proc_name ctx pid = (P.proc ctx.analysis.A.prog pid).P.pname
 
+(* --- witnesses --------------------------------------------------------
+
+   When the analysis carries a {!Core.Provenance} forest (the [sidefx
+   explain] / [lint --explain] path), every finding gets a rendered
+   derivation chain via {!Core.Explain}.  Without provenance all
+   witnesses are [[]] and the text report is unchanged. *)
+
+let explain_on ctx = ctx.analysis.A.provenance <> None
+
+let gmod_witness ctx ~side ~proc ~var =
+  Option.value ~default:[]
+    (Core.Explain.explain_gmod ctx.analysis ~locs:ctx.locs ~side ~proc ~var)
+
+let rmod_witness ctx ~side ~var =
+  Option.value ~default:[]
+    (Core.Explain.explain_rmod ctx.analysis ~locs:ctx.locs ~side ~var)
+
+let alias_witness ctx ~proc x y =
+  Option.value ~default:[]
+    (Core.Explain.explain_alias ctx.analysis ~locs:ctx.locs ~proc x y)
+
+(* Why is [v] in MOD(s) (side [`Mod]) or USE(s) (side [`Use])?  Walks
+   the §5 summary cases — direct escape from the callee's GMOD/GUSE,
+   reference projection through an RMOD/RUSE formal, argument
+   evaluation, alias closure — each chained into the underlying fact's
+   own witness. *)
+let site_witness ctx ~side sid v =
+  if not (explain_on ctx) then []
+  else begin
+    let t = ctx.analysis in
+    let prog = t.A.prog in
+    let s = P.site prog sid in
+    let callee = P.proc prog s.P.callee in
+    let gset = match side with `Mod -> t.A.gmod | `Use -> t.A.guse in
+    let rsol = match side with `Mod -> t.A.rmod | `Use -> t.A.ruse in
+    let action = match side with `Mod -> "modify" | `Use -> "read" in
+    let direct v =
+      if
+        Bitvec.get gset.(s.P.callee) v
+        && not (Bitvec.get (Ir.Info.local t.A.info s.P.callee) v)
+      then
+        Some
+          (Printf.sprintf "call to '%s' at site %d may %s '%s' directly"
+             callee.P.pname sid action (qname_of ctx v)
+          :: gmod_witness ctx ~side ~proc:s.P.callee ~var:v)
+      else begin
+        let found = ref None in
+        Array.iteri
+          (fun i arg ->
+            match arg with
+            | P.Arg_ref lv
+              when !found = None
+                   && Ir.Expr.lvalue_base lv = v
+                   && Core.Rmod.modified rsol callee.P.formals.(i) ->
+              found := Some i
+            | _ -> ())
+          s.P.args;
+        match !found with
+        | Some i ->
+          Some
+            (Printf.sprintf
+               "'%s' is passed by reference at site %d (arg %d), binding '%s'"
+               (qname_of ctx v) sid i
+               (qname_of ctx callee.P.formals.(i))
+            :: rmod_witness ctx ~side ~var:callee.P.formals.(i))
+        | None -> (
+          match side with
+          | `Use
+            when List.mem v (Frontend.Local.luse_stmt prog (Ir.Stmt.Call sid))
+            ->
+            Some
+              [
+                Printf.sprintf
+                  "'%s' is read when evaluating the arguments of site %d"
+                  (qname_of ctx v) sid;
+              ]
+          | _ -> None)
+      end
+    in
+    match direct v with
+    | Some lines -> lines
+    | None -> (
+      (* Alias closure: some member of the direct set aliases [v]. *)
+      let dset =
+        match side with
+        | `Mod -> A.dmod_of_site t sid
+        | `Use -> A.duse_of_site t sid
+      in
+      let x =
+        List.find_opt
+          (fun x -> Bitvec.get dset x)
+          (Core.Alias.aliases_of t.A.alias ~proc:s.P.caller ~var:v)
+      in
+      match x with
+      | None -> []
+      | Some x ->
+        alias_witness ctx ~proc:s.P.caller x v
+        @ (match direct x with Some lines -> lines | None -> []))
+  end
+
 (* Transitive I/O: a procedure whose body contains a read/write
    statement, or that (transitively) calls one that does.  GMOD is
    blind to I/O effects, so the pure-proc rule must mask these out. *)
@@ -69,6 +169,15 @@ let unused_formal ctx =
                      modified or used by any invocation"
                     v.P.vname (index + 1);
                 hint = Some "drop the parameter, or pass it by value";
+                witness =
+                  (if explain_on ctx then
+                     [
+                       Printf.sprintf
+                         "no β path from '%s' reaches a definition or use: \
+                          its RMOD and RUSE bits are both unset"
+                         (qname_of ctx v.P.vid);
+                     ]
+                   else []);
               }
               :: !out
       | _ -> ());
@@ -94,6 +203,25 @@ let write_only_global ctx =
               Printf.sprintf "global '%s' is written but never read"
                 (name_of ctx vid);
             hint = Some "delete the variable and the stores into it";
+            witness =
+              (if explain_on ctx then begin
+                 let writer = ref None in
+                 P.iter_procs t.A.prog (fun pr ->
+                     if
+                       !writer = None
+                       && Bitvec.get t.A.gmod.(pr.P.pid) vid
+                     then writer := Some pr.P.pid);
+                 (match !writer with
+                 | Some pid ->
+                   gmod_witness ctx ~side:`Mod ~proc:pid ~var:vid
+                 | None -> [])
+                 @ [
+                     Printf.sprintf
+                       "'%s' appears in no GUSE set: nothing ever reads it"
+                       (name_of ctx vid);
+                   ]
+               end
+               else []);
           }
           :: !out)
     (Bitvec.inter written (Ir.Info.global t.A.info));
@@ -139,6 +267,19 @@ let pure_proc ctx =
                "it writes only through its reference formals; calls with \
                 disjoint actuals can run in parallel"
              else "candidate for memoization and parallel execution");
+        witness =
+          (if explain_on ctx then
+             Printf.sprintf
+               "GMOD(%s) ⊆ LOCAL(%s): no write escapes the invocation, \
+                and no transitive callee performs I/O"
+               (proc_name ctx pid) (proc_name ctx pid)
+             ::
+             (if writes_formal then
+                List.concat_map
+                  (fun f -> rmod_witness ctx ~side:`Mod ~var:f)
+                  (Core.Rmod.rmod_of_proc t.A.rmod pid)
+              else [])
+           else []);
       })
     (pure_procs t)
 
@@ -189,6 +330,7 @@ let alias_inflation ctx =
               Some
                 "the alias pair widens MOD beyond DMOD; passing distinct \
                  variables restores precision";
+            witness = site_witness ctx ~side:`Mod sid y;
           }
           :: acc)
         added []
@@ -245,6 +387,18 @@ let aliased_actuals ctx =
                       hint =
                         Some
                           "copy one argument into a temporary before the call";
+                      witness =
+                        (if explain_on ctx then
+                           (if bi = bj then
+                              [
+                                Printf.sprintf
+                                  "arguments %d and %d both pass '%s'"
+                                  (i + 1) (j + 1) (qname_of ctx bi);
+                              ]
+                            else
+                              alias_witness ctx ~proc:s.P.caller bi bj)
+                           @ rmod_witness ctx ~side:`Mod ~var:wf
+                         else []);
                     }
                     :: !out)
             refs)
@@ -291,6 +445,14 @@ let loop_parallel ctx =
                                are provably independent"
                               (name_of ctx ivar);
                           hint = Some "candidate for data decomposition";
+                          witness =
+                            (if explain_on ctx then
+                               [
+                                 "every cross-iteration effect of the \
+                                  body's calls is confined to element \
+                                  sections indexed by the loop variable";
+                               ]
+                             else []);
                         }
                         :: !out
                     else
@@ -317,6 +479,30 @@ let loop_parallel ctx =
                             Some
                               "privatise the conflicting variables or split \
                                the loop";
+                          witness =
+                            (match v.Sections.Deps.conflicts with
+                            | (cv, _) :: _ when explain_on ctx -> (
+                              let sites = Ir.Stmt.call_sites body in
+                              let site_with pred = List.find_opt pred sites in
+                              let lead =
+                                Printf.sprintf "iterations conflict on '%s':"
+                                  (qname_of ctx cv)
+                              in
+                              match
+                                site_with (fun sid ->
+                                    Bitvec.get (A.mod_of_site t sid) cv)
+                              with
+                              | Some sid ->
+                                lead :: site_witness ctx ~side:`Mod sid cv
+                              | None -> (
+                                match
+                                  site_with (fun sid ->
+                                      Bitvec.get (A.use_of_site t sid) cv)
+                                with
+                                | Some sid ->
+                                  lead :: site_witness ctx ~side:`Use sid cv
+                                | None -> [ lead ]))
+                            | _ -> []);
                         }
                         :: !out
                   end
@@ -373,6 +559,15 @@ let dead_store ctx =
                          definitely overwrites it or ends its lifetime first"
                         (name_of ctx v);
                     hint = Some "delete the store, or use the value before it is overwritten";
+                    witness =
+                      (if explain_on ctx then
+                         [
+                           Printf.sprintf
+                             "'%s' is not live after this store, and no \
+                              §5 alias of it is"
+                             (name_of ctx v);
+                         ]
+                       else []);
                   }
                   :: acc
                 | _ -> acc)
@@ -431,6 +626,20 @@ let rmw_hint ctx =
                         Some
                           "hoist the read or batch the updates to cut \
                            call-boundary traffic";
+                      witness =
+                        (match Bitvec.to_list rmw with
+                        | w :: _ when explain_on ctx ->
+                          (Printf.sprintf "the call reads '%s':"
+                             (qname_of ctx w)
+                          :: site_witness ctx ~side:`Use sid w)
+                          @ (Printf.sprintf "the call writes '%s':"
+                               (qname_of ctx w)
+                            :: site_witness ctx ~side:`Mod sid w)
+                          @ [
+                              Printf.sprintf
+                                "'%s' is live after the call" (qname_of ctx w);
+                            ]
+                        | _ -> []);
                     }
                     :: acc
                 | _ -> acc)

@@ -388,6 +388,94 @@ module Metric = struct
 
   let delta ~since =
     List.map (fun h -> (h.mname, value_since ~since h)) (in_order ())
+
+  (* --- latency histograms ------------------------------------------- *)
+
+  (* Histograms live in their own registry, deliberately outside the
+     counter/gauge table: [snapshot]/[delta] — and therefore span
+     metric attribution and the op-count contracts the benchmarks
+     assert — are byte-identical whether or not any histogram exists.
+     Buckets are powers of two in nanoseconds: bucket 0 holds
+     observations under 2 ns (including clamped negatives), bucket [i]
+     holds [2^i, 2^(i+1)) ns, and bucket 63 is the overflow sink. *)
+
+  let hist_buckets = 64
+
+  type histogram = {
+    hname : string;
+    buckets : int array;
+    mutable observations : int;
+    mutable sum_ns : int;
+  }
+
+  let hist_mu = Mutex.create ()
+  let hist_registered : histogram list ref = ref []
+  let hist_by_name : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+  let histogram hname =
+    Mutex.lock hist_mu;
+    let h =
+      match Hashtbl.find_opt hist_by_name hname with
+      | Some h -> h
+      | None ->
+        let h =
+          { hname; buckets = Array.make hist_buckets 0; observations = 0; sum_ns = 0 }
+        in
+        hist_registered := h :: !hist_registered;
+        Hashtbl.add hist_by_name hname h;
+        h
+    in
+    Mutex.unlock hist_mu;
+    h
+
+  let bucket_of_ns ns =
+    if ns < 2 then 0
+    else begin
+      let i = ref 0 in
+      let v = ref ns in
+      while !v > 1 do
+        i := !i + 1;
+        v := !v lsr 1
+      done;
+      min !i (hist_buckets - 1)
+    end
+
+  let bucket_lower_ns i = if i = 0 then 0 else 1 lsl i
+
+  let observe_ns h ns =
+    let ns = max 0 ns in
+    Mutex.lock hist_mu;
+    h.buckets.(bucket_of_ns ns) <- h.buckets.(bucket_of_ns ns) + 1;
+    h.observations <- h.observations + 1;
+    h.sum_ns <- h.sum_ns + ns;
+    Mutex.unlock hist_mu
+
+  let observe h seconds = observe_ns h (int_of_float (seconds *. 1e9))
+
+  let hist_name h = h.hname
+  let hist_observations h = h.observations
+  let hist_sum_ns h = h.sum_ns
+
+  let hist_nonzero_buckets h =
+    Mutex.lock hist_mu;
+    let acc = ref [] in
+    for i = hist_buckets - 1 downto 0 do
+      if h.buckets.(i) <> 0 then acc := (bucket_lower_ns i, h.buckets.(i)) :: !acc
+    done;
+    Mutex.unlock hist_mu;
+    !acc
+
+  let find_histogram name =
+    Mutex.lock hist_mu;
+    let r = Hashtbl.find_opt hist_by_name name in
+    Mutex.unlock hist_mu;
+    r
+
+  let histograms_in_order () =
+    Mutex.lock hist_mu;
+    let l = !hist_registered in
+    Mutex.unlock hist_mu;
+    List.rev l
 end
 
 module Clock = struct
@@ -397,10 +485,22 @@ module Clock = struct
 end
 
 module Span = struct
+  type gc = {
+    minor_collections : int;
+    major_collections : int;
+    promoted_words : int;
+    top_heap_words : int;
+  }
+
+  let gc_zero =
+    { minor_collections = 0; major_collections = 0; promoted_words = 0; top_heap_words = 0 }
+
   type t = {
     name : string;
+    start : float;
     elapsed : float;
     metrics : (string * int) list;
+    gc : gc;
     children : t list;
   }
 
@@ -408,6 +508,7 @@ module Span = struct
     fname : string;
     start : float;
     snap : Metric.snapshot;
+    gc_start : Gc.stat;
     mutable children_rev : t list;
   }
 
@@ -429,11 +530,26 @@ module Span = struct
 
   let close st fr =
     let elapsed = Clock.now () -. fr.start in
+    let gc_end = Gc.quick_stat () in
+    let gc =
+      {
+        minor_collections =
+          gc_end.Gc.minor_collections - fr.gc_start.Gc.minor_collections;
+        major_collections =
+          gc_end.Gc.major_collections - fr.gc_start.Gc.major_collections;
+        promoted_words =
+          int_of_float (gc_end.Gc.promoted_words -. fr.gc_start.Gc.promoted_words);
+        top_heap_words = gc_end.Gc.top_heap_words;
+      }
+    in
+    Metric.observe (Metric.histogram ("phase." ^ fr.fname)) elapsed;
     let span =
       {
         name = fr.fname;
+        start = fr.start;
         elapsed;
         metrics = Metric.delta ~since:fr.snap;
+        gc;
         children = List.rev fr.children_rev;
       }
     in
@@ -447,7 +563,13 @@ module Span = struct
   let record name f =
     let st = state () in
     let fr =
-      { fname = name; start = Clock.now (); snap = Metric.snapshot (); children_rev = [] }
+      {
+        fname = name;
+        start = Clock.now ();
+        snap = Metric.snapshot ();
+        gc_start = Gc.quick_stat ();
+        children_rev = [];
+      }
     in
     st.stack <- fr :: st.stack;
     match f () with
@@ -485,7 +607,10 @@ module Span = struct
       let span =
         match st.roots_rev with
         | [ s ] -> s
-        | l -> { name; elapsed = 0.0; metrics = []; children = List.rev l }
+        | l ->
+          let children = List.rev l in
+          let start = match children with c :: _ -> c.start | [] -> 0.0 in
+          { name; start; elapsed = 0.0; metrics = []; gc = gc_zero; children }
       in
       restore ();
       (v, span)
@@ -536,16 +661,87 @@ let pp_trace ppf spans =
   List.iter (go 0) spans;
   Format.fprintf ppf "@]"
 
+let gc_json (g : Span.gc) =
+  Json.Obj
+    [
+      ("minor_collections", Json.Int g.Span.minor_collections);
+      ("major_collections", Json.Int g.Span.major_collections);
+      ("promoted_words", Json.Int g.Span.promoted_words);
+      ("top_heap_words", Json.Int g.Span.top_heap_words);
+    ]
+
 let rec span_json (s : Span.t) =
   Json.Obj
     [
       ("name", Json.String s.Span.name);
+      ("start_s", Json.Float s.Span.start);
       ("elapsed_s", Json.Float s.Span.elapsed);
       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Span.metrics));
+      ("gc", gc_json s.Span.gc);
       ("children", Json.List (List.map span_json s.Span.children));
     ]
 
 let trace_json spans = Json.List (List.map span_json spans)
+
+let trace_events_json spans =
+  let base =
+    List.fold_left (fun acc (s : Span.t) -> Float.min acc s.Span.start) infinity spans
+  in
+  let base = if Float.is_finite base then base else 0.0 in
+  let events = ref [] in
+  let rec go (s : Span.t) =
+    let metric_args =
+      List.filter_map
+        (fun (k, v) -> if v <> 0 then Some (k, Json.Int v) else None)
+        s.Span.metrics
+    in
+    let g = s.Span.gc in
+    let gc_args =
+      [
+        ("gc.minor_collections", Json.Int g.Span.minor_collections);
+        ("gc.major_collections", Json.Int g.Span.major_collections);
+        ("gc.promoted_words", Json.Int g.Span.promoted_words);
+        ("gc.top_heap_words", Json.Int g.Span.top_heap_words);
+      ]
+    in
+    events :=
+      Json.Obj
+        [
+          ("name", Json.String s.Span.name);
+          ("ph", Json.String "X");
+          ("ts", Json.Float ((s.Span.start -. base) *. 1e6));
+          ("dur", Json.Float (s.Span.elapsed *. 1e6));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("args", Json.Obj (metric_args @ gc_args));
+        ]
+      :: !events;
+    List.iter go s.Span.children
+  in
+  List.iter go spans;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Metric.hist_observations h));
+      ("sum_ns", Json.Int (Metric.hist_sum_ns h));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lower_ns, n) -> Json.List [ Json.Int lower_ns; Json.Int n ])
+             (Metric.hist_nonzero_buckets h)) );
+    ]
+
+let histograms_json () =
+  Json.Obj
+    (List.map
+       (fun h -> (Metric.hist_name h, histogram_json h))
+       (Metric.histograms_in_order ()))
 
 let metrics_json () =
   Json.Obj (List.map (fun (name, _, value) -> (name, Json.Int value)) (Metric.all ()))

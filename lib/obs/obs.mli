@@ -117,6 +117,40 @@ module Metric : sig
 
   val value_since : since:snapshot -> handle -> int
   (** One metric's delta. *)
+
+  (** {2 Latency histograms}
+
+      Log2-bucketed duration distributions, for the per-phase,
+      per-edit and per-query latency stories that single counters
+      cannot tell.  Histograms live in a registry of their own:
+      {!snapshot}/{!delta} (and therefore span metric attribution and
+      every op-count contract) are unaffected by their existence.
+      Bucket [0] holds observations under 2 ns; bucket [i] holds
+      durations in [[2^i, 2^(i+1))] ns; the last bucket absorbs
+      overflow. *)
+
+  type histogram
+
+  val histogram : string -> histogram
+  (** Register (or retrieve) the histogram of that name. *)
+
+  val observe : histogram -> float -> unit
+  (** Record one duration, in seconds (negatives clamp to zero). *)
+
+  val observe_ns : histogram -> int -> unit
+  (** Record one duration, in nanoseconds. *)
+
+  val hist_name : histogram -> string
+  val hist_observations : histogram -> int
+  val hist_sum_ns : histogram -> int
+
+  val hist_nonzero_buckets : histogram -> (int * int) list
+  (** [(lower_bound_ns, count)] for each non-empty bucket, ascending. *)
+
+  val find_histogram : string -> histogram option
+
+  val histograms_in_order : unit -> histogram list
+  (** Every registered histogram, in registration order. *)
 end
 
 (** Hierarchical tracing spans.
@@ -135,11 +169,26 @@ end
     pool task — so traces are unchanged by [--jobs].  The enabled flag
     is shared (atomic) across domains. *)
 module Span : sig
+  type gc = {
+    minor_collections : int;  (** Delta across the span. *)
+    major_collections : int;  (** Delta across the span. *)
+    promoted_words : int;  (** Delta across the span. *)
+    top_heap_words : int;
+        (** Absolute high-water mark at close.  [0] on OCaml 5 until
+            the shared major heap has actually grown — tiny runs live
+            entirely in the minor heap. *)
+  }
+  (** [Gc.quick_stat] deltas attached to every span, so a trace shows
+      where allocation pressure (and therefore collector time) lands —
+      the memory half of the million-procedure story. *)
+
   type t = {
     name : string;
+    start : float;  (** {!Clock} reading at open (seconds). *)
     elapsed : float;  (** Seconds. *)
     metrics : (string * int) list;
         (** {!Metric.delta} across the span, registration order. *)
+    gc : gc;
     children : t list;  (** Sub-spans, in completion order. *)
   }
 
@@ -181,8 +230,21 @@ val pp_trace : Format.formatter -> Span.t list -> unit
     [bitvec] columns, and any other nonzero metric deltas. *)
 
 val trace_json : Span.t list -> Json.t
-(** The span tree as JSON: per span [name], [elapsed_s], [metrics]
-    (every registered metric, see {!Metric.delta}) and [children]. *)
+(** The span tree as JSON: per span [name], [start_s], [elapsed_s],
+    [metrics] (every registered metric, see {!Metric.delta}), [gc]
+    and [children]. *)
+
+val trace_events_json : Span.t list -> Json.t
+(** The span tree as Chrome trace-event JSON (the
+    [{"traceEvents": [...]}] format Perfetto and [chrome://tracing]
+    load): one complete event (["ph":"X"]) per span, timestamps in
+    microseconds relative to the earliest root, nonzero metric deltas
+    and GC counters as [args]. *)
+
+val histograms_json : unit -> Json.t
+(** Every registered histogram: per name [count], [sum_ns] and
+    [buckets] as [[lower_bound_ns, count]] pairs (non-empty buckets
+    only, ascending), so the encoding is stable and compact. *)
 
 val metrics_json : unit -> Json.t
 (** Current absolute value of every registered metric. *)

@@ -1,0 +1,304 @@
+(* Provenance / explain soundness.
+
+   Two contracts from the observability work:
+
+   1. {e Replay}: every witness chain the explain layer reconstructs is
+      a real path in the call / binding multigraph, and replaying each
+      step against the finished solutions (and the ground-truth local
+      sets) re-derives the fact.  Checked exhaustively: every GMOD/GUSE
+      bit, every set RMOD/RUSE β node and every §5 alias pair of every
+      program must yield a chain that validates step by step.
+
+   2. {e Invisibility}: [~provenance:true] changes neither a single
+      result bit nor a single counted operation — recording reasons
+      must stay off the measured paths. *)
+
+module A = Core.Analyze
+module P = Core.Provenance
+module E = Core.Explain
+module B = Callgraph.Binding
+
+let analyze prog = A.run ~provenance:true prog
+
+let gset (t : A.t) = function `Mod -> t.A.gmod | `Use -> t.A.guse
+let rres (t : A.t) = function `Mod -> t.A.rmod | `Use -> t.A.ruse
+let iplus (t : A.t) = function `Mod -> t.A.imod_plus | `Use -> t.A.iuse_plus
+let ifold (t : A.t) = function `Mod -> t.A.imod | `Use -> t.A.iuse
+
+(* The flat (unfolded) LMOD/LUSE family — the eq. 5 ground truth a
+   terminal [Glocal] step must replay against. *)
+let flat_local (t : A.t) = function
+  | `Mod -> Frontend.Local.imod_flat t.A.info
+  | `Use -> Frontend.Local.iuse_flat t.A.info
+
+let side_name = function `Mod -> "MOD" | `Use -> "USE"
+
+let ref_base (s : Ir.Prog.site) pos =
+  if pos < 0 || pos >= Array.length s.Ir.Prog.args then None
+  else
+    match s.Ir.Prog.args.(pos) with
+    | Ir.Prog.Arg_ref lv -> Some (Ir.Expr.lvalue_base lv)
+    | Ir.Prog.Arg_value _ -> None
+
+(* --- GMOD/GUSE chains ------------------------------------------------ *)
+
+(* One link of eq. 4/5: either a propagation step whose side condition
+   holds and whose successor continues at the right procedure, or a
+   terminal seed that replays against ground truth. *)
+let gmod_step_ok t side ~var (step : E.gmod_step) (next : E.gmod_step option) =
+  let prog = t.A.prog in
+  match (step.E.reason, next) with
+  | P.Gcall sid, Some n ->
+    let s = Ir.Prog.site prog sid in
+    s.Ir.Prog.caller = step.E.proc
+    && s.Ir.Prog.callee = n.E.proc
+    && Bitvec.get (gset t side).(n.E.proc) var
+    && not (Bitvec.get (Ir.Info.local t.A.info n.E.proc) var)
+  | P.Gnested c, Some n ->
+    n.E.proc = c
+    && List.mem c (Ir.Prog.proc prog step.E.proc).Ir.Prog.nested
+    && Bitvec.get (iplus t side).(c) var
+    && not (Bitvec.get (Ir.Info.local t.A.info c) var)
+  | P.Glocal, None -> Bitvec.get (flat_local t side).(step.E.proc) var
+  | P.Gbind { site; arg_pos }, None ->
+    let s = Ir.Prog.site prog site in
+    let callee = Ir.Prog.proc prog s.Ir.Prog.callee in
+    s.Ir.Prog.caller = step.E.proc
+    && ref_base s arg_pos = Some var
+    && arg_pos < Array.length callee.Ir.Prog.formals
+    && Core.Rmod.modified (rres t side) callee.Ir.Prog.formals.(arg_pos)
+  | _ -> false (* terminal reason mid-chain, or propagation at the end *)
+
+let rec gmod_chain_ok t side ~var = function
+  | [] -> false
+  | [ last ] -> gmod_step_ok t side ~var last None
+  | step :: (next :: _ as rest) ->
+    gmod_step_ok t side ~var step (Some next) && gmod_chain_ok t side ~var rest
+
+let check_gmod_fact t side ~proc ~var =
+  match E.gmod_chain t ~side ~proc ~var with
+  | None -> QCheck.Test.fail_reportf "no chain for %s fact p%d v%d" (side_name side) proc var
+  | Some [] -> QCheck.Test.fail_reportf "empty chain for p%d v%d" proc var
+  | Some (head :: _ as chain) ->
+    if head.E.proc <> proc then
+      QCheck.Test.fail_reportf "chain for p%d v%d starts at p%d" proc var head.E.proc;
+    if not (gmod_chain_ok t side ~var chain) then
+      QCheck.Test.fail_reportf "chain for %s p%d v%d does not replay" (side_name side)
+        proc var;
+    true
+
+(* --- RMOD/RUSE chains ------------------------------------------------ *)
+
+let check_rmod_fact t side ~var =
+  let b = t.A.binding in
+  let res = rres t side in
+  match E.rmod_chain t ~side ~var with
+  | None -> QCheck.Test.fail_reportf "no β chain for %s formal v%d" (side_name side) var
+  | Some [] -> QCheck.Test.fail_reportf "empty β chain for v%d" var
+  | Some (head :: _ as chain) ->
+    if B.node_opt b var <> Some head.E.node then
+      QCheck.Test.fail_reportf "β chain for v%d starts at node %d" var head.E.node;
+    let rec walk : E.rmod_step list -> bool = function
+      | [] -> assert false
+      | [ last ] -> (
+        (* A chain ends at a seed: the node's formal is in its owner's
+           folded IMOD/IUSE. *)
+        match last.E.reason with
+        | P.Rseed ->
+          let v' = B.var b last.E.node in
+          let owner = Option.get (Ir.Prog.var_owner (Ir.Prog.var t.A.prog v')) in
+          res.Core.Rmod.rmod.(last.E.node) && Bitvec.get (ifold t side).(owner) v'
+        | P.Redge _ -> false)
+      | step :: (next :: _ as rest) -> (
+        match step.E.reason with
+        | P.Rseed -> false
+        | P.Redge e ->
+          (* eq. 6: the bit flows edge-backwards, so the chain walks the
+             edge forwards, from its source to its destination. *)
+          res.Core.Rmod.rmod.(step.E.node)
+          && Graphs.Digraph.edge_src b.B.graph e = step.E.node
+          && Graphs.Digraph.edge_dst b.B.graph e = next.E.node
+          && walk rest)
+    in
+    if not (walk chain) then
+      QCheck.Test.fail_reportf "β chain for %s v%d does not replay" (side_name side) var;
+    true
+
+(* --- alias pairs ----------------------------------------------------- *)
+
+let alias_link_ok t (l : E.alias_link) =
+  let prog = t.A.prog in
+  let x, y = l.E.pair in
+  Core.Alias.may_alias t.A.alias ~proc:l.E.aproc x y
+  &&
+  match l.E.reason with
+  | P.Apositions { site; pos_i; pos_j } ->
+    let s = Ir.Prog.site prog site in
+    let callee = Ir.Prog.proc prog s.Ir.Prog.callee in
+    l.E.aproc = s.Ir.Prog.callee
+    && (match (ref_base s pos_i, ref_base s pos_j) with
+       | Some a, Some b -> a = b
+       | _ -> false)
+    && Core.Alias.norm callee.Ir.Prog.formals.(pos_i) callee.Ir.Prog.formals.(pos_j)
+       = (x, y)
+  | P.Avisible { site; pos } ->
+    let s = Ir.Prog.site prog site in
+    let callee = Ir.Prog.proc prog s.Ir.Prog.callee in
+    l.E.aproc = s.Ir.Prog.callee
+    && (match ref_base s pos with
+       | Some b ->
+         Core.Alias.norm callee.Ir.Prog.formals.(pos) b = (x, y)
+         && Ir.Prog.visible prog ~proc:s.Ir.Prog.callee ~var:b
+       | None -> false)
+  | P.Apropagated { site; from_pair } ->
+    let s = Ir.Prog.site prog site in
+    let fx, fy = from_pair in
+    l.E.aproc = s.Ir.Prog.callee
+    && Core.Alias.may_alias t.A.alias ~proc:s.Ir.Prog.caller fx fy
+  | P.Ainherited { parent } ->
+    (Ir.Prog.proc prog l.E.aproc).Ir.Prog.parent = Some parent
+    && Core.Alias.may_alias t.A.alias ~proc:parent x y
+
+let check_alias_fact t ~proc x y =
+  match E.alias_links t ~proc x y with
+  | None | Some [] ->
+    QCheck.Test.fail_reportf "no derivation for alias <%d,%d> in p%d" x y proc
+  | Some (head :: _ as links) ->
+    if head.E.aproc <> proc || head.E.pair <> Core.Alias.norm x y then
+      QCheck.Test.fail_reportf "alias derivation head mismatch for p%d" proc;
+    List.iter
+      (fun l ->
+        if not (alias_link_ok t l) then
+          let lx, ly = l.E.pair in
+          let r =
+            match l.E.reason with
+            | P.Apositions { site; pos_i; pos_j } ->
+              Printf.sprintf "Apositions s%d %d/%d" site pos_i pos_j
+            | P.Avisible { site; pos } -> Printf.sprintf "Avisible s%d %d" site pos
+            | P.Apropagated { site; from_pair = fx, fy } ->
+              Printf.sprintf "Apropagated s%d <%d,%d>" site fx fy
+            | P.Ainherited { parent } -> Printf.sprintf "Ainherited p%d" parent
+          in
+          QCheck.Test.fail_reportf "alias link <%d,%d> in p%d (%s) does not replay" lx
+            ly l.E.aproc r)
+      links;
+    true
+
+(* --- exhaustive per-program check ------------------------------------ *)
+
+(* Returns the number of facts checked so tests can insist the corpus
+   was not vacuous. *)
+let check_program prog =
+  let t = analyze prog in
+  let facts = ref 0 in
+  List.iter
+    (fun side ->
+      Array.iteri
+        (fun pid set ->
+          List.iter
+            (fun vid ->
+              incr facts;
+              ignore (check_gmod_fact t side ~proc:pid ~var:vid))
+            (Bitvec.to_list set))
+        (gset t side);
+      let res = rres t side in
+      Ir.Prog.iter_vars prog (fun v ->
+          if Ir.Prog.is_ref_formal v then
+            let vid = v.Ir.Prog.vid in
+            match B.node_opt t.A.binding vid with
+            | Some n when res.Core.Rmod.rmod.(n) ->
+              incr facts;
+              ignore (check_rmod_fact t side ~var:vid)
+            | _ -> ()))
+    [ `Mod; `Use ];
+  Ir.Prog.iter_procs prog (fun p ->
+      List.iter
+        (fun (x, y) ->
+          incr facts;
+          ignore (check_alias_fact t ~proc:p.Ir.Prog.pid x y))
+        (Core.Alias.pairs t.A.alias p.Ir.Prog.pid));
+  !facts
+
+let prop_replay_flat seed = check_program (Helpers.flat_of_seed seed) >= 0
+let prop_replay_nested seed = check_program (Helpers.nested_of_seed seed) >= 0
+
+let prop_replay_generated seed =
+  let rand = Random.State.make [| seed; 0x3a17e55 |] in
+  check_program (Workload.Gen.generate rand Workload.Gen.default) >= 0
+
+let test_families_exhaustive () =
+  let total =
+    List.fold_left
+      (fun acc (name, prog) ->
+        let n = check_program prog in
+        if n = 0 then Alcotest.failf "%s: no facts to explain" name;
+        acc + n)
+      0
+      [
+        ("ref_chain", Workload.Families.ref_chain 10);
+        ("ref_cycle", Workload.Families.ref_cycle 6);
+        ("global_chain", Workload.Families.global_chain 8);
+        ("mutual_pair", Workload.Families.mutual_pair ());
+        ("diamond", Workload.Families.diamond ());
+        ("nested_textbook", Workload.Families.nested_textbook ());
+        ("arrays", Workload.Arrays.generate ~seed:3 ~n_kernels:5);
+      ]
+  in
+  Helpers.check_bool "corpus is not vacuous" true (total > 100)
+
+(* --- provenance is invisible ----------------------------------------- *)
+
+let counters_only d =
+  List.filter
+    (fun (name, _) ->
+      match Obs.Metric.find name with
+      | Some h -> Obs.Metric.kind h = Obs.Metric.Counter
+      | None -> false)
+    d
+
+let same_bits (a : A.t) (b : A.t) =
+  Array.for_all2 Bitvec.equal a.A.gmod b.A.gmod
+  && Array.for_all2 Bitvec.equal a.A.guse b.A.guse
+  && Array.for_all2 Bool.equal a.A.rmod.Core.Rmod.rmod b.A.rmod.Core.Rmod.rmod
+  && Array.for_all2 Bool.equal a.A.ruse.Core.Rmod.rmod b.A.ruse.Core.Rmod.rmod
+  && a.A.rmod.Core.Rmod.steps = b.A.rmod.Core.Rmod.steps
+  && Core.Alias.total_pairs a.A.alias = Core.Alias.total_pairs b.A.alias
+
+let prop_provenance_invisible seed =
+  let prog = Helpers.nested_of_seed ~n:20 seed in
+  let measure provenance =
+    let snap = Obs.Metric.snapshot () in
+    let t = A.run ~provenance prog in
+    (t, counters_only (Obs.Metric.delta ~since:snap))
+  in
+  let off, d_off = measure false in
+  let on, d_on = measure true in
+  if not (same_bits off on) then
+    QCheck.Test.fail_reportf "provenance changed result bits (seed %d)" seed;
+  List.iter2
+    (fun (name, a) (name', b) ->
+      if name <> name' || a <> b then
+        QCheck.Test.fail_reportf "provenance changed op counts: %s %d <> %d" name a b)
+    d_off d_on;
+  on.A.provenance <> None && off.A.provenance = None
+
+let () =
+  Helpers.run "explain"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "fixed families, every fact" `Quick
+            test_families_exhaustive;
+          Helpers.qtest ~count:40 "flat programs replay" Helpers.arb_flat_prog
+            prop_replay_flat;
+          Helpers.qtest ~count:40 "nested programs replay" Helpers.arb_nested_prog
+            prop_replay_nested;
+          Helpers.qtest ~count:25 "generator programs replay" Helpers.arb_flat_prog
+            prop_replay_generated;
+        ] );
+      ( "invisibility",
+        [
+          Helpers.qtest ~count:30 "bits and op counts identical"
+            Helpers.arb_nested_prog prop_provenance_invisible;
+        ] );
+    ]

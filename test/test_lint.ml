@@ -239,7 +239,7 @@ let test_json_keys () =
           "stable key set"
           [
             "code"; "rule"; "severity"; "file"; "line"; "col"; "scope";
-            "message"; "hint";
+            "message"; "hint"; "witness";
           ]
           (List.map fst fields)
       | _ -> Alcotest.fail "finding JSON must be an object")
@@ -292,13 +292,21 @@ let prop_pure_matches_interp seed =
         o.Interp.calls_executed.(s.Ir.Prog.sid) > 0
         && List.mem s.Ir.Prog.callee pure
       then begin
-        let allowed = Ir.Info.fresh t.Core.Analyze.info in
+        let actuals = Ir.Info.fresh t.Core.Analyze.info in
         Array.iter
           (function
             | Ir.Prog.Arg_ref lv ->
-              Bitvec.set allowed (Ir.Expr.lvalue_base lv)
+              Bitvec.set actuals (Ir.Expr.lvalue_base lv)
             | Ir.Prog.Arg_value _ -> ())
           s.Ir.Prog.args;
+        (* A write through a by-reference formal surfaces in the caller
+           under every §5 alias of the actual as well (the interpreter
+           names the location at each binding level), so the allowance
+           is the alias closure — the same closure MOD(s) applies to
+           DMOD(s). *)
+        let allowed =
+          Core.Alias.close t.Core.Analyze.alias ~proc:s.Ir.Prog.caller actuals
+        in
         if not (Bitvec.subset (Interp.observed_mod o s.Ir.Prog.sid) allowed)
         then ok := false
       end);

@@ -214,6 +214,187 @@ let test_json_member () =
   Helpers.check_bool "member of non-obj" true
     (Obs.Json.member "x" (Obs.Json.Int 3) = None)
 
+(* --- histograms --- *)
+
+let test_histogram_buckets () =
+  let h = Obs.Metric.histogram "test.obs.hist_buckets" in
+  Alcotest.(check string) "name" "test.obs.hist_buckets" (Obs.Metric.hist_name h);
+  Obs.Metric.observe_ns h 1;
+  (* Re-registration returns the same histogram, observations kept. *)
+  let h' = Obs.Metric.histogram "test.obs.hist_buckets" in
+  Helpers.check_int "idempotent registration" 1 (Obs.Metric.hist_observations h');
+  Obs.Metric.observe_ns h 0;
+  Obs.Metric.observe_ns h (-5);
+  Obs.Metric.observe_ns h 2;
+  Obs.Metric.observe_ns h 3;
+  Obs.Metric.observe_ns h 4;
+  Obs.Metric.observe_ns h 1023;
+  Obs.Metric.observe_ns h 1024;
+  Helpers.check_int "observations" 8 (Obs.Metric.hist_observations h);
+  Helpers.check_int "sum clamps negatives to zero" (1 + 2 + 3 + 4 + 1023 + 1024)
+    (Obs.Metric.hist_sum_ns h);
+  (* Bucket 0 is [0,2) (1, 0 and the clamped -5); bucket [i] is
+     [2^i, 2^(i+1)), so 2 and 3 share a bucket, 1023 and 1024 do not. *)
+  Alcotest.(check (list (pair int int)))
+    "log2 bucket lower bounds, ascending"
+    [ (0, 3); (2, 2); (4, 1); (512, 1); (1024, 1) ]
+    (Obs.Metric.hist_nonzero_buckets h)
+
+let test_histogram_observe_seconds () =
+  let h = Obs.Metric.histogram "test.obs.hist_seconds" in
+  Obs.Metric.observe h 1.0;
+  (* 1 s = 1e9 ns, which lives in [2^29, 2^30). *)
+  Alcotest.(check (list (pair int int)))
+    "one second lands in the 2^29 bucket"
+    [ (536870912, 1) ]
+    (Obs.Metric.hist_nonzero_buckets h);
+  Helpers.check_int "sum in ns" 1_000_000_000 (Obs.Metric.hist_sum_ns h);
+  Obs.Metric.observe h (-1.0);
+  Helpers.check_int "negative seconds clamp" 1_000_000_000 (Obs.Metric.hist_sum_ns h);
+  Helpers.check_bool "find_histogram hit" true
+    (Obs.Metric.find_histogram "test.obs.hist_seconds" <> None);
+  Helpers.check_bool "find_histogram miss" true
+    (Obs.Metric.find_histogram "test.obs.hist_missing" = None);
+  Helpers.check_bool "listed in registration order" true
+    (List.exists
+       (fun h -> Obs.Metric.hist_name h = "test.obs.hist_seconds")
+       (Obs.Metric.histograms_in_order ()))
+
+let test_histograms_json_shape () =
+  let h = Obs.Metric.histogram "test.obs.hist_json" in
+  Obs.Metric.observe_ns h 7;
+  Obs.Metric.observe_ns h 7;
+  let j = Obs.histograms_json () in
+  let s = Obs.Json.to_string j in
+  (match Obs.Json.parse s with
+  | Error e -> Alcotest.failf "histograms_json reparses: %s" e
+  | Ok j' -> Alcotest.(check string) "stable" s (Obs.Json.to_string j'));
+  match Obs.Json.member "test.obs.hist_json" j with
+  | None -> Alcotest.fail "histogram listed by name"
+  | Some entry ->
+    Helpers.check_bool "count" true
+      (Obs.Json.member "count" entry = Some (Obs.Json.Int 2));
+    Helpers.check_bool "sum_ns" true
+      (Obs.Json.member "sum_ns" entry = Some (Obs.Json.Int 14));
+    Helpers.check_bool "buckets as [lower, count] pairs" true
+      (Obs.Json.member "buckets" entry
+      = Some (Obs.Json.List [ Obs.Json.List [ Obs.Json.Int 4; Obs.Json.Int 2 ] ]))
+
+(* --- GC-aware spans --- *)
+
+let test_span_gc_fields () =
+  let (), span =
+    Obs.Span.collect "gc_span" (fun () ->
+        (* Churn enough to make allocation visible without depending on
+           collector scheduling for the assertions below. *)
+        ignore (Sys.opaque_identity (Array.init 10_000 (fun i -> float_of_int i))))
+  in
+  let g = span.Obs.Span.gc in
+  Helpers.check_bool "minor_collections delta >= 0" true (g.Obs.Span.minor_collections >= 0);
+  Helpers.check_bool "major_collections delta >= 0" true (g.Obs.Span.major_collections >= 0);
+  Helpers.check_bool "promoted_words delta >= 0" true (g.Obs.Span.promoted_words >= 0);
+  Helpers.check_bool "top_heap_words absolute >= 0" true (g.Obs.Span.top_heap_words >= 0);
+  Helpers.check_bool "start is a clock reading" true (span.Obs.Span.start >= 0.);
+  (* trace_json carries the gc block per span. *)
+  match Obs.trace_json [ span ] with
+  | Obs.Json.List [ root ] ->
+    (match Obs.Json.member "gc" root with
+    | Some (Obs.Json.Obj fields) ->
+      Alcotest.(check (list string))
+        "gc field order"
+        [ "minor_collections"; "major_collections"; "promoted_words"; "top_heap_words" ]
+        (List.map fst fields)
+    | _ -> Alcotest.fail "span json has a gc object");
+    Helpers.check_bool "start_s serialised" true (Obs.Json.member "start_s" root <> None)
+  | _ -> Alcotest.fail "trace_json is a list of roots"
+
+(* --- trace-event export --- *)
+
+let test_trace_events_shape () =
+  let (), span =
+    Obs.Span.collect "tev_root" (fun () -> Obs.Span.with_ "tev_kid" ignore)
+  in
+  let j = Obs.trace_events_json [ span ] in
+  let s = Obs.Json.to_string j in
+  (match Obs.Json.parse s with
+  | Error e -> Alcotest.failf "trace_events_json reparses: %s" e
+  | Ok j' -> Alcotest.(check string) "stable" s (Obs.Json.to_string j'));
+  Helpers.check_bool "displayTimeUnit" true
+    (Obs.Json.member "displayTimeUnit" j = Some (Obs.Json.String "ms"));
+  match Obs.Json.member "traceEvents" j with
+  | Some (Obs.Json.List events) ->
+    Helpers.check_int "one complete event per span" 2 (List.length events);
+    Alcotest.(check (list string))
+      "pre-order: parent before child" [ "tev_root"; "tev_kid" ]
+      (List.map
+         (fun e ->
+           match Obs.Json.member "name" e with
+           | Some (Obs.Json.String n) -> n
+           | _ -> "?")
+         events);
+    List.iter
+      (fun e ->
+        Helpers.check_bool "ph is X" true
+          (Obs.Json.member "ph" e = Some (Obs.Json.String "X"));
+        Helpers.check_bool "pid" true (Obs.Json.member "pid" e = Some (Obs.Json.Int 1));
+        Helpers.check_bool "tid" true (Obs.Json.member "tid" e = Some (Obs.Json.Int 1));
+        (match Obs.Json.member "ts" e with
+        | Some (Obs.Json.Float ts) -> Helpers.check_bool "ts >= 0" true (ts >= 0.)
+        | _ -> Alcotest.fail "ts is a float");
+        (match Obs.Json.member "dur" e with
+        | Some (Obs.Json.Float d) -> Helpers.check_bool "dur >= 0" true (d >= 0.)
+        | _ -> Alcotest.fail "dur is a float");
+        match Obs.Json.member "args" e with
+        | Some (Obs.Json.Obj _ as args) ->
+          List.iter
+            (fun k ->
+              Helpers.check_bool (k ^ " in args") true (Obs.Json.member k args <> None))
+            [
+              "gc.minor_collections";
+              "gc.major_collections";
+              "gc.promoted_words";
+              "gc.top_heap_words";
+            ]
+        | _ -> Alcotest.fail "args is an object")
+      events;
+    (* Timestamps are relative to the earliest root: the root is at 0. *)
+    (match Obs.Json.member "ts" (List.hd events) with
+    | Some (Obs.Json.Float ts) -> Helpers.check_bool "root ts is 0" true (ts = 0.)
+    | _ -> Alcotest.fail "root ts is a float")
+  | _ -> Alcotest.fail "traceEvents is a list"
+
+(* --- hostile names --- *)
+
+let hostile = "evil \"name\" \\with\\ \n newline \t tab \x01 ctrl \x7f del"
+
+let test_hostile_names_encode () =
+  (* Every sink must survive metric, histogram and span names chosen to
+     break naive JSON string emission. *)
+  let c = Obs.Metric.counter ("test.obs.c " ^ hostile) in
+  Obs.Metric.add c 3;
+  let h = Obs.Metric.histogram ("test.obs.h " ^ hostile) in
+  Obs.Metric.observe_ns h 5;
+  let (), span =
+    Obs.Span.collect hostile (fun () -> Obs.Span.with_ hostile ignore)
+  in
+  List.iter
+    (fun (what, j) ->
+      let s = Obs.Json.to_string j in
+      match Obs.Json.parse s with
+      | Error e -> Alcotest.failf "%s with hostile names reparses: %s" what e
+      | Ok j' ->
+        Alcotest.(check string) (what ^ " stable") s (Obs.Json.to_string j'))
+    [
+      ("metrics_json", Obs.metrics_json ());
+      ("histograms_json", Obs.histograms_json ());
+      ("trace_json", Obs.trace_json [ span ]);
+      ("trace_events_json", Obs.trace_events_json [ span ]);
+    ];
+  (* The name round-trips as data, not just as syntax. *)
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Json.String hostile)) with
+  | Ok (Obs.Json.String s) -> Alcotest.(check string) "lossless" hostile s
+  | _ -> Alcotest.fail "hostile string round-trips"
+
 let test_trace_json_shape () =
   let (), span = Obs.Span.collect "shape" (fun () -> Obs.Span.with_ "kid" ignore) in
   let j = Obs.trace_json [ span ] in
@@ -247,6 +428,13 @@ let () =
           Alcotest.test_case "collect is isolated" `Quick test_collect_isolated;
           Alcotest.test_case "tracing off is op-identical" `Quick
             test_tracing_off_op_identical;
+          Alcotest.test_case "gc and start fields" `Quick test_span_gc_fields;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "log2 buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "observe in seconds" `Quick test_histogram_observe_seconds;
+          Alcotest.test_case "json shape" `Quick test_histograms_json_shape;
         ] );
       ( "json",
         [
@@ -255,5 +443,8 @@ let () =
           Alcotest.test_case "rejects malformed inputs" `Quick test_json_parse_errors;
           Alcotest.test_case "member lookup" `Quick test_json_member;
           Alcotest.test_case "trace_json shape" `Quick test_trace_json_shape;
+          Alcotest.test_case "trace-event export shape" `Quick test_trace_events_shape;
+          Alcotest.test_case "hostile names encode safely" `Quick
+            test_hostile_names_encode;
         ] );
     ]
