@@ -6,6 +6,7 @@ all:
 	$(MAKE) --no-print-directory lint-smoke
 	$(MAKE) --no-print-directory dataflow-smoke
 	$(MAKE) --no-print-directory obs-smoke
+	$(MAKE) --no-print-directory serve-smoke
 
 test:
 	dune runtest
@@ -135,11 +136,56 @@ obs-smoke:
 	grep -q '"histograms"' obs_smoke_stats.tmp || exit 1; \
 	rm -f obs_smoke_stats.tmp
 
+# Smoke-test the analysis server over stdio: one scripted session that
+# exercises every request type (load, every query class, an edit with a
+# lint delta, explain by fact and --all, stats, unload, shutdown).
+# json-validate parses exactly one value, so each response line is
+# validated on its own; any "ok":false response fails the target.
+serve-smoke:
+	dune build bin/sidefx.exe
+	@out=serve_smoke.tmp; \
+	printf '%s\n' \
+	  '{"id":1,"op":"load","program":"tiny","source":"program t; var g : int; begin g := 1; end."}' \
+	  '{"id":2,"op":"query","program":"demo","what":"gmod","proc":"logit"}' \
+	  '{"id":3,"op":"query","program":"demo","what":"guse","proc":"tally"}' \
+	  '{"id":4,"op":"query","program":"demo","what":"rmod","proc":"scale","var":"a"}' \
+	  '{"id":5,"op":"query","program":"demo","what":"ruse","proc":"tally","var":"cell"}' \
+	  '{"id":6,"op":"query","program":"demo","what":"alias","proc":"outer"}' \
+	  '{"id":7,"op":"query","program":"demo","what":"purity","proc":"scale"}' \
+	  '{"id":8,"op":"query","program":"demo","what":"mod","site":0}' \
+	  '{"id":9,"op":"query","program":"demo","what":"use","site":0}' \
+	  '{"id":10,"op":"edit","program":"demo","session":"s","script":"add-assign logit total = 3","lint":true}' \
+	  '{"id":11,"op":"query","program":"demo","session":"s","what":"lint-delta"}' \
+	  '{"id":12,"op":"query","program":"demo","session":"s","what":"source"}' \
+	  '{"id":13,"op":"explain","program":"demo","fact":"gmod:logit:unread"}' \
+	  '{"id":14,"op":"explain","program":"demo","all":true}' \
+	  '{"id":15,"op":"stats"}' \
+	  '{"id":16,"op":"unload","program":"tiny"}' \
+	  '{"id":17,"op":"shutdown"}' \
+	| ./_build/default/bin/sidefx.exe serve --load demo=programs/lint_demo.mp \
+	  > $$out || { echo "serve-smoke: server exited non-zero"; exit 1; }; \
+	n=0; while IFS= read -r line; do \
+	  n=$$((n+1)); \
+	  printf '%s\n' "$$line" \
+	    | ./_build/default/bin/sidefx.exe json-validate \
+	    || { echo "serve-smoke: response $$n is not valid JSON"; exit 1; }; \
+	done < $$out; \
+	[ $$n -eq 17 ] \
+	  || { echo "serve-smoke: expected 17 responses, got $$n"; cat $$out; exit 1; }; \
+	if grep -q '"ok":false' $$out; then \
+	  echo "serve-smoke: error response:"; grep '"ok":false' $$out; exit 1; \
+	fi; \
+	rm -f $$out; \
+	echo "serve-smoke: 17 responses, all valid JSON, no errors"
+
 bench-parallel:
 	dune exec bench/bench_parallel.exe
 
 bench-dataflow:
 	dune exec bench/bench_dataflow.exe
+
+bench-serve:
+	dune exec bench/bench_serve.exe
 
 examples:
 	dune exec examples/quickstart.exe
@@ -147,4 +193,4 @@ examples:
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick bench-parallel bench-dataflow profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke examples
+.PHONY: all test test-force bench bench-quick bench-parallel bench-dataflow bench-serve profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke serve-smoke examples

@@ -1,0 +1,121 @@
+(* Analysis-server load test: thousands of scripted clients against a
+   live Unix-socket server (experiment for lib/serve; docs/serve.md).
+
+   Each client mirrors its program locally, replays Workload.Edits
+   scripts rendered to the wire grammar, interleaves queries drawn
+   against the mirror, and pins the server's session source against
+   its own copy byte for byte — so the run is simultaneously a
+   benchmark and a correctness gate: any unparseable response, id echo
+   mismatch, failed valid-by-construction request, or mirror
+   divergence counts as a protocol error, and the process exits
+   non-zero if there is a single one.
+
+     dune exec bench/bench_serve.exe                    # 1000 clients, writes BENCH_serve.json
+     dune exec bench/bench_serve.exe -- --clients 200 --jobs 4 *)
+
+let arg name default =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then int_of_string Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let clients = arg "--clients" 1000
+let jobs = Par.Pool.effective_jobs (arg "--jobs" 2)
+let concurrency = arg "--concurrency" 64
+let seed = arg "--seed" 42
+
+(* A corpus spanning the program families: flat call graphs, nested
+   scopes, and the two chain spines.  Sources are the pretty-printed
+   text — exactly what a client would send. *)
+let programs =
+  [
+    ("flat", Workload.Families.fortran_style ~seed:3 ~n:12);
+    ("nested", Workload.Families.pascal_style ~seed:4 ~n:12 ~depth:4);
+    ("ref_chain", Workload.Families.ref_chain 12);
+    ("global_chain", Workload.Families.global_chain 12);
+  ]
+  |> List.map (fun (name, prog) -> (name, Ir.Pp.to_string prog))
+
+let () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sidefx-bench-%d.sock" (Unix.getpid ()))
+  in
+  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs) else None in
+  let server = Serve.Server.create ?pool () in
+  let domain = Domain.spawn (fun () -> Serve.Server.serve_socket server ~path) in
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Serve.Loadgen.run ~concurrency ~clients ~seed ~programs
+      ~connect:(fun () -> Serve.Loadgen.socket_conn ~path ())
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Scripted shutdown, then join the server domain. *)
+  let c = Serve.Loadgen.socket_conn ~path () in
+  c.Serve.Loadgen.send (Serve.Protocol.to_line Serve.Protocol.Shutdown);
+  (try ignore (c.Serve.Loadgen.recv ()) with _ -> ());
+  c.Serve.Loadgen.close ();
+  Domain.join domain;
+  Option.iter Par.Pool.shutdown pool;
+  let gc1 = Gc.quick_stat () in
+  Printf.printf
+    "== serve load test: %d clients (concurrency %d, jobs %d) over %s ==\n"
+    clients concurrency jobs path;
+  Printf.printf
+    "   %d requests in %.2fs (%.0f req/s), %d edits sent, %d skipped, %d \
+     protocol errors\n"
+    report.Serve.Loadgen.requests wall
+    (float_of_int report.Serve.Loadgen.requests /. Float.max wall 1e-9)
+    report.Serve.Loadgen.edits_sent report.Serve.Loadgen.edits_skipped
+    report.Serve.Loadgen.protocol_errors;
+  Printf.printf "   %-16s %8s | %10s %10s %10s\n" "class" "count" "p50 (us)"
+    "p95 (us)" "p99 (us)";
+  List.iter
+    (fun c ->
+      Printf.printf "   %-16s %8d | %10.1f %10.1f %10.1f\n"
+        c.Serve.Loadgen.cls c.Serve.Loadgen.count
+        (float_of_int c.Serve.Loadgen.p50_ns /. 1e3)
+        (float_of_int c.Serve.Loadgen.p95_ns /. 1e3)
+        (float_of_int c.Serve.Loadgen.p99_ns /. 1e3))
+    report.Serve.Loadgen.classes;
+  let json =
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.String "serve");
+        ( "claim",
+          Obs.Json.String
+            "scripted clients replaying rendered edit scripts and mirror-pinned \
+             queries over the line protocol see zero protocol errors; \
+             per-request-class client-side latency percentiles below" );
+        ("transport", Obs.Json.String "unix-socket");
+        ("clients", Obs.Json.Int clients);
+        ("concurrency", Obs.Json.Int concurrency);
+        ("jobs", Obs.Json.Int jobs);
+        ("seed", Obs.Json.Int seed);
+        ( "programs",
+          Obs.Json.List
+            (List.map (fun (n, _) -> Obs.Json.String n) programs) );
+        ("wall_s", Obs.Json.Float wall);
+        ( "requests_per_s",
+          Obs.Json.Float
+            (float_of_int report.Serve.Loadgen.requests /. Float.max wall 1e-9)
+        );
+        ("report", Serve.Loadgen.report_json report);
+        ( "major_collections",
+          Obs.Json.Int (gc1.Gc.major_collections - gc0.Gc.major_collections) );
+        ("top_heap_words", Obs.Json.Int gc1.Gc.top_heap_words);
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "   (table written to BENCH_serve.json)\n";
+  if report.Serve.Loadgen.protocol_errors > 0 then begin
+    List.iter (Printf.eprintf "   error: %s\n") report.Serve.Loadgen.error_samples;
+    exit 1
+  end

@@ -1022,63 +1022,12 @@ let inline_cmd =
 
 (* Procedures and variables are matched by name across an edit script
    (ids are renumbered by procedure removal), so the delta tables read
-   stably no matter how the tables shifted underneath. *)
+   stably no matter how the tables shifted underneath.  The actual
+   encoder lives in Serve.Delta — one implementation for this table,
+   this command's --json, and the server's edit responses, so the two
+   surfaces cannot drift. *)
 let edit_cmd =
-  let set_names prog set =
-    List.map (Ir.Pp.qualified_var_name prog) (Bitvec.to_list set)
-    |> List.sort_uniq compare
-  in
-  let delta before after =
-    (* name-keyed per-procedure sets -> (proc, added, removed) rows *)
-    let added = List.filter (fun v -> not (List.mem v before)) after in
-    let removed = List.filter (fun v -> not (List.mem v after)) before in
-    (added, removed)
-  in
-  let proc_rows (tb : Core.Analyze.t) (ta : Core.Analyze.t) project =
-    let before = Hashtbl.create 16 in
-    Ir.Prog.iter_procs tb.Core.Analyze.prog (fun p ->
-        Hashtbl.replace before p.Ir.Prog.pname
-          (set_names tb.Core.Analyze.prog (project tb).(p.Ir.Prog.pid)));
-    let rows = ref [] in
-    Ir.Prog.iter_procs ta.Core.Analyze.prog (fun p ->
-        let after = set_names ta.Core.Analyze.prog (project ta).(p.Ir.Prog.pid) in
-        let old = Option.value ~default:[] (Hashtbl.find_opt before p.Ir.Prog.pname) in
-        let added, removed = delta old after in
-        if added <> [] || removed <> [] then
-          rows := (p.Ir.Prog.pname, added, removed) :: !rows);
-    Hashtbl.iter
-      (fun name old ->
-        if Ir.Prog.find_proc ta.Core.Analyze.prog name = None && old <> [] then
-          rows := (name, [], old) :: !rows)
-      before;
-    List.sort compare !rows
-  in
-  let pp_rows title rows =
-    Format.printf "== %s delta ==@." title;
-    if rows = [] then Format.printf "  (none)@."
-    else
-      List.iter
-        (fun (name, added, removed) ->
-          Format.printf "  %-12s" name;
-          if added <> [] then
-            Format.printf " +{%s}" (String.concat "," added);
-          if removed <> [] then
-            Format.printf " -{%s}" (String.concat "," removed);
-          Format.printf "@.")
-        rows
-  in
-  let rows_json rows =
-    Obs.Json.List
-      (List.map
-         (fun (name, added, removed) ->
-           Obs.Json.Obj
-             [
-               ("proc", Obs.Json.String name);
-               ("added", Obs.Json.List (List.map (fun s -> Obs.Json.String s) added));
-               ("removed", Obs.Json.List (List.map (fun s -> Obs.Json.String s) removed));
-             ])
-         rows)
-  in
+  let set_names = Serve.Delta.set_names in
   let run file script random seed incremental lint json jobs =
     Par.Pool.with_pool ~jobs @@ fun pool ->
     let prog = load file in
@@ -1136,20 +1085,11 @@ let edit_cmd =
                 (Incremental.Edit.to_string p edit :: acc, p'))
               ([], prog) steps))
     in
-    let gmod_rows = proc_rows before after (fun t -> t.Core.Analyze.gmod) in
-    let guse_rows = proc_rows before after (fun t -> t.Core.Analyze.guse) in
+    let snap = Serve.Delta.snapshot before in
+    let gmod_rows = Serve.Delta.rows snap after ~side:`Mod in
+    let guse_rows = Serve.Delta.rows snap after ~side:`Use in
     let aprog = after.Core.Analyze.prog in
-    let lint_json_fields =
-      match lint_delta with
-      | None -> []
-      | Some (added, removed) ->
-        [
-          ( "lint_added",
-            Obs.Json.List (List.map Lint.Diagnostic.to_json added) );
-          ( "lint_removed",
-            Obs.Json.List (List.map Lint.Diagnostic.to_json removed) );
-        ]
-    in
+    let lint_json_fields = Serve.Delta.lint_fields lint_delta in
     if json then
       print_endline
         (Obs.Json.to_string
@@ -1159,8 +1099,8 @@ let edit_cmd =
                 ( "edits",
                   Obs.Json.List
                     (List.map (fun e -> Obs.Json.String e) edits_rendered) );
-                ("gmod_delta", rows_json gmod_rows);
-                ("guse_delta", rows_json guse_rows);
+                ("gmod_delta", Serve.Delta.rows_json gmod_rows);
+                ("guse_delta", Serve.Delta.rows_json guse_rows);
                 ( "sites",
                   Obs.Json.List
                     (List.concat_map
@@ -1192,8 +1132,8 @@ let edit_cmd =
     else begin
       Format.printf "== edits (%d) ==@." (List.length edits_rendered);
       List.iteri (fun i e -> Format.printf "  %d. %s@." (i + 1) e) edits_rendered;
-      pp_rows "GMOD" gmod_rows;
-      pp_rows "GUSE" guse_rows;
+      Format.printf "%a" (Serve.Delta.pp_rows ~title:"GMOD") gmod_rows;
+      Format.printf "%a" (Serve.Delta.pp_rows ~title:"GUSE") guse_rows;
       Format.printf "== sites after ==@.";
       Ir.Prog.iter_sites aprog (fun s ->
           let sid = s.Ir.Prog.sid in
@@ -1264,6 +1204,59 @@ let edit_cmd =
       const run $ file_arg $ script_arg $ random_arg $ seed_arg
       $ incremental_arg $ lint_arg $ json_arg $ jobs_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let run socket loads jobs =
+    Par.Pool.with_pool ~jobs @@ fun pool ->
+    let server = Serve.Server.create ?pool () in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          (match Serve.Server.load_file server ~name ~path with
+          | Ok () -> ()
+          | Error msg ->
+            Format.eprintf "serve: --load %s: %s@." spec msg;
+            exit 1)
+        | None ->
+          Format.eprintf "serve: --load expects NAME=FILE, got '%s'@." spec;
+          exit 1)
+      loads;
+    match socket with
+    | Some path -> Serve.Server.serve_socket server ~path
+    | None -> Serve.Server.serve_channels server stdin stdout
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve a Unix socket at $(docv) instead of stdin/stdout.  The \
+             socket is created (any stale file replaced) and removed on \
+             shutdown.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "load" ] ~docv:"NAME=FILE"
+          ~doc:
+            "Pre-load a MiniProc file under a program name (repeatable).  \
+             Compilation happens immediately; analysis is deferred to the \
+             first query.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis server: line-delimited JSON requests (load / query \
+          / edit / explain / stats / shutdown) against in-memory analyses \
+          with per-client incremental edit sessions.  See docs/serve.md for \
+          the protocol.")
+    Term.(const run $ socket_arg $ load_arg $ jobs_arg)
+
 let bench_table_cmd =
   let run sizes =
     Format.printf
@@ -1308,4 +1301,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sidefx" ~version:"1.0.0"
              ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
-          [ analyze_cmd; lint_cmd; explain_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; bench_table_cmd ]))
+          [ analyze_cmd; lint_cmd; explain_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; serve_cmd; bench_table_cmd ]))

@@ -1,0 +1,102 @@
+The analysis server speaks one JSON object per line over stdio (or a
+Unix socket); docs/serve.md has the full schema.  A scripted session
+covering every query class, an edit with its lint delta, and a
+provenance query:
+
+  $ printf '%s\n' \
+  >   '{"id":1,"op":"query","program":"demo","what":"gmod","proc":"logit"}' \
+  >   '{"id":2,"op":"query","program":"demo","what":"guse","proc":"tally"}' \
+  >   '{"id":3,"op":"query","program":"demo","what":"rmod","proc":"scale","var":"a"}' \
+  >   '{"id":4,"op":"query","program":"demo","what":"ruse","proc":"tally","var":"cell"}' \
+  >   '{"id":5,"op":"query","program":"demo","what":"alias","proc":"outer"}' \
+  >   '{"id":6,"op":"query","program":"demo","what":"purity","proc":"scale"}' \
+  >   '{"id":7,"op":"query","program":"demo","what":"mod","site":0}' \
+  >   '{"id":8,"op":"query","program":"demo","what":"use","site":0}' \
+  >   '{"id":9,"op":"edit","program":"demo","session":"s","script":"add-assign logit total = 3","lint":true}' \
+  >   '{"id":10,"op":"query","program":"demo","session":"s","what":"lint-delta"}' \
+  >   '{"id":11,"op":"explain","program":"demo","fact":"gmod:logit:unread"}' \
+  >   '{"id":12,"op":"shutdown"}' \
+  > | ../bin/sidefx.exe serve --load demo=../programs/lint_demo.mp
+  {"id":1,"ok":true,"result":{"proc":"logit","vars":["unread"]}}
+  {"id":2,"ok":true,"result":{"proc":"tally","vars":["tally.cell","total"]}}
+  {"id":3,"ok":true,"result":{"proc":"scale","var":"a","member":true}}
+  {"id":4,"ok":true,"result":{"proc":"tally","var":"cell","member":true}}
+  {"id":5,"ok":true,"result":{"proc":"outer","pairs":[["total","outer.u"],["total","outer.v"],["outer.u","outer.v"]]}}
+  {"id":6,"ok":true,"result":{"proc":"scale","pure":true}}
+  {"id":7,"ok":true,"result":{"site":0,"vars":["total"]}}
+  {"id":8,"ok":true,"result":{"site":0,"vars":["total"]}}
+  {"id":9,"ok":true,"result":{"program":"demo","session":"s","edits":["add-assign logit total := 3"],"gmod_delta":[{"proc":"logit","added":["total"],"removed":[]}],"guse_delta":[],"fallbacks":0,"procs_resolved":2,"lint_added":[{"code":"SFX009","rule":"rmw-hint","severity":"note","file":"<none>","line":0,"col":0,"scope":"lint_demo","message":"call to 'logit' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch","hint":"hoist the read or batch the updates to cut call-boundary traffic","witness":["the call reads 'total':","'total' is read when evaluating the arguments of site 2","the call writes 'total':","call to 'logit' at site 2 may modify 'total' directly","'total' ∈ GMOD(logit): logit","logit writes 'total'","'total' is live after the call"]}],"lint_removed":[]}}
+  {"id":10,"ok":true,"result":{"lint_added":[{"code":"SFX009","rule":"rmw-hint","severity":"note","file":"<none>","line":0,"col":0,"scope":"lint_demo","message":"call to 'logit' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch","hint":"hoist the read or batch the updates to cut call-boundary traffic","witness":["the call reads 'total':","'total' is read when evaluating the arguments of site 2","the call writes 'total':","call to 'logit' at site 2 may modify 'total' directly","'total' ∈ GMOD(logit): logit","logit writes 'total'","'total' is live after the call"]}],"lint_removed":[]}}
+  {"id":11,"ok":true,"result":{"program":"demo","fact":"gmod:logit:unread","witness":["'unread' ∈ GMOD(logit): logit","logit writes 'unread' at demo:42:3"]}}
+  {"id":12,"ok":true,"result":{"stopping":true}}
+
+Malformed and hostile lines get structured errors — the id is
+recovered whenever the line was a JSON object, and the connection
+survives every one of them (the final valid query still answers):
+
+  $ printf '%s\n' \
+  >   'this is not JSON' \
+  >   '{"id":42,"op":"frobnicate"}' \
+  >   '{"id":43,"op":"query","program":"nope","what":"gmod","proc":"x"}' \
+  >   '{"id":44,"op":"query","program":"demo","what":"gmod","proc":"nosuch"}' \
+  >   '{"id":45,"op":"query","program":"demo","what":"mod","site":999}' \
+  >   '{"id":46,"op":"edit","program":"demo","session":"s","script":"frob the knob"}' \
+  >   '{"id":47,"op":"explain","program":"demo","fact":"gmod p1 x"}' \
+  >   '{"op":"load"' \
+  >   '{"id":48,"op":"query","program":"demo","what":"gmod","proc":"logit"}' \
+  >   '{"id":49,"op":"shutdown"}' \
+  > | ../bin/sidefx.exe serve --load demo=../programs/lint_demo.mp
+  {"id":null,"ok":false,"error":"bad JSON: at offset 0: expected 'true'"}
+  {"id":42,"ok":false,"error":"unknown op 'frobnicate' (expected load | unload | query | edit | explain | stats | shutdown)"}
+  {"id":43,"ok":false,"error":"unknown program 'nope'"}
+  {"id":44,"ok":false,"error":"unknown procedure 'nosuch'"}
+  {"id":45,"ok":false,"error":"no such site: 999"}
+  {"id":46,"ok":false,"error":"bad edit script: line 1: cannot parse edit \"frob the knob\" (commands: add-assign, remove-assign, add-call, remove-call, retarget-call, add-proc, remove-proc)"}
+  {"id":47,"ok":false,"error":"unrecognised fact 'gmod p1 x' (expected gmod:P:V | guse:P:V | rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"}
+  {"id":null,"ok":false,"error":"bad JSON: at offset 12: expected ',' or '}'"}
+  {"id":48,"ok":true,"result":{"proc":"logit","vars":["unread"]}}
+  {"id":49,"ok":true,"result":{"stopping":true}}
+
+The response JSON key set is a stable contract (values are not): a
+session touching load, source, stats, explain --all, and unload emits
+exactly these keys:
+
+  $ printf '%s\n' \
+  >   '{"id":1,"op":"load","program":"tiny","source":"program t; var g : int; begin g := 1; end."}' \
+  >   '{"id":2,"op":"query","program":"tiny","what":"source"}' \
+  >   '{"id":3,"op":"stats"}' \
+  >   '{"id":4,"op":"explain","program":"demo","all":true}' \
+  >   '{"id":5,"op":"unload","program":"tiny"}' \
+  >   '{"id":6,"op":"shutdown"}' \
+  > | ../bin/sidefx.exe serve --load demo=../programs/lint_demo.mp \
+  > | grep -o '"[A-Za-z0-9_.]*":' | sort -u
+  "analyzed":
+  "count":
+  "edits":
+  "fact":
+  "facts":
+  "id":
+  "latency":
+  "load":
+  "missing":
+  "missing_facts":
+  "name":
+  "ok":
+  "p50_ns":
+  "p95_ns":
+  "p99_ns":
+  "procedures":
+  "program":
+  "programs":
+  "query.source":
+  "requests":
+  "result":
+  "serve.load_s":
+  "serve.query.source_s":
+  "sessions":
+  "sites":
+  "source":
+  "stopping":
+  "total":
+  "unloaded":
+  "witness":

@@ -195,6 +195,25 @@ let create ?(threshold = 0.5) ?pool ?(provenance = false) prog =
     dataflow = None;
   }
 
+(* Adopt an existing batch result instead of re-running it.  The
+   analysis server creates one engine per client session over a shared
+   registry entry, so re-entry must cost only the caches: the adopted
+   record is treated as read-only (the solvers never mutate cached
+   vectors; every edit replaces [t.analysis] wholesale), which keeps a
+   still-unedited session's queries reading the same vectors as the
+   registry base. *)
+let of_analysis ?(threshold = 0.5) ?pool (analysis : Analyze.t) =
+  {
+    threshold;
+    pool;
+    provenance = analysis.Analyze.provenance <> None;
+    analysis;
+    caches = build_caches ?pool analysis;
+    edits = 0;
+    lint_cache = None;
+    dataflow = None;
+  }
+
 let analysis t = t.analysis
 let prog t = t.analysis.Analyze.prog
 let edits_applied t = t.edits

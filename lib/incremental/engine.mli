@@ -57,6 +57,18 @@ val create :
     linear in the fact count — the cone re-solve itself is unchanged),
     so witnesses never go stale. *)
 
+val of_analysis : ?threshold:float -> ?pool:Par.Pool.t -> Core.Analyze.t -> t
+(** Adopt an already-solved batch result instead of re-running it:
+    only the caches are built (local set re-derivation plus the cached
+    β solutions — no bit-vector [GMOD] work).  The adopted record is
+    treated as read-only: until the first {!apply} the engine answers
+    queries straight from it, and every edit replaces the engine's
+    analysis wholesale, so several engines may adopt one shared record
+    concurrently (the analysis server gives each client session its
+    own engine over one registry entry this way).  Provenance upkeep
+    is inherited from the record: it stays live across edits iff
+    [analysis.provenance] is [Some _]. *)
+
 val apply : t -> Edit.t -> outcome
 (** Apply one edit and bring {!analysis} up to date.  Raises
     [Invalid_argument] (from {!Ir.Patch}) on structurally impossible

@@ -80,8 +80,16 @@ let parse_line prog line =
     | "add-assign", [ pname; vname; "="; v ] ->
       let* proc = find_proc prog pname in
       let* target = find_var prog ~proc vname in
-      let* i = int_of "add-assign" v in
-      ok (Edit.Add_assign { proc; target; value = Expr.Int i })
+      let* value =
+        (* An integer literal, or the name of a variable visible in the
+           procedure (the generator emits both shapes). *)
+        match int_of_string_opt v with
+        | Some i -> Ok (Expr.Int i)
+        | None ->
+          let* vid = find_var prog ~proc v in
+          Ok (Expr.Var vid)
+      in
+      ok (Edit.Add_assign { proc; target; value })
     | "remove-assign", [ pname; idx ] ->
       let* proc = find_proc prog pname in
       let* index = int_of "remove-assign" idx in
@@ -133,6 +141,71 @@ let parse_line prog line =
         "cannot parse edit %S (commands: add-assign, remove-assign, add-call, \
          remove-call, retarget-call, add-proc, remove-proc)"
         (String.trim line))
+
+(* Emit a parseable script line for an edit.  The inverse of
+   [parse_line], up to shadowing: names are ambiguous where a local
+   shadows an outer variable, so the candidate line is parsed back and
+   only returned when it resolves to exactly the given edit. *)
+let render prog edit =
+  let vname vid = (Prog.var prog vid).Prog.vname in
+  let pname pid = (Prog.proc prog pid).Prog.pname in
+  let arg_word = function
+    | Prog.Arg_ref (Expr.Lvar v) -> Some ("&" ^ vname v)
+    | Prog.Arg_value (Expr.Int i) -> Some (string_of_int i)
+    | Prog.Arg_value (Expr.Var v) -> Some (vname v)
+    | _ -> None
+  in
+  let all_args args =
+    Array.fold_right
+      (fun a acc ->
+        match (arg_word a, acc) with
+        | Some w, Some ws -> Some (w :: ws)
+        | _ -> None)
+      args (Some [])
+  in
+  let line =
+    match edit with
+    | Edit.Add_assign { proc; target; value } -> (
+      match value with
+      | Expr.Int i ->
+        Some
+          (Printf.sprintf "add-assign %s %s = %d" (pname proc) (vname target) i)
+      | Expr.Var v ->
+        Some
+          (Printf.sprintf "add-assign %s %s = %s" (pname proc) (vname target)
+             (vname v))
+      | _ -> None)
+    | Edit.Remove_assign { proc; index } ->
+      Some (Printf.sprintf "remove-assign %s %d" (pname proc) index)
+    | Edit.Add_call { caller; callee; args } -> (
+      match all_args args with
+      | None -> None
+      | Some words ->
+        Some
+          (String.concat " "
+             ("add-call" :: pname caller :: pname callee :: words)))
+    | Edit.Remove_call { sid } -> Some (Printf.sprintf "remove-call %d" sid)
+    | Edit.Retarget_call { sid; callee } ->
+      Some (Printf.sprintf "retarget-call %d %s" sid (pname callee))
+    | Edit.Add_proc { name; writes; reads } ->
+      let field key = function
+        | [] -> []
+        | vs ->
+          [ Printf.sprintf "%s=%s" key
+              (String.concat "," (List.map vname vs))
+          ]
+      in
+      Some
+        (String.concat " "
+           (("add-proc" :: name :: field "writes" writes) @ field "reads" reads))
+    | Edit.Remove_proc { pid } -> Some (Printf.sprintf "remove-proc %s" (pname pid))
+  in
+  match line with
+  | None -> None
+  | Some l -> (
+    match parse_line prog l with
+    | Ok (Some e) when e = edit -> Some l
+    | _ -> None)
 
 let parse prog src =
   let lines = String.split_on_char '\n' src in

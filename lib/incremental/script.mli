@@ -6,7 +6,8 @@
     [remove-proc], so scripts speak in names):
 
     {v
-add-assign PROC VAR [= INT]     append VAR := INT (default 1) to PROC
+add-assign PROC VAR [= INT|VAR2]  append VAR := INT (default 1) or
+                                VAR := VAR2 to PROC
 remove-assign PROC INDEX        delete PROC's INDEX-th top-level statement
 add-call CALLER CALLEE [ARG..]  append a call; ARG is &var | var | int
 remove-call SID                 delete call site SID
@@ -19,6 +20,13 @@ val parse_line : Ir.Prog.t -> string -> (Edit.t option, string) result
 (** Parse one line against the given program ([Ok None] for a blank or
     comment line).  Resolution errors (unknown names, bad integers)
     come back as [Error]. *)
+
+val render : Ir.Prog.t -> Edit.t -> string option
+(** Emit a script line that {!parse_line} maps back to exactly this
+    edit against the same program, or [None] when the edit has no
+    concrete syntax (non-literal argument expressions) or its names are
+    ambiguous under shadowing.  This is how the analysis server's load
+    generator replays [Workload.Edits] over the wire. *)
 
 val parse : Ir.Prog.t -> string -> ((Edit.t * Ir.Prog.t) list, string) result
 (** Parse a whole script, applying each edit as it is parsed so later

@@ -465,6 +465,33 @@ module Metric = struct
     Mutex.unlock hist_mu;
     !acc
 
+  (* Bucketed quantile: the upper bound of the bucket holding the
+     ceil(q*n)-th smallest observation, so the answer is conservative
+     (never under-reports a latency) and exact to one power of two —
+     all a p50/p95/p99 server-stats row needs. *)
+  let hist_quantile_ns h q =
+    Mutex.lock hist_mu;
+    let n = h.observations in
+    let r =
+      if n = 0 then 0
+      else begin
+        let q = Float.max 0. (Float.min 1. q) in
+        let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+        let rec go i seen =
+          if i >= hist_buckets then bucket_lower_ns (hist_buckets - 1)
+          else
+            let seen = seen + h.buckets.(i) in
+            if seen >= rank then
+              if i >= hist_buckets - 1 then bucket_lower_ns i
+              else (1 lsl (i + 1)) - 1
+            else go (i + 1) seen
+        in
+        go 0 0
+      end
+    in
+    Mutex.unlock hist_mu;
+    r
+
   let find_histogram name =
     Mutex.lock hist_mu;
     let r = Hashtbl.find_opt hist_by_name name in

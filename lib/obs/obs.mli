@@ -147,6 +147,14 @@ module Metric : sig
   val hist_nonzero_buckets : histogram -> (int * int) list
   (** [(lower_bound_ns, count)] for each non-empty bucket, ascending. *)
 
+  val hist_quantile_ns : histogram -> float -> int
+  (** [hist_quantile_ns h q] (with [q] clamped to [[0,1]]) is a
+      conservative bucketed quantile: the upper bound (in ns) of the
+      bucket containing the [ceil (q * n)]-th smallest observation, [0]
+      when the histogram is empty.  Exact to one power of two and never
+      under an actual observed latency — the resolution the server's
+      per-request-class p50/p95/p99 stats report at. *)
+
   val find_histogram : string -> histogram option
 
   val histograms_in_order : unit -> histogram list

@@ -1,0 +1,85 @@
+type row = string * string list * string list
+
+let set_names prog set =
+  List.map (Ir.Pp.qualified_var_name prog) (Bitvec.to_list set)
+  |> List.sort_uniq compare
+
+type snapshot = {
+  smod : (string, string list) Hashtbl.t;
+  suse : (string, string list) Hashtbl.t;
+}
+
+let capture (t : Core.Analyze.t) sets =
+  let table = Hashtbl.create 16 in
+  Ir.Prog.iter_procs t.Core.Analyze.prog (fun p ->
+      Hashtbl.replace table p.Ir.Prog.pname
+        (set_names t.Core.Analyze.prog sets.(p.Ir.Prog.pid)));
+  table
+
+let snapshot (t : Core.Analyze.t) =
+  {
+    smod = capture t t.Core.Analyze.gmod;
+    suse = capture t t.Core.Analyze.guse;
+  }
+
+let diff before after =
+  let added = List.filter (fun v -> not (List.mem v before)) after in
+  let removed = List.filter (fun v -> not (List.mem v after)) before in
+  (added, removed)
+
+let rows snap (ta : Core.Analyze.t) ~side =
+  let before, project =
+    match side with
+    | `Mod -> (snap.smod, ta.Core.Analyze.gmod)
+    | `Use -> (snap.suse, ta.Core.Analyze.guse)
+  in
+  let rows = ref [] in
+  Ir.Prog.iter_procs ta.Core.Analyze.prog (fun p ->
+      let after = set_names ta.Core.Analyze.prog project.(p.Ir.Prog.pid) in
+      let old =
+        Option.value ~default:[] (Hashtbl.find_opt before p.Ir.Prog.pname)
+      in
+      let added, removed = diff old after in
+      if added <> [] || removed <> [] then
+        rows := (p.Ir.Prog.pname, added, removed) :: !rows);
+  Hashtbl.iter
+    (fun name old ->
+      if Ir.Prog.find_proc ta.Core.Analyze.prog name = None && old <> [] then
+        rows := (name, [], old) :: !rows)
+    before;
+  List.sort compare !rows
+
+let pp_rows ~title ppf rows =
+  Format.fprintf ppf "== %s delta ==@." title;
+  if rows = [] then Format.fprintf ppf "  (none)@."
+  else
+    List.iter
+      (fun (name, added, removed) ->
+        Format.fprintf ppf "  %-12s" name;
+        if added <> [] then Format.fprintf ppf " +{%s}" (String.concat "," added);
+        if removed <> [] then
+          Format.fprintf ppf " -{%s}" (String.concat "," removed);
+        Format.fprintf ppf "@.")
+      rows
+
+let rows_json rows =
+  Obs.Json.List
+    (List.map
+       (fun (name, added, removed) ->
+         Obs.Json.Obj
+           [
+             ("proc", Obs.Json.String name);
+             ( "added",
+               Obs.Json.List (List.map (fun s -> Obs.Json.String s) added) );
+             ( "removed",
+               Obs.Json.List (List.map (fun s -> Obs.Json.String s) removed) );
+           ])
+       rows)
+
+let lint_fields = function
+  | None -> []
+  | Some (added, removed) ->
+    [
+      ("lint_added", Obs.Json.List (List.map Lint.Diagnostic.to_json added));
+      ("lint_removed", Obs.Json.List (List.map Lint.Diagnostic.to_json removed));
+    ]

@@ -1,0 +1,358 @@
+module Json = Obs.Json
+
+type conn = {
+  send : string -> unit;
+  recv : unit -> string;
+  close : unit -> unit;
+}
+
+let in_process server =
+  let next = ref 100_000 in
+  fun () ->
+    let id = !next in
+    incr next;
+    let pending = Queue.create () in
+    {
+      send =
+        (fun line -> Queue.add (Server.handle_line server ~client:id line) pending);
+      recv = (fun () -> Queue.pop pending);
+      close = ignore;
+    }
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let socket_conn ?(retries = 100) ~path () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec connect attempt =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempt < retries ->
+      Unix.sleepf 0.05;
+      connect (attempt + 1)
+  in
+  connect 0;
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 8192 in
+  let rec recv_line () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear buf;
+      Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+      String.sub s 0 i
+    | None ->
+      let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if k = 0 then failwith "server closed the connection"
+      else begin
+        Buffer.add_subbytes buf chunk 0 k;
+        recv_line ()
+      end
+  in
+  {
+    send = (fun line -> write_all fd (line ^ "\n"));
+    recv = recv_line;
+    close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+  }
+
+type class_stats = {
+  cls : string;
+  count : int;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+
+type report = {
+  clients : int;
+  requests : int;
+  protocol_errors : int;
+  error_samples : string list;
+  edits_sent : int;
+  edits_skipped : int;
+  classes : class_stats list;
+}
+
+(* --- per-client scripts --- *)
+
+(* A plan step: the request plus a response check beyond the generic
+   envelope validation (None = fine, Some = protocol-error message). *)
+type step = { req : Protocol.request; check : Json.t -> string option }
+
+let no_check _ = None
+
+(* Source responses must equal the client's own mirror, byte for byte
+   — the strongest cheap statement of session tracking. *)
+let source_check expected j =
+  match Option.bind (Json.member "result" j) (Json.member "source") with
+  | Some (Json.String s) when s = expected -> None
+  | Some (Json.String _) -> Some "source mismatch with client mirror"
+  | _ -> Some "source response missing 'source'"
+
+let explain_all_check j =
+  match Option.bind (Json.member "result" j) (Json.member "missing") with
+  | Some (Json.Int 0) -> None
+  | Some (Json.Int n) -> Some (Printf.sprintf "%d facts missing witnesses" n)
+  | _ -> Some "explain response missing 'missing'"
+
+let array_of_procs prog =
+  let acc = ref [] in
+  Ir.Prog.iter_procs prog (fun p -> acc := p.Ir.Prog.pname :: !acc);
+  Array.of_list (List.rev !acc)
+
+let byref_formals prog =
+  let acc = ref [] in
+  Ir.Prog.iter_vars prog (fun v ->
+      match v.Ir.Prog.kind with
+      | Ir.Prog.Formal { proc; mode = Ir.Prog.By_ref; _ } ->
+        acc := ((Ir.Prog.proc prog proc).Ir.Prog.pname, v.Ir.Prog.vname) :: !acc
+      | _ -> ());
+  Array.of_list (List.rev !acc)
+
+let gen_query rand ~program prog =
+  let pick arr = arr.(Random.State.int rand (Array.length arr)) in
+  let procs = array_of_procs prog in
+  let formals = byref_formals prog in
+  let proc () = pick procs in
+  let query =
+    match Random.State.int rand 9 with
+    | 0 -> Protocol.Gmod { proc = proc () }
+    | 1 -> Protocol.Guse { proc = proc () }
+    | 2 when formals <> [||] ->
+      let p, v = pick formals in
+      Protocol.Rmod { proc = p; var = v }
+    | 3 when formals <> [||] ->
+      let p, v = pick formals in
+      Protocol.Ruse { proc = p; var = v }
+    | 4 -> Protocol.Alias { proc = proc () }
+    | 5 -> Protocol.Purity { proc = proc () }
+    | 6 when Ir.Prog.n_sites prog > 0 ->
+      Protocol.Mod_site { site = Random.State.int rand (Ir.Prog.n_sites prog) }
+    | 7 when Ir.Prog.n_sites prog > 0 ->
+      Protocol.Use_site { site = Random.State.int rand (Ir.Prog.n_sites prog) }
+    | _ -> Protocol.Lint_delta
+  in
+  { req = Protocol.Query { program; session = ""; query }; check = no_check }
+
+(* Build one client's request plan against a local mirror.  Only edits
+   the renderer can put on the wire advance the mirror, so mirror and
+   server session stay in lock-step by construction. *)
+let build_plan ~rand ~program ~edits ~queries ~explain_all base =
+  let mirror = ref base in
+  let skipped = ref 0 in
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  let per_round = max 1 (queries / max 1 edits) in
+  for _ = 1 to edits do
+    (match Workload.Edits.gen ~rand ~steps:1 !mirror with
+    | [ (edit, prog') ] -> (
+      match Incremental.Script.render !mirror edit with
+      | Some line ->
+        let lint = Random.State.int rand 8 = 0 in
+        push
+          {
+            req = Protocol.Edit { program; session = ""; script = line; lint };
+            check = no_check;
+          };
+        mirror := prog'
+      | None -> incr skipped)
+    | _ | (exception _) -> incr skipped);
+    for _ = 1 to per_round do
+      push (gen_query rand ~program !mirror)
+    done
+  done;
+  (* End every script by pinning the mirror: the server's session
+     program must match ours byte for byte. *)
+  push
+    {
+      req = Protocol.Query { program; session = ""; query = Protocol.Source };
+      check = source_check (Ir.Pp.to_string !mirror);
+    };
+  if explain_all then
+    push
+      {
+        req =
+          Protocol.Explain { program; session = ""; fact = None; all = true };
+        check = explain_all_check;
+      };
+  (List.rev !steps, !skipped)
+
+(* --- run --- *)
+
+let validate ~expect_id line =
+  match Json.parse line with
+  | Error m -> Error ("unparseable response: " ^ m)
+  | Ok j -> (
+    match (Json.member "id" j, Json.member "ok" j) with
+    | Some id, Some (Json.Bool true) ->
+      if id = expect_id then Ok j else Error "id echo mismatch"
+    | _, Some (Json.Bool false) ->
+      let e =
+        match Json.member "error" j with
+        | Some (Json.String m) -> m
+        | _ -> "(no error message)"
+      in
+      Error ("server error: " ^ e)
+    | _ -> Error "response not a {id, ok, ...} object")
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+
+let run ?(concurrency = 32) ?(edits_per_client = 2) ?(queries_per_client = 8)
+    ~clients ~seed ~programs ~connect () =
+  let compiled =
+    List.map
+      (fun (name, source) ->
+        match Frontend.Sema.compile ~file:name source with
+        | Ok prog -> (name, prog)
+        | Error _ -> invalid_arg ("Loadgen.run: program does not compile: " ^ name))
+      programs
+  in
+  let bases = Array.of_list compiled in
+  if bases = [||] then invalid_arg "Loadgen.run: no programs";
+  let requests = ref 0 in
+  let proto_errors = ref 0 in
+  let error_samples = ref [] in
+  let edits_sent = ref 0 in
+  let edits_skipped = ref 0 in
+  let samples : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let next_id = ref 0 in
+  let note_error cls msg =
+    incr proto_errors;
+    if List.length !error_samples < 8 then
+      error_samples := !error_samples @ [ cls ^ ": " ^ msg ]
+  in
+  let record cls ns =
+    incr requests;
+    match Hashtbl.find_opt samples cls with
+    | Some cell -> cell := ns :: !cell
+    | None -> Hashtbl.add samples cls (ref [ ns ])
+  in
+  let request_on conn step k =
+    incr next_id;
+    let id = Json.Int !next_id in
+    let cls = Protocol.op_class (Ok step.req) in
+    let t0 = Unix.gettimeofday () in
+    conn.send (Protocol.to_line ~id step.req);
+    k (fun () ->
+        match conn.recv () with
+        | line -> (
+          record cls (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+          match validate ~expect_id:id line with
+          | Error m -> note_error cls m
+          | Ok j -> (
+            match step.check j with
+            | Some m -> note_error cls m
+            | None -> ()))
+        | exception e ->
+          record cls (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+          note_error cls ("recv failed: " ^ Printexc.to_string e))
+  in
+  (* Load the corpus through one setup connection. *)
+  let setup = connect () in
+  List.iter
+    (fun (name, source) ->
+      request_on setup
+        { req = Protocol.Load { program = name; source }; check = no_check }
+        (fun recv -> recv ()))
+    programs;
+  setup.close ();
+  (* Waves of concurrently-open clients: send phase, then recv phase,
+     so the server sees the wave's requests as concurrent batches. *)
+  let wave_start = ref 0 in
+  while !wave_start < clients do
+    let wave = min concurrency (clients - !wave_start) in
+    let members =
+      Array.init wave (fun w ->
+          let c = !wave_start + w in
+          let name, base = bases.(c mod Array.length bases) in
+          let rand = Random.State.make [| seed; c; 0x10ad |] in
+          let plan, skipped =
+            build_plan ~rand ~program:name ~edits:edits_per_client
+              ~queries:queries_per_client ~explain_all:(c mod 32 = 0) base
+          in
+          edits_skipped := !edits_skipped + skipped;
+          edits_sent :=
+            !edits_sent
+            + List.length
+                (List.filter
+                   (fun s ->
+                     match s.req with Protocol.Edit _ -> true | _ -> false)
+                   plan);
+          (connect (), ref plan))
+    in
+    let live = ref true in
+    while !live do
+      live := false;
+      let receivers = ref [] in
+      Array.iter
+        (fun (conn, plan) ->
+          match !plan with
+          | [] -> ()
+          | step :: rest ->
+            plan := rest;
+            live := true;
+            request_on conn step (fun recv -> receivers := recv :: !receivers))
+        members;
+      List.iter (fun recv -> recv ()) (List.rev !receivers)
+    done;
+    Array.iter (fun (conn, _) -> conn.close ()) members;
+    wave_start := !wave_start + wave
+  done;
+  let classes =
+    Hashtbl.fold (fun cls cell acc -> (cls, !cell) :: acc) samples []
+    |> List.sort compare
+    |> List.map (fun (cls, lst) ->
+           let sorted = Array.of_list lst in
+           Array.sort compare sorted;
+           {
+             cls;
+             count = Array.length sorted;
+             p50_ns = percentile sorted 0.50;
+             p95_ns = percentile sorted 0.95;
+             p99_ns = percentile sorted 0.99;
+             max_ns = sorted.(Array.length sorted - 1);
+           })
+  in
+  {
+    clients;
+    requests = !requests;
+    protocol_errors = !proto_errors;
+    error_samples = !error_samples;
+    edits_sent = !edits_sent;
+    edits_skipped = !edits_skipped;
+    classes;
+  }
+
+let report_json r =
+  Json.Obj
+    [
+      ("clients", Json.Int r.clients);
+      ("requests", Json.Int r.requests);
+      ("protocol_errors", Json.Int r.protocol_errors);
+      ( "error_samples",
+        Json.List (List.map (fun s -> Json.String s) r.error_samples) );
+      ("edits_sent", Json.Int r.edits_sent);
+      ("edits_skipped", Json.Int r.edits_skipped);
+      ( "classes",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("class", Json.String c.cls);
+                   ("count", Json.Int c.count);
+                   ("p50_ns", Json.Int c.p50_ns);
+                   ("p95_ns", Json.Int c.p95_ns);
+                   ("p99_ns", Json.Int c.p99_ns);
+                   ("max_ns", Json.Int c.max_ns);
+                 ])
+             r.classes) );
+    ]

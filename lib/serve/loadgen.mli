@@ -1,0 +1,69 @@
+(** Scripted-client load generator for the analysis server.
+
+    Each client keeps a local {e mirror} of its program, draws valid
+    edits from {!Workload.Edits}, renders them to wire scripts with
+    {!Incremental.Script.render}, and interleaves them with queries
+    generated against the mirror — so every request it sends is valid
+    by construction and any [ok: false] response (or a response that
+    fails to parse, or an id echo mismatch) counts as a protocol
+    error.  [bench/bench_serve.ml] drives thousands of these against a
+    live socket server and writes the per-request-class p50/p95/p99
+    rows to [BENCH_serve.json]; the acceptance bar is {e zero}
+    protocol errors.
+
+    Clients run in waves of [concurrency] open connections; within a
+    wave every client sends its next request before any response is
+    read, so a socket server sees genuinely concurrent batches (the
+    select loop hands them to {!Server.handle_batch} as one batch). *)
+
+type conn = {
+  send : string -> unit;  (** Send one request line. *)
+  recv : unit -> string;  (** Block for one response line. *)
+  close : unit -> unit;
+}
+
+val in_process : Server.t -> unit -> conn
+(** Connections that call {!Server.handle_line} directly (no I/O, no
+    batching) — what the test suite uses. Each call is a new client. *)
+
+val socket_conn : ?retries:int -> path:string -> unit -> conn
+(** Connect to a Unix-socket server, retrying [retries] (default 100)
+    times at 50 ms while the server is still binding. *)
+
+type class_stats = {
+  cls : string;
+  count : int;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+(** Exact client-side percentiles (sorted raw samples, not bucketed). *)
+
+type report = {
+  clients : int;
+  requests : int;
+  protocol_errors : int;
+  error_samples : string list;  (** First few error messages, for triage. *)
+  edits_sent : int;
+  edits_skipped : int;  (** Generated edits {!Incremental.Script.render} declined. *)
+  classes : class_stats list;
+}
+
+val run :
+  ?concurrency:int ->
+  ?edits_per_client:int ->
+  ?queries_per_client:int ->
+  clients:int ->
+  seed:int ->
+  programs:(string * string) list ->
+  connect:(unit -> conn) ->
+  unit ->
+  report
+(** Load the named programs through one setup connection, then drive
+    [clients] scripted clients (assigned round-robin to programs) in
+    waves of [concurrency] (default 32; keep it under the [select] FD
+    budget).  Defaults: 2 edits and 8 queries per client.  The whole
+    run is deterministic in [seed] (up to latency values). *)
+
+val report_json : report -> Obs.Json.t

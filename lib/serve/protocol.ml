@@ -1,0 +1,238 @@
+module Json = Obs.Json
+
+type query =
+  | Gmod of { proc : string }
+  | Guse of { proc : string }
+  | Rmod of { proc : string; var : string }
+  | Ruse of { proc : string; var : string }
+  | Alias of { proc : string }
+  | Purity of { proc : string }
+  | Mod_site of { site : int }
+  | Use_site of { site : int }
+  | Lint_delta
+  | Source
+
+type request =
+  | Load of { program : string; source : string }
+  | Unload of { program : string }
+  | Query of { program : string; session : string; query : query }
+  | Edit of { program : string; session : string; script : string; lint : bool }
+  | Explain of {
+      program : string;
+      session : string;
+      fact : string option;
+      all : bool;
+    }
+  | Stats
+  | Shutdown
+
+type incoming = { id : Json.t; request : (request, string) result }
+
+let ( let* ) = Result.bind
+
+let str_field obj name =
+  match Json.member name obj with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field '%s' must be a string" name)
+  | None -> Error (Printf.sprintf "missing field '%s'" name)
+
+let opt_str_field obj name ~default =
+  match Json.member name obj with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field '%s' must be a string" name)
+  | None -> Ok default
+
+let opt_bool_field obj name ~default =
+  match Json.member name obj with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field '%s' must be a boolean" name)
+  | None -> Ok default
+
+let int_field obj name =
+  match Json.member name obj with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field '%s' must be an integer" name)
+  | None -> Error (Printf.sprintf "missing field '%s'" name)
+
+let parse_query obj =
+  let* what = str_field obj "what" in
+  let proc () = str_field obj "proc" in
+  match what with
+  | "gmod" ->
+    let* proc = proc () in
+    Ok (Gmod { proc })
+  | "guse" ->
+    let* proc = proc () in
+    Ok (Guse { proc })
+  | "rmod" ->
+    let* proc = proc () in
+    let* var = str_field obj "var" in
+    Ok (Rmod { proc; var })
+  | "ruse" ->
+    let* proc = proc () in
+    let* var = str_field obj "var" in
+    Ok (Ruse { proc; var })
+  | "alias" ->
+    let* proc = proc () in
+    Ok (Alias { proc })
+  | "purity" ->
+    let* proc = proc () in
+    Ok (Purity { proc })
+  | "mod" ->
+    let* site = int_field obj "site" in
+    Ok (Mod_site { site })
+  | "use" ->
+    let* site = int_field obj "site" in
+    Ok (Use_site { site })
+  | "lint-delta" -> Ok Lint_delta
+  | "source" -> Ok Source
+  | w ->
+    Error
+      (Printf.sprintf
+         "unknown query '%s' (expected gmod | guse | rmod | ruse | alias | \
+          purity | mod | use | lint-delta | source)"
+         w)
+
+let parse_obj obj =
+  let* op = str_field obj "op" in
+  match op with
+  | "load" ->
+    let* program = str_field obj "program" in
+    let* source = str_field obj "source" in
+    Ok (Load { program; source })
+  | "unload" ->
+    let* program = str_field obj "program" in
+    Ok (Unload { program })
+  | "query" ->
+    let* program = str_field obj "program" in
+    let* session = opt_str_field obj "session" ~default:"" in
+    let* query = parse_query obj in
+    Ok (Query { program; session; query })
+  | "edit" ->
+    let* program = str_field obj "program" in
+    let* session = opt_str_field obj "session" ~default:"" in
+    let* script = str_field obj "script" in
+    let* lint = opt_bool_field obj "lint" ~default:false in
+    Ok (Edit { program; session; script; lint })
+  | "explain" ->
+    let* program = str_field obj "program" in
+    let* session = opt_str_field obj "session" ~default:"" in
+    let* all = opt_bool_field obj "all" ~default:false in
+    let* fact =
+      match Json.member "fact" obj with
+      | Some (Json.String s) -> Ok (Some s)
+      | Some _ -> Error "field 'fact' must be a string"
+      | None -> Ok None
+    in
+    if (fact = None) = not all then
+      Error "explain: give exactly one of 'fact' or 'all': true"
+    else Ok (Explain { program; session; fact; all })
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op ->
+    Error
+      (Printf.sprintf
+         "unknown op '%s' (expected load | unload | query | edit | explain | \
+          stats | shutdown)"
+         op)
+
+let parse line =
+  match Json.parse line with
+  | Error msg -> { id = Json.Null; request = Error ("bad JSON: " ^ msg) }
+  | Ok (Json.Obj _ as obj) ->
+    let id = Option.value ~default:Json.Null (Json.member "id" obj) in
+    { id; request = parse_obj obj }
+  | Ok _ -> { id = Json.Null; request = Error "request must be a JSON object" }
+
+let query_fields = function
+  | Gmod { proc } -> [ ("what", Json.String "gmod"); ("proc", Json.String proc) ]
+  | Guse { proc } -> [ ("what", Json.String "guse"); ("proc", Json.String proc) ]
+  | Rmod { proc; var } ->
+    [
+      ("what", Json.String "rmod");
+      ("proc", Json.String proc);
+      ("var", Json.String var);
+    ]
+  | Ruse { proc; var } ->
+    [
+      ("what", Json.String "ruse");
+      ("proc", Json.String proc);
+      ("var", Json.String var);
+    ]
+  | Alias { proc } ->
+    [ ("what", Json.String "alias"); ("proc", Json.String proc) ]
+  | Purity { proc } ->
+    [ ("what", Json.String "purity"); ("proc", Json.String proc) ]
+  | Mod_site { site } -> [ ("what", Json.String "mod"); ("site", Json.Int site) ]
+  | Use_site { site } -> [ ("what", Json.String "use"); ("site", Json.Int site) ]
+  | Lint_delta -> [ ("what", Json.String "lint-delta") ]
+  | Source -> [ ("what", Json.String "source") ]
+
+let session_field session =
+  if session = "" then [] else [ ("session", Json.String session) ]
+
+let to_json ?(id = Json.Null) request =
+  let id_field = match id with Json.Null -> [] | v -> [ ("id", v) ] in
+  let fields =
+    match request with
+    | Load { program; source } ->
+      [
+        ("op", Json.String "load");
+        ("program", Json.String program);
+        ("source", Json.String source);
+      ]
+    | Unload { program } ->
+      [ ("op", Json.String "unload"); ("program", Json.String program) ]
+    | Query { program; session; query } ->
+      [ ("op", Json.String "query"); ("program", Json.String program) ]
+      @ session_field session @ query_fields query
+    | Edit { program; session; script; lint } ->
+      [ ("op", Json.String "edit"); ("program", Json.String program) ]
+      @ session_field session
+      @ [ ("script", Json.String script) ]
+      @ (if lint then [ ("lint", Json.Bool true) ] else [])
+    | Explain { program; session; fact; all } ->
+      [ ("op", Json.String "explain"); ("program", Json.String program) ]
+      @ session_field session
+      @ (match fact with
+        | Some f -> [ ("fact", Json.String f) ]
+        | None -> [])
+      @ if all then [ ("all", Json.Bool true) ] else []
+    | Stats -> [ ("op", Json.String "stats") ]
+    | Shutdown -> [ ("op", Json.String "shutdown") ]
+  in
+  Json.Obj (id_field @ fields)
+
+let to_line ?id request = Json.to_string (to_json ?id request)
+
+let ok_response ~id result =
+  Json.to_string
+    (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ])
+
+let error_response ~id msg =
+  Json.to_string
+    (Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ])
+
+let op_class = function
+  | Error _ -> "invalid"
+  | Ok (Load _) -> "load"
+  | Ok (Unload _) -> "unload"
+  | Ok (Query { query; _ }) ->
+    let what =
+      match query with
+      | Gmod _ -> "gmod"
+      | Guse _ -> "guse"
+      | Rmod _ -> "rmod"
+      | Ruse _ -> "ruse"
+      | Alias _ -> "alias"
+      | Purity _ -> "purity"
+      | Mod_site _ -> "mod"
+      | Use_site _ -> "use"
+      | Lint_delta -> "lint-delta"
+      | Source -> "source"
+    in
+    "query." ^ what
+  | Ok (Edit _) -> "edit"
+  | Ok (Explain _) -> "explain"
+  | Ok Stats -> "stats"
+  | Ok Shutdown -> "shutdown"

@@ -1,0 +1,64 @@
+(** The wire protocol: one JSON object per line, request in, response
+    out, over stdio or a Unix socket (docs/serve.md has the full
+    schema and a worked transcript).
+
+    Every request is an object with an ["op"] field and an optional
+    ["id"] echoed verbatim in the response; every response is
+    [{"id": .., "ok": true, "result": ..}] or
+    [{"id": .., "ok": false, "error": ".."}].  {!parse} never raises:
+    hostile bytes come back as [Error] inside {!incoming}, and the
+    server turns that into a structured error response — a malformed
+    line can never kill the connection (protocol-fuzz suite in
+    [test_serve.ml]). *)
+
+type query =
+  | Gmod of { proc : string }  (** Variables in GMOD(proc). *)
+  | Guse of { proc : string }  (** Variables in GUSE(proc). *)
+  | Rmod of { proc : string; var : string }  (** Is var in RMOD? *)
+  | Ruse of { proc : string; var : string }  (** Is var in RUSE? *)
+  | Alias of { proc : string }  (** §5 alias pairs of proc. *)
+  | Purity of { proc : string }  (** {!Lint.Rule.pure_procs} verdict. *)
+  | Mod_site of { site : int }  (** MOD(s) for one call site. *)
+  | Use_site of { site : int }  (** USE(s) for one call site. *)
+  | Lint_delta  (** Findings added/removed by the session's edits. *)
+  | Source  (** The session's current program, pretty-printed. *)
+
+type request =
+  | Load of { program : string; source : string }
+  | Unload of { program : string }
+  | Query of { program : string; session : string; query : query }
+  | Edit of { program : string; session : string; script : string; lint : bool }
+  | Explain of {
+      program : string;
+      session : string;
+      fact : string option;  (** [None] iff [all]. *)
+      all : bool;
+    }
+  | Stats
+  | Shutdown
+
+type incoming = {
+  id : Obs.Json.t;  (** The request's ["id"] field; [Null] if absent. *)
+  request : (request, string) result;
+}
+
+val parse : string -> incoming
+(** Parse one request line.  Total: malformed JSON, a non-object, an
+    unknown op, or a missing/mistyped field yield [Error] with a
+    message naming the problem (and still recover ["id"] when the line
+    was an object). *)
+
+val to_json : ?id:Obs.Json.t -> request -> Obs.Json.t
+(** Encode a request (the client half; {!parse} is its inverse). *)
+
+val to_line : ?id:Obs.Json.t -> request -> string
+
+val ok_response : id:Obs.Json.t -> Obs.Json.t -> string
+(** [{"id": id, "ok": true, "result": ..}], one line. *)
+
+val error_response : id:Obs.Json.t -> string -> string
+(** [{"id": id, "ok": false, "error": ..}], one line. *)
+
+val op_class : (request, string) result -> string
+(** The request-class label used for metrics and latency histograms:
+    the op name ([query] refined to [query.gmod] etc.), or [invalid]. *)

@@ -1,0 +1,45 @@
+type entry = {
+  name : string;
+  source : string;
+  prog : Ir.Prog.t;
+  locs : Frontend.Locs.t;
+  analysis : Core.Analyze.t Lazy.t;
+  base_lint : Lint.Diagnostic.t list Lazy.t;
+}
+
+type t = { programs : (string, entry) Hashtbl.t }
+
+let create () = { programs = Hashtbl.create 16 }
+
+let load t ~name ~source =
+  if name = "" then Error "program name must be non-empty"
+  else
+    match Frontend.Sema.compile_with_locs ~file:name source with
+    | Error errs ->
+      Error
+        (Format.asprintf "@[<h>%a@]"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+              Frontend.Sema.pp_error)
+           errs)
+    | Ok (prog, locs) ->
+      let analysis = lazy (Core.Analyze.run ~provenance:true prog) in
+      let base_lint =
+        lazy (Lint.Engine.run (Lazy.force analysis))
+      in
+      let entry = { name; source; prog; locs; analysis; base_lint } in
+      Hashtbl.replace t.programs name entry;
+      Ok entry
+
+let unload t name =
+  if Hashtbl.mem t.programs name then begin
+    Hashtbl.remove t.programs name;
+    Ok ()
+  end
+  else Error (Printf.sprintf "unknown program '%s'" name)
+
+let find t name = Hashtbl.find_opt t.programs name
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.programs []
+  |> List.sort (fun a b -> compare a.name b.name)

@@ -1,0 +1,42 @@
+(** The server's program registry: named programs, compiled once,
+    analysed lazily.
+
+    [load] compiles immediately (so clients learn about bad sources in
+    the load response) but defers the batch {!Core.Analyze.run} until
+    the first query touches the program — a server pre-loading a corpus
+    pays analysis cost only for programs actually queried.  The base
+    analysis runs with provenance so [explain] works out of the box,
+    and the base lint findings are cached for [lint-delta] queries.
+
+    The registry itself is only mutated by serial requests
+    ([load]/[unload] — the server never runs those inside a pool
+    batch); concurrent query tasks on {e distinct} entries may force
+    distinct lazies safely. *)
+
+type entry = {
+  name : string;
+  source : string;
+  prog : Ir.Prog.t;
+  locs : Frontend.Locs.t;
+  analysis : Core.Analyze.t Lazy.t;
+  base_lint : Lint.Diagnostic.t list Lazy.t;
+      (** Findings of the base program at dummy positions — the
+          [lint-delta] baseline ({!Incremental.Engine.lint} uses dummy
+          positions too, so deltas match on equal keys). *)
+}
+
+type t
+
+val create : unit -> t
+
+val load : t -> name:string -> source:string -> (entry, string) result
+(** Compile and register (replacing any previous program of that
+    name).  Compilation errors come back as one [Error] string. *)
+
+val unload : t -> string -> (unit, string) result
+(** [Error] when no such program is loaded. *)
+
+val find : t -> string -> entry option
+
+val entries : t -> entry list
+(** Loaded entries, sorted by name. *)

@@ -1,0 +1,804 @@
+module Json = Obs.Json
+module Engine = Incremental.Engine
+
+type t = {
+  registry : Registry.t;
+  sessions : (int * string * string, Session.t) Hashtbl.t;
+  sessions_mu : Mutex.t;
+  pool : Par.Pool.t option;
+  mutable stop : bool;
+}
+
+(* Lazy so that merely linking the server (every [sidefx] build) does
+   not register serve metrics into unrelated commands' --json dumps —
+   they exist once the first request is actually handled. *)
+let requests_total = lazy (Obs.Metric.counter "serve.requests")
+let errors_total = lazy (Obs.Metric.counter "serve.errors")
+let class_counter cls = Obs.Metric.counter ("serve.requests." ^ cls)
+let class_hist cls = Obs.Metric.histogram ("serve." ^ cls ^ "_s")
+
+let create ?pool () =
+  {
+    registry = Registry.create ();
+    sessions = Hashtbl.create 64;
+    sessions_mu = Mutex.create ();
+    pool;
+    stop = false;
+  }
+
+let registry t = t.registry
+let stopping t = t.stop
+
+let ( let* ) = Result.bind
+
+(* --- session table (mutex-guarded: concurrent groups may create
+   sessions for distinct programs in the same batch) --- *)
+
+let session_find t ~client ~program ~session =
+  Mutex.lock t.sessions_mu;
+  let r = Hashtbl.find_opt t.sessions (client, program, session) in
+  Mutex.unlock t.sessions_mu;
+  r
+
+let session_get_or_create t (entry : Registry.entry) ~client ~session =
+  (* Force the base analysis outside the lock so a slow first analysis
+     of one program never serialises sessions on other programs. *)
+  ignore (Lazy.force entry.Registry.analysis);
+  Mutex.lock t.sessions_mu;
+  let key = (client, entry.Registry.name, session) in
+  let s =
+    match Hashtbl.find_opt t.sessions key with
+    | Some s -> s
+    | None ->
+      let s = Session.create entry ~name:session in
+      Hashtbl.add t.sessions key s;
+      s
+  in
+  Mutex.unlock t.sessions_mu;
+  s
+
+let drop_sessions_if t pred =
+  Mutex.lock t.sessions_mu;
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.sessions []
+  in
+  List.iter (Hashtbl.remove t.sessions) doomed;
+  Mutex.unlock t.sessions_mu
+
+let drop_client t client =
+  drop_sessions_if t (fun (c, _, _) -> c = client)
+
+let drop_program_sessions t program =
+  drop_sessions_if t (fun (_, p, _) -> p = program)
+
+let sessions_of_program t program =
+  Mutex.lock t.sessions_mu;
+  let acc =
+    Hashtbl.fold
+      (fun (_, p, _) s acc -> if p = program then s :: acc else acc)
+      t.sessions []
+  in
+  Mutex.unlock t.sessions_mu;
+  acc
+
+(* --- resolution helpers --- *)
+
+let find_entry t program =
+  match Registry.find t.registry program with
+  | Some e -> Ok e
+  | None -> Error (Printf.sprintf "unknown program '%s'" program)
+
+let resolve_proc prog name =
+  match Ir.Prog.find_proc prog name with
+  | Some p -> Ok p.Ir.Prog.pid
+  | None -> Error (Printf.sprintf "unknown procedure '%s'" name)
+
+let resolve_var prog ~proc name =
+  match Ir.Prog.find_var prog ~proc name with
+  | Some v -> Ok v.Ir.Prog.vid
+  | None ->
+    Error
+      (Printf.sprintf "unknown variable '%s' in scope of '%s'" name
+         (Ir.Prog.proc prog proc).Ir.Prog.pname)
+
+let names_json prog set =
+  Json.List
+    (List.map (fun n -> Json.String n) (Delta.set_names prog set))
+
+(* The session's view of a program: its engine's analysis when the
+   client has opened a session, the shared registry base otherwise. *)
+let analysis_for t (entry : Registry.entry) ~client ~session =
+  match session_find t ~client ~program:entry.Registry.name ~session with
+  | Some s -> (Session.analysis s, Some s)
+  | None -> (Lazy.force entry.Registry.analysis, None)
+
+(* --- query --- *)
+
+let exec_query t entry ~client ~session (q : Protocol.query) =
+  let a, sess = analysis_for t entry ~client ~session in
+  let prog = a.Core.Analyze.prog in
+  match q with
+  | Protocol.Gmod { proc } ->
+    let* pid = resolve_proc prog proc in
+    Ok
+      (Json.Obj
+         [
+           ("proc", Json.String proc);
+           ("vars", names_json prog a.Core.Analyze.gmod.(pid));
+         ])
+  | Protocol.Guse { proc } ->
+    let* pid = resolve_proc prog proc in
+    Ok
+      (Json.Obj
+         [
+           ("proc", Json.String proc);
+           ("vars", names_json prog a.Core.Analyze.guse.(pid));
+         ])
+  | Protocol.Rmod { proc; var } ->
+    let* pid = resolve_proc prog proc in
+    let* vid = resolve_var prog ~proc:pid var in
+    Ok
+      (Json.Obj
+         [
+           ("proc", Json.String proc);
+           ("var", Json.String var);
+           ("member", Json.Bool (Core.Rmod.modified a.Core.Analyze.rmod vid));
+         ])
+  | Protocol.Ruse { proc; var } ->
+    let* pid = resolve_proc prog proc in
+    let* vid = resolve_var prog ~proc:pid var in
+    Ok
+      (Json.Obj
+         [
+           ("proc", Json.String proc);
+           ("var", Json.String var);
+           ("member", Json.Bool (Core.Rmod.modified a.Core.Analyze.ruse vid));
+         ])
+  | Protocol.Alias { proc } ->
+    let* pid = resolve_proc prog proc in
+    Ok
+      (Json.Obj
+         [
+           ("proc", Json.String proc);
+           ( "pairs",
+             Json.List
+               (List.map
+                  (fun (x, y) ->
+                    Json.List
+                      [
+                        Json.String (Ir.Pp.qualified_var_name prog x);
+                        Json.String (Ir.Pp.qualified_var_name prog y);
+                      ])
+                  (Core.Alias.pairs a.Core.Analyze.alias pid)) );
+         ])
+  | Protocol.Purity { proc } ->
+    let* pid = resolve_proc prog proc in
+    Ok
+      (Json.Obj
+         [
+           ("proc", Json.String proc);
+           ("pure", Json.Bool (List.mem pid (Lint.Rule.pure_procs a)));
+         ])
+  | Protocol.Mod_site { site } | Protocol.Use_site { site } ->
+    if site < 0 || site >= Ir.Prog.n_sites prog then
+      Error (Printf.sprintf "no such site: %d" site)
+    else
+      let set =
+        match q with
+        | Protocol.Mod_site _ -> Core.Analyze.mod_of_site a site
+        | _ -> Core.Analyze.use_of_site a site
+      in
+      Ok (Json.Obj [ ("site", Json.Int site); ("vars", names_json prog set) ])
+  | Protocol.Lint_delta ->
+    let before = Lazy.force entry.Registry.base_lint in
+    let after =
+      match sess with
+      | Some s -> Engine.lint s.Session.engine
+      | None -> before
+    in
+    let added, removed = Lint.Engine.delta ~before ~after in
+    Ok (Json.Obj (Delta.lint_fields (Some (added, removed))))
+  | Protocol.Source -> Ok (Json.Obj [ ("source", Json.String (Ir.Pp.to_string prog)) ])
+
+(* --- edit --- *)
+
+let exec_edit t entry ~client ~program ~session ~script ~lint =
+  let s = session_get_or_create t entry ~client ~session in
+  let engine = s.Session.engine in
+  let snap = Delta.snapshot (Engine.analysis engine) in
+  let lint_before = if lint then Some (Engine.lint engine) else None in
+  match Incremental.Script.parse (Engine.prog engine) script with
+  | Error msg -> Error ("bad edit script: " ^ msg)
+  | Ok steps ->
+    let rendered =
+      List.rev
+        (fst
+           (List.fold_left
+              (fun (acc, p) (edit, p') ->
+                (Incremental.Edit.to_string p edit :: acc, p'))
+              ([], Engine.prog engine)
+              steps))
+    in
+    let fallbacks = ref 0 and resolved = ref 0 in
+    List.iter
+      (fun (edit, _) ->
+        let o = Engine.apply engine edit in
+        if o.Engine.fallback <> None then incr fallbacks;
+        resolved := !resolved + o.Engine.procs_resolved)
+      steps;
+    let after = Engine.analysis engine in
+    let lint_delta =
+      match lint_before with
+      | Some before ->
+        Some (Lint.Engine.delta ~before ~after:(Engine.lint engine))
+      | None -> None
+    in
+    Ok
+      (Json.Obj
+         ([
+            ("program", Json.String program);
+            ("session", Json.String session);
+            ( "edits",
+              Json.List (List.map (fun e -> Json.String e) rendered) );
+            ("gmod_delta", Delta.rows_json (Delta.rows snap after ~side:`Mod));
+            ("guse_delta", Delta.rows_json (Delta.rows snap after ~side:`Use));
+            ("fallbacks", Json.Int !fallbacks);
+            ("procs_resolved", Json.Int !resolved);
+          ]
+         @ Delta.lint_fields lint_delta))
+
+(* --- explain (the CLI fact grammar, served) --- *)
+
+type fact =
+  | Fglobal of [ `Mod | `Use ] * string * string
+  | Fref of [ `Mod | `Use ] * string * string
+  | Falias of string * string * string
+  | Fdiag of string * string option
+
+let parse_fact s =
+  match String.split_on_char ':' s with
+  | [ "gmod"; p; v ] -> Ok (Fglobal (`Mod, p, v))
+  | [ "guse"; p; v ] -> Ok (Fglobal (`Use, p, v))
+  | [ "rmod"; p; f ] -> Ok (Fref (`Mod, p, f))
+  | [ "ruse"; p; f ] -> Ok (Fref (`Use, p, f))
+  | [ "alias"; p; x; y ] -> Ok (Falias (p, x, y))
+  | [ "diag"; code ] -> Ok (Fdiag (code, None))
+  | "diag" :: code :: rest -> Ok (Fdiag (code, Some (String.concat ":" rest)))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unrecognised fact '%s' (expected gmod:P:V | guse:P:V | rmod:P:F | \
+          ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"
+         s)
+
+let has_substring hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let lint_for t entry sess =
+  ignore t;
+  match sess with
+  | Some s -> Engine.lint s.Session.engine
+  | None -> Lazy.force entry.Registry.base_lint
+
+let witness_json fact lines =
+  Json.Obj
+    [
+      ("fact", Json.String fact);
+      ( "witness",
+        match lines with
+        | None -> Json.Null
+        | Some ls -> Json.List (List.map (fun l -> Json.String l) ls) );
+    ]
+
+let exec_explain t entry ~client ~program ~session ~fact ~all =
+  let a, sess = analysis_for t entry ~client ~session in
+  let prog = a.Core.Analyze.prog in
+  let locs =
+    (* Edited programs have no source spans; the base keeps its real
+       location table. *)
+    match sess with
+    | Some s when Session.edits s > 0 -> Frontend.Locs.dummy prog
+    | _ -> entry.Registry.locs
+  in
+  if all then begin
+    let results = ref [] in
+    let push fact lines = results := (fact, lines) :: !results in
+    Ir.Prog.iter_procs prog (fun pr ->
+        let pid = pr.Ir.Prog.pid in
+        let pn = pr.Ir.Prog.pname in
+        List.iter
+          (fun (label, side, sets) ->
+            List.iter
+              (fun vid ->
+                push
+                  (Printf.sprintf "%s:%s:%s" label pn (Ir.Pp.var_name prog vid))
+                  (Core.Explain.explain_gmod a ~locs ~side ~proc:pid ~var:vid))
+              (Bitvec.to_list sets.(pid)))
+          [
+            ("gmod", `Mod, a.Core.Analyze.gmod);
+            ("guse", `Use, a.Core.Analyze.guse);
+          ];
+        List.iter
+          (fun (x, y) ->
+            push
+              (Printf.sprintf "alias:%s:%s:%s" pn (Ir.Pp.var_name prog x)
+                 (Ir.Pp.var_name prog y))
+              (Core.Explain.explain_alias a ~locs ~proc:pid x y))
+          (Core.Alias.pairs a.Core.Analyze.alias pid));
+    Ir.Prog.iter_vars prog (fun v ->
+        match v.Ir.Prog.kind with
+        | Ir.Prog.Formal { proc; mode = Ir.Prog.By_ref; _ } ->
+          let pn = (Ir.Prog.proc prog proc).Ir.Prog.pname in
+          if Core.Rmod.modified a.Core.Analyze.rmod v.Ir.Prog.vid then
+            push
+              (Printf.sprintf "rmod:%s:%s" pn v.Ir.Prog.vname)
+              (Core.Explain.explain_rmod a ~locs ~side:`Mod ~var:v.Ir.Prog.vid);
+          if Core.Rmod.modified a.Core.Analyze.ruse v.Ir.Prog.vid then
+            push
+              (Printf.sprintf "ruse:%s:%s" pn v.Ir.Prog.vname)
+              (Core.Explain.explain_rmod a ~locs ~side:`Use ~var:v.Ir.Prog.vid)
+        | _ -> ());
+    List.iter
+      (fun d ->
+        push
+          (Printf.sprintf "diag:%s:%s" d.Lint.Diagnostic.code
+             d.Lint.Diagnostic.scope)
+          (match d.Lint.Diagnostic.witness with [] -> None | w -> Some w))
+      (lint_for t entry sess);
+    let results = List.rev !results in
+    let missing = List.filter (fun (_, w) -> w = None) results in
+    Ok
+      (Json.Obj
+         [
+           ("program", Json.String program);
+           ( "facts",
+             Json.List (List.map (fun (f, w) -> witness_json f w) results) );
+           ("total", Json.Int (List.length results));
+           ("missing", Json.Int (List.length missing));
+           ( "missing_facts",
+             Json.List
+               (List.map (fun (f, _) -> Json.String f) missing) );
+         ])
+  end
+  else
+    let fact_str = Option.get fact in
+    let* f = parse_fact fact_str in
+    match f with
+    | Fdiag (code, filter) ->
+      let matches d =
+        d.Lint.Diagnostic.code = code
+        &&
+        match filter with
+        | None -> true
+        | Some sub ->
+          has_substring d.Lint.Diagnostic.scope sub
+          || has_substring d.Lint.Diagnostic.message sub
+      in
+      let found = List.filter matches (lint_for t entry sess) in
+      if found = [] then
+        Error (Printf.sprintf "no finding matches '%s'" fact_str)
+      else
+        Ok
+          (Json.Obj
+             [
+               ("program", Json.String program);
+               ("fact", Json.String fact_str);
+               ( "findings",
+                 Json.List (List.map Lint.Diagnostic.to_json found) );
+             ])
+    | _ ->
+      let* lines =
+        match f with
+        | Fglobal (side, p, v) ->
+          let* pid = resolve_proc prog p in
+          let* vid = resolve_var prog ~proc:pid v in
+          Ok (Core.Explain.explain_gmod a ~locs ~side ~proc:pid ~var:vid)
+        | Fref (side, p, fm) ->
+          let* pid = resolve_proc prog p in
+          let* vid = resolve_var prog ~proc:pid fm in
+          Ok (Core.Explain.explain_rmod a ~locs ~side ~var:vid)
+        | Falias (p, x, y) ->
+          let* pid = resolve_proc prog p in
+          let* xv = resolve_var prog ~proc:pid x in
+          let* yv = resolve_var prog ~proc:pid y in
+          Ok (Core.Explain.explain_alias a ~locs ~proc:pid xv yv)
+        | Fdiag _ -> assert false
+      in
+      match lines with
+      | None -> Error (Printf.sprintf "fact '%s' does not hold" fact_str)
+      | Some ls ->
+        Ok
+          (Json.Obj
+             [
+               ("program", Json.String program);
+               ("fact", Json.String fact_str);
+               ("witness", Json.List (List.map (fun l -> Json.String l) ls));
+             ])
+
+(* --- stats --- *)
+
+let quantiles_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Obs.Metric.hist_observations h));
+      ("p50_ns", Json.Int (Obs.Metric.hist_quantile_ns h 0.50));
+      ("p95_ns", Json.Int (Obs.Metric.hist_quantile_ns h 0.95));
+      ("p99_ns", Json.Int (Obs.Metric.hist_quantile_ns h 0.99));
+    ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let exec_stats t =
+  let programs =
+    List.map
+      (fun (e : Registry.entry) ->
+        let sessions = sessions_of_program t e.Registry.name in
+        Json.Obj
+          [
+            ("name", Json.String e.Registry.name);
+            ("procedures", Json.Int (Ir.Prog.n_procs e.Registry.prog));
+            ("sites", Json.Int (Ir.Prog.n_sites e.Registry.prog));
+            ("analyzed", Json.Bool (Lazy.is_val e.Registry.analysis));
+            ("sessions", Json.Int (List.length sessions));
+            ( "edits",
+              Json.Int
+                (List.fold_left (fun acc s -> acc + Session.edits s) 0 sessions)
+            );
+          ])
+      (Registry.entries t.registry)
+  in
+  let requests =
+    List.filter_map
+      (fun (name, _, value) ->
+        if starts_with ~prefix:"serve.requests." name then
+          Some
+            ( String.sub name 15 (String.length name - 15),
+              Json.Int value )
+        else None)
+      (Obs.Metric.all ())
+    |> List.sort compare
+  in
+  let latency =
+    List.filter_map
+      (fun h ->
+        let name = Obs.Metric.hist_name h in
+        if starts_with ~prefix:"serve." name then
+          Some (name, quantiles_json h)
+        else None)
+      (Obs.Metric.histograms_in_order ())
+    |> List.sort compare
+  in
+  Ok
+    (Json.Obj
+       [
+         ("programs", Json.List programs);
+         ("requests", Json.Obj requests);
+         ("latency", Json.Obj latency);
+       ])
+
+(* --- dispatch --- *)
+
+let exec t ~client (req : Protocol.request) =
+  match req with
+  | Protocol.Load { program; source } ->
+    let* entry = Registry.load t.registry ~name:program ~source in
+    (* A reload invalidates every session on the old version. *)
+    drop_program_sessions t program;
+    Ok
+      (Json.Obj
+         [
+           ("program", Json.String program);
+           ("procedures", Json.Int (Ir.Prog.n_procs entry.Registry.prog));
+           ("sites", Json.Int (Ir.Prog.n_sites entry.Registry.prog));
+         ])
+  | Protocol.Unload { program } ->
+    let* () = Registry.unload t.registry program in
+    drop_program_sessions t program;
+    Ok (Json.Obj [ ("unloaded", Json.String program) ])
+  | Protocol.Query { program; session; query } ->
+    let* entry = find_entry t program in
+    exec_query t entry ~client ~session query
+  | Protocol.Edit { program; session; script; lint } ->
+    let* entry = find_entry t program in
+    exec_edit t entry ~client ~program ~session ~script ~lint
+  | Protocol.Explain { program; session; fact; all } ->
+    let* entry = find_entry t program in
+    exec_explain t entry ~client ~program ~session ~fact ~all
+  | Protocol.Stats -> exec_stats t
+  | Protocol.Shutdown ->
+    t.stop <- true;
+    Ok (Json.Obj [ ("stopping", Json.Bool true) ])
+
+(* --- batches --- *)
+
+(* Program-scoped requests may fan out; everything else is a barrier. *)
+let parallel_safe = function
+  | Ok (Protocol.Query _ | Protocol.Edit _ | Protocol.Explain _) -> true
+  | _ -> false
+
+let program_of = function
+  | Ok (Protocol.Query { program; _ })
+  | Ok (Protocol.Edit { program; _ })
+  | Ok (Protocol.Explain { program; _ }) ->
+    program
+  | _ -> ""
+
+let handle_batch t items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let parsed = Array.map (fun (_, line) -> Protocol.parse line) arr in
+  let out = Array.make n "" in
+  let lat_ns = Array.make n 0 in
+  let failed = Array.make n false in
+  let exec_one i =
+    let client, _ = arr.(i) in
+    let inc = parsed.(i) in
+    let cls = Protocol.op_class inc.Protocol.request in
+    let t0 = Unix.gettimeofday () in
+    let resp =
+      Obs.Span.with_ ("serve." ^ cls) @@ fun () ->
+      match inc.Protocol.request with
+      | Error msg ->
+        failed.(i) <- true;
+        Protocol.error_response ~id:inc.Protocol.id msg
+      | Ok req -> (
+        match exec t ~client req with
+        | Ok result -> Protocol.ok_response ~id:inc.Protocol.id result
+        | Error msg ->
+          failed.(i) <- true;
+          Protocol.error_response ~id:inc.Protocol.id msg
+        | exception e ->
+          failed.(i) <- true;
+          Protocol.error_response ~id:inc.Protocol.id
+            ("internal error: " ^ Printexc.to_string e))
+    in
+    lat_ns.(i) <- int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+    out.(i) <- resp
+  in
+  let i = ref 0 in
+  while !i < n do
+    if not (parallel_safe parsed.(!i).Protocol.request) then begin
+      exec_one !i;
+      incr i
+    end
+    else begin
+      let j = ref !i in
+      while !j < n && parallel_safe parsed.(!j).Protocol.request do
+        incr j
+      done;
+      (* Group the run [i, j) by program, keeping arrival order inside
+         each group (per-client, per-program order is what sessions
+         depend on). *)
+      let order = ref [] in
+      let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+      for k = !i to !j - 1 do
+        let p = program_of parsed.(k).Protocol.request in
+        match Hashtbl.find_opt groups p with
+        | Some cell -> cell := k :: !cell
+        | None ->
+          Hashtbl.add groups p (ref [ k ]);
+          order := p :: !order
+      done;
+      let tasks =
+        List.rev_map
+          (fun p -> List.rev !(Hashtbl.find groups p))
+          !order
+      in
+      (match t.pool with
+      | Some pool when List.length tasks > 1 ->
+        Par.Pool.run pool
+          (Array.of_list
+             (List.map (fun idxs _slot -> List.iter exec_one idxs) tasks))
+      | _ -> List.iter (fun idxs -> List.iter exec_one idxs) tasks);
+      i := !j
+    end
+  done;
+  (* Metrics on the calling domain, after any fan-out has joined. *)
+  for k = 0 to n - 1 do
+    let cls = Protocol.op_class parsed.(k).Protocol.request in
+    Obs.Metric.incr (Lazy.force requests_total);
+    Obs.Metric.incr (class_counter cls);
+    if failed.(k) then Obs.Metric.incr (Lazy.force errors_total);
+    Obs.Metric.observe_ns (class_hist cls) lat_ns.(k)
+  done;
+  Array.to_list out
+
+let handle_line t ~client line =
+  match handle_batch t [ (client, line) ] with
+  | [ resp ] -> resp
+  | _ -> assert false
+
+(* --- transports --- *)
+
+let load_file t ~name ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source -> Result.map (fun (_ : Registry.entry) -> ()) (Registry.load t.registry ~name ~source)
+  | exception Sys_error msg -> Error msg
+
+let serve_channels t ic oc =
+  let rec loop () =
+    if t.stop then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line ->
+        output_string oc (handle_line t ~client:0 line);
+        output_char oc '\n';
+        flush oc;
+        loop ()
+  in
+  loop ()
+
+(* One connected socket client: a stable id for session keying, a
+   buffer holding a partial trailing line, and an output buffer of
+   responses not yet accepted by the (non-blocking) socket.  The
+   server must never block on a send: a client that has queued many
+   requests and not yet read a large response (explain --all can
+   exceed the socket buffer) would otherwise deadlock the whole loop
+   against itself — it is waiting for a response the server cannot
+   write until the client drains the previous one. *)
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  buf : Buffer.t;
+  out : Buffer.t;
+  mutable out_off : int;
+}
+
+(* Push as much pending output as the socket accepts right now.
+   [`Ok] when fully drained, [`Partial] when the socket would block,
+   [`Closed] when the peer is gone. *)
+let flush_conn c =
+  let rec go () =
+    let pending = Buffer.length c.out - c.out_off in
+    if pending = 0 then begin
+      Buffer.clear c.out;
+      c.out_off <- 0;
+      `Ok
+    end
+    else
+      match Unix.write_substring c.fd (Buffer.contents c.out) c.out_off pending with
+      | 0 -> `Partial
+      | k ->
+        c.out_off <- c.out_off + k;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Partial
+      | exception Unix.Unix_error _ -> `Closed
+  in
+  go ()
+
+(* Split the buffered bytes into complete lines; the tail (no newline
+   yet) stays buffered. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+    Buffer.clear buf;
+    Buffer.add_string buf (String.sub s (last + 1) (String.length s - last - 1));
+    String.split_on_char '\n' (String.sub s 0 last)
+
+let serve_socket ?(max_clients = 512) t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let clients : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let cleanup () =
+    Hashtbl.iter
+      (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+      clients;
+    (try Unix.close srv with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 128;
+  let next_id = ref 1 in
+  let chunk = Bytes.create 65536 in
+  while not t.stop do
+    let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+    let wfds =
+      Hashtbl.fold
+        (fun fd c acc -> if Buffer.length c.out > c.out_off then fd :: acc else acc)
+        clients []
+    in
+    match Unix.select fds wfds [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, writable, _ ->
+      if List.memq srv ready then begin
+        match Unix.accept srv with
+        | fd, _ ->
+          if Hashtbl.length clients >= max_clients then (
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          else begin
+            Unix.set_nonblock fd;
+            Hashtbl.add clients fd
+              {
+                fd;
+                cid = !next_id;
+                buf = Buffer.create 256;
+                out = Buffer.create 256;
+                out_off = 0;
+              };
+            incr next_id
+          end
+        | exception Unix.Unix_error _ -> ()
+      end;
+      let batch = ref [] in
+      let closed = ref [] in
+      List.iter
+        (fun fd ->
+          if fd != srv then
+            match Hashtbl.find_opt clients fd with
+            | None -> ()
+            | Some c -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> closed := c :: !closed
+              | k ->
+                Buffer.add_subbytes c.buf chunk 0 k;
+                List.iter
+                  (fun line -> batch := (c, line) :: !batch)
+                  (take_lines c.buf)
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                ->
+                ()
+              | exception Unix.Unix_error _ -> closed := c :: !closed))
+        ready;
+      let batch = List.rev !batch in
+      if batch <> [] then begin
+        let responses =
+          handle_batch t (List.map (fun (c, line) -> (c.cid, line)) batch)
+        in
+        List.iter2
+          (fun (c, _) resp ->
+            if not (List.memq c !closed) then begin
+              Buffer.add_string c.out resp;
+              Buffer.add_char c.out '\n'
+            end)
+          batch responses
+      end;
+      (* Drain what each socket will take: everything that became
+         writable, plus anything that just got a response queued. *)
+      let flushed = Hashtbl.create 16 in
+      let try_flush c =
+        if (not (Hashtbl.mem flushed c.fd)) && not (List.memq c !closed) then begin
+          Hashtbl.add flushed c.fd ();
+          match flush_conn c with
+          | `Ok | `Partial -> ()
+          | `Closed -> closed := c :: !closed
+        end
+      in
+      List.iter
+        (fun fd -> Option.iter try_flush (Hashtbl.find_opt clients fd))
+        writable;
+      List.iter (fun (c, _) -> try_flush c) batch;
+      List.iter
+        (fun c ->
+          if Hashtbl.mem clients c.fd then begin
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            Hashtbl.remove clients c.fd;
+            drop_client t c.cid
+          end)
+        !closed
+  done;
+  (* Best-effort drain of unsent responses — above all the shutdown
+     acknowledgement itself — before the fds are closed. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  Hashtbl.iter
+    (fun _ c ->
+      let rec drain () =
+        if Unix.gettimeofday () < deadline then
+          match flush_conn c with
+          | `Ok | `Closed -> ()
+          | `Partial ->
+            (match Unix.select [] [ c.fd ] [] 0.1 with
+            | exception Unix.Unix_error _ -> ()
+            | _ -> ());
+            drain ()
+      in
+      drain ())
+    clients

@@ -1,0 +1,15 @@
+type t = {
+  program : string;
+  name : string;
+  engine : Incremental.Engine.t;
+}
+
+let create (entry : Registry.entry) ~name =
+  {
+    program = entry.Registry.name;
+    name;
+    engine = Incremental.Engine.of_analysis (Lazy.force entry.Registry.analysis);
+  }
+
+let analysis t = Incremental.Engine.analysis t.engine
+let edits t = Incremental.Engine.edits_applied t.engine

@@ -1,0 +1,23 @@
+(** One client's editing session on one loaded program.
+
+    A session is created on the client's first [edit] (queries without
+    a session read the registry's shared base analysis directly) and
+    wraps an {!Incremental.Engine.t} adopted from the base via
+    {!Incremental.Engine.of_analysis} — re-entry costs the engine
+    caches, not a re-analysis.  Sessions are keyed by
+    [(client, program, session-name)] in the server; distinct keys
+    never share an engine, which is what makes concurrent sessions on
+    distinct programs safe to run in one pool batch. *)
+
+type t = {
+  program : string;  (** Registry name this session edits. *)
+  name : string;  (** Session name ([""] is the client default). *)
+  engine : Incremental.Engine.t;
+}
+
+val create : Registry.entry -> name:string -> t
+(** Forces the entry's base analysis (first session on a program pays
+    the batch run if no query did yet) and adopts it. *)
+
+val analysis : t -> Core.Analyze.t
+val edits : t -> int

@@ -120,6 +120,23 @@ let qtest ?(count = 100) name arb prop =
     ~rand:(Random.State.make [| seed |])
     (QCheck.Test.make ~count ~name arb prop)
 
+(* Directed tests that need randomness must thread the same replayable
+   seed as the property tests: a fixed literal state would silently opt
+   out of QCHECK_SEED.  [salt] decorrelates streams within one run. *)
+let seeded_state ~salt = Random.State.make [| Lazy.force qcheck_seed; salt |]
+
+(* A directed test case drawing from a seeded state; any failure
+   (alcotest check or stray exception) reports the effective seed so
+   `QCHECK_SEED=n dune runtest` reproduces it exactly. *)
+let seeded_case name speed f =
+  Alcotest.test_case name speed (fun () ->
+      let salt = Hashtbl.hash name in
+      try f (seeded_state ~salt)
+      with e ->
+        Printf.eprintf "[seeded] %s failed; replay with QCHECK_SEED=%d\n%!" name
+          (Lazy.force qcheck_seed);
+        raise e)
+
 let gmod_arrays_equal a b = Array.for_all2 Bitvec.equal a b
 
 let run name suites = Alcotest.run ~verbose:false name suites

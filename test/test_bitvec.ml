@@ -85,7 +85,7 @@ let test_blit_clear () =
 (* Pin the branch-free SWAR popcount against the old one-bit-at-a-time
    loop it replaced (Kernighan's bit clear), on the edge words and a
    haystack of random full-width words. *)
-let test_popcount_word () =
+let test_popcount_word st =
   let reference x =
     let c = ref 0 and x = ref x in
     while !x <> 0 do
@@ -100,7 +100,6 @@ let test_popcount_word () =
         (Printf.sprintf "popcount %#x" x)
         (reference x) (B.popcount_word x))
     [ 0; 1; 2; 3; -1; max_int; min_int; min_int + 1; 0x1234; lnot 0x1234 ];
-  let st = Random.State.make [| 0x5ca1e |] in
   for _ = 1 to 10_000 do
     let x = Int64.to_int (Random.State.bits64 st) in
     let want = reference x in
@@ -170,7 +169,7 @@ let () =
           Alcotest.test_case "cardinal and choose" `Quick test_cardinal_choose;
           Alcotest.test_case "fold and exists" `Quick test_fold_exists;
           Alcotest.test_case "blit and clear" `Quick test_blit_clear;
-          Alcotest.test_case "popcount_word vs reference" `Quick
+          Helpers.seeded_case "popcount_word vs reference" `Quick
             test_popcount_word;
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
         ] );

@@ -216,14 +216,13 @@ let test_misc_api () =
   D.iter_edges dag (fun _ s d ->
       Alcotest.(check bool) "rpo respects edges" true (pos.(s) < pos.(d)))
 
-let test_fixed_generators () =
+let test_fixed_generators rng =
   let cyc = Graphs.Gen.cycle 5 in
   let r = Scc.compute cyc in
   Alcotest.(check int) "cycle is one SCC" 1 r.Scc.n_comps;
   let k = Graphs.Gen.complete 5 in
   Alcotest.(check int) "complete edges" 20 (D.n_edges k);
   Alcotest.(check int) "complete is one SCC" 1 (Scc.compute k).Scc.n_comps;
-  let rng = Random.State.make [| 3 |] in
   let tr = Graphs.Gen.tree rng ~nodes:50 ~arity:3 in
   Alcotest.(check int) "tree edges" 49 (D.n_edges tr);
   Alcotest.(check bool) "tree acyclic" true (Graphs.Topo.sort tr <> None);
@@ -272,7 +271,7 @@ let () =
           Alcotest.test_case "reachability" `Quick test_reach;
           Alcotest.test_case "200k-node chain, iterative" `Slow
             test_deep_chain_no_overflow;
-          Alcotest.test_case "fixed generator shapes" `Quick test_fixed_generators;
+          Helpers.seeded_case "fixed generator shapes" `Quick test_fixed_generators;
           Alcotest.test_case "misc graph API" `Quick test_misc_api;
           Helpers.qtest "random_dag is acyclic" arb_graph prop_generators_shape;
         ] );

@@ -177,9 +177,8 @@ let test_nested_body_edit () =
   check_bool "RMOD(helper.h)" true
     (Core.Rmod.modified a.A.rmod (var_id prog "helper.h"))
 
-let test_nested_script () =
+let test_nested_script rand =
   let prog = Workload.Families.nested_textbook () in
-  let rand = Random.State.make [| 0xbeef |] in
   let script = Workload.Edits.gen ~rand ~steps:12 prog in
   let n = run_script prog script in
   check_bool "script not empty" true (n > 0)
@@ -243,6 +242,64 @@ let test_opcount_ref_chain () =
   check_int "fallback counted" 1
     (Obs.Metric.value_since ~since:snap fallbacks)
 
+(* [Script.render] must be a left inverse of [Script.parse_line]
+   against the pre-edit program — the contract the analysis server's
+   load generator relies on to replay [Workload.Edits] over the wire.
+   [None] is legitimate (no concrete syntax); a rendered line that
+   fails to parse, parses as blank, or comes back as a different edit
+   is not. *)
+let prop_render_roundtrip of_seed steps seed =
+  let prog = of_seed seed in
+  let rand = Random.State.make [| seed; 0x5c71 |] in
+  let script = Workload.Edits.gen ~rand ~steps prog in
+  let rec go prog = function
+    | [] -> true
+    | (edit, after) :: rest ->
+      (match Incremental.Script.render prog edit with
+      | None -> ()
+      | Some line -> (
+        match Incremental.Script.parse_line prog line with
+        | Ok (Some edit') ->
+          if edit' <> edit then
+            QCheck.Test.fail_reportf "render/parse mismatch on %S: %s vs %s"
+              line
+              (Edit.to_string prog edit')
+              (Edit.to_string prog edit)
+        | Ok None ->
+          QCheck.Test.fail_reportf "rendered line %S parsed as blank" line
+        | Error msg ->
+          QCheck.Test.fail_reportf "rendered line %S failed to parse: %s" line
+            msg));
+      go after rest
+  in
+  go prog script
+
+(* [Engine.of_analysis] (the adoption path the server uses to give
+   each session its own engine over one shared batch record) must
+   track [Engine.create] exactly: same answers before any edit, and
+   bit-identical analyses after every edit of any script. *)
+let prop_of_analysis_equiv of_seed steps seed =
+  let prog = of_seed seed in
+  let rand = Random.State.make [| seed; 0x0fa1 |] in
+  let script = Workload.Edits.gen ~rand ~steps prog in
+  let created = Engine.create prog in
+  let adopted = Engine.of_analysis (A.run prog) in
+  check_equiv "pre-edit adoption" (Engine.analysis adopted)
+    (Engine.analysis created);
+  List.iteri
+    (fun i (edit, expected) ->
+      let (_ : Engine.outcome) = Engine.apply created edit in
+      let (_ : Engine.outcome) = Engine.apply adopted edit in
+      let label = Printf.sprintf "edit %d" i in
+      check_equiv
+        (label ^ " (created vs batch)")
+        (Engine.analysis created) (A.run expected);
+      check_equiv
+        (label ^ " (adopted vs created)")
+        (Engine.analysis adopted) (Engine.analysis created))
+    script;
+  true
+
 let () =
   run "incremental"
     [
@@ -259,7 +316,7 @@ let () =
           Alcotest.test_case "add/remove proc diamond" `Quick
             test_add_remove_proc_diamond;
           Alcotest.test_case "nested body edit" `Quick test_nested_body_edit;
-          Alcotest.test_case "nested script" `Quick test_nested_script;
+          Helpers.seeded_case "nested script" `Quick test_nested_script;
         ] );
       ( "opcount",
         [ Alcotest.test_case "ref_chain 64 region" `Quick test_opcount_ref_chain ] );
@@ -269,5 +326,9 @@ let () =
             (prop_script (flat_of_seed ~n:24) 8);
           qtest ~count:60 "incremental = batch (nested scripts)" arb_nested_prog
             (prop_script (nested_of_seed ~n:20 ~depth:3) 8);
+          qtest ~count:100 "render/parse_line round trip" arb_flat_prog
+            (prop_render_roundtrip (flat_of_seed ~n:24) 8);
+          qtest ~count:60 "of_analysis = create" arb_flat_prog
+            (prop_of_analysis_equiv (flat_of_seed ~n:24) 6);
         ] );
     ]

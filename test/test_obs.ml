@@ -240,6 +240,28 @@ let test_histogram_buckets () =
     [ (0, 3); (2, 2); (4, 1); (512, 1); (1024, 1) ]
     (Obs.Metric.hist_nonzero_buckets h)
 
+let test_histogram_quantiles () =
+  let h = Obs.Metric.histogram "test.obs.hist_quantiles" in
+  Helpers.check_int "empty histogram quantile" 0
+    (Obs.Metric.hist_quantile_ns h 0.5);
+  for _ = 1 to 10 do
+    Obs.Metric.observe_ns h 1000
+  done;
+  (* The quantile is the containing bucket's conservative upper bound,
+     so it never under-reports and is exact to one power of two. *)
+  let q50 = Obs.Metric.hist_quantile_ns h 0.5 in
+  Alcotest.(check bool)
+    "q0.5 within one power of two of the sample"
+    true
+    (q50 >= 1000 && q50 <= 2047);
+  (* Quantiles are monotone in q, and out-of-range q is clamped. *)
+  Obs.Metric.observe_ns h 1_000_000;
+  let q q' = Obs.Metric.hist_quantile_ns h q' in
+  Alcotest.(check bool) "monotone in q" true (q 0.0 <= q 0.5 && q 0.5 <= q 0.99);
+  Helpers.check_int "q>1 clamps to max" (q 1.0) (q 2.0);
+  Helpers.check_int "q<0 clamps to min" (q 0.0) (q (-1.0));
+  Alcotest.(check bool) "q1 covers the largest sample" true (q 1.0 >= 1_000_000)
+
 let test_histogram_observe_seconds () =
   let h = Obs.Metric.histogram "test.obs.hist_seconds" in
   Obs.Metric.observe h 1.0;
@@ -433,6 +455,7 @@ let () =
       ( "histograms",
         [
           Alcotest.test_case "log2 buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "bucketed quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "observe in seconds" `Quick test_histogram_observe_seconds;
           Alcotest.test_case "json shape" `Quick test_histograms_json_shape;
         ] );
