@@ -7,6 +7,7 @@ all:
 	$(MAKE) --no-print-directory dataflow-smoke
 	$(MAKE) --no-print-directory obs-smoke
 	$(MAKE) --no-print-directory serve-smoke
+	$(MAKE) --no-print-directory bench-check
 
 test:
 	dune runtest
@@ -178,6 +179,11 @@ serve-smoke:
 	rm -f $$out; \
 	echo "serve-smoke: 17 responses, all valid JSON, no errors"
 
+# Pinned perf-regression gate (reduced config, part of `make all`):
+# word-ops growth per size doubling and jobs-4 overhead/identity.
+bench-check:
+	dune exec bench/bench_check.exe
+
 bench-parallel:
 	dune exec bench/bench_parallel.exe
 
@@ -193,4 +199,4 @@ examples:
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick bench-parallel bench-dataflow bench-serve profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke serve-smoke examples
+.PHONY: all test test-force bench bench-quick bench-check bench-parallel bench-dataflow bench-serve profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke serve-smoke examples

@@ -88,6 +88,9 @@ let measure family build n =
   let rows =
     List.map
       (fun jobs ->
+        (* Shape of the coarse plan at this job count (deterministic,
+           cost probe = 1 per component: structure, not estimates). *)
+        let plan = Par.Wavefront.plan levels ~jobs ~cost:(fun _ -> 1) in
         let pool = Pool.create ~jobs in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
@@ -114,6 +117,11 @@ let measure family build n =
                 ("speedup", Obs.Json.Float speedup);
                 ("par_tasks", Obs.Json.Int tasks);
                 ("par_batches", Obs.Json.Int batches);
+                ("fused_levels", Obs.Json.Int plan.Par.Wavefront.fused_levels);
+                ("plan_batches", Obs.Json.Int plan.Par.Wavefront.n_batches);
+                ( "mean_batch_cost",
+                  Obs.Json.Float plan.Par.Wavefront.mean_batch_cost );
+                ("chain", Obs.Json.Bool plan.Par.Wavefront.chain);
               ]))
       par_jobs
   in

@@ -283,10 +283,8 @@ let () =
   Printf.printf "\n== L1: operation counts vs problem size (bit-vector steps / boolean steps) ==\n";
   Printf.printf "   %8s %8s %8s %8s | %12s %10s | %12s %10s\n" "N" "E" "Nb" "Eb"
     "rmod steps" "/(Nb+Eb)" "gmod vecops" "/(N+E)";
-  let l1_rows =
-    List.map
-      (fun n ->
-        let prog = Workload.Families.fortran_style ~seed:7 ~n in
+  let l1_row family n =
+        let prog = family ~seed:7 ~n in
         let p = prepare prog in
         let rmod = Core.Rmod.solve p.binding ~imod:p.imod in
         let (), gmod_span =
@@ -318,8 +316,27 @@ let () =
               Obs.Json.Int gmod_span.Obs.Span.gc.Obs.Span.major_collections );
             ( "top_heap_words",
               Obs.Json.Int gmod_span.Obs.Span.gc.Obs.Span.top_heap_words );
-          ])
-      [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
+          ]
+  in
+  (* Two scaling regimes (docs/parallel.md, bench_check): fortran_style
+     grows globals with n (summary-set output size is inherently
+     quadratic, word ops sit near that floor); fortran_fixed holds the
+     global population constant, where word ops too are linear. *)
+  let l1_rows =
+    List.concat_map
+      (fun (fname, family) ->
+        Printf.printf "   -- %s --\n" fname;
+        List.map
+          (fun n ->
+            match l1_row family n with
+            | Obs.Json.Obj fields ->
+              Obs.Json.Obj (("family", Obs.Json.String fname) :: fields)
+            | j -> j)
+          [ 128; 256; 512; 1024; 2048; 4096; 8192 ])
+      [
+        ("fortran_style", fun ~seed ~n -> Workload.Families.fortran_style ~seed ~n);
+        ("fortran_fixed", fun ~seed ~n -> Workload.Families.fortran_fixed ~seed ~n);
+      ]
   in
   let l1_json =
     Obs.Json.Obj
@@ -329,7 +346,7 @@ let () =
           Obs.Json.String
             "rmod boolean steps scale with N_beta+E_beta; findgmod bit-vector \
              steps scale with N+E" );
-        ("workload", Obs.Json.String "fortran_style, seed 7");
+        ("workload", Obs.Json.String "fortran_style and fortran_fixed, seed 7");
         ("rows", Obs.Json.List l1_rows);
       ]
   in

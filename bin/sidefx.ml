@@ -657,17 +657,45 @@ let dataflow_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
-  let run file trace json =
+  let run file trace json jobs =
     with_trace trace @@ fun () ->
     let prog = load file in
     if json then begin
       (* The JSON view additionally runs the full analysis under a
          collected span, so it can report latency histograms (per
          phase) and the GC pressure of the run. *)
+      let before = Obs.Metric.snapshot () in
       let (t, reach), span =
         Obs.Span.collect "stats" @@ fun () ->
-        let t = Core.Analyze.run prog in
+        let t = Core.Analyze.run ~jobs prog in
         (t, Callgraph.Call.reachable_from_main t.Core.Analyze.call)
+      in
+      let delta name =
+        Obs.Metric.value_since ~since:before (Obs.Metric.counter name)
+      in
+      (* Scheduler shape: the coarse plan of the call-graph condensation
+         at the requested job count (deterministic, cost-free to build)
+         plus the runtime counters the solvers actually bumped.  A
+         [chain] plan means a pooled run downgrades to fully-inline
+         sequential execution and never spawns a domain. *)
+      let scheduling =
+        let call_scc = Graphs.Scc.compute t.Core.Analyze.call.Callgraph.Call.graph in
+        let cl = condensation_levels t.Core.Analyze.call.Callgraph.Call.graph call_scc in
+        let plan = Par.Wavefront.plan cl ~jobs:(max 1 jobs) ~cost:(fun _ -> 1) in
+        Obs.Json.Obj
+          [
+            ("jobs", Obs.Json.Int jobs);
+            ( "recommended_domain_count",
+              Obs.Json.Int (Domain.recommended_domain_count ()) );
+            ("call_levels", Obs.Json.Int cl.Par.Wavefront.n_levels);
+            ("call_max_width", Obs.Json.Int cl.Par.Wavefront.max_width);
+            ("fused_levels", Obs.Json.Int plan.Par.Wavefront.fused_levels);
+            ("plan_batches", Obs.Json.Int plan.Par.Wavefront.n_batches);
+            ("chain", Obs.Json.Bool plan.Par.Wavefront.chain);
+            ("chain_downgrades", Obs.Json.Int (delta "par.chain_downgrades"));
+            ("parallel_batches", Obs.Json.Int (delta "par.batches"));
+            ("parallel_tasks", Obs.Json.Int (delta "par.tasks"));
+          ]
       in
       let gc = span.Obs.Span.gc in
       print_endline
@@ -688,6 +716,7 @@ let stats_cmd =
                       ("promoted_words", Obs.Json.Int gc.Obs.Span.promoted_words);
                       ("top_heap_words", Obs.Json.Int gc.Obs.Span.top_heap_words);
                     ] );
+                ("scheduling", scheduling);
                 ("histograms", Obs.histograms_json ());
               ]))
     end
@@ -722,8 +751,9 @@ let stats_cmd =
        ~doc:
          "Sizes of the call multi-graph C and binding multi-graph β.  With \
           --json, additionally run the analysis and report per-phase latency \
-          histograms and GC statistics.")
-    Term.(const run $ file_arg $ trace_arg $ json_arg)
+          histograms, GC statistics, and the coarse wavefront scheduling \
+          shape at the requested --jobs.")
+    Term.(const run $ file_arg $ trace_arg $ json_arg $ jobs_arg)
 
 (* --- profile --- *)
 

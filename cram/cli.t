@@ -217,6 +217,7 @@ The JSON report's key set is a stable contract (values are not):
   "beta_max_width":
   "beta_nodes":
   "beta_sccs":
+  "bitvec.small_ops":
   "bitvec.vector_ops":
   "bitvec.word_ops":
   "call_levels":
@@ -246,6 +247,8 @@ The JSON report's key set is a stable contract (values are not):
   "name":
   "nesting_depth":
   "par.batches":
+  "par.chain_downgrades":
+  "par.fused_levels":
   "par.tasks":
   "procedures":
   "program":

@@ -71,6 +71,8 @@ exactly these keys:
   > | ../bin/sidefx.exe serve --load demo=../programs/lint_demo.mp \
   > | grep -o '"[A-Za-z0-9_.]*":' | sort -u
   "analyzed":
+  "call_levels":
+  "call_max_width":
   "count":
   "edits":
   "fact":
@@ -89,6 +91,7 @@ exactly these keys:
   "program":
   "programs":
   "query.source":
+  "recommended_domain_count":
   "requests":
   "result":
   "serve.load_s":

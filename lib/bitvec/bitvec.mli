@@ -1,14 +1,35 @@
-(** Dense bit vectors.
+(** Hybrid sparse/dense bit vectors.
 
     The paper measures its algorithms in "bit-vector steps": one step is
     a whole-vector operation (union, copy, comparison) over vectors
     whose length grows with the program (the number of formal
     parameters, or of global variables).  This module is that substrate:
-    fixed-length mutable bitsets backed by [int] arrays, with the
-    destructive operations the solvers need ([union_into] returning a
-    change flag drives every fixpoint loop) and a global operation
-    counter used by the empirical-linearity experiment (L1 in
-    DESIGN.md). *)
+    fixed-length mutable bitsets with the destructive operations the
+    solvers need ([union_into] returning a change flag drives every
+    fixpoint loop) and global operation counters used by the
+    empirical-linearity experiment (L1 in DESIGN.md).
+
+    {b Representation.}  Behind the abstract [t], a vector is either
+    {i small} — a sorted array of set-bit indices — or {i dense} — the
+    classic word array, annotated with the exact number of occupied
+    words (its "top").  Vectors start small and promote to dense when
+    their cardinality exceeds {!small_threshold}; shrinking operations
+    ([clear], intersections that leave few survivors) demote back.  All
+    transitions are deterministic functions of the per-vector operation
+    sequence, which is what keeps parallel schedules (lib/par) and
+    sequential runs op-count-identical.
+
+    {b Cost accounting.}  Every whole-vector operation bumps
+    [bitvec.vector_ops] by one and [bitvec.word_ops] by the number of
+    machine words of live data it actually touched: live cardinalities
+    for small operands, occupied-prefix lengths for dense ones (never
+    less than 1 per operation).  Operations on small operands
+    additionally bump [bitvec.small_ops] by one.  Point operations
+    ([get]/[set]/[unset]) and representation bookkeeping (allocation
+    zero-fill, top rescans) are not counted.  Under
+    [set_hybrid false] the accounting reverts to the legacy dense
+    contract: every operation charges the full word count of the
+    universe. *)
 
 type t
 (** A fixed-length mutable bit vector.  Indices range over
@@ -99,12 +120,47 @@ val choose : t -> int option
 val pp : Format.formatter -> t -> unit
 (** Prints as [{i1, i2, ...}]. *)
 
+(** {1 Representation control and probes} *)
+
+val set_hybrid : bool -> unit
+(** [set_hybrid false] switches the module to the legacy dense-only
+    behaviour: new vectors are created dense, promotion/demotion is
+    disabled, and every whole-vector operation charges the full word
+    count of the universe.  [set_hybrid true] (the default, unless the
+    environment sets [SIDEFX_BITVEC=dense]) restores hybrid mode.
+    The switch is global; flip it only between complete analysis runs
+    (vectors created under one mode remain valid under the other, but
+    their op costs follow the mode current at operation time). *)
+
+val hybrid_enabled : unit -> bool
+(** Current mode (see {!set_hybrid}). *)
+
+val small_threshold : int -> int
+(** [small_threshold n] is the promotion boundary for vectors of
+    length [n]: a small vector whose cardinality would exceed this
+    promotes to dense.  It is [max 16 (words n)], so the small form is
+    never asymptotically worse than the dense one.  Demotion (from a
+    shrinking dense intersection) triggers at half this value.
+    Exposed so tests can exercise the boundaries exactly. *)
+
+val live_estimate : t -> int
+(** Uncounted O(1) upper bound on the cardinality: the exact
+    cardinality of a small vector, occupied-words × word-size for a
+    dense one.  The parallel scheduler uses this as its batch-cost
+    probe (see lib/par/wavefront.ml). *)
+
+val repr_kind : t -> [ `Small | `Dense ]
+(** Current physical representation; uncounted.  For tests and
+    observability only — the choice is a deterministic function of the
+    vector's operation history. *)
+
 (** Global operation counters.
 
     Every whole-vector operation above bumps the registry counters
     [bitvec.vector_ops] (by one) and [bitvec.word_ops] (by the number
-    of machine words touched) — the bit-vector-step counts the paper's
-    complexity claims are stated in.
+    of machine words of live data touched) — the bit-vector-step
+    counts the paper's complexity claims are stated in.  Small-path
+    operations additionally bump [bitvec.small_ops].
 
     {b Deprecated.}  New code should measure intervals with
     {!Obs.Metric.snapshot}/{!Obs.Metric.delta} on those counters (or

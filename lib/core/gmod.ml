@@ -6,6 +6,14 @@ module Prog = Ir.Prog
    line: line 8 is the [gmod.(v) <- copy seed.(v)] on push, line 17 is
    [add_escaped], lines 19-25 are [close_component].
 
+   [~prune] selects how equation (4)'s [∖ LOCAL(src)] strip happens:
+   [`Nonlocal] performs it explicitly (blit + intersect with
+   NON-LOCAL + union — the general form, needed whenever vectors span
+   the full variable universe), while [`None] skips it because the
+   caller solves over a compact escape universe that contains no
+   procedure-locals at all (see renumber.ml), collapsing the fold to a
+   single union.
+
    With [?region:(dirty, cached)] the traversal is confined to the
    procedures in [dirty]: every other node keeps its [cached] vector
    (shared, not copied) and is pre-marked as an already-closed
@@ -14,7 +22,7 @@ module Prog = Ir.Prog
    under reachability-into-it (condensation ancestors), a clean node's
    equation-(4) value cannot have changed, and the region run computes
    the same fixpoint Figure 2 computes from scratch. *)
-let solve_seq ?region info (call : Callgraph.Call.t) ~seed =
+let solve_seq ?region ~prune info (call : Callgraph.Call.t) ~seed =
   let g = call.Callgraph.Call.graph in
   let n = Digraph.n_nodes g in
   let prog = call.Callgraph.Call.prog in
@@ -34,16 +42,22 @@ let solve_seq ?region info (call : Callgraph.Call.t) ~seed =
   let on_stack = Array.make n false in
   let tarjan_stack = ref [] in
   let next_dfn = ref 1 in
-  let scratch = Bitvec.create (Ir.Info.n_vars info) in
+  let scratch = Bitvec.create (Bitvec.length seed.(0)) in
   (* GMOD[dst] ∪= GMOD[src] ∖ LOCAL[src]  (equation (4), one edge). *)
   let add_escaped ~src ~dst =
-    Bitvec.blit ~src:gmod.(src) ~dst:scratch;
-    ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info src) ~dst:scratch);
-    ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(dst))
+    match prune with
+    | `Nonlocal ->
+      Bitvec.blit ~src:gmod.(src) ~dst:scratch;
+      ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info src) ~dst:scratch);
+      ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(dst))
+    | `None -> ignore (Bitvec.union_into ~src:gmod.(src) ~dst:gmod.(dst))
   in
   let close_component root =
     Bitvec.blit ~src:gmod.(root) ~dst:scratch;
-    ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info root) ~dst:scratch);
+    (match prune with
+    | `Nonlocal ->
+      ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info root) ~dst:scratch)
+    | `None -> ());
     let rec pop () =
       match !tarjan_stack with
       | [] -> assert false
@@ -137,14 +151,24 @@ let solve_seq ?region info (call : Callgraph.Call.t) ~seed =
    lowlink propagation is provably a no-op).  Discovery order,
    branching, and close order inside the component replicate the
    sequential run, so both the resulting vectors and the
-   [bitvec.vector_ops]/[word_ops] totals are identical.
+   [bitvec.vector_ops]/[word_ops] totals are identical — batching only
+   groups whole components, never reorders the operations any single
+   vector sees.
+
+   Components are scheduled through a coarse [Par.Wavefront.plan]:
+   consecutive singleton levels fuse into inline sequential stages
+   (no barrier), wide levels split into at most [2 * jobs] batches
+   balanced by live seed size ([Bitvec.live_estimate]) plus member
+   count — summary-size-weighted, not node-count-weighted.  Per-slot
+   scratch vectors are allocated once per solve and stay hot across
+   every level.
 
    Race discipline: a task checks [comp.(q) <> c] {e first} and never
    reads [dfn]/[lowlink]/[on_stack]/[gmod] of a node owned by another
    same-level component; lower-level state is frozen by the batch
    join.  Seed copies happen at first visit (push) instead of
    up-front — one copy per active node either way. *)
-let solve_par ?region info (call : Callgraph.Call.t) ~seed ~pool =
+let solve_par ?region ~prune info (call : Callgraph.Call.t) ~seed ~pool =
   let g = call.Callgraph.Call.graph in
   let n = Digraph.n_nodes g in
   let prog = call.Callgraph.Call.prog in
@@ -178,8 +202,8 @@ let solve_par ?region info (call : Callgraph.Call.t) ~seed ~pool =
       Array.init n (fun v -> if active v then seed.(v) else cached.(v))
   in
   let jobs = Par.Pool.jobs pool in
-  let n_vars = Ir.Info.n_vars info in
-  let scratches = Array.init jobs (fun _ -> Bitvec.create n_vars) in
+  let scratch_len = Bitvec.length seed.(0) in
+  let scratches = Array.init jobs (fun _ -> Bitvec.create scratch_len) in
   let frame_nodes = Array.init jobs (fun _ -> Array.make (n + 1) 0) in
   let frame_nexts = Array.init jobs (fun _ -> Array.make (n + 1) 0) in
   let dfn = Array.make n 0 in
@@ -190,14 +214,20 @@ let solve_par ?region info (call : Callgraph.Call.t) ~seed ~pool =
     let frame_node = frame_nodes.(slot) in
     let frame_next = frame_nexts.(slot) in
     let add_escaped ~src ~dst =
-      Bitvec.blit ~src:gmod.(src) ~dst:scratch;
-      ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info src) ~dst:scratch);
-      ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(dst))
+      match prune with
+      | `Nonlocal ->
+        Bitvec.blit ~src:gmod.(src) ~dst:scratch;
+        ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info src) ~dst:scratch);
+        ignore (Bitvec.union_into ~src:scratch ~dst:gmod.(dst))
+      | `None -> ignore (Bitvec.union_into ~src:gmod.(src) ~dst:gmod.(dst))
     in
     let tarjan_stack = ref [] in
     let close_component root =
       Bitvec.blit ~src:gmod.(root) ~dst:scratch;
-      ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info root) ~dst:scratch);
+      (match prune with
+      | `Nonlocal ->
+        ignore (Bitvec.inter_into ~src:(Ir.Info.non_local info root) ~dst:scratch)
+      | `None -> ());
       let rec pop () =
         match !tarjan_stack with
         | [] -> assert false
@@ -250,19 +280,47 @@ let solve_par ?region info (call : Callgraph.Call.t) ~seed ~pool =
       end
     done
   in
-  Par.Wavefront.iter (Some pool) sched.Par.Wavefront.levels ~f:run_comp;
+  (* Batch cost: member count plus live seed words — an uncounted O(1)
+     probe per node that weighs components by estimated summary size. *)
+  let cost_of = Array.make (max 1 sched.Par.Wavefront.n_comps) 0 in
+  for v = 0 to n - 1 do
+    let c = comp.(v) in
+    if c >= 0 then
+      cost_of.(c) <-
+        cost_of.(c) + 1 + (Bitvec.live_estimate seed.(v) / Sys.int_size)
+  done;
+  let plan =
+    Par.Wavefront.plan sched.Par.Wavefront.levels ~jobs ~cost:(Array.get cost_of)
+  in
+  Par.Wavefront.run_plan (Some pool) plan ~f:run_comp;
   gmod
 
-let solve_seeded ?region ?pool info call ~seed =
+let solve_seeded ?region ?pool ?(prune = `Nonlocal) info call ~seed =
   match pool with
-  | Some pool -> solve_par ?region info call ~seed ~pool
-  | None -> solve_seq ?region info call ~seed
+  | Some pool -> solve_par ?region ~prune info call ~seed ~pool
+  | None -> solve_seq ?region ~prune info call ~seed
+
+(* Flat programs take the compact escape-universe path: renumber the
+   seeded globals (renumber.ml), run the same traversal over compact
+   vectors with the local-strip implicit, and expand the results onto
+   the IMOD+ bases.  Nested programs (any procedure visible inside
+   another's scope) keep the explicit [`Nonlocal] strip over the full
+   universe. *)
+let solve_full ?pool info (call : Callgraph.Call.t) ~seed =
+  if Prog.max_level call.Callgraph.Call.prog <= 1 then begin
+    let rn = Renumber.build info ~seed in
+    let compact =
+      solve_seeded ?pool ~prune:`None info call ~seed:(Renumber.compact_seeds rn)
+    in
+    Renumber.expand rn ~base:seed ~compact
+  end
+  else solve_seeded ?pool info call ~seed
 
 let solve ?(label = "gmod") ?pool info call ~imod_plus =
-  Obs.Span.with_ label (fun () -> solve_seeded ?pool info call ~seed:imod_plus)
+  Obs.Span.with_ label (fun () -> solve_full ?pool info call ~seed:imod_plus)
 
 let solve_use ?(label = "guse") ?pool info call ~iuse_plus =
-  Obs.Span.with_ label (fun () -> solve_seeded ?pool info call ~seed:iuse_plus)
+  Obs.Span.with_ label (fun () -> solve_full ?pool info call ~seed:iuse_plus)
 
 let solve_region ?(label = "gmod.region") ?pool info call ~seed ~dirty ~cached =
   Obs.Span.with_ label (fun () ->

@@ -22,10 +22,21 @@
     a condensation wavefront: components of the call multi-graph are
     evaluated level-by-level, concurrently within a level, each by a
     Figure-2 traversal restricted to the component and started where
-    the sequential DFS first entered it.  Results {e and} the
+    the sequential DFS first entered it.  Scheduling is coarse
+    ({!Par.Wavefront.plan}): consecutive singleton levels run inline
+    on the caller without a barrier, wide levels are batched by
+    estimated summary size.  Results {e and} the
     [bitvec.vector_ops]/[word_ops] step counts are bit-identical to
     the sequential pass (see docs/parallel.md); without a pool the
-    original sequential code runs unchanged. *)
+    original sequential code runs unchanged.
+
+    On flat programs (no procedure nesting) {!solve} and {!solve_use}
+    run the propagation over a compact renumbered escape universe —
+    only the seeded globals, the only variables a call edge can carry
+    (see {!Renumber}) — which makes the fold's word cost track live
+    set sizes instead of the full variable universe.  The computed
+    sets are identical either way; {!solve_region} always uses the
+    full universe so cached vectors stay directly compatible. *)
 
 val solve :
   ?label:string ->

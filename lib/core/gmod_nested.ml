@@ -9,6 +9,8 @@ let solve_by_levels ?(label = "gmod.by_levels") ?pool info
   let prog = call.Callgraph.Call.prog in
   let dp = Prog.max_level prog in
   let result = Array.map Bitvec.copy imod_plus in
+  (* One contribution scratch for the whole run, hot across levels. *)
+  let scratch = Bitvec.create (Ir.Info.n_vars info) in
   for i = 1 to max 1 dp do
     (* C_i: drop edges whose callee is declared at a level < i. *)
     let b = Digraph.Builder.create ~nodes:(Prog.n_procs prog) () in
@@ -25,8 +27,9 @@ let solve_by_levels ?(label = "gmod.by_levels") ?pool info
     in
     Array.iteri
       (fun pid g ->
-        let contribution = Bitvec.inter g strict in
-        ignore (Bitvec.union_into ~src:contribution ~dst:result.(pid)))
+        Bitvec.blit ~src:g ~dst:scratch;
+        ignore (Bitvec.inter_into ~src:strict ~dst:scratch);
+        ignore (Bitvec.union_into ~src:scratch ~dst:result.(pid)))
       gmod_i
   done;
   result

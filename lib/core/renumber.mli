@@ -1,0 +1,39 @@
+(** Compact escape-universe renumbering for the flat Figure-2 solve.
+
+    For programs without procedure nesting, the only variables that
+    survive equation (4)'s [∖ LOCAL(p)] strip — the only ones a call
+    edge can propagate — are globals.  [build] renumbers the globals
+    that occur in at least one seed into a dense compact universe
+    [0 .. n_compact), in deterministic first-touch order (procedures
+    ascending, seed bits ascending), and projects every seed into it.
+    {!Gmod} runs the whole propagation over the compact vectors (where
+    the local-strip is implicit: locals are not in the universe) and
+    {!expand} maps each result back, unioned onto the per-procedure
+    base ([IMOD+], which carries the procedure's own formals and
+    locals).
+
+    Only valid when no variable of one procedure is visible in another
+    — i.e. [Ir.Prog.max_level prog <= 1]; callers gate on that.  The
+    counted bit-vector work of [build]/[expand] is one [iter] per seed
+    or result plus one copy per base vector — linear in live data. *)
+
+type t
+
+val build : Ir.Info.t -> seed:Bitvec.t array -> t
+(** Scan the seeds, assign compact ids, and project every seed into
+    the compact universe. *)
+
+val n_compact : t -> int
+(** Size of the compact universe: distinct seeded globals. *)
+
+val of_compact : t -> int -> int
+(** Map a compact id back to its variable id. *)
+
+val compact_seeds : t -> Bitvec.t array
+(** Per-procedure seeds over the compact universe ([length =
+    n_compact]); the caller may mutate them freely. *)
+
+val expand : t -> base:Bitvec.t array -> compact:Bitvec.t array -> Bitvec.t array
+(** [expand t ~base ~compact] is, per procedure, a copy of [base.(p)]
+    with every bit of [compact.(p)] mapped back to full variable ids
+    and set.  Fresh vectors; inputs are not mutated. *)

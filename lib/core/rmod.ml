@@ -115,12 +115,19 @@ let solve_cached ?(label = "rmod") ?pool (binding : Binding.t) ~imod =
               members.(c)
           done;
           slot_steps.(slot) <- slot_steps.(slot) + !st);
-      (* Step 3: condensation wavefront; one relaxation per edge. *)
+      (* Step 3: condensation wavefront; one relaxation per edge.
+         Scheduled coarsely: singleton-level runs fuse into inline
+         sequential stages, wide levels batch by per-component edge
+         count, so a chain-shaped condensation never pays a barrier. *)
       let levels =
         Par.Wavefront.of_comp_succs ~n_comps
           ~succs_of:(fun c -> edges_by_comp.(c))
       in
-      Par.Wavefront.iter (Some pool) levels ~f:(fun ~slot ~comp:c ->
+      let plan =
+        Par.Wavefront.plan levels ~jobs ~cost:(fun c ->
+            1 + List.length edges_by_comp.(c))
+      in
+      Par.Wavefront.run_plan (Some pool) plan ~f:(fun ~slot ~comp:c ->
           let st = ref 0 in
           List.iter
             (fun cd ->

@@ -25,12 +25,14 @@ type t = {
   mutable stop : bool;
   mutable error : exn option;
   mutable domains : unit Domain.t list;
+  mutable spawned : bool;
 }
 
 let effective_jobs jobs =
   if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
 
 let jobs t = t.jobs
+let spawned t = t.spawned
 
 (* Claim-and-run loop over the current batch.  Called with [t.mu] held;
    returns with it held. *)
@@ -64,32 +66,48 @@ let rec worker_loop t slot seen_batch =
 
 let create ~jobs =
   let jobs = max 1 jobs in
-  let t =
-    {
-      jobs;
-      mu = Mutex.create ();
-      work = Condition.create ();
-      donec = Condition.create ();
-      tasks = [||];
-      next = 0;
-      unfinished = 0;
-      batch = 0;
-      stop = false;
-      error = None;
-      domains = [];
-    }
-  in
-  t.domains <-
-    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1) 0));
-  t
+  {
+    jobs;
+    mu = Mutex.create ();
+    work = Condition.create ();
+    donec = Condition.create ();
+    tasks = [||];
+    next = 0;
+    unfinished = 0;
+    batch = 0;
+    stop = false;
+    error = None;
+    domains = [];
+    spawned = false;
+  }
+
+(* Worker domains spawn on the first batch that can actually use them.
+   A pool whose every batch turns out to be sequential (singleton
+   batches, or a chain-shaped condensation whose plan has no parallel
+   stage at all — see Wavefront.plan) never pays domain startup. *)
+let ensure_spawned t =
+  if not t.spawned then begin
+    t.spawned <- true;
+    t.domains <-
+      List.init (t.jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1) t.batch))
+  end
 
 let run t tasks =
   let n = Array.length tasks in
   if n = 0 then ()
   else if t.jobs <= 1 then Array.iter (fun f -> f 0) tasks
+  else if n = 1 then begin
+    (* A one-task batch has no parallelism to exploit: run it on the
+       caller, skipping both domain startup and the batch handshake. *)
+    Obs.Metric.incr batches_metric;
+    Obs.Metric.incr tasks_metric;
+    tasks.(0) 0
+  end
   else begin
     Obs.Metric.incr batches_metric;
     Obs.Metric.add tasks_metric n;
+    ensure_spawned t;
     Mutex.lock t.mu;
     t.tasks <- tasks;
     t.next <- 0;

@@ -1,7 +1,9 @@
 (** A reusable pool of worker domains executing task batches.
 
-    [create ~jobs] spawns [jobs - 1] worker domains (none for
-    [jobs <= 1]); [run] publishes an array of tasks, participates in
+    [create ~jobs] sizes the pool at [jobs] workers; the [jobs - 1]
+    worker domains spawn lazily, on the first batch with more than one
+    task (so a pool that only ever sees sequential work costs
+    nothing); [run] publishes an array of tasks, participates in
     executing them on the calling domain, and returns once every task
     has finished.  Tasks within a batch run concurrently in unspecified
     order, so they must write disjoint state; consecutive batches are
@@ -18,8 +20,9 @@
 type t
 
 val create : jobs:int -> t
-(** Spawn a pool of [max 1 jobs] total workers (the caller counts as
-    worker 0, so [jobs - 1] domains are spawned).  Call {!shutdown}
+(** A pool of [max 1 jobs] total workers (the caller counts as worker
+    0).  The [jobs - 1] worker domains are not spawned here but on the
+    first {!run} whose batch has two or more tasks.  Call {!shutdown}
     when done; a pool whose owner exits without shutdown leaves its
     domains blocked on the queue, which is safe but unjoined. *)
 
@@ -27,14 +30,20 @@ val jobs : t -> int
 (** Total parallelism, caller included.  Task slot indices are
     [0 .. jobs t - 1]. *)
 
+val spawned : t -> bool
+(** Whether the worker domains have started — i.e. whether any batch
+    so far actually had parallelism to exploit.  Observability only. *)
+
 val run : t -> (int -> unit) array -> unit
 (** [run t tasks] executes every task and returns when all are done.
     Each task receives the {e slot} of the worker running it — a stable
     index in [0 .. jobs t - 1] — for indexing per-worker scratch
     state.  If tasks raise, one of the exceptions is re-raised in the
-    caller after the whole batch has drained.  With [jobs t = 1] the
-    tasks simply run in order on the calling domain.  Not reentrant:
-    tasks must not call [run] on their own pool. *)
+    caller after the whole batch has drained.  With [jobs t = 1], or
+    for a single-task batch, the tasks simply run in order on the
+    calling domain (a single-task batch still counts towards
+    [par.tasks]/[par.batches]).  Not reentrant: tasks must not call
+    [run] on their own pool. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent. *)

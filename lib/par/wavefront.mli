@@ -52,6 +52,55 @@ val schedule :
     nodes are skipped.  Graph work only — performs no bit-vector
     operations, so it adds nothing to the paper's step counts. *)
 
+(** {1 Coarse plans}
+
+    The plain per-level {!iter} pays one barrier per level and chunks
+    by component count — too fine when the condensation is deep and
+    narrow (long singleton runs) or when components differ wildly in
+    cost.  A {!plan} coarsens both axes: consecutive singleton levels
+    fuse into one sequential stage that runs inline on the caller (no
+    barrier, no task), and each genuinely wide level is split into at
+    most [2 * jobs] batches balanced by a caller-supplied cost
+    estimate (e.g. {!Bitvec.live_estimate} of the seeds) instead of
+    node count.  A plan whose stages are all sequential ([chain =
+    true]) never touches the pool at all — combined with lazy domain
+    spawn in {!Pool}, [--jobs N] on a chain-shaped program costs
+    nothing. *)
+
+type batch = { comps : int array; cost : int }
+
+type stage =
+  | Seq of int array
+      (** A fused run of consecutive singleton levels, in level order;
+          executed inline on the caller, without a barrier. *)
+  | Par of batch array  (** One level, cost-balanced into batches. *)
+
+type plan = {
+  stages : stage array;
+  n_levels : int;  (** Levels of the underlying {!levels}. *)
+  fused_levels : int;  (** Singleton levels absorbed into [Seq] stages. *)
+  n_batches : int;  (** Total batches across [Par] stages. *)
+  mean_batch_cost : float;  (** Mean estimated cost per [Par] batch. *)
+  chain : bool;
+      (** No [Par] stage at all — the condensation is effectively a
+          chain and parallel execution has nothing to win. *)
+  max_width : int;  (** Copied from the underlying {!levels}. *)
+}
+
+val plan : levels -> jobs:int -> cost:(int -> int) -> plan
+(** Build a coarse execution plan.  [cost c] estimates the work of
+    component [c] (clamped to at least 1); batching is deterministic —
+    heaviest-first into the lightest batch, ties by component id and
+    batch index — so two runs over the same inputs produce the same
+    plan regardless of pool size or machine. *)
+
+val run_plan :
+  Pool.t option -> plan -> f:(slot:int -> comp:int -> unit) -> unit
+(** Execute a plan: [Seq] stages inline on the caller (slot 0), each
+    [Par] stage as one {!Pool.run} batch with one task per cost
+    batch.  The requirements on [f] match {!iter}; with [None], plain
+    sequential iteration in stage order. *)
+
 val iter :
   Pool.t option -> levels -> f:(slot:int -> comp:int -> unit) -> unit
 (** Evaluate every component, level by level.  With a pool, each level

@@ -135,6 +135,16 @@ let fortran_style ~seed ~n =
       max_depth = 1;
     }
 
+let fortran_fixed ~seed ~n =
+  let rng = Random.State.make [| seed; n; 0xf1 |] in
+  Gen.generate rng
+    {
+      Gen.default with
+      Gen.n_procs = n;
+      n_globals = 64;
+      max_depth = 1;
+    }
+
 let dag_style ~seed ~n =
   let rng = Random.State.make [| seed; n; 0xda |] in
   Gen.generate rng

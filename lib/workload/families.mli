@@ -38,6 +38,16 @@ val fortran_style : seed:int -> n:int -> Ir.Prog.t
 (** {!Gen.generate} with defaults scaled to [n] procedures, flat, for
     scaling experiments. *)
 
+val fortran_fixed : seed:int -> n:int -> Ir.Prog.t
+(** Like {!fortran_style} but with a {e constant} global population
+    (64) independent of [n].  On this family summary sets are bounded,
+    so total bit-vector word work should grow linearly with program
+    size — the regime where the paper's O(N+E) bound is visible in
+    word counts, not just vector-op counts.  ({!fortran_style} scales
+    globals with [n], which makes total summary-set {e output} size —
+    and hence any representation's word count — inherently
+    quadratic.) *)
+
 val dag_style : seed:int -> n:int -> Ir.Prog.t
 (** Like {!fortran_style} but with call-back edges disabled
     ([recursion = 0]): the call graph is an acyclic DAG of singleton

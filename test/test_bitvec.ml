@@ -117,6 +117,205 @@ let test_stats_counters () =
     (B.Stats.vector_ops ());
   Alcotest.(check bool) "word ops counted" true (B.Stats.word_ops () > 0)
 
+(* --- hybrid representation --- *)
+
+(* The hybrid small-set/dense split must be invisible: same sets, same
+   change flags, same exceptions as the dense-only mode — only the
+   word-op accounting differs.  These tests drive random op sequences
+   across the promotion/demotion boundary (universe 1000 → threshold
+   [small_threshold 1000]) against a sorted-list model, in both modes. *)
+
+let with_mode hybrid f =
+  let saved = B.hybrid_enabled () in
+  B.set_hybrid hybrid;
+  Fun.protect ~finally:(fun () -> B.set_hybrid saved) f
+
+let hybrid_len = 1000
+
+type hop =
+  | Hset of int
+  | Hunset of int
+  | Hunion  (* v1 ∪= v0 *)
+  | Hinter  (* v1 ∩= v0 *)
+  | Hdiff   (* v1 ∖= v0 *)
+  | Hblit   (* v1 := v0 *)
+  | Hclear
+
+let gen_hop =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun i -> Hset i) (0 -- (hybrid_len - 1)));
+        (2, map (fun i -> Hunset i) (0 -- (hybrid_len - 1)));
+        (2, return Hunion);
+        (1, return Hinter);
+        (1, return Hdiff);
+        (1, return Hblit);
+        (1, return Hclear);
+      ])
+
+let print_hop = function
+  | Hset i -> Printf.sprintf "set %d" i
+  | Hunset i -> Printf.sprintf "unset %d" i
+  | Hunion -> "union"
+  | Hinter -> "inter"
+  | Hdiff -> "diff"
+  | Hblit -> "blit"
+  | Hclear -> "clear"
+
+let arb_hops =
+  QCheck.make
+    QCheck.Gen.(list_size (0 -- 120) (pair bool gen_hop))
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (fun (snd_target, op) ->
+             Printf.sprintf "%s@v%d" (print_hop op) (if snd_target then 1 else 0))
+           ops))
+
+module IS = Set.Make (Int)
+
+(* Apply one op to (vector pair, model pair); return the op's change
+   flag (or None for flagless ops) so modes can be compared on it. *)
+let apply_hop (v0, v1) (m0, m1) (snd_target, op) =
+  let v, m, other = if snd_target then (v1, m1, v0) else (v0, m0, v1) in
+  ignore other;
+  match op with
+  | Hset i ->
+    B.set v i;
+    let m' = IS.add i m in
+    ((if snd_target then (m0, m') else (m', m1)), None)
+  | Hunset i ->
+    B.unset v i;
+    let m' = IS.remove i m in
+    ((if snd_target then (m0, m') else (m', m1)), None)
+  | Hclear ->
+    B.clear v;
+    ((if snd_target then (m0, IS.empty) else (IS.empty, m1)), None)
+  | Hblit ->
+    if snd_target then begin
+      B.blit ~src:v0 ~dst:v1;
+      ((m0, m0), None)
+    end
+    else begin
+      B.blit ~src:v1 ~dst:v0;
+      ((m1, m1), None)
+    end
+  | Hunion ->
+    let changed = B.union_into ~src:v0 ~dst:v1 in
+    ((m0, IS.union m0 m1), Some changed)
+  | Hinter ->
+    let changed = B.inter_into ~src:v0 ~dst:v1 in
+    ((m0, IS.inter m0 m1), Some changed)
+  | Hdiff ->
+    let changed = B.diff_into ~src:v0 ~dst:v1 in
+    ((m0, IS.diff m1 m0), Some changed)
+
+let run_hops ~hybrid ops =
+  with_mode hybrid @@ fun () ->
+  let v0 = B.create hybrid_len and v1 = B.create hybrid_len in
+  let threshold = B.small_threshold hybrid_len in
+  let trace = ref [] in
+  let rec go models = function
+    | [] -> ()
+    | op :: rest ->
+      let models, flag = apply_hop (v0, v1) models op in
+      let m0, m1 = models in
+      (* Set semantics must match the model after every op... *)
+      if B.to_list v0 <> IS.elements m0 then failwith "v0 diverged from model";
+      if B.to_list v1 <> IS.elements m1 then failwith "v1 diverged from model";
+      (* ...and in hybrid mode a Small repr must respect the threshold
+         (promotion is mandatory past it). *)
+      if hybrid then
+        List.iter
+          (fun v ->
+            if B.repr_kind v = `Small && B.cardinal v > threshold then
+              failwith "small repr over threshold")
+          [ v0; v1 ];
+      if not hybrid then
+        List.iter
+          (fun v ->
+            if B.repr_kind v = `Small then failwith "small repr in dense mode")
+          [ v0; v1 ];
+      trace := flag :: !trace;
+      go models rest
+  in
+  go (IS.empty, IS.empty) ops;
+  (B.to_list v0, B.to_list v1, List.rev !trace)
+
+(* Both modes, same sequence: same sets, same change flags. *)
+let prop_hybrid_model ops =
+  let h0, h1, hflags = run_hops ~hybrid:true ops in
+  let d0, d1, dflags = run_hops ~hybrid:false ops in
+  h0 = d0 && h1 = d1 && hflags = dflags
+
+(* Read-only queries agree across representations of the same set. *)
+let prop_hybrid_queries (a, b) =
+  with_mode true @@ fun () ->
+  let va = B.of_list 100 a and vb = B.of_list 100 b in
+  (* Force va dense while keeping the same set, via a same-set blit
+     into a vector pushed over the threshold and back. *)
+  let dense_a = B.create 100 in
+  B.blit ~src:va ~dst:dense_a;
+  for i = 0 to 99 do
+    B.set dense_a i
+  done;
+  B.blit ~src:va ~dst:dense_a;
+  B.equal va dense_a
+  && B.cardinal va = B.cardinal dense_a
+  && B.subset va vb = B.subset dense_a vb
+  && B.disjoint va vb = B.disjoint dense_a vb
+  && B.to_list (B.union dense_a vb) = B.to_list (B.union va vb)
+  && B.to_list (B.inter dense_a vb) = B.to_list (B.inter va vb)
+  && B.to_list (B.diff dense_a vb) = B.to_list (B.diff va vb)
+
+let test_hybrid_promotion_boundary () =
+  with_mode true @@ fun () ->
+  let v = B.create hybrid_len in
+  let threshold = B.small_threshold hybrid_len in
+  for i = 1 to threshold do
+    B.set v (i * 7);
+    Alcotest.(check bool)
+      (Printf.sprintf "small at card %d" i)
+      true
+      (B.repr_kind v = `Small)
+  done;
+  B.set v 1;
+  Alcotest.(check bool) "dense past threshold" true (B.repr_kind v = `Dense);
+  Alcotest.(check int) "cardinal across promotion" (threshold + 1) (B.cardinal v);
+  B.clear v;
+  Alcotest.(check bool) "clear demotes" true (B.repr_kind v = `Small)
+
+(* The accounting contract: ops on small sets are charged by live size,
+   not universe size — and bump [small_ops]; dense mode charges the
+   full word span as before. *)
+let test_hybrid_accounting () =
+  let len = 100_000 in
+  let full_span = (len + Sys.int_size - 1) / Sys.int_size in
+  let probe mode =
+    with_mode mode @@ fun () ->
+    let a = B.of_list len [ 1; 50_000; 99_999 ] in
+    let b = B.of_list len [ 2; 50_000 ] in
+    B.Stats.reset ();
+    ignore (B.union_into ~src:a ~dst:b);
+    (B.Stats.vector_ops (), B.Stats.word_ops ())
+  in
+  let hv, hw = probe true in
+  let dv, dw = probe false in
+  Alcotest.(check int) "one vector op (hybrid)" 1 hv;
+  Alcotest.(check int) "one vector op (dense)" 1 dv;
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid words ~ live size (%d)" hw)
+    true (hw <= 8);
+  Alcotest.(check int) "dense words = full span" full_span dw;
+  with_mode true @@ fun () ->
+  let snap = Obs.Metric.snapshot () in
+  let a = B.of_list len [ 3 ] and b = B.of_list len [ 4 ] in
+  ignore (B.union_into ~src:a ~dst:b);
+  Alcotest.(check bool) "small_ops counted" true
+    (Obs.Metric.value_since ~since:snap (Obs.Metric.counter "bitvec.small_ops")
+    > 0)
+
 (* --- property tests against a list model --- *)
 
 let arb_sets =
@@ -172,6 +371,10 @@ let () =
           Helpers.seeded_case "popcount_word vs reference" `Quick
             test_popcount_word;
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "hybrid promotion boundary" `Quick
+            test_hybrid_promotion_boundary;
+          Alcotest.test_case "hybrid cost accounting" `Quick
+            test_hybrid_accounting;
         ] );
       ( "properties",
         [
@@ -181,5 +384,9 @@ let () =
           Helpers.qtest "cardinal = |set|" arb_sets prop_cardinal;
           Helpers.qtest "subset iff containment" arb_sets prop_subset_iff;
           Helpers.qtest "equal ignores insertion order" arb_sets prop_equal_roundtrip;
+          Helpers.qtest "hybrid = dense = model over op sequences" arb_hops
+            prop_hybrid_model;
+          Helpers.qtest "queries agree across representations" arb_sets
+            prop_hybrid_queries;
         ] );
     ]

@@ -103,6 +103,66 @@ let test_vector_ops_linear () =
         (vec_ops <= 10 * size))
     [ 50; 200; 800 ]
 
+let test_word_ops_subquadratic () =
+  (* With the hybrid representation and the compact escape universe,
+     *word* ops (not just vector ops) must stay sub-quadratic on the
+     scaling family: growth per size doubling well under the ~4x a
+     dense full-universe representation gives.  On fortran_fixed
+     (constant global population) the expectation is genuine linearity;
+     fortran_style scales globals with n, so its summary-set output
+     size — and any representation's word count — has a quadratic
+     floor, pinned looser. *)
+  let word_ops family ~seed ~n =
+    let prog = family ~seed ~n in
+    let p = Helpers.pipeline prog in
+    let snap = Obs.Metric.snapshot () in
+    ignore
+      (Core.Gmod.solve p.Helpers.info p.Helpers.call
+         ~imod_plus:p.Helpers.imod_plus);
+    match Obs.Metric.find "bitvec.word_ops" with
+    | Some h -> Obs.Metric.value_since ~since:snap h
+    | None -> Alcotest.fail "bitvec.word_ops not registered"
+  in
+  List.iter
+    (fun (name, family, ladder, ratio_max) ->
+      let counts = List.map (fun n -> (n, word_ops family ~seed:7 ~n)) ladder in
+      let rec check_ratios = function
+        | (n0, w0) :: ((n1, w1) :: _ as rest) ->
+          let r = float_of_int w1 /. float_of_int (max 1 w0) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %d->%d: word ops %d -> %d (%.2fx <= %.2fx)" name
+               n0 n1 w0 w1 r ratio_max)
+            true (r <= ratio_max);
+          check_ratios rest
+        | _ -> ()
+      in
+      check_ratios counts)
+    [
+      (* 128 is pre-asymptotic for the fixed family: summary sets are
+         still filling toward the 64-global ceiling, so the first
+         doubling mixes set growth into the size growth. *)
+      ("fortran_fixed", Workload.Families.fortran_fixed, [ 256; 512; 1024 ], 2.4);
+      ("fortran_style", Workload.Families.fortran_style, [ 128; 256; 512; 1024 ], 2.6);
+    ]
+
+let test_hybrid_dense_identity () =
+  (* The representation mode is a pure accounting/layout knob: a full
+     analysis in legacy dense mode computes bit-identical summaries. *)
+  let prog = Workload.Families.fortran_style ~seed:11 ~n:256 in
+  let hybrid = Core.Analyze.run prog in
+  Bitvec.set_hybrid false;
+  let dense =
+    Fun.protect ~finally:(fun () -> Bitvec.set_hybrid true) (fun () ->
+        Core.Analyze.run prog)
+  in
+  Alcotest.(check bool) "gmod identical" true
+    (Array.for_all2 Bitvec.equal hybrid.Core.Analyze.gmod dense.Core.Analyze.gmod);
+  Alcotest.(check bool) "guse identical" true
+    (Array.for_all2 Bitvec.equal hybrid.Core.Analyze.guse dense.Core.Analyze.guse);
+  Alcotest.(check bool) "imod_plus identical" true
+    (Array.for_all2 Bitvec.equal hybrid.Core.Analyze.imod_plus
+       dense.Core.Analyze.imod_plus)
+
 (* --- equivalence properties --- *)
 
 let prop_equals_iterative seed =
@@ -238,6 +298,10 @@ let () =
           Alcotest.test_case "self recursion" `Quick test_self_recursion;
           Alcotest.test_case "linear vector-op count via registry" `Quick
             test_vector_ops_linear;
+          Alcotest.test_case "sub-quadratic word-op count via registry" `Quick
+            test_word_ops_subquadratic;
+          Alcotest.test_case "hybrid = dense full analysis" `Quick
+            test_hybrid_dense_identity;
         ] );
       ( "equivalence",
         [

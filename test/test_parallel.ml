@@ -111,6 +111,69 @@ let test_schedule_diamond () =
       Array.iter (fun b -> check_bool "all components evaluated" true b) done_)
     [ None; Some (Lazy.force pool4) ]
 
+let test_plan_fusion_and_chain () =
+  (* A pure chain condensation: every level is a singleton, so the plan
+     must fuse everything into one Seq stage, report chain = true, and
+     never touch the pool. *)
+  let succs = [| []; [ 0 ]; [ 1 ]; [ 2 ] |] in
+  let l = Wavefront.of_comp_succs ~n_comps:4 ~succs_of:(fun c -> succs.(c)) in
+  let p = Wavefront.plan l ~jobs:4 ~cost:(fun _ -> 1) in
+  check_bool "chain" true p.Wavefront.chain;
+  check_int "all levels fused" 4 p.Wavefront.fused_levels;
+  check_int "no parallel batches" 0 p.Wavefront.n_batches;
+  check_int "one stage" 1 (Array.length p.Wavefront.stages);
+  (match p.Wavefront.stages.(0) with
+  | Wavefront.Seq comps ->
+    Alcotest.(check (list int)) "level order" [ 0; 1; 2; 3 ] (Array.to_list comps)
+  | Wavefront.Par _ -> Alcotest.fail "expected Seq stage");
+  (* run_plan on a chain must not require the pool at all: poison the
+     pool argument with None and also check visiting order inline. *)
+  let visited = ref [] in
+  Wavefront.run_plan None p ~f:(fun ~slot ~comp ->
+      check_int "inline slot" 0 slot;
+      visited := comp :: !visited);
+  Alcotest.(check (list int)) "visit order" [ 0; 1; 2; 3 ] (List.rev !visited)
+
+let test_plan_batching () =
+  (* A wide level with skewed costs: batches must partition the level,
+     respect the 2*jobs cap, and balance deterministically (LPT:
+     heaviest first into the lightest batch). *)
+  let width = 10 in
+  let succs = Array.make (width + 1) [] in
+  (* component [width] depends on all of level 0 — gives 2 levels *)
+  succs.(width) <- List.init width (fun i -> i);
+  let l =
+    Wavefront.of_comp_succs ~n_comps:(width + 1) ~succs_of:(fun c -> succs.(c))
+  in
+  let cost c = if c = 0 then 100 else 1 in
+  let p = Wavefront.plan l ~jobs:2 ~cost in
+  check_bool "not a chain" false p.Wavefront.chain;
+  check_int "singleton top level fused" 1 p.Wavefront.fused_levels;
+  (match p.Wavefront.stages.(0) with
+  | Wavefront.Par batches ->
+    check_bool "at most 2*jobs batches" true (Array.length batches <= 4);
+    let seen = Array.make width false in
+    Array.iter
+      (fun b ->
+        Array.iter
+          (fun c ->
+            check_bool "no component twice" false seen.(c);
+            seen.(c) <- true)
+          b.Wavefront.comps)
+      batches;
+    Array.iter (fun b -> check_bool "batch covered" true b) seen;
+    (* The heavy component dominates: its batch should contain it alone
+       (total other cost 9 < 100 never balances up to it). *)
+    let heavy =
+      Array.to_list batches
+      |> List.find (fun b -> Array.exists (fun c -> c = 0) b.Wavefront.comps)
+    in
+    check_int "heavy component isolated" 1 (Array.length heavy.Wavefront.comps)
+  | Wavefront.Seq _ -> Alcotest.fail "expected Par stage");
+  (* Determinism: same inputs, same plan. *)
+  let p' = Wavefront.plan l ~jobs:2 ~cost in
+  check_bool "plans identical" true (p = p')
+
 let test_schedule_cycle_entry () =
   (* 0 -> 1 <-> 2, entered at 1: the SCC {1,2} must record entry 1 —
      where a sequential DFS from 0 first touches it. *)
@@ -218,6 +281,9 @@ let () =
         [
           Alcotest.test_case "leveling of a diamond" `Quick test_leveling;
           Alcotest.test_case "schedule: diamond" `Quick test_schedule_diamond;
+          Alcotest.test_case "plan: chain fusion" `Quick
+            test_plan_fusion_and_chain;
+          Alcotest.test_case "plan: cost batching" `Quick test_plan_batching;
           Alcotest.test_case "schedule: cycle entry" `Quick
             test_schedule_cycle_entry;
           Alcotest.test_case "schedule: active subset" `Quick

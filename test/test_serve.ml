@@ -459,8 +459,14 @@ let test_stats_and_shutdown () =
       (fun k ->
         if not (List.mem_assoc k fields) then
           Alcotest.failf "stats program entry missing %S" k)
-      [ "name"; "procedures"; "sites"; "analyzed"; "sessions"; "edits" ]
+      [
+        "name"; "procedures"; "sites"; "analyzed"; "sessions"; "edits";
+        "call_levels"; "call_max_width";
+      ]
   | j -> Alcotest.failf "stats.programs: %s" (Json.to_string j));
+  (match member "recommended_domain_count" r with
+  | Json.Int c when c >= 1 -> ()
+  | j -> Alcotest.failf "stats.recommended_domain_count: %s" (Json.to_string j));
   ignore (member "requests" r);
   ignore (member "latency" r);
   Alcotest.(check bool) "not stopping" false (Server.stopping srv);
