@@ -7,6 +7,7 @@ all:
 	$(MAKE) --no-print-directory dataflow-smoke
 	$(MAKE) --no-print-directory obs-smoke
 	$(MAKE) --no-print-directory serve-smoke
+	$(MAKE) --no-print-directory ptsto-smoke
 	$(MAKE) --no-print-directory bench-check
 
 test:
@@ -116,6 +117,14 @@ obs-smoke:
 	./_build/default/bin/sidefx.exe explain programs/dataflow_demo.mp \
 	  --fact diag:SFX008 --json \
 	  | ./_build/default/bin/sidefx.exe json-validate || exit 1
+	@for code in SFX010 SFX011; do \
+	  echo "== diag:$$code"; \
+	  ./_build/default/bin/sidefx.exe explain programs/ptr_lint.mp \
+	    --fact diag:$$code || exit 1; \
+	  ./_build/default/bin/sidefx.exe explain programs/ptr_lint.mp \
+	    --fact diag:$$code --json \
+	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	done
 	@for f in examples/*.mp programs/*.mp; do \
 	  echo "== explain --all $$f"; \
 	  ./_build/default/bin/sidefx.exe explain $$f --all || exit 1; \
@@ -179,6 +188,34 @@ serve-smoke:
 	rm -f $$out; \
 	echo "serve-smoke: 17 responses, all valid JSON, no errors"
 
+# Smoke-test the points-to surface: both tiers on the pointer demo
+# (raw solution + JSON validated by the repo's own parser + the
+# interpreter soundness oracle), Andersen strictly refining
+# Steensgaard's section-5 pair count, and one alias fact explained
+# through its Apointsto witness.
+ptsto-smoke:
+	dune build bin/sidefx.exe
+	@for tier in steensgaard andersen; do \
+	  echo "== ptsto --tier $$tier"; \
+	  ./_build/default/bin/sidefx.exe ptsto programs/pointers.mp --tier $$tier \
+	    > ptsto_$$tier.tmp || exit 1; \
+	  cat ptsto_$$tier.tmp; \
+	  ./_build/default/bin/sidefx.exe ptsto programs/pointers.mp --tier $$tier --json \
+	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	  ./_build/default/bin/sidefx.exe check programs/pointers.mp --ptsto=$$tier || exit 1; \
+	done; \
+	s=$$(awk 'END { print $$1 }' ptsto_steensgaard.tmp); \
+	a=$$(awk 'END { print $$1 }' ptsto_andersen.tmp); \
+	rm -f ptsto_steensgaard.tmp ptsto_andersen.tmp; \
+	[ "$$a" -lt "$$s" ] \
+	  || { echo "ptsto-smoke: andersen ($$a pairs) does not refine steensgaard ($$s)"; exit 1; }
+	@echo "== explain Apointsto"; \
+	./_build/default/bin/sidefx.exe explain programs/pointers.mp --fact alias:bump:x:cell \
+	  | grep -q 'points-to projection' || exit 1; \
+	./_build/default/bin/sidefx.exe explain programs/pointers.mp --fact alias:bump:x:cell --json \
+	  | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	echo "ptsto-smoke: ok"
+
 # Pinned perf-regression gate (reduced config, part of `make all`):
 # word-ops growth per size doubling and jobs-4 overhead/identity.
 bench-check:
@@ -190,6 +227,9 @@ bench-parallel:
 bench-dataflow:
 	dune exec bench/bench_dataflow.exe
 
+bench-ptsto:
+	dune exec bench/bench_ptsto.exe
+
 bench-serve:
 	dune exec bench/bench_serve.exe
 
@@ -199,4 +239,4 @@ examples:
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick bench-check bench-parallel bench-dataflow bench-serve profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke serve-smoke examples
+.PHONY: all test test-force bench bench-quick bench-check bench-parallel bench-dataflow bench-serve bench-ptsto profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke serve-smoke ptsto-smoke examples

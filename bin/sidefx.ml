@@ -57,6 +57,25 @@ let jobs_arg =
               (default) runs the sequential solvers unchanged; 0 means all \
               recommended cores.  Results are bit-identical at every setting.")
 
+let tier_conv =
+  let parse s =
+    match Ptsto.tier_of_string s with
+    | Some t -> Ok t
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown points-to tier '%s' (steensgaard|andersen)" s))
+  in
+  let print ppf t = Format.pp_print_string ppf (Ptsto.tier_name t) in
+  Arg.conv (parse, print)
+
+let ptsto_arg =
+  Arg.(value & opt tier_conv Ptsto.Steensgaard
+       & info [ "ptsto" ] ~docv:"TIER"
+           ~doc:
+             "Points-to tier used to resolve pointer dereferences: \
+              $(b,steensgaard) (unification, near-linear, default) or \
+              $(b,andersen) (inclusion, more precise).  Ignored on \
+              pointer-free programs, whose answers are tier-independent.")
+
 (* Run a command body with span recording per [trace]; the table goes
    to stderr so stdout stays parseable. *)
 let with_trace trace f =
@@ -181,12 +200,12 @@ let analysis_json (t : Core.Analyze.t) =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run file flat trace json jobs =
+  let run file flat trace json jobs ptsto =
     with_trace trace @@ fun () ->
     let prog = load file in
     let t =
       Par.Pool.with_pool ~jobs (fun pool ->
-          Core.Analyze.run ~force_flat:flat ?pool prog)
+          Core.Analyze.run ~force_flat:flat ?pool ~ptsto prog)
     in
     if json then print_endline (Obs.Json.to_string (analysis_json t))
     else Format.printf "%a@." Core.Analyze.pp_report t
@@ -197,7 +216,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Interprocedural MOD/USE analysis of a MiniProc file.")
-    Term.(const run $ file_arg $ flat $ trace_arg $ json_arg $ jobs_arg)
+    Term.(const run $ file_arg $ flat $ trace_arg $ json_arg $ jobs_arg $ ptsto_arg)
 
 (* --- lint --- *)
 
@@ -214,7 +233,7 @@ let lint_cmd =
     in
     Arg.conv (parse, print)
   in
-  let run file rule_names json threshold trace jobs =
+  let run file rule_names json threshold trace jobs ptsto =
     let code =
       with_trace trace @@ fun () ->
       let prog, locs = load_with_locs file in
@@ -235,7 +254,7 @@ let lint_cmd =
       in
       let findings =
         Par.Pool.with_pool ~jobs (fun pool ->
-            let t = Core.Analyze.run ?pool prog in
+            let t = Core.Analyze.run ?pool ~ptsto prog in
             Lint.Engine.run ?pool ~locs ~rules t)
       in
       if json then
@@ -276,7 +295,7 @@ let lint_cmd =
             "Comma-separated subset of rules to run (default: all).  Known \
              rules: unused-formal, write-only-global, pure-proc, \
              alias-inflation, aliased-actuals, loop-parallel, dead-store, \
-             rmw-hint.")
+             rmw-hint, undereferenced-ptr, ptr-formal-store.")
   in
   let threshold_arg =
     Arg.(
@@ -295,7 +314,7 @@ let lint_cmd =
           sites, aliased-actual hazards, and loop-parallelisability verdicts.")
     Term.(
       const run $ file_arg $ rules_arg $ json_arg $ threshold_arg $ trace_arg
-      $ jobs_arg)
+      $ jobs_arg $ ptsto_arg)
 
 (* --- explain --- *)
 
@@ -328,14 +347,14 @@ let parse_fact s =
          s)
 
 let explain_cmd =
-  let run file fact all json jobs =
+  let run file fact all json jobs ptsto =
     if (fact = None) = not all then begin
       Format.eprintf "explain: give exactly one of --fact or --all@.";
       exit 2
     end;
     let prog, locs = load_with_locs file in
     Par.Pool.with_pool ~jobs @@ fun pool ->
-    let t = Core.Analyze.run ?pool ~provenance:true prog in
+    let t = Core.Analyze.run ?pool ~provenance:true ~ptsto prog in
     let resolve_proc name =
       match Ir.Prog.find_proc prog name with
       | Some pr -> pr.Ir.Prog.pid
@@ -539,7 +558,118 @@ let explain_cmd =
        ~doc:
          "Print the derivation chain (witness) of an analysis fact: the β/call \
           path that carried it, ending at source-level evidence with spans.")
-    Term.(const run $ file_arg $ fact_arg $ all_arg $ json_arg $ jobs_arg)
+    Term.(const run $ file_arg $ fact_arg $ all_arg $ json_arg $ jobs_arg $ ptsto_arg)
+
+(* --- ptsto --- *)
+
+let ptsto_cmd =
+  let run file tier json trace =
+    with_trace trace @@ fun () ->
+    let prog = load file in
+    if not (Ptsto.has_pointers prog) then begin
+      Format.eprintf "ptsto: '%s' has no pointer variables@." file;
+      exit 1
+    end;
+    let pt = Ptsto.analyze ~tier prog in
+    let t = Core.Analyze.run ~ptsto:tier prog in
+    if json then begin
+      let loc_json = function
+        | `Var vid -> Obs.Json.String (Ir.Pp.qualified_var_name prog vid)
+        | `Heap k -> Obs.Json.String (Ptsto.heap_name pt k)
+      in
+      let pointers =
+        let acc = ref [] in
+        Ir.Prog.iter_vars prog (fun v ->
+            if Ir.Types.is_ptr v.Ir.Prog.vty then
+              acc :=
+                Obs.Json.Obj
+                  [
+                    ( "var",
+                      Obs.Json.String (Ir.Pp.qualified_var_name prog v.Ir.Prog.vid) );
+                    ( "points_to",
+                      Obs.Json.List
+                        (List.map loc_json (Ptsto.points_to pt v.Ir.Prog.vid)) );
+                  ]
+                :: !acc);
+        Obs.Json.List (List.rev !acc)
+      in
+      let heap =
+        Obs.Json.List
+          (List.init (Ptsto.n_heap pt) (fun k ->
+               Obs.Json.Obj
+                 [
+                   ("id", Obs.Json.Int k);
+                   ("name", Obs.Json.String (Ptsto.heap_name pt k));
+                 ]))
+      in
+      let alias_pairs =
+        let acc = ref [] in
+        Ir.Prog.iter_procs prog (fun pr ->
+            match Core.Alias.pairs t.Core.Analyze.alias pr.Ir.Prog.pid with
+            | [] -> ()
+            | pairs ->
+              acc :=
+                Obs.Json.Obj
+                  [
+                    ("proc", Obs.Json.String pr.Ir.Prog.pname);
+                    ( "pairs",
+                      Obs.Json.List
+                        (List.map
+                           (fun (x, y) ->
+                             Obs.Json.List
+                               [
+                                 Obs.Json.String (Ir.Pp.qualified_var_name prog x);
+                                 Obs.Json.String (Ir.Pp.qualified_var_name prog y);
+                               ])
+                           pairs) );
+                  ]
+                :: !acc);
+        Obs.Json.List (List.rev !acc)
+      in
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("program", Obs.Json.String prog.Ir.Prog.name);
+                ("tier", Obs.Json.String (Ptsto.tier_name tier));
+                ("heap_sites", heap);
+                ("pointers", pointers);
+                ("size", Obs.Json.Int (Ptsto.size pt));
+                ("alias_pairs", alias_pairs);
+              ]))
+    end
+    else begin
+      Format.printf "points-to (%s): %d heap site%s, size %d@."
+        (Ptsto.tier_name tier) (Ptsto.n_heap pt)
+        (if Ptsto.n_heap pt = 1 then "" else "s")
+        (Ptsto.size pt);
+      Format.printf "%a" Ptsto.pp pt;
+      let total = ref 0 in
+      Ir.Prog.iter_procs prog (fun pr ->
+          match Core.Alias.pairs t.Core.Analyze.alias pr.Ir.Prog.pid with
+          | [] -> ()
+          | pairs ->
+            total := !total + List.length pairs;
+            List.iter
+              (fun (x, y) ->
+                Format.printf "alias %s: <%s, %s>@." pr.Ir.Prog.pname
+                  (Ir.Pp.qualified_var_name prog x)
+                  (Ir.Pp.qualified_var_name prog y))
+              pairs);
+      Format.printf "%d §5 alias pair%s@." !total (if !total = 1 then "" else "s")
+    end
+  in
+  let tier_pos =
+    Arg.(value & opt tier_conv Ptsto.Steensgaard
+         & info [ "tier" ] ~docv:"TIER"
+             ~doc:"Points-to tier: $(b,steensgaard) (default) or $(b,andersen).")
+  in
+  Cmd.v
+    (Cmd.info "ptsto"
+       ~doc:
+         "Flow-insensitive points-to report: per-pointer location sets, heap \
+          summary sites, and the §5 alias pairs the solution induces.")
+    Term.(const run $ file_arg $ tier_pos $ json_arg $ trace_arg)
 
 (* --- sections --- *)
 
@@ -911,9 +1041,9 @@ let run_cmd =
 (* --- check --- *)
 
 let check_cmd =
-  let run file fuel =
+  let run file fuel ptsto =
     let prog = load file in
-    let t = Core.Analyze.run prog in
+    let t = Core.Analyze.run ~ptsto prog in
     let o = Interp.run ~fuel prog in
     let violations = ref 0 in
     let executed = ref 0 in
@@ -943,6 +1073,42 @@ let check_cmd =
               (Ir.Pp.pp_var_set prog) ou (Ir.Pp.pp_var_set prog) su
           end
         end);
+    (match t.Core.Analyze.ptsto with
+     | None -> ()
+     | Some pt ->
+       (* Dynamic dereference owners must lie inside the static targets,
+          and dynamically overlapping ref formals inside the §5 pairs. *)
+       List.iter
+         (fun (p, d, owner) ->
+           let ok =
+             if owner >= 0 then List.mem owner (Ptsto.deref_targets pt p d)
+             else Ptsto.deref_heap pt p d <> []
+           in
+           if not ok then begin
+             incr violations;
+             Format.printf
+               "UNSOUND DEREF: *^%d of '%s' reached %s outside the static \
+                points-to targets@."
+               d
+               (Ir.Pp.qualified_var_name prog p)
+               (if owner >= 0 then
+                  Printf.sprintf "'%s'" (Ir.Pp.qualified_var_name prog owner)
+                else "heap storage")
+           end)
+         o.Interp.ptr_obs;
+       List.iter
+         (fun (pid, x, y) ->
+           if not (Core.Alias.may_alias t.Core.Analyze.alias ~proc:pid x y)
+           then begin
+             incr violations;
+             Format.printf
+               "UNSOUND ALIAS: '%s' and '%s' shared storage in '%s' but the \
+                §5 pairs miss them@."
+               (Ir.Pp.qualified_var_name prog x)
+               (Ir.Pp.qualified_var_name prog y)
+               (Ir.Prog.proc prog pid).Ir.Prog.pname
+           end)
+         o.Interp.alias_obs);
     Format.printf
       "sites executed: %d / %d%s; soundness violations: %d@.observed MOD bits: %d; \
        predicted MOD bits: %d (precision %.0f%%)@."
@@ -960,8 +1126,9 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Differentially validate the analysis: execute the program and verify \
-          observed effects are within the predicted MOD/USE sets.")
-    Term.(const run $ file_arg $ fuel)
+          observed effects (including pointer dereferences and dynamic \
+          aliasing) are within the predicted static sets.")
+    Term.(const run $ file_arg $ fuel $ ptsto_arg)
 
 (* --- dot --- *)
 
@@ -1066,8 +1233,27 @@ let edit_cmd =
       | Some path, 0 -> (
         match Incremental.Script.parse prog (read_file path) with
         | Ok steps -> steps
-        | Error msg ->
-          Format.eprintf "%s: %s@." path msg;
+        | Error e ->
+          (* The failing line is data, not prose: --json consumers get
+             it as a field. *)
+          if json then
+            print_endline
+              (Obs.Json.to_string
+                 (Obs.Json.Obj
+                    [
+                      ( "error",
+                        Obs.Json.Obj
+                          [
+                            ("kind", Obs.Json.String "script-parse");
+                            ("script", Obs.Json.String path);
+                            ("line", Obs.Json.Int e.Incremental.Script.line);
+                            ( "message",
+                              Obs.Json.String e.Incremental.Script.message );
+                          ] );
+                    ]))
+          else
+            Format.eprintf "%s: %s@." path
+              (Incremental.Script.error_to_string e);
           exit 1)
       | None, n when n > 0 ->
         Workload.Edits.gen
@@ -1331,4 +1517,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sidefx" ~version:"1.0.0"
              ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
-          [ analyze_cmd; lint_cmd; explain_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; serve_cmd; bench_table_cmd ]))
+          [ analyze_cmd; lint_cmd; explain_cmd; ptsto_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; serve_cmd; bench_table_cmd ]))

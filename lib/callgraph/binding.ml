@@ -19,7 +19,7 @@ type t = {
 let nodes_metric = Obs.Metric.gauge "callgraph.beta.nodes"
 let edges_metric = Obs.Metric.gauge "callgraph.beta.edges"
 
-let build prog =
+let build ?(deref = fun _ _ -> []) prog =
   Obs.Span.with_ "callgraph.binding" @@ fun () ->
   let nv = Prog.n_vars prog in
   let node_of_var = Array.make nv (-1) in
@@ -41,20 +41,26 @@ let build prog =
           match arg with
           | Prog.Arg_value _ -> ()
           | Prog.Arg_ref lv ->
-            let base = Expr.lvalue_base lv in
-            let src = node_of_var.(base) in
-            if src >= 0 then begin
-              (* The actual names a by-ref formal: one binding event. *)
-              let dst = node_of_var.(callee.Prog.formals.(arg_pos)) in
-              assert (dst >= 0);
-              ignore (Digraph.Builder.add_edge b ~src ~dst);
-              let via_element =
-                match lv with
-                | Expr.Lvar _ -> false
-                | Expr.Lindex _ -> true
-              in
-              edges := { site = s.Prog.sid; arg_pos; via_element } :: !edges
-            end)
+            let dst = node_of_var.(callee.Prog.formals.(arg_pos)) in
+            assert (dst >= 0);
+            let add_edge ~src ~via_element =
+              if src >= 0 then begin
+                ignore (Digraph.Builder.add_edge b ~src ~dst);
+                edges := { site = s.Prog.sid; arg_pos; via_element } :: !edges
+              end
+            in
+            (match lv with
+            | Expr.Lvar base -> add_edge ~src:node_of_var.(base) ~via_element:false
+            | Expr.Lindex (base, _) ->
+              add_edge ~src:node_of_var.(base) ~via_element:true
+            | Expr.Lderef (ptr, d) ->
+              (* The actual names whatever cell [*...*ptr] reaches: one
+                 binding event per by-ref formal the points-to
+                 projection says it may name. *)
+              List.iter
+                (fun target ->
+                  add_edge ~src:node_of_var.(target) ~via_element:true)
+                (deref ptr d)))
         s.Prog.args);
   let t =
     {

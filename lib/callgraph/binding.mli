@@ -38,8 +38,13 @@ type t = {
   edges : edge_info array;  (** Indexed by β edge id. *)
 }
 
-val build : Ir.Prog.t -> t
-(** Linear in the size of the program's site table (§3.1). *)
+val build : ?deref:(int -> int -> int list) -> Ir.Prog.t -> t
+(** Build the β binding multigraph.  [deref p d] lists the variables a
+    [d]-fold dereference of [p] may name (from the points-to solution);
+    a dereference actual contributes one binding edge per by-ref-formal
+    target.  Defaults to the empty projection — exact when the program
+    has no pointers.  Linear in the size of the program's site table
+    (§3.1). *)
 
 val n_nodes : t -> int
 val n_edges : t -> int

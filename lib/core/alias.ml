@@ -16,7 +16,7 @@ let norm x y = if x <= y then (x, y) else (y, x)
 
 let pairs_metric = Obs.Metric.gauge "alias.pairs"
 
-let compute ?provenance info =
+let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
   Obs.Span.with_ "alias" @@ fun () ->
   let prog = Ir.Info.prog info in
   let np = Prog.n_procs prog in
@@ -42,7 +42,10 @@ let compute ?provenance info =
     end
   in
   (* By-reference bindings of one site:
-     (argument position, formal vid, actual base vid). *)
+     (argument position, formal vid, actual base vid, via pointer?).
+     A dereference actual [*...*p] binds the cell the dereference may
+     name, so it expands to one binding per variable in the points-to
+     projection — flagged so the provenance reason says so. *)
   let ref_bindings (s : Prog.site) =
     let callee = Prog.proc prog s.Prog.callee in
     let acc = ref [] in
@@ -50,8 +53,12 @@ let compute ?provenance info =
       (fun i arg ->
         match arg with
         | Prog.Arg_value _ -> ()
+        | Prog.Arg_ref (Expr.Lderef (p, d)) ->
+          List.iter
+            (fun t -> acc := (i, callee.Prog.formals.(i), t, true) :: !acc)
+            (deref p d)
         | Prog.Arg_ref lv ->
-          acc := (i, callee.Prog.formals.(i), Expr.lvalue_base lv) :: !acc)
+          acc := (i, callee.Prog.formals.(i), Expr.lvalue_base lv, false) :: !acc)
       s.Prog.args;
     List.rev !acc
   in
@@ -74,31 +81,36 @@ let compute ?provenance info =
     let callee = s.Prog.callee in
     let sid = s.Prog.sid in
     let bindings = ref_bindings s in
-    (* Introduction: same base at two positions; visible base. *)
+    (* Introduction: same base (or same may-named cell) at two
+       positions; visible base. *)
     List.iter
-      (fun (pi, fi, bi) ->
+      (fun (pi, fi, bi, ptr_i) ->
         List.iter
-          (fun (pj, fj, bj) ->
+          (fun (pj, fj, bj, ptr_j) ->
             if pi < pj && bi = bj then
               add callee (norm fi fj)
-                (Provenance.Apositions { site = sid; pos_i = pi; pos_j = pj }))
+                (if ptr_i then Provenance.Apointsto { site = sid; pos = pi }
+                 else if ptr_j then Provenance.Apointsto { site = sid; pos = pj }
+                 else Provenance.Apositions { site = sid; pos_i = pi; pos_j = pj }))
           bindings;
         (* [fi = bi] only at a direct recursive call passing a formal to
            itself — a reflexive "pair" no consumer treats as an alias
            ([may_alias] is irreflexive), so never introduce one. *)
         if bi <> fi && Prog.visible prog ~proc:callee ~var:bi then
-          add callee (norm fi bi) (Provenance.Avisible { site = sid; pos = pi }))
+          add callee (norm fi bi)
+            (if ptr_i then Provenance.Apointsto { site = sid; pos = pi }
+             else Provenance.Avisible { site = sid; pos = pi }))
       bindings;
     (* Propagation of the caller's pairs through the bindings. *)
     Pair_set.iter
       (fun (x, y) ->
         let reason = Provenance.Apropagated { site = sid; from_pair = (x, y) } in
         List.iter
-          (fun (_, fi, bi) ->
+          (fun (_, fi, bi, _) ->
             if bi = x || bi = y then begin
               let other = if bi = x then y else x in
               List.iter
-                (fun (_, fj, bj) ->
+                (fun (_, fj, bj, _) ->
                   if fj <> fi && bj = other then add callee (norm fi fj) reason)
                 bindings;
               if other <> fi && Prog.visible prog ~proc:callee ~var:other then
@@ -107,6 +119,14 @@ let compute ?provenance info =
           bindings)
       alias.(s.Prog.caller)
   in
+  (* Pointer-induced pairs the binding expansion cannot express —
+     two dereference actuals overlapping only through a heap summary
+     location — enter as seeds and close under propagation and
+     inheritance like any other pair. *)
+  List.iter
+    (fun (pid, (x, y), site, pos) ->
+      if x <> y then add pid (norm x y) (Provenance.Apointsto { site; pos }))
+    seeds;
   while !changed do
     changed := false;
     Prog.iter_sites prog process_site;

@@ -31,11 +31,24 @@ val norm : int -> int -> int * int
 (** Order a pair as [(min, max)] — the key form of {!pairs} and of
     {!Provenance.alias_table}. *)
 
-val compute : ?provenance:Provenance.alias_table -> Ir.Info.t -> t
+val compute :
+  ?provenance:Provenance.alias_table ->
+  ?deref:(int -> int -> int list) ->
+  ?seeds:(int * (int * int) * int * int) list ->
+  Ir.Info.t ->
+  t
 (** With [~provenance], the fixpoint records the §5 rule that first
     introduced each pair into the given table (see {!Provenance});
     the computed pairs — and the counted bit-vector operations — are
-    identical either way. *)
+    identical either way.
+
+    [~deref] (the points-to projection, {!Ptsto.deref}) expands a
+    dereference actual [*...*p] into one by-reference binding per
+    variable the dereference may name, so the §5 introduction and
+    propagation rules fire for pointer-carried bindings too; such
+    pairs carry the {!Provenance.Apointsto} reason.  [~seeds] adds
+    pre-derived pairs [(proc, (x, y), site, pos)] — the heap-overlap
+    formal pairs computed in {!Analyze} — before the fixpoint. *)
 
 val pairs : t -> int -> (int * int) list
 (** [ALIAS(p)] as normalised [(min vid, max vid)] pairs, sorted. *)

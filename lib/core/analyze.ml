@@ -5,6 +5,8 @@ type t = {
   info : Ir.Info.t;
   call : Callgraph.Call.t;
   binding : Callgraph.Binding.t;
+  ptsto : Ptsto.t option;
+  deref : int -> int -> int list;
   imod : Bitvec.t array;
   iuse : Bitvec.t array;
   rmod : Rmod.result;
@@ -18,19 +20,72 @@ type t = {
   provenance : Provenance.t option;
 }
 
-let run_with ?(force_flat = false) ?pool ?(provenance = false) prog =
+(* Heap-overlap seeds for §5: two dereference actuals at one site that
+   can only collide through a heap summary location (no shared variable
+   target, so the binding expansion inside [Alias] cannot see the
+   overlap). *)
+let heap_seeds prog pt =
+  let acc = ref [] in
+  Prog.iter_sites prog (fun s ->
+      let callee = Prog.proc prog s.Prog.callee in
+      Array.iteri
+        (fun i arg ->
+          match arg with
+          | Prog.Arg_ref (Ir.Expr.Lderef (p, d)) ->
+            let heap_i = Ptsto.deref_heap pt p d in
+            if heap_i <> [] then
+              Array.iteri
+                (fun j arg' ->
+                  match arg' with
+                  | Prog.Arg_ref (Ir.Expr.Lderef (q, d')) when j > i ->
+                    if
+                      List.exists
+                        (fun k -> List.mem k (Ptsto.deref_heap pt q d'))
+                        heap_i
+                    then
+                      acc :=
+                        ( s.Prog.callee,
+                          (callee.Prog.formals.(i), callee.Prog.formals.(j)),
+                          s.Prog.sid,
+                          i )
+                        :: !acc
+                  | _ -> ())
+                s.Prog.args
+          | _ -> ())
+        s.Prog.args);
+  List.rev !acc
+
+let run_with ?(force_flat = false) ?pool ?(provenance = false)
+    ?(ptsto = Ptsto.Steensgaard) prog =
   Obs.Span.with_ "analyze" @@ fun () ->
   let info = Obs.Span.with_ "info" (fun () -> Ir.Info.make prog) in
+  (* Points-to runs first: every later phase consumes its dereference
+     projection.  Pointer-free programs skip it entirely — the default
+     empty projection leaves each phase on its original code path, so
+     results (and counted bit-vector ops) are bit-identical to a
+     pointer-less build. *)
+  let pt =
+    if Ptsto.has_pointers prog then
+      Some (Obs.Span.with_ "ptsto" (fun () -> Ptsto.analyze ~tier:ptsto prog))
+    else None
+  in
+  let deref =
+    match pt with Some t -> Ptsto.deref t | None -> Frontend.Local.no_deref
+  in
   let call = Callgraph.Call.build prog in
-  let binding = Callgraph.Binding.build prog in
-  let imod = Obs.Span.with_ "local" (fun () -> Frontend.Local.imod ?pool info) in
+  let binding = Callgraph.Binding.build ~deref prog in
+  let imod =
+    Obs.Span.with_ "local" (fun () -> Frontend.Local.imod ?pool ~deref info)
+  in
   let iuse =
-    Obs.Span.with_ "local.use" (fun () -> Frontend.Local.iuse ?pool info)
+    Obs.Span.with_ "local.use" (fun () -> Frontend.Local.iuse ?pool ~deref info)
   in
   let rmod = Rmod.solve ?pool binding ~imod in
   let ruse = Rmod.solve ~label:"ruse" ?pool binding ~imod:iuse in
-  let imod_plus = Imod_plus.compute info ~rmod ~imod in
-  let iuse_plus = Imod_plus.compute ~label:"iuse_plus" info ~rmod:ruse ~imod:iuse in
+  let imod_plus = Imod_plus.compute ~deref info ~rmod ~imod in
+  let iuse_plus =
+    Imod_plus.compute ~label:"iuse_plus" ~deref info ~rmod:ruse ~imod:iuse
+  in
   let nested = (not force_flat) && Prog.max_level prog > 1 in
   let gmod, guse =
     if nested then
@@ -46,22 +101,27 @@ let run_with ?(force_flat = false) ?pool ?(provenance = false) prog =
   let alias_table =
     if provenance then Some (Provenance.create_alias_table ()) else None
   in
-  let alias = Alias.compute ?provenance:alias_table info in
-  let summary = Obs.Span.with_ "summary" (fun () -> Summary.make info ~gmod ~guse ~alias) in
+  let seeds = match pt with None -> [] | Some t -> heap_seeds prog t in
+  let alias = Alias.compute ?provenance:alias_table ~deref ~seeds info in
+  let summary =
+    Obs.Span.with_ "summary" (fun () -> Summary.make ~deref info ~gmod ~guse ~alias)
+  in
   let prov =
     match alias_table with
     | None -> None
     | Some table ->
       Some
         (Obs.Span.with_ "provenance" (fun () ->
-             Provenance.compute info ~binding ~imod ~iuse ~rmod ~ruse ~imod_plus
-               ~iuse_plus ~gmod ~guse ~alias:table))
+             Provenance.compute ~deref info ~binding ~imod ~iuse ~rmod ~ruse
+               ~imod_plus ~iuse_plus ~gmod ~guse ~alias:table))
   in
   {
     prog;
     info;
     call;
     binding;
+    ptsto = pt;
+    deref;
     imod;
     iuse;
     rmod;
@@ -75,11 +135,12 @@ let run_with ?(force_flat = false) ?pool ?(provenance = false) prog =
     provenance = prov;
   }
 
-let run ?force_flat ?(jobs = 1) ?pool ?provenance prog =
+let run ?force_flat ?(jobs = 1) ?pool ?provenance ?ptsto prog =
   match pool with
-  | Some _ -> run_with ?force_flat ?pool ?provenance prog
+  | Some _ -> run_with ?force_flat ?pool ?provenance ?ptsto prog
   | None ->
-    Par.Pool.with_pool ~jobs (fun pool -> run_with ?force_flat ?pool ?provenance prog)
+    Par.Pool.with_pool ~jobs (fun pool ->
+        run_with ?force_flat ?pool ?provenance ?ptsto prog)
 
 let union_over t family family' =
   let acc = Ir.Info.fresh t.info in

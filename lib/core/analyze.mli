@@ -16,6 +16,14 @@ type t = {
   info : Ir.Info.t;
   call : Callgraph.Call.t;
   binding : Callgraph.Binding.t;
+  ptsto : Ptsto.t option;
+      (** The points-to solution; [None] iff the program is
+          pointer-free (then every phase ran its original, pointer-less
+          code path). *)
+  deref : int -> int -> int list;
+      (** The dereference projection every phase consumed:
+          [Ptsto.deref] of the solution above, or the empty projection
+          for pointer-free programs. *)
   imod : Bitvec.t array;  (** Nesting-extended [IMOD], per procedure. *)
   iuse : Bitvec.t array;
   rmod : Rmod.result;
@@ -36,6 +44,7 @@ val run :
   ?jobs:int ->
   ?pool:Par.Pool.t ->
   ?provenance:bool ->
+  ?ptsto:Ptsto.tier ->
   Ir.Prog.t ->
   t
 (** Analyze a program.  When the program declares procedures below
@@ -55,7 +64,12 @@ val run :
     first derivation reason of every fact ({!Provenance}); the
     analysis results and the counted bit-vector operations are
     identical either way — provenance construction reads bits only
-    through uncounted single-bit operations. *)
+    through uncounted single-bit operations.
+
+    [~ptsto] picks the points-to tier (default
+    {!Ptsto.Steensgaard}) used to build the dereference projection on
+    programs with pointers; pointer-free programs never run the solver
+    and analyze identically under either tier. *)
 
 val mod_of_site : t -> int -> Bitvec.t
 (** [MOD(s)] — §5's final answer for a call site. *)

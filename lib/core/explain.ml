@@ -91,7 +91,9 @@ let alias_links (a : Analyze.t) ~proc x y =
           | Provenance.Apropagated { site; from_pair } ->
             go (Prog.site prog site).Prog.caller from_pair
           | Provenance.Ainherited { parent } -> go parent (x, y)
-          | Provenance.Apositions _ | Provenance.Avisible _ -> ())
+          | Provenance.Apositions _ | Provenance.Avisible _
+          | Provenance.Apointsto _ ->
+            ())
       end
     in
     go proc (x, y);
@@ -286,7 +288,19 @@ let alias_link_lines (a : Analyze.t) ~locs links =
           (loc_suffix (site_loc locs site))
       | Provenance.Ainherited { parent } ->
         Printf.sprintf "%s in %s: inherited from lexical parent %s" pair_str
-          (pname prog aproc) (pname prog parent))
+          (pname prog aproc) (pname prog parent)
+      | Provenance.Apointsto { site; pos } ->
+        let s = Prog.site prog site in
+        let actual =
+          match s.Prog.args.(pos) with
+          | Prog.Arg_ref lv -> Fmt.to_to_string (Ir.Pp.pp_lvalue prog) lv
+          | Prog.Arg_value _ -> "?"
+        in
+        Printf.sprintf
+          "%s in %s: the dereference actual '%s' at arg %d of site %d may \
+           name the paired cell (points-to projection)%s"
+          pair_str (pname prog aproc) actual pos site
+          (loc_suffix (site_loc locs site)))
     links
 
 let explain_alias (a : Analyze.t) ~locs ~proc x y =

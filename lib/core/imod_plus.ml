@@ -1,7 +1,8 @@
 module Prog = Ir.Prog
 module Expr = Ir.Expr
 
-let compute ?(label = "imod_plus") info ~rmod ~imod =
+let compute ?(label = "imod_plus") ?(deref = Frontend.Local.no_deref) info ~rmod
+    ~imod =
   Obs.Span.with_ label @@ fun () ->
   let prog = Ir.Info.prog info in
   let result = Array.map Bitvec.copy imod in
@@ -12,7 +13,13 @@ let compute ?(label = "imod_plus") info ~rmod ~imod =
           match arg with
           | Prog.Arg_value _ -> ()
           | Prog.Arg_ref lv ->
-            if Rmod.modified rmod callee.Prog.formals.(i) then
-              Bitvec.set result.(s.Prog.caller) (Expr.lvalue_base lv))
+            if Rmod.modified rmod callee.Prog.formals.(i) then (
+              match lv with
+              | Expr.Lvar b | Expr.Lindex (b, _) ->
+                Bitvec.set result.(s.Prog.caller) b
+              | Expr.Lderef (base, d) ->
+                List.iter
+                  (fun v -> Bitvec.set result.(s.Prog.caller) v)
+                  (deref base d)))
         s.Prog.args);
   Ir.Info.fold_up_nesting info result

@@ -15,7 +15,12 @@
     enclosing procedure as well. *)
 
 val compute :
-  ?label:string -> Ir.Info.t -> rmod:Rmod.result -> imod:Bitvec.t array -> Bitvec.t array
+  ?label:string ->
+  ?deref:(int -> int -> int list) ->
+  Ir.Info.t ->
+  rmod:Rmod.result ->
+  imod:Bitvec.t array ->
+  Bitvec.t array
 (** Per-procedure [IMOD+]; [imod] must be the nesting-extended family
     the [rmod] solve was seeded with.  Runs under an {!Obs.Span} named
     [label] (default ["imod_plus"]; the [USE] side passes

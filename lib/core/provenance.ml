@@ -23,6 +23,7 @@ type alias_reason =
   | Avisible of { site : int; pos : int }
   | Apropagated of { site : int; from_pair : int * int }
   | Ainherited of { parent : int }
+  | Apointsto of { site : int; pos : int }
 
 type alias_table = (int * int * int, alias_reason) Hashtbl.t
 
@@ -80,7 +81,7 @@ let rmod_forest (binding : Binding.t) ~imod =
 (* Seeds are the IMOD+ bits, classified by the three exhaustive cases
    of eq. 5 under the §3.3 nesting fold; propagation is eq. 4 walked
    callee-to-caller over the call sites. *)
-let gmod_forest info ~flat ~rmod ~plus ~gsets ~sites_by_callee =
+let gmod_forest info ~deref ~flat ~rmod ~plus ~gsets ~sites_by_callee =
   let prog = Ir.Info.prog info in
   let table : (int * int, gmod_reason) Hashtbl.t = Hashtbl.create 256 in
   let queue = Queue.create () in
@@ -106,9 +107,13 @@ let gmod_forest info ~flat ~rmod ~plus ~gsets ~sites_by_callee =
                 match arg with
                 | Prog.Arg_value _ -> ()
                 | Prog.Arg_ref lv ->
+                  let binds_vid =
+                    match lv with
+                    | Expr.Lvar b | Expr.Lindex (b, _) -> b = vid
+                    | Expr.Lderef (p, d) -> List.mem vid (deref p d)
+                  in
                   if
-                    !found = None
-                    && Expr.lvalue_base lv = vid
+                    !found = None && binds_vid
                     && Rmod.modified rmod callee.Prog.formals.(i)
                   then found := Some (Gbind { site = s.Prog.sid; arg_pos = i }))
               s.Prog.args
@@ -153,8 +158,8 @@ let gmod_forest info ~flat ~rmod ~plus ~gsets ~sites_by_callee =
   done;
   table
 
-let compute info ~binding ~imod ~iuse ~rmod ~ruse ~imod_plus ~iuse_plus ~gmod
-    ~guse ~alias =
+let compute ?(deref = Frontend.Local.no_deref) info ~binding ~imod ~iuse ~rmod
+    ~ruse ~imod_plus ~iuse_plus ~gmod ~guse ~alias =
   let prog = Ir.Info.prog info in
   let sites_by_callee = Array.make (Prog.n_procs prog) [] in
   Prog.iter_sites prog (fun s ->
@@ -174,17 +179,17 @@ let compute info ~binding ~imod ~iuse ~rmod ~ruse ~imod_plus ~iuse_plus ~gmod
           pr.Prog.body);
     tbl
   in
-  let flat_mod = flat_table Frontend.Local.lmod_stmt in
-  let flat_use = flat_table Frontend.Local.luse_stmt in
+  let flat_mod = flat_table (fun prog s -> Frontend.Local.lmod_stmt ~deref prog s) in
+  let flat_use = flat_table (fun prog s -> Frontend.Local.luse_stmt ~deref prog s) in
   {
     rmod = rmod_forest binding ~imod;
     ruse = rmod_forest binding ~imod:iuse;
     gmod =
-      gmod_forest info ~flat:flat_mod ~rmod ~plus:imod_plus ~gsets:gmod
+      gmod_forest info ~deref ~flat:flat_mod ~rmod ~plus:imod_plus ~gsets:gmod
         ~sites_by_callee;
     guse =
-      gmod_forest info ~flat:flat_use ~rmod:ruse ~plus:iuse_plus ~gsets:guse
-        ~sites_by_callee;
+      gmod_forest info ~deref ~flat:flat_use ~rmod:ruse ~plus:iuse_plus
+        ~gsets:guse ~sites_by_callee;
     alias;
   }
 

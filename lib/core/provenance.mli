@@ -52,6 +52,10 @@ type alias_reason =
           site's reference bindings. *)
   | Ainherited of { parent : int }
       (** The pair holds in the lexical parent, hence here (§3.3). *)
+  | Apointsto of { site : int; pos : int }
+      (** A dereference actual [*...*p] at [pos] may name the other
+          member of the pair, per the points-to projection
+          ({!Ptsto}). *)
 
 type alias_table = (int * int * int, alias_reason) Hashtbl.t
 (** Keyed by [(pid, x, y)] with [x <= y] ({!Alias.norm}); holds the
@@ -68,6 +72,7 @@ type t = {
 val create_alias_table : unit -> alias_table
 
 val compute :
+  ?deref:(int -> int -> int list) ->
   Ir.Info.t ->
   binding:Callgraph.Binding.t ->
   imod:Bitvec.t array ->

@@ -7,9 +7,11 @@ type t = {
   gmod : Bitvec.t array;
   guse : Bitvec.t array;
   alias : Alias.t;
+  deref : int -> int -> int list;
 }
 
-let make info ~gmod ~guse ~alias = { info; gmod; guse; alias }
+let make ?(deref = Frontend.Local.no_deref) info ~gmod ~guse ~alias =
+  { info; gmod; guse; alias; deref }
 
 let projection t ~mode sid =
   let prog = Ir.Info.prog t.info in
@@ -29,8 +31,14 @@ let projection t ~mode sid =
       match arg with
       | Prog.Arg_value _ -> ()
       | Prog.Arg_ref lv ->
-        if Bitvec.get summary callee.Prog.formals.(i) then
-          Bitvec.set result (Expr.lvalue_base lv))
+        if Bitvec.get summary callee.Prog.formals.(i) then (
+          match lv with
+          | Expr.Lvar b | Expr.Lindex (b, _) -> Bitvec.set result b
+          (* A dereference actual binds the cell [*...*p] may name —
+             the effect lands on the pointed-to variables, never on
+             the pointer itself. *)
+          | Expr.Lderef (base, d) ->
+            List.iter (fun v -> Bitvec.set result v) (t.deref base d)))
     s.Prog.args;
   result
 
@@ -40,7 +48,7 @@ let duse_site t sid =
   let prog = Ir.Info.prog t.info in
   let result = projection t ~mode:`Use sid in
   List.iter (fun v -> Bitvec.set result v)
-    (Frontend.Local.luse_stmt prog (Stmt.Call sid));
+    (Frontend.Local.luse_stmt ~deref:t.deref prog (Stmt.Call sid));
   result
 
 let close_in_proc t ~proc set = Alias.close t.alias ~proc set
@@ -75,10 +83,14 @@ let stmt_effect t ~mode ~local_of stmt =
   result
 
 let dmod_stmt t ~proc:_ stmt =
-  stmt_effect t ~mode:`Mod ~local_of:Frontend.Local.lmod_stmt stmt
+  stmt_effect t ~mode:`Mod
+    ~local_of:(fun prog s -> Frontend.Local.lmod_stmt ~deref:t.deref prog s)
+    stmt
 
 let duse_stmt t ~proc:_ stmt =
-  stmt_effect t ~mode:`Use ~local_of:Frontend.Local.luse_stmt stmt
+  stmt_effect t ~mode:`Use
+    ~local_of:(fun prog s -> Frontend.Local.luse_stmt ~deref:t.deref prog s)
+    stmt
 
 let mod_stmt t ~proc stmt = close_in_proc t ~proc (dmod_stmt t ~proc stmt)
 let use_stmt t ~proc stmt = close_in_proc t ~proc (duse_stmt t ~proc stmt)

@@ -17,11 +17,16 @@
 type t
 
 val make :
+  ?deref:(int -> int -> int list) ->
   Ir.Info.t ->
   gmod:Bitvec.t array ->
   guse:Bitvec.t array ->
   alias:Alias.t ->
   t
+(** [~deref] is the points-to projection ({!Ptsto.deref}): a
+    dereference actual [*...*p] at a by-reference position projects a
+    modified formal onto the variables the dereference may name, not
+    onto [p]. *)
 
 val projection : t -> mode:[ `Mod | `Use ] -> int -> Bitvec.t
 (** [b_e(GMOD(q))] (resp. [GUSE]) for call site [e] — the

@@ -4,6 +4,7 @@ module A = Core.Analyze
 
 type t = {
   analysis : A.t;
+  deref : int -> int -> int list;
   must_mod_ : Bitvec.t array;
   aliased_ : Bitvec.t array;
   use_site : Bitvec.t array;
@@ -26,7 +27,9 @@ let project_must prog must_of sid =
         match s.P.args.(index) with
         | P.Arg_ref (E.Lvar b) ->
           if not (Ir.Types.is_array (P.var prog b).P.vty) then Bitvec.set out b
-        | P.Arg_ref (E.Lindex _) | P.Arg_value _ -> ())
+        (* A dereference actual may-defines its targets but never
+           must-defines any one of them. *)
+        | P.Arg_ref (E.Lindex _ | E.Lderef _) | P.Arg_value _ -> ())
       | P.Formal { proc; _ } when proc = s.P.callee -> ()
       | P.Local owner when owner = s.P.callee -> ()
       | _ -> Bitvec.set out vid)
@@ -102,7 +105,16 @@ let make (a : A.t) =
           (P.proc prog pid).P.formals;
         v)
   in
-  { analysis = a; must_mod_; aliased_; use_site; mod_site; kill_site; exit_live_ }
+  {
+    analysis = a;
+    deref = a.A.deref;
+    must_mod_;
+    aliased_;
+    use_site;
+    mod_site;
+    kill_site;
+    exit_live_;
+  }
 
 let analysis t = t.analysis
 let must_mod t pid = t.must_mod_.(pid)
@@ -114,12 +126,13 @@ let exit_live t pid = t.exit_live_.(pid)
 
 let add_use t acc (i : Cfg.instr) =
   let set v = Bitvec.set acc v in
+  let deref = t.deref in
   match i with
   | Cfg.Assign (lv, e) ->
-    List.iter set (E.vars e);
-    List.iter set (E.lvalue_index_vars lv)
-  | Cfg.Read lv -> List.iter set (E.lvalue_index_vars lv)
-  | Cfg.Write e | Cfg.Cond e -> List.iter set (E.vars e)
+    List.iter set (Frontend.Local.expr_reads ~deref e);
+    List.iter set (Frontend.Local.lvalue_addr_reads ~deref lv)
+  | Cfg.Read lv -> List.iter set (Frontend.Local.lvalue_addr_reads ~deref lv)
+  | Cfg.Write e | Cfg.Cond e -> List.iter set (Frontend.Local.expr_reads ~deref e)
   | Cfg.For_init (_, lo, hi) ->
     List.iter set (E.vars lo);
     List.iter set (E.vars hi)
@@ -131,13 +144,15 @@ let iter_must_def t (i : Cfg.instr) f =
   | Cfg.Assign (E.Lvar v, _) | Cfg.Read (E.Lvar v) -> f v
   | Cfg.For_init (v, _, _) | Cfg.For_step v -> f v
   | Cfg.Call sid -> Bitvec.iter f t.kill_site.(sid)
-  | Cfg.Assign (E.Lindex _, _) | Cfg.Read (E.Lindex _) | Cfg.Write _ | Cfg.Cond _
-  | Cfg.For_test _ ->
+  | Cfg.Assign ((E.Lindex _ | E.Lderef _), _)
+  | Cfg.Read (E.Lindex _ | E.Lderef _)
+  | Cfg.Write _ | Cfg.Cond _ | Cfg.For_test _ ->
     ()
 
 let iter_may_def t (i : Cfg.instr) f =
   match i with
-  | Cfg.Assign (lv, _) | Cfg.Read lv -> f (E.lvalue_base lv)
+  | Cfg.Assign (lv, _) | Cfg.Read lv ->
+    List.iter f (Frontend.Local.lvalue_writes ~deref:t.deref lv)
   | Cfg.For_init (v, _, _) | Cfg.For_step v -> f v
   | Cfg.Call sid -> Bitvec.iter f t.mod_site.(sid)
   | Cfg.Write _ | Cfg.Cond _ | Cfg.For_test _ -> ()

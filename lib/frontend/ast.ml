@@ -7,6 +7,7 @@ type ty =
   | Ty_int
   | Ty_bool
   | Ty_array of int list
+  | Ty_ptr of ty
 
 type expr =
   | Int of int * Loc.t
@@ -15,10 +16,14 @@ type expr =
   | Index of ident * expr list
   | Binop of Ir.Expr.binop * expr * expr
   | Unop of Ir.Expr.unop * expr
+  | Addr of ident  (** [&x] *)
+  | Deref of int * ident  (** [Deref (d, p)]: [d] stars before [p] *)
+  | New of ty * Loc.t  (** [new T] *)
 
 type lvalue =
   | Lname of ident
   | Lindex of ident * expr list
+  | Lderef of int * ident  (** [*...*p :=]: [d] stars before [p] *)
 
 type stmt =
   | Assign of lvalue * expr
@@ -58,9 +63,10 @@ type program = {
 
 let rec expr_loc = function
   | Int (_, loc) | Bool (_, loc) -> loc
-  | Name id | Index (id, _) -> id.loc
+  | Name id | Index (id, _) | Addr id | Deref (_, id) -> id.loc
+  | New (_, loc) -> loc
   | Binop (_, l, _) -> expr_loc l
   | Unop (_, e) -> expr_loc e
 
 let lvalue_loc = function
-  | Lname id | Lindex (id, _) -> id.loc
+  | Lname id | Lindex (id, _) | Lderef (_, id) -> id.loc

@@ -14,6 +14,7 @@ type ty =
   | Ty_int
   | Ty_bool
   | Ty_array of int list
+  | Ty_ptr of ty
 
 type expr =
   | Int of int * Loc.t
@@ -22,10 +23,14 @@ type expr =
   | Index of ident * expr list
   | Binop of Ir.Expr.binop * expr * expr
   | Unop of Ir.Expr.unop * expr
+  | Addr of ident  (** [&x] *)
+  | Deref of int * ident  (** [Deref (d, p)]: [d] stars before [p]. *)
+  | New of ty * Loc.t  (** [new T] *)
 
 type lvalue =
   | Lname of ident
   | Lindex of ident * expr list
+  | Lderef of int * ident  (** [*...*p]: [d] stars before [p]. *)
 
 type stmt =
   | Assign of lvalue * expr

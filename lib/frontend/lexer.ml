@@ -139,6 +139,7 @@ let next_token st =
       | '+' -> single Token.PLUS
       | '-' -> single Token.MINUS
       | '*' -> single Token.STAR
+      | '&' -> single Token.AMP
       | '/' -> single Token.SLASH
       | '%' -> single Token.PERCENT
       | '<' -> one_or_two '=' Token.LE Token.LT

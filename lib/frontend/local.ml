@@ -4,33 +4,76 @@ module Expr = Ir.Expr
 
 module Int_set = Set.Make (Int)
 
-let expr_vars acc e = List.fold_left (fun acc v -> Int_set.add v acc) acc (Expr.vars e)
+let no_deref _ _ = []
 
-let lvalue_index_vars acc lv =
-  List.fold_left (fun acc v -> Int_set.add v acc) acc (Expr.lvalue_index_vars lv)
+(* Variables whose value a (side-effect free) expression reads.  [&x]
+   reads nothing — only the address is taken; [*p] reads [p] and every
+   cell the dereference chain may name, which the [deref] projection
+   (from the points-to solution) supplies per depth. *)
+let rec read_vars ~deref acc (e : Expr.t) =
+  match e with
+  | Expr.Int _ | Expr.Bool _ | Expr.New _ | Expr.Addr _ -> acc
+  | Expr.Var v -> Int_set.add v acc
+  | Expr.Index (a, idx) -> List.fold_left (read_vars ~deref) (Int_set.add a acc) idx
+  | Expr.Binop (_, l, r) -> read_vars ~deref (read_vars ~deref acc l) r
+  | Expr.Unop (_, e0) -> read_vars ~deref acc e0
+  | Expr.Deref (p, d) ->
+    let acc = ref (Int_set.add p acc) in
+    for k = 1 to d do
+      List.iter (fun v -> acc := Int_set.add v !acc) (deref p k)
+    done;
+    !acc
 
-let lmod_stmt _p (s : Stmt.t) =
+(* Variables read to compute an lvalue's address: subscripts for an
+   element, the pointer and every intermediate cell for a dereference
+   (the final cell is the location itself, not part of the address
+   computation). *)
+let lvalue_addr_vars ~deref acc (lv : Expr.lvalue) =
+  match lv with
+  | Expr.Lvar _ -> acc
+  | Expr.Lindex (_, idx) -> List.fold_left (read_vars ~deref) acc idx
+  | Expr.Lderef (p, d) ->
+    let acc = ref (Int_set.add p acc) in
+    for k = 1 to d - 1 do
+      List.iter (fun v -> acc := Int_set.add v !acc) (deref p k)
+    done;
+    !acc
+
+let lmod_lvalue ~deref (lv : Expr.lvalue) =
+  match lv with
+  | Expr.Lvar v | Expr.Lindex (v, _) -> [ v ]
+  | Expr.Lderef (p, d) -> deref p d
+
+let expr_reads ?(deref = no_deref) e =
+  Int_set.elements (read_vars ~deref Int_set.empty e)
+
+let lvalue_addr_reads ?(deref = no_deref) lv =
+  Int_set.elements (lvalue_addr_vars ~deref Int_set.empty lv)
+
+let lvalue_writes ?(deref = no_deref) lv = lmod_lvalue ~deref lv
+
+let lmod_stmt ?(deref = no_deref) _p (s : Stmt.t) =
   match s with
-  | Stmt.Assign (lv, _) | Stmt.Read lv -> [ Expr.lvalue_base lv ]
+  | Stmt.Assign (lv, _) | Stmt.Read lv -> lmod_lvalue ~deref lv
   | Stmt.For (v, _, _, _) -> [ v ]
   | Stmt.If _ | Stmt.While _ | Stmt.Call _ | Stmt.Write _ -> []
 
-let luse_stmt p (s : Stmt.t) =
+let luse_stmt ?(deref = no_deref) p (s : Stmt.t) =
   let set =
     match s with
-    | Stmt.Assign (lv, e) -> expr_vars (lvalue_index_vars Int_set.empty lv) e
-    | Stmt.If (c, _, _) | Stmt.While (c, _) -> expr_vars Int_set.empty c
+    | Stmt.Assign (lv, e) -> read_vars ~deref (lvalue_addr_vars ~deref Int_set.empty lv) e
+    | Stmt.If (c, _, _) | Stmt.While (c, _) -> read_vars ~deref Int_set.empty c
     | Stmt.For (v, lo, hi, _) ->
-      expr_vars (expr_vars (Int_set.singleton v) lo) hi
-    | Stmt.Read lv -> lvalue_index_vars Int_set.empty lv
-    | Stmt.Write e -> expr_vars Int_set.empty e
+      read_vars ~deref (read_vars ~deref (Int_set.singleton v) lo) hi
+    | Stmt.Read lv -> lvalue_addr_vars ~deref Int_set.empty lv
+    | Stmt.Write e -> read_vars ~deref Int_set.empty e
     | Stmt.Call sid ->
       let site = Prog.site p sid in
       Array.fold_left
         (fun acc arg ->
           match arg with
-          | Prog.Arg_value e -> expr_vars acc e
-          | Prog.Arg_ref lv -> lvalue_index_vars acc lv)
+          | Prog.Arg_value e -> read_vars ~deref acc e
+          | Prog.Arg_ref lv -> lvalue_addr_vars ~deref acc lv)
         Int_set.empty site.Prog.args
   in
   Int_set.elements set
@@ -70,11 +113,14 @@ let flat_union ?pool info per_stmt =
     end;
     result
 
-let imod_flat ?pool info = flat_union ?pool info lmod_stmt
-let iuse_flat ?pool info = flat_union ?pool info luse_stmt
+let imod_flat ?pool ?(deref = no_deref) info =
+  flat_union ?pool info (fun p s -> lmod_stmt ~deref p s)
+
+let iuse_flat ?pool ?(deref = no_deref) info =
+  flat_union ?pool info (fun p s -> luse_stmt ~deref p s)
 
 (* The nesting fold is a short bottom-up pass over the declaration
    tree; it stays sequential (its unions are ordered along tree
    paths). *)
-let imod ?pool info = Ir.Info.fold_up_nesting info (imod_flat ?pool info)
-let iuse ?pool info = Ir.Info.fold_up_nesting info (iuse_flat ?pool info)
+let imod ?pool ?deref info = Ir.Info.fold_up_nesting info (imod_flat ?pool ?deref info)
+let iuse ?pool ?deref info = Ir.Info.fold_up_nesting info (iuse_flat ?pool ?deref info)

@@ -11,6 +11,12 @@
     Modifying an array element counts as modifying the whole array at
     this granularity; §6's regular sections refine that separately.
 
+    Pointer dereferences are expanded through the optional [deref]
+    projection: [deref p d] must list every variable the [d]-fold
+    dereference of [p] may name (the points-to solution provides it,
+    see {!Ptsto}).  The default projection is empty — exact on
+    pointer-free programs, where no dereference exists.
+
     [IMOD(p) = ⋃_{s∈p} LMOD(s)], extended for nested procedure
     declarations per §3.3:
     [IMOD(p) ⊇ IMOD(q) ∖ LOCAL(q)] for each [q ∈ Nest(p)]
@@ -18,26 +24,45 @@
     bottom-up over the nesting tree.  [IUSE] is the symmetric
     computation from [LUSE]. *)
 
-val lmod_stmt : Ir.Prog.t -> Ir.Stmt.t -> int list
+val no_deref : int -> int -> int list
+(** The empty dereference projection (returns [[]] everywhere). *)
+
+val expr_reads : ?deref:(int -> int -> int list) -> Ir.Expr.t -> int list
+(** Variables whose value evaluating this expression reads, ascending.
+    [&x] reads nothing; [*p] reads [p] and its [deref] targets. *)
+
+val lvalue_addr_reads : ?deref:(int -> int -> int list) -> Ir.Expr.lvalue -> int list
+(** Variables read to compute the lvalue's address: subscripts of an
+    element, the pointer and intermediate cells of a dereference. *)
+
+val lvalue_writes : ?deref:(int -> int -> int list) -> Ir.Expr.lvalue -> int list
+(** Variables assigning through this lvalue may modify: the base for a
+    variable or element, the depth-[d] [deref] targets for [*...*p]. *)
+
+val lmod_stmt : ?deref:(int -> int -> int list) -> Ir.Prog.t -> Ir.Stmt.t -> int list
 (** Variables directly modified by this one statement (not its
     sub-statements), ascending. *)
 
-val luse_stmt : Ir.Prog.t -> Ir.Stmt.t -> int list
+val luse_stmt : ?deref:(int -> int -> int list) -> Ir.Prog.t -> Ir.Stmt.t -> int list
 (** Variables directly used by this one statement (not its
     sub-statements), ascending. *)
 
-val imod_flat : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
+val imod_flat :
+  ?pool:Par.Pool.t -> ?deref:(int -> int -> int list) -> Ir.Info.t -> Bitvec.t array
 (** Per-procedure [⋃ LMOD(s)] without the nesting extension.  With
     [?pool], procedures are scanned in parallel chunks (the
     per-procedure sets are independent); identical results and — these
     passes perform no whole-vector operations — identical counter
     state. *)
 
-val iuse_flat : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
+val iuse_flat :
+  ?pool:Par.Pool.t -> ?deref:(int -> int -> int list) -> Ir.Info.t -> Bitvec.t array
 
-val imod : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
+val imod :
+  ?pool:Par.Pool.t -> ?deref:(int -> int -> int list) -> Ir.Info.t -> Bitvec.t array
 (** Per-procedure [IMOD] with the §3.3 nesting extension (the nesting
     fold itself is sequential). *)
 
-val iuse : ?pool:Par.Pool.t -> Ir.Info.t -> Bitvec.t array
+val iuse :
+  ?pool:Par.Pool.t -> ?deref:(int -> int -> int list) -> Ir.Info.t -> Bitvec.t array
 (** Per-procedure [IUSE] with the §3.3 nesting extension. *)

@@ -40,11 +40,14 @@ let expect_int st what =
 
 (* --- types --- *)
 
-let parse_type st : Ast.ty =
+let rec parse_type st : Ast.ty =
   let t, l = next st in
   match t with
   | Token.TINT -> Ast.Ty_int
   | Token.TBOOL -> Ast.Ty_bool
+  | Token.PTR ->
+    let _ = expect st Token.OF "'of'" in
+    Ast.Ty_ptr (parse_type st)
   | Token.ARRAY ->
     let _ = expect st Token.LBRACKET "'['" in
     let rec dims acc =
@@ -142,7 +145,23 @@ and parse_expr_unary st =
   | Token.NOT, _ ->
     advance st;
     Ast.Unop (Ir.Expr.Not, parse_expr_unary st)
+  | Token.STAR, _ ->
+    let d = parse_stars st in
+    let id = expect_ident st "a pointer variable" in
+    Ast.Deref (d, id)
+  | Token.AMP, _ ->
+    advance st;
+    let id = expect_ident st "a variable" in
+    Ast.Addr id
   | _ -> parse_expr_atom st
+
+(* Consecutive ['*'] tokens of a dereference. *)
+and parse_stars st =
+  match peek st with
+  | Token.STAR, _ ->
+    advance st;
+    1 + parse_stars st
+  | _ -> 0
 
 and parse_expr_atom st =
   let t, l = next st in
@@ -163,6 +182,9 @@ and parse_expr_atom st =
     let e = parse_expr_or st in
     let _ = expect st Token.RPAREN "')'" in
     e
+  | Token.NEW ->
+    let ty = parse_type st in
+    Ast.New (ty, l)
   | _ -> error l "expected an expression, found '%a'" Token.pp t
 
 and parse_expr_list st =
@@ -177,20 +199,26 @@ and parse_expr_list st =
   loop []
 
 let parse_lvalue st what : Ast.lvalue =
-  let id = expect_ident st what in
   match peek st with
-  | Token.LBRACKET, _ ->
-    advance st;
-    let idx = parse_expr_list st in
-    let _ = expect st Token.RBRACKET "']'" in
-    Ast.Lindex (id, idx)
-  | _ -> Ast.Lname id
+  | Token.STAR, _ ->
+    let d = parse_stars st in
+    let id = expect_ident st "a pointer variable" in
+    Ast.Lderef (d, id)
+  | _ -> (
+    let id = expect_ident st what in
+    match peek st with
+    | Token.LBRACKET, _ ->
+      advance st;
+      let idx = parse_expr_list st in
+      let _ = expect st Token.RBRACKET "']'" in
+      Ast.Lindex (id, idx)
+    | _ -> Ast.Lname id)
 
 (* --- statements --- *)
 
 let starts_stmt = function
-  | Token.IDENT _ | Token.IF | Token.WHILE | Token.FOR | Token.CALL | Token.READ
-  | Token.WRITE | Token.SKIP ->
+  | Token.IDENT _ | Token.STAR | Token.IF | Token.WHILE | Token.FOR | Token.CALL
+  | Token.READ | Token.WRITE | Token.SKIP ->
     true
   | _ -> false
 
@@ -207,7 +235,7 @@ and parse_stmt st : Ast.stmt =
     advance st;
     let _ = expect st Token.SEMI "';'" in
     Ast.Skip
-  | Token.IDENT _ ->
+  | Token.IDENT _ | Token.STAR ->
     let lv = parse_lvalue st "a variable" in
     let _ = expect st Token.ASSIGN "':='" in
     let e = parse_expr_or st in

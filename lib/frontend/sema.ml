@@ -39,10 +39,11 @@ let bail ctx loc fmt =
       raise Bail)
     fmt
 
-let ty_of_ast = function
+let rec ty_of_ast = function
   | Ast.Ty_int -> Types.Int
   | Ast.Ty_bool -> Types.Bool
   | Ast.Ty_array dims -> Types.Array dims
+  | Ast.Ty_ptr t -> Types.Ptr (ty_of_ast t)
 
 let fresh_var ctx ~loc ~name ~ty ~kind =
   let vid = ctx.n_vars in
@@ -67,13 +68,16 @@ type pending = {
   body : Ast.stmt list;
 }
 
-let check_array_extents ctx (ty : Ast.ty) loc =
+let rec check_array_extents ctx (ty : Ast.ty) loc =
   match ty with
   | Ast.Ty_array dims ->
     if dims = [] then report ctx loc "array type needs at least one dimension";
     List.iter
       (fun d -> if d <= 0 then report ctx loc "array extent %d is not positive" d)
       dims
+  | Ast.Ty_ptr (Ast.Ty_array _) ->
+    report ctx loc "pointer to array types are not supported"
+  | Ast.Ty_ptr t -> check_array_extents ctx t loc
   | Ast.Ty_int | Ast.Ty_bool -> ()
 
 (* Declare the variables of one scope (formals then locals), reporting
@@ -218,7 +222,7 @@ let rec resolve_expr ctx tb venv (e : Ast.expr) : Ir.Expr.t * Types.t =
     (match var_ty tb vid with
     | Types.Array _ ->
       bail ctx id.Ast.loc "array '%s' cannot be read as a scalar" id.Ast.name
-    | (Types.Int | Types.Bool) as ty -> (Ir.Expr.Var vid, ty))
+    | (Types.Int | Types.Bool | Types.Ptr _) as ty -> (Ir.Expr.Var vid, ty))
   | Ast.Index (id, idx) ->
     let vid = lookup_var ctx venv id in
     let rank = Types.rank (var_ty tb vid) in
@@ -247,6 +251,27 @@ let rec resolve_expr ctx tb venv (e : Ast.expr) : Ir.Expr.t * Types.t =
       | Ir.Expr.Not -> Types.Bool
     in
     (Ir.Expr.Unop (op, resolve_expr_expect ctx tb venv e0 want), want)
+  | Ast.Addr id -> (
+    let vid = lookup_var ctx venv id in
+    match var_ty tb vid with
+    | Types.Array _ ->
+      bail ctx id.Ast.loc "cannot take the address of array '%s'" id.Ast.name
+    | (Types.Int | Types.Bool | Types.Ptr _) as ty ->
+      (Ir.Expr.Addr vid, Types.Ptr ty))
+  | Ast.Deref (d, id) -> (
+    let vid = lookup_var ctx venv id in
+    let ty = var_ty tb vid in
+    match Types.deref d ty with
+    | Some t -> (Ir.Expr.Deref (vid, d), t)
+    | None ->
+      bail ctx id.Ast.loc "'%s' of type %s cannot be dereferenced %d time(s)"
+        id.Ast.name (Types.to_string ty) d)
+  | Ast.New (ty_ast, loc) -> (
+    check_array_extents ctx ty_ast loc;
+    match ty_of_ast ty_ast with
+    | Types.Array _ -> bail ctx loc "cannot allocate an array with 'new'"
+    | (Types.Int | Types.Bool | Types.Ptr _) as ty ->
+      (Ir.Expr.New ty, Types.Ptr ty))
 
 and resolve_expr_expect ctx tb venv e want =
   let e', ty = resolve_expr ctx tb venv e in
@@ -263,11 +288,19 @@ let resolve_scalar_lvalue ctx tb venv (lv : Ast.lvalue) : Ir.Expr.lvalue * Types
     (match var_ty tb vid with
     | Types.Array _ ->
       bail ctx id.Ast.loc "whole array '%s' cannot be assigned or read" id.Ast.name
-    | (Types.Int | Types.Bool) as ty -> (Ir.Expr.Lvar vid, ty))
+    | (Types.Int | Types.Bool | Types.Ptr _) as ty -> (Ir.Expr.Lvar vid, ty))
   | Ast.Lindex (id, idx) -> (
     match resolve_expr ctx tb venv (Ast.Index (id, idx)) with
     | Ir.Expr.Index (vid, idx'), ty -> (Ir.Expr.Lindex (vid, idx'), ty)
     | _ -> assert false)
+  | Ast.Lderef (d, id) -> (
+    let vid = lookup_var ctx venv id in
+    let ty = var_ty tb vid in
+    match Types.deref d ty with
+    | Some t -> (Ir.Expr.Lderef (vid, d), t)
+    | None ->
+      bail ctx id.Ast.loc "'%s' of type %s cannot be dereferenced %d time(s)"
+        id.Ast.name (Types.to_string ty) d)
 
 (* A by-reference actual: a variable (any type, including whole arrays)
    or an array element. *)
@@ -280,10 +313,18 @@ let resolve_ref_actual ctx tb venv (e : Ast.expr) : Ir.Expr.lvalue * Types.t =
     match resolve_expr ctx tb venv (Ast.Index (id, idx)) with
     | Ir.Expr.Index (vid, idx'), ty -> (Ir.Expr.Lindex (vid, idx'), ty)
     | _ -> assert false)
+  | Ast.Deref (d, id) -> (
+    let vid = lookup_var ctx venv id in
+    let ty = var_ty tb vid in
+    match Types.deref d ty with
+    | Some t -> (Ir.Expr.Lderef (vid, d), t)
+    | None ->
+      bail ctx id.Ast.loc "'%s' of type %s cannot be dereferenced %d time(s)"
+        id.Ast.name (Types.to_string ty) d)
   | _ ->
     bail ctx (Ast.expr_loc e)
-      "this argument is bound to a 'var' parameter and must be a variable or an \
-       array element"
+      "this argument is bound to a 'var' parameter and must be a variable, an \
+       array element, or a pointer dereference"
 
 let resolve_call ctx tb ~caller ~pendings venv penv (callee : Ast.ident) args =
   let callee_pid =
@@ -379,14 +420,18 @@ and resolve_stmt ctx tb ~caller ~pendings venv penv (s : Ast.stmt) : Ir.Stmt.t o
     Some (Ir.Stmt.For (vid, lo', hi', body'))
   | Ast.Call (callee, args) ->
     Some (Ir.Stmt.Call (resolve_call ctx tb ~caller ~pendings venv penv callee args))
-  | Ast.Read lv ->
-    let lv', _ty = resolve_scalar_lvalue ctx tb venv lv in
-    Some (Ir.Stmt.Read lv')
+  | Ast.Read lv -> (
+    let lv', ty = resolve_scalar_lvalue ctx tb venv lv in
+    match ty with
+    | Types.Int | Types.Bool -> Some (Ir.Stmt.Read lv')
+    | Types.Ptr _ -> bail ctx (Ast.lvalue_loc lv) "cannot read into a pointer"
+    | Types.Array _ -> assert false)
   | Ast.Write e -> (
     (* write accepts int or bool *)
     match resolve_expr ctx tb venv e with
     | e', (Types.Int | Types.Bool) -> Some (Ir.Stmt.Write e')
-    | _, Types.Array _ -> bail ctx (Ast.expr_loc e) "cannot write a whole array")
+    | _, Types.Array _ -> bail ctx (Ast.expr_loc e) "cannot write a whole array"
+    | _, Types.Ptr _ -> bail ctx (Ast.expr_loc e) "cannot write a pointer")
 
 (* --- entry point --- *)
 

@@ -21,6 +21,8 @@ type t =
   | TBOOL
   | ARRAY
   | OF
+  | PTR
+  | NEW
   | AND
   | OR
   | NOT
@@ -38,6 +40,7 @@ type t =
   | PLUS
   | MINUS
   | STAR
+  | AMP
   | SLASH
   | PERCENT
   | LT
@@ -70,6 +73,8 @@ let keywords =
     ("bool", TBOOL);
     ("array", ARRAY);
     ("of", OF);
+    ("ptr", PTR);
+    ("new", NEW);
     ("and", AND);
     ("or", OR);
     ("not", NOT);
@@ -94,6 +99,7 @@ let to_string = function
   | PLUS -> "+"
   | MINUS -> "-"
   | STAR -> "*"
+  | AMP -> "&"
   | SLASH -> "/"
   | PERCENT -> "%"
   | LT -> "<"

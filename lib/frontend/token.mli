@@ -24,6 +24,8 @@ type t =
   | TBOOL
   | ARRAY
   | OF
+  | PTR
+  | NEW
   | AND
   | OR
   | NOT
@@ -42,6 +44,7 @@ type t =
   | PLUS
   | MINUS
   | STAR
+  | AMP
   | SLASH
   | PERCENT
   | LT

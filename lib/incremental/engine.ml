@@ -445,6 +445,11 @@ let incremental t prog kind =
       info;
       call;
       binding;
+      (* This path only runs for pointer-free programs ([apply] forces
+         a full re-analysis whenever pointers are present), so the
+         projection caches carried over are the trivial ones. *)
+      ptsto = old.Analyze.ptsto;
+      deref = old.Analyze.deref;
       imod;
       iuse;
       rmod = rmod_sol.Rmod.res;
@@ -481,6 +486,13 @@ let apply t edit =
     Obs.Metric.incr edits_c;
     t.edits <- t.edits + 1;
     match kind with
+    | _ when Ptsto.has_pointers old_prog || Ptsto.has_pointers prog ->
+      (* Points-to is a whole-program, flow-insensitive solution: any
+         edit can redirect a pointer and move the dereference
+         projection every cached phase was built with.  Re-deriving
+         which regions that invalidates costs as much as re-solving,
+         so pointer programs always take the full path. *)
+      full t prog "pointer program: points-to solution may shift"
     | Edit.Structural -> full t prog "structural edit"
     | Edit.Body { proc } -> (
       try incremental t prog (`Body proc) with Fallback r -> full t prog r)

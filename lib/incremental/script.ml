@@ -207,13 +207,20 @@ let render prog edit =
     | Ok (Some e) when e = edit -> Some l
     | _ -> None)
 
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
 let parse prog src =
+  let fail line fmt =
+    Format.kasprintf (fun message -> Error { line; message }) fmt
+  in
   let lines = String.split_on_char '\n' src in
   let rec go prog acc n = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
       match parse_line prog line with
-      | Error e -> err "line %d: %s" n e
+      | Error e -> fail n "%s" e
       | Ok None -> go prog acc (n + 1) rest
       | Ok (Some edit) -> (
         match Edit.apply prog edit with
@@ -221,11 +228,10 @@ let parse prog src =
           match Ir.Validate.run prog' with
           | Ok () -> go prog' ((edit, prog') :: acc) (n + 1) rest
           | Error errs ->
-            err "line %d: edit %S leaves an invalid program: %a" n
-              (String.trim line)
+            fail n "edit %S leaves an invalid program: %a" (String.trim line)
               (Format.pp_print_list ~pp_sep:Format.pp_print_newline
                  Ir.Validate.pp_error)
               errs)
-        | exception Invalid_argument m -> err "line %d: %s" n m))
+        | exception Invalid_argument m -> fail n "%s" m))
   in
   go prog [] 1 lines

@@ -28,9 +28,18 @@ val render : Ir.Prog.t -> Edit.t -> string option
     ambiguous under shadowing.  This is how the analysis server's load
     generator replays [Workload.Edits] over the wire. *)
 
-val parse : Ir.Prog.t -> string -> ((Edit.t * Ir.Prog.t) list, string) result
+type error = { line : int; message : string }
+(** A whole-script failure: which (1-based) line broke, and why.  Kept
+    structured so machine consumers ([sidefx edit --json], the analysis
+    server) can report the position as data rather than by parsing a
+    rendered string. *)
+
+val error_to_string : error -> string
+(** ["line N: MESSAGE"]. *)
+
+val parse : Ir.Prog.t -> string -> ((Edit.t * Ir.Prog.t) list, error) result
 (** Parse a whole script, applying each edit as it is parsed so later
     lines resolve against the edited program.  Each returned pair is an
-    edit and the (validated) program after it; errors carry the line
-    number, and an edit whose result fails {!Ir.Validate} is an
-    error. *)
+    edit and the (validated) program after it; errors carry the
+    failing line number, and an edit whose result fails {!Ir.Validate}
+    is an error. *)

@@ -55,6 +55,8 @@ type outcome = {
   site_lives : Bitvec.t array;
   calls_executed : int array;
   formal_entry : entry_summary array;
+  ptr_obs : (int * int * int) list;
+  alias_obs : (int * int * int) list;
 }
 
 exception Out_of_fuel
@@ -78,18 +80,64 @@ type state = {
   site_lives : Bitvec.t array;
   calls_executed : int array;
   formal_entry : entry_summary array;
+  (* Pointer runtime.  A pointer value is 0 (null) or 1 + an index into
+     [ptr_cells], which names a concrete scalar cell.  Cells are
+     interned so [&x] evaluates to the same value every time. *)
+  mutable ptr_cells : (block * int) array;
+  mutable n_ptrs : int;
+  ptr_ids : (int * int, int) Hashtbl.t; (* (bid, cell) -> index *)
+  block_owner : (int, int) Hashtbl.t; (* bid -> owning vid; absent = heap/anon *)
+  ptr_obs : (int * int * int, unit) Hashtbl.t;
+      (* (pointer vid, depth, target vid | -1 for heap): observed
+         dereference targets — the dynamic points-to oracle. *)
+  alias_obs : (int * int * int, unit) Hashtbl.t;
+      (* (callee pid, x, y) with x < y: two names bound to one cell on
+         entry — the dynamic §5 alias-pair oracle. *)
 }
 
-let fresh_block st size =
+let fresh_block ?owner st size =
   let bid = st.next_bid in
   st.next_bid <- bid + 1;
+  (match owner with
+  | Some vid -> Hashtbl.replace st.block_owner bid vid
+  | None -> ());
   { bid; data = Array.make size 0 }
 
 let slot_for_var st (v : Prog.var) =
   match v.Prog.vty with
-  | Ir.Types.Int | Ir.Types.Bool -> Scalar_slot (fresh_block st 1, 0)
+  | Ir.Types.Int | Ir.Types.Bool | Ir.Types.Ptr _ ->
+    Scalar_slot (fresh_block ~owner:v.Prog.vid st 1, 0)
   | Ir.Types.Array dims ->
-    Array_slot (fresh_block st (List.fold_left ( * ) 1 dims), dims)
+    Array_slot (fresh_block ~owner:v.Prog.vid st (List.fold_left ( * ) 1 dims), dims)
+
+(* Intern a concrete cell as a pointer value (> 0; 0 is null). *)
+let intern_ptr st (b : block) i =
+  match Hashtbl.find_opt st.ptr_ids (b.bid, i) with
+  | Some id -> id + 1
+  | None ->
+    let id = st.n_ptrs in
+    if id = Array.length st.ptr_cells then begin
+      let grown = Array.make (max 16 (2 * id)) (b, i) in
+      Array.blit st.ptr_cells 0 grown 0 id;
+      st.ptr_cells <- grown
+    end;
+    st.ptr_cells.(id) <- (b, i);
+    st.n_ptrs <- id + 1;
+    Hashtbl.replace st.ptr_ids (b.bid, i) id;
+    id + 1
+
+(* The cell a pointer value names; null or garbage faults the run. *)
+let ptr_cell st n =
+  if n <= 0 || n > st.n_ptrs then raise Arith_fault;
+  st.ptr_cells.(n - 1)
+
+let observe_deref st ~ptr_vid ~depth (b : block) =
+  let target =
+    match Hashtbl.find_opt st.block_owner b.bid with
+    | Some vid -> vid
+    | None -> -1
+  in
+  Hashtbl.replace st.ptr_obs (ptr_vid, depth, target) ()
 
 (* Static scoping lookup: the activation chain, then globals.  With
    recursion the innermost activation of the owner is the one in the
@@ -127,6 +175,26 @@ let record st is_write block idx =
       if not (Hashtbl.mem r.writes key) then Hashtbl.replace r.live_reads key ();
       Hashtbl.replace r.reads key ()
     end
+
+(* Follow [d] dereferences starting from pointer variable [p]: reads
+   [p]'s cell and every intermediate cell, returns the final cell
+   without touching it. *)
+let deref_chain st act p d =
+  let b0, i0 =
+    match lookup st act p with
+    | Scalar_slot (b, i) -> (b, i)
+    | Array_slot _ -> invalid_arg "Interp: array dereferenced (type bug)"
+  in
+  record st false b0 i0;
+  let cell = ref (ptr_cell st b0.data.(i0)) in
+  observe_deref st ~ptr_vid:p ~depth:1 (fst !cell);
+  for k = 2 to d do
+    let b, i = !cell in
+    record st false b i;
+    cell := ptr_cell st b.data.(i);
+    observe_deref st ~ptr_vid:p ~depth:k (fst !cell)
+  done;
+  !cell
 
 let truth n = n <> 0
 let of_bool b = if b then 1 else 0
@@ -171,6 +239,17 @@ let rec eval st act (e : Expr.t) : int =
       | Expr.And | Expr.Or -> assert false))
   | Expr.Unop (Expr.Neg, e) -> -eval st act e
   | Expr.Unop (Expr.Not, e) -> of_bool (not (truth (eval st act e)))
+  | Expr.Addr v -> (
+    match lookup st act v with
+    | Scalar_slot (b, i) -> intern_ptr st b i
+    | Array_slot _ -> invalid_arg "Interp: address of array (type bug)")
+  | Expr.Deref (p, d) ->
+    let b, i = deref_chain st act p d in
+    record st false b i;
+    b.data.(i)
+  | Expr.New _ ->
+    let b = fresh_block st 1 in
+    intern_ptr st b 0
 
 (* Resolve an lvalue to a concrete scalar cell (evaluating subscripts,
    which records their reads). *)
@@ -185,6 +264,7 @@ let resolve_cell st act (lv : Expr.lvalue) =
     match lookup st act a with
     | Array_slot (b, dims) -> (b, flatten_index dims ns)
     | Scalar_slot _ -> invalid_arg "Interp: scalar indexed (type bug)")
+  | Expr.Lderef (p, d) -> deref_chain st act p d
 
 let store st block idx n =
   record st true block idx;
@@ -279,15 +359,66 @@ and exec_call st act sid =
         match arg with
         | Prog.Arg_value e ->
           let n = eval st act e in
-          let b = fresh_block st 1 in
+          let b = fresh_block ~owner:formal_vid st 1 in
           b.data.(0) <- n;
           (formal_vid, Scalar_slot (b, 0))
         | Prog.Arg_ref (Expr.Lvar v) -> (formal_vid, lookup st act v)
-        | Prog.Arg_ref (Expr.Lindex _ as lv) ->
+        | Prog.Arg_ref ((Expr.Lindex _ | Expr.Lderef _) as lv) ->
           let b, i = resolve_cell st act (lv :> Expr.lvalue) in
           (formal_vid, Scalar_slot (b, i)))
       site.Prog.args
   in
+  (* Dynamic §5 oracle: names bound to one physical cell on entry.
+     Two by-ref formals handed the same cell alias each other, and a
+     by-ref formal handed the cell of a variable visible inside the
+     callee aliases that variable. *)
+  let ref_keys =
+    Array.to_list bindings
+    |> List.filter_map (fun (fvid, slot) ->
+           let is_ref =
+             match (Prog.var st.prog fvid).Prog.kind with
+             | Prog.Formal { mode = Prog.By_ref; _ } -> true
+             | _ -> false
+           in
+           if not is_ref then None
+           else
+             match slot with
+             | Scalar_slot (b, i) -> Some (fvid, b.bid, Some i)
+             | Array_slot (b, _) -> Some (fvid, b.bid, None))
+  in
+  if ref_keys <> [] then begin
+    let overlap c1 c2 =
+      match (c1, c2) with
+      | Some i, Some j -> i = j
+      | None, _ | _, None -> true
+    in
+    let obs x y =
+      if x <> y then
+        let x, y = if x < y then (x, y) else (y, x) in
+        Hashtbl.replace st.alias_obs (site.Prog.callee, x, y) ()
+    in
+    let rec pairs = function
+      | [] -> ()
+      | (fi, bi, ci) :: rest ->
+        List.iter (fun (fj, bj, cj) -> if bi = bj && overlap ci cj then obs fi fj) rest;
+        pairs rest
+    in
+    pairs ref_keys;
+    let view = caller_view st act in
+    List.iter
+      (fun (fi, bid, ci) ->
+        match Hashtbl.find_opt view bid with
+        | None -> ()
+        | Some entries ->
+          List.iter
+            (fun (vid, cell) ->
+              if
+                vid <> fi && overlap ci cell
+                && Prog.visible st.prog ~proc:site.Prog.callee ~var:vid
+              then obs fi vid)
+            entries)
+      ref_keys
+  end;
   (* Static link: the innermost activation of the callee's lexical
      parent along the caller's chain. *)
   let link =
@@ -395,6 +526,12 @@ let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
       site_lives = Array.init ns (fun _ -> Bitvec.create nv);
       calls_executed = Array.make ns 0;
       formal_entry = Array.make nv Never;
+      ptr_cells = [||];
+      n_ptrs = 0;
+      ptr_ids = Hashtbl.create 32;
+      block_owner = Hashtbl.create 64;
+      ptr_obs = Hashtbl.create 32;
+      alias_obs = Hashtbl.create 32;
     }
   in
   Prog.iter_vars prog (fun v ->
@@ -421,6 +558,9 @@ let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
     site_lives = st.site_lives;
     calls_executed = st.calls_executed;
     formal_entry = st.formal_entry;
+    ptr_obs = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) st.ptr_obs []);
+    alias_obs =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) st.alias_obs []);
   }
 
 let observed_mod (o : outcome) sid = o.site_mods.(sid)

@@ -54,6 +54,20 @@ type outcome = {
   formal_entry : entry_summary array;
       (** Per variable id: entry-value summary for formals (the
           dynamic oracle of the {!Ipcp} analysis). *)
+  ptr_obs : (int * int * int) list;
+      (** [(p, d, v)]: the [d]-fold dereference of pointer variable [p]
+          was observed to reach the cell of variable [v] ([-1] for a
+          heap or anonymous cell).  The dynamic points-to oracle:
+          soundness demands every [(p, d, v)] with [v >= 0] appear in
+          the static [deref_targets], and every [(p, d, -1)] be covered
+          by a heap location in the points-to set. *)
+  alias_obs : (int * int * int) list;
+      (** [(pid, x, y)] with [x < y]: on entry to procedure [pid], the
+          names [x] and [y] were bound to one physical cell (two by-ref
+          formals handed the same cell, or a by-ref formal handed the
+          cell of a variable visible in the callee).  The dynamic §5
+          oracle: soundness demands each pair appear in
+          [Alias.may_alias]. *)
 }
 
 val run : ?fuel:int -> ?max_depth:int -> Ir.Prog.t -> outcome

@@ -21,7 +21,7 @@ let rec const_fold (e : Expr.t) : int option =
   match e with
   | Expr.Int n -> Some n
   | Expr.Bool b -> Some (if b then 1 else 0)
-  | Expr.Var _ | Expr.Index _ -> None
+  | Expr.Var _ | Expr.Index _ | Expr.Addr _ | Expr.Deref _ | Expr.New _ -> None
   | Expr.Unop (Expr.Neg, e) -> Option.map (fun n -> -n) (const_fold e)
   | Expr.Unop (Expr.Not, e) ->
     Option.map (fun n -> if n = 0 then 1 else 0) (const_fold e)
@@ -67,7 +67,7 @@ let analyze info ~imod_plus =
   in
   let var_jump v =
     let var = Prog.var prog v in
-    if Ir.Types.is_array var.Prog.vty then Unknown
+    if Ir.Types.is_array var.Prog.vty || Ir.Types.is_ptr var.Prog.vty then Unknown
     else
     match var.Prog.kind with
     | Prog.Formal _ when stable_source v -> Pass (v, 0)
@@ -104,7 +104,7 @@ let analyze info ~imod_plus =
             match arg with
             | Prog.Arg_value e -> jump_of_expr e
             | Prog.Arg_ref (Expr.Lvar v) -> jump_of_expr (Expr.Var v)
-            | Prog.Arg_ref (Expr.Lindex _) -> Unknown
+            | Prog.Arg_ref (Expr.Lindex _ | Expr.Lderef _) -> Unknown
           in
           contributions.(f) <- j :: contributions.(f))
         s.Prog.args);

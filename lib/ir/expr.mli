@@ -30,11 +30,19 @@ type t =
   | Index of int * t list  (** [Index (a, idx)] reads element [a[idx]]. *)
   | Binop of binop * t * t
   | Unop of unop * t
+  | Addr of int  (** [&x]: address of a scalar variable. *)
+  | Deref of int * int
+      (** [Deref (p, d)]: the [d]-fold dereference [*...*p] of pointer
+          variable [p], [d >= 1]. *)
+  | New of Types.t  (** [new T]: fresh heap cell; the value is [ptr of T]. *)
 
 (** Assignable locations. *)
 type lvalue =
   | Lvar of int  (** Whole variable (scalar, or whole array). *)
   | Lindex of int * t list  (** One array element. *)
+  | Lderef of int * int
+      (** [Lderef (p, d)]: the cell reached by [d] dereferences of
+          pointer variable [p]. *)
 
 val lvalue_base : lvalue -> int
 (** The variable id an lvalue ultimately names. *)
@@ -44,8 +52,9 @@ val vars : t -> int list
     ascending. *)
 
 val lvalue_index_vars : lvalue -> int list
-(** Variables read to evaluate an lvalue's subscripts (empty for
-    [Lvar]), each once, ascending. *)
+(** Variables read to evaluate an lvalue's address (empty for [Lvar];
+    subscript variables for [Lindex]; the pointer variable itself for
+    [Lderef]), each once, ascending. *)
 
 val equal : t -> t -> bool
 val equal_lvalue : lvalue -> lvalue -> bool

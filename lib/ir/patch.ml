@@ -9,8 +9,10 @@
 
 let rec map_expr fv (e : Expr.t) =
   match e with
-  | Expr.Int _ | Expr.Bool _ -> e
+  | Expr.Int _ | Expr.Bool _ | Expr.New _ -> e
   | Expr.Var v -> Expr.Var (fv v)
+  | Expr.Addr v -> Expr.Addr (fv v)
+  | Expr.Deref (v, d) -> Expr.Deref (fv v, d)
   | Expr.Index (a, idx) -> Expr.Index (fv a, List.map (map_expr fv) idx)
   | Expr.Binop (op, l, r) -> Expr.Binop (op, map_expr fv l, map_expr fv r)
   | Expr.Unop (op, e) -> Expr.Unop (op, map_expr fv e)
@@ -19,6 +21,7 @@ let map_lvalue fv (lv : Expr.lvalue) =
   match lv with
   | Expr.Lvar v -> Expr.Lvar (fv v)
   | Expr.Lindex (a, idx) -> Expr.Lindex (fv a, List.map (map_expr fv) idx)
+  | Expr.Lderef (v, d) -> Expr.Lderef (fv v, d)
 
 (* Rewrite a statement list: variable ids through [fv], call-site ids
    through [fsid] ([None] drops the call statement). *)

@@ -31,6 +31,9 @@ let rec pp_expr_prec p ctx ppf (e : Expr.t) =
     | Expr.Neg -> Format.fprintf ppf "-%a" (pp_expr_prec p 7) e
     | Expr.Not -> Format.fprintf ppf "not %a" (pp_expr_prec p 7) e);
     if needs_parens then Format.pp_print_string ppf ")"
+  | Addr v -> Format.fprintf ppf "&%s" (var_name p v)
+  | Deref (v, d) -> Format.fprintf ppf "%s%s" (String.make d '*') (var_name p v)
+  | New ty -> Format.fprintf ppf "new %a" Types.pp ty
 
 let pp_expr p ppf e = pp_expr_prec p 0 ppf e
 
@@ -42,6 +45,8 @@ let pp_lvalue p ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
          (pp_expr p))
       idx
+  | Expr.Lderef (v, d) ->
+    Format.fprintf ppf "%s%s" (String.make d '*') (var_name p v)
 
 let pp_arg p ppf = function
   | Prog.Arg_ref lv -> pp_lvalue p ppf lv

@@ -2,22 +2,41 @@ type t =
   | Int
   | Bool
   | Array of int list
+  | Ptr of t
 
-let equal a b =
+let rec equal a b =
   match (a, b) with
   | Int, Int | Bool, Bool -> true
   | Array d1, Array d2 -> List.length d1 = List.length d2 && List.for_all2 ( = ) d1 d2
-  | (Int | Bool | Array _), _ -> false
+  | Ptr a, Ptr b -> equal a b
+  | (Int | Bool | Array _ | Ptr _), _ -> false
 
 let rank = function
-  | Int | Bool -> 0
+  | Int | Bool | Ptr _ -> 0
   | Array dims -> List.length dims
 
 let is_array = function
   | Array _ -> true
-  | Int | Bool -> false
+  | Int | Bool | Ptr _ -> false
 
-let pp ppf = function
+let is_ptr = function
+  | Ptr _ -> true
+  | Int | Bool | Array _ -> false
+
+(* Pointer nesting depth: [int] has depth 0, [ptr of int] depth 1, ... *)
+let rec ptr_depth = function
+  | Ptr t -> 1 + ptr_depth t
+  | Int | Bool | Array _ -> 0
+
+(* Strip [n] levels of pointer; [None] if the type is not that deep. *)
+let rec deref n t =
+  if n = 0 then Some t
+  else
+    match t with
+    | Ptr t -> deref (n - 1) t
+    | Int | Bool | Array _ -> None
+
+let rec pp ppf = function
   | Int -> Format.pp_print_string ppf "int"
   | Bool -> Format.pp_print_string ppf "bool"
   | Array dims ->
@@ -26,5 +45,6 @@ let pp ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
          Format.pp_print_int)
       dims
+  | Ptr t -> Format.fprintf ppf "ptr of %a" pp t
 
 let to_string t = Format.asprintf "%a" pp t

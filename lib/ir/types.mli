@@ -11,6 +11,7 @@ type t =
   | Array of int list
       (** [Array dims] — one extent per dimension, each positive.
           Element type is always [Int]. *)
+  | Ptr of t  (** Typed pointer to a scalar or pointer cell. *)
 
 val equal : t -> t -> bool
 
@@ -18,9 +19,18 @@ val rank : t -> int
 (** Number of array dimensions; 0 for scalars. *)
 
 val is_array : t -> bool
+val is_ptr : t -> bool
+
+val ptr_depth : t -> int
+(** Pointer nesting depth: 0 for non-pointers, [1 + ptr_depth t] for
+    [Ptr t]. *)
+
+val deref : int -> t -> t option
+(** [deref n t] strips [n] levels of [Ptr]; [None] if [t] is not that
+    deep. *)
 
 val pp : Format.formatter -> t -> unit
 (** Concrete MiniProc syntax: [int], [bool],
-    [array[d1, d2] of int]. *)
+    [array[d1, d2] of int], [ptr of int]. *)
 
 val to_string : t -> string

@@ -110,11 +110,23 @@ let run (p : Prog.t) =
       check_expr pname pid ctx r;
       ()
     | Unop (_, e) -> check_expr pname pid ctx e
+    | Addr vid ->
+      check_var_use pname pid vid ctx;
+      if var_ok vid && Types.is_array (Prog.var p vid).Prog.vty then
+        fail pname "%s: address of array %s" ctx (Prog.var p vid).Prog.vname
+    | Deref (vid, d) ->
+      check_var_use pname pid vid ctx;
+      if d < 1 then fail pname "%s: dereference depth %d < 1" ctx d;
+      if var_ok vid && Types.deref d (Prog.var p vid).Prog.vty = None then
+        fail pname "%s: %s cannot be dereferenced %d time(s)" ctx
+          (Prog.var p vid).Prog.vname d
+    | New ty -> if Types.is_array ty then fail pname "%s: new of array type" ctx
   in
   let check_lvalue pname pid ctx (lv : Expr.lvalue) =
     match lv with
     | Expr.Lvar vid -> check_var_use pname pid vid ctx
     | Expr.Lindex (a, idx) -> check_expr pname pid ctx (Expr.Index (a, idx))
+    | Expr.Lderef (vid, d) -> check_expr pname pid ctx (Expr.Deref (vid, d))
   in
   let check_site pname pid sid =
     if sid < 0 || sid >= ns then fail pname "call site id %d out of range" sid
@@ -147,7 +159,9 @@ let run (p : Prog.t) =
                   match lv with
                   | Expr.Lvar v when var_ok v -> Some (Prog.var p v).Prog.vty
                   | Expr.Lindex (v, _) when var_ok v -> Some Types.Int
-                  | Expr.Lvar _ | Expr.Lindex _ -> None
+                  | Expr.Lderef (v, d) when var_ok v ->
+                    Types.deref d (Prog.var p v).Prog.vty
+                  | Expr.Lvar _ | Expr.Lindex _ | Expr.Lderef _ -> None
                 in
                 (match actual_ty with
                 | Some ty when not (Types.equal ty formal_ty) ->

@@ -646,6 +646,212 @@ let rmw_hint ctx =
         done);
     !out
 
+(* SFX010 — pointer variables whose value never feeds a dereference.
+   Direct syntactic absence is not enough: [p := &x; r := p; g0 := *r]
+   dereferences [p]'s value through [r], so the rule closes "feeds a
+   dereference" backwards over pointer copies (assignments and call
+   bindings) before flagging.  Intermediate hops of a multi-level chain
+   ([**pp] reads through whatever [pp] points at) are resolved with the
+   analysis' points-to projection. *)
+let undereferenced_ptr ctx =
+  let t = ctx.analysis in
+  let prog = t.A.prog in
+  let any_ptr = ref false in
+  P.iter_vars prog (fun v ->
+      if Ir.Types.is_ptr v.P.vty then any_ptr := true);
+  if not !any_ptr then []
+  else begin
+    let is_ptr v = Ir.Types.is_ptr (P.var prog v).P.vty in
+    let feeds = Array.make (P.n_vars prog) false in
+    let copies = ref [] in
+    let copy dst src =
+      if is_ptr dst && is_ptr src then copies := (dst, src) :: !copies
+    in
+    let mark_deref p d =
+      feeds.(p) <- true;
+      for d' = 1 to d - 1 do
+        List.iter (fun v -> if is_ptr v then feeds.(v) <- true) (t.A.deref p d')
+      done
+    in
+    let rec expr = function
+      | Ir.Expr.Deref (p, d) -> mark_deref p d
+      | Ir.Expr.Binop (_, a, b) ->
+        expr a;
+        expr b
+      | Ir.Expr.Unop (_, a) -> expr a
+      | Ir.Expr.Index (_, idx) -> List.iter expr idx
+      | Ir.Expr.Int _ | Ir.Expr.Bool _ | Ir.Expr.Var _ | Ir.Expr.Addr _
+      | Ir.Expr.New _ ->
+        ()
+    in
+    let lvalue = function
+      | Ir.Expr.Lderef (p, d) -> mark_deref p d
+      | Ir.Expr.Lindex (_, idx) -> List.iter expr idx
+      | Ir.Expr.Lvar _ -> ()
+    in
+    P.iter_procs prog (fun pr ->
+        Ir.Stmt.iter
+          (fun st ->
+            match st with
+            | Ir.Stmt.Assign (lv, e) -> (
+              lvalue lv;
+              expr e;
+              match (lv, e) with
+              | Ir.Expr.Lvar d, Ir.Expr.Var s -> copy d s
+              | _ -> ())
+            | Ir.Stmt.If (c, _, _) | Ir.Stmt.While (c, _) -> expr c
+            | Ir.Stmt.For (_, lo, hi, _) ->
+              expr lo;
+              expr hi
+            | Ir.Stmt.Read lv -> lvalue lv
+            | Ir.Stmt.Write e -> expr e
+            | Ir.Stmt.Call _ -> ())
+          pr.P.body);
+    P.iter_sites prog (fun s ->
+        let callee = P.proc prog s.P.callee in
+        Array.iteri
+          (fun i arg ->
+            let f = callee.P.formals.(i) in
+            match arg with
+            | P.Arg_value e -> (
+              expr e;
+              match e with Ir.Expr.Var src -> copy f src | _ -> ())
+            | P.Arg_ref (Ir.Expr.Lvar b) ->
+              (* one cell, two names: a dereference of either feeds both *)
+              copy f b;
+              copy b f
+            | P.Arg_ref lv -> lvalue lv)
+          s.P.args);
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (dst, src) ->
+          if feeds.(dst) && not feeds.(src) then begin
+            feeds.(src) <- true;
+            changed := true
+          end)
+        !copies
+    done;
+    let out = ref [] in
+    P.iter_vars prog (fun v ->
+        if Ir.Types.is_ptr v.P.vty && not feeds.(v.P.vid) then
+          out :=
+            {
+              Diagnostic.code = "SFX010";
+              rule = "undereferenced-ptr";
+              severity = Diagnostic.Warning;
+              loc = Frontend.Locs.var ctx.locs v.P.vid;
+              scope =
+                (match v.P.kind with
+                | P.Global -> prog.P.name
+                | P.Local pid | P.Formal { proc = pid; _ } ->
+                  proc_name ctx pid);
+              message =
+                Printf.sprintf
+                  "pointer '%s' is never dereferenced: no use of its value \
+                   ever reaches a '*'"
+                  v.P.vname;
+              hint =
+                Some "delete the pointer, or dereference it where it is used";
+              witness =
+                (if explain_on ctx then
+                   [
+                     Printf.sprintf
+                       "'%s' appears in no dereference, and no pointer copied \
+                        from it does either"
+                       (qname_of ctx v.P.vid);
+                   ]
+                 else []);
+            }
+            :: !out);
+    List.rev !out
+  end
+
+(* SFX011 — a store through a pointer that may strike a by-reference
+   formal of the enclosing procedure: the caller's actual changes with
+   no textual mention of the formal near the store.  Fires when the
+   points-to targets of the written dereference contain the formal
+   itself (via name equivalence) or a §5 alias of it. *)
+let ptr_formal_store ctx =
+  let t = ctx.analysis in
+  let prog = t.A.prog in
+  let out = ref [] in
+  P.iter_procs prog (fun pr ->
+      let pid = pr.P.pid in
+      let ref_formals =
+        Array.to_list pr.P.formals
+        |> List.filter (fun f ->
+               match (P.var prog f).P.kind with
+               | P.Formal { mode = P.By_ref; _ } -> true
+               | _ -> false)
+      in
+      if ref_formals <> [] then begin
+        let ord = ref (-1) in
+        Ir.Stmt.iter
+          (fun st ->
+            incr ord;
+            match st with
+            | Ir.Stmt.Assign (Ir.Expr.Lderef (p, d), _)
+            | Ir.Stmt.Read (Ir.Expr.Lderef (p, d)) ->
+              let targets = t.A.deref p d in
+              let hit =
+                List.find_map
+                  (fun f ->
+                    if List.mem f targets then Some (f, `Direct)
+                    else
+                      match
+                        List.find_opt
+                          (fun tv ->
+                            Core.Alias.may_alias t.A.alias ~proc:pid tv f)
+                          targets
+                      with
+                      | Some tv -> Some (f, `Alias tv)
+                      | None -> None)
+                  ref_formals
+              in
+              (match hit with
+              | None -> ()
+              | Some (f, how) ->
+                out :=
+                  {
+                    Diagnostic.code = "SFX011";
+                    rule = "ptr-formal-store";
+                    severity = Diagnostic.Warning;
+                    loc = Frontend.Locs.stmt ctx.locs ~proc:pid !ord;
+                    scope = proc_name ctx pid;
+                    message =
+                      Printf.sprintf
+                        "store through '%s' may modify by-reference formal \
+                         '%s': the caller's actual changes without naming it"
+                        (name_of ctx p) (name_of ctx f);
+                    hint =
+                      Some
+                        "write the formal directly, or document that the \
+                         pointer aims at it";
+                    witness =
+                      (if explain_on ctx then
+                         (Printf.sprintf
+                            "points-to: the %d-fold dereference of '%s' may \
+                             name {%s}"
+                            d (qname_of ctx p)
+                            (String.concat ", "
+                               (List.map (qname_of ctx) targets))
+                         ::
+                         (match how with
+                         | `Direct -> []
+                         | `Alias tv ->
+                           Option.value ~default:[]
+                             (Core.Explain.explain_alias t ~locs:ctx.locs
+                                ~proc:pid tv f)))
+                       else []);
+                  }
+                  :: !out)
+            | _ -> ())
+          pr.P.body
+      end);
+  List.rev !out
+
 let all =
   [
     {
@@ -719,6 +925,24 @@ let all =
       needs_sections = false;
       needs_dataflow = true;
       run = rmw_hint;
+    };
+    {
+      name = "undereferenced-ptr";
+      codes = [ "SFX010" ];
+      doc = "pointer variables whose value never feeds a dereference";
+      metric = "lint.findings.undereferenced_ptr";
+      needs_sections = false;
+      needs_dataflow = false;
+      run = undereferenced_ptr;
+    };
+    {
+      name = "ptr-formal-store";
+      codes = [ "SFX011" ];
+      doc = "stores through pointers that may strike a by-reference formal";
+      metric = "lint.findings.ptr_formal_store";
+      needs_sections = false;
+      needs_dataflow = false;
+      run = ptr_formal_store;
     };
   ]
 

@@ -1,0 +1,571 @@
+module Prog = Ir.Prog
+module Expr = Ir.Expr
+module Stmt = Ir.Stmt
+module Types = Ir.Types
+module Int_set = Set.Make (Int)
+
+type tier = Steensgaard | Andersen
+
+let tier_name = function Steensgaard -> "steensgaard" | Andersen -> "andersen"
+
+let tier_of_string = function
+  | "steensgaard" -> Some Steensgaard
+  | "andersen" -> Some Andersen
+  | _ -> None
+
+let has_pointers prog =
+  let n = Prog.n_vars prog in
+  let rec scan vid =
+    vid < n && (Types.is_ptr (Prog.var prog vid).Prog.vty || scan (vid + 1))
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Constraint extraction.  Pointer values are created by [&x] and
+   [new], moved by assignments and by-value argument passing, and
+   cells are shared by by-reference bindings.  Sema guarantees a
+   pointer-typed expression is a variable, an address-of, a
+   dereference, or an allocation — nothing else has pointer type. *)
+
+type rv =
+  | Rvar of int  (* the value of variable [v] *)
+  | Rderef of int * int  (* the value of [*^d v] *)
+  | Raddr of int  (* [&v] *)
+  | Rnew of int  (* heap location id *)
+
+type cstr =
+  | Flow of (int * int) * rv  (* cell [*^d base] := value *)
+  | Bind_var of int * int  (* by-ref: formal names the actual's cell *)
+  | Bind_deref of int * int * int  (* by-ref: formal names cell [*^d p] *)
+
+let cell_is_ptr prog base d =
+  match Types.deref d (Prog.var prog base).Prog.vty with
+  | Some (Types.Ptr _) -> true
+  | Some _ | None -> false
+
+let extract prog =
+  let cstrs = ref [] in
+  let heap_names = ref [] in
+  let n_heap = ref 0 in
+  let emit c = cstrs := c :: !cstrs in
+  let fresh_heap pname =
+    let id = !n_heap in
+    incr n_heap;
+    heap_names := Printf.sprintf "new#%d@%s" id pname :: !heap_names;
+    id
+  in
+  (* Heap ids are assigned in traversal order, so extraction is
+     deterministic: procedures in pid order, statements in program
+     order, call arguments left to right. *)
+  let rv_of pname (e : Expr.t) =
+    match e with
+    | Expr.Var v -> Some (Rvar v)
+    | Expr.Addr v -> Some (Raddr v)
+    | Expr.Deref (p, d) -> Some (Rderef (p, d))
+    | Expr.New _ -> Some (Rnew (fresh_heap pname))
+    | Expr.Int _ | Expr.Bool _ | Expr.Index _ | Expr.Binop _ | Expr.Unop _ -> None
+  in
+  Prog.iter_procs prog (fun pr ->
+      let pname = pr.Prog.pname in
+      Stmt.iter
+        (fun s ->
+          match s with
+          | Stmt.Assign (lv, e) -> (
+            let cell =
+              match lv with
+              | Expr.Lvar x -> Some (x, 0)
+              | Expr.Lderef (p, d) -> Some (p, d)
+              | Expr.Lindex _ -> None
+            in
+            match cell with
+            | Some (base, d) when cell_is_ptr prog base d -> (
+              match rv_of pname e with
+              | Some rv -> emit (Flow ((base, d), rv))
+              | None -> ())
+            | Some _ | None -> ())
+          | Stmt.If _ | Stmt.While _ | Stmt.For _ | Stmt.Read _ | Stmt.Write _
+          | Stmt.Call _ ->
+            ())
+        pr.Prog.body);
+  Prog.iter_sites prog (fun s ->
+      let caller = Prog.proc prog s.Prog.caller in
+      let callee = Prog.proc prog s.Prog.callee in
+      Array.iteri
+        (fun i arg ->
+          let f = callee.Prog.formals.(i) in
+          match arg with
+          | Prog.Arg_value e ->
+            if Types.is_ptr (Prog.var prog f).Prog.vty then (
+              match rv_of caller.Prog.pname e with
+              | Some rv -> emit (Flow ((f, 0), rv))
+              | None -> ())
+          | Prog.Arg_ref (Expr.Lvar b) -> emit (Bind_var (f, b))
+          | Prog.Arg_ref (Expr.Lindex _) -> ()
+          | Prog.Arg_ref (Expr.Lderef (p, d)) -> emit (Bind_deref (f, p, d)))
+        s.Prog.args);
+  (List.rev !cstrs, !n_heap, Array.of_list (List.rev !heap_names))
+
+(* ------------------------------------------------------------------ *)
+(* Plain union-find (path compression + union by rank). *)
+
+module Uf = struct
+  type t = { mutable parent : int array; mutable rank : int array; mutable n : int }
+
+  let create n = { parent = Array.init n Fun.id; rank = Array.make n 0; n }
+
+  let rec find t x =
+    let p = t.parent.(x) in
+    if p = x then x
+    else begin
+      let r = find t p in
+      t.parent.(x) <- r;
+      r
+    end
+
+  let fresh t =
+    let id = t.n in
+    if id = Array.length t.parent then begin
+      let cap = max 16 (2 * id) in
+      let parent = Array.init cap (fun i -> if i < id then t.parent.(i) else i) in
+      let rank = Array.make cap 0 in
+      Array.blit t.rank 0 rank 0 id;
+      t.parent <- parent;
+      t.rank <- rank
+    end;
+    t.parent.(id) <- id;
+    t.rank.(id) <- 0;
+    t.n <- id + 1;
+    id
+
+  (* Union; returns the surviving root. *)
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra = rb then ra
+    else if t.rank.(ra) < t.rank.(rb) then begin
+      t.parent.(ra) <- rb;
+      rb
+    end
+    else begin
+      t.parent.(rb) <- ra;
+      if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+      ra
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Steensgaard: an equivalence class per set of conflated locations,
+   each class carrying at most one points-to class.  Merging two
+   classes recursively merges what they point to — the classic
+   almost-linear unification. *)
+
+module Steens = struct
+  type t = { uf : Uf.t; mutable pts : int array (* root -> class, -1 = none *) }
+
+  let create n_locs =
+    { uf = Uf.create n_locs; pts = Array.make (max 16 n_locs) (-1) }
+
+  let ensure_pts_capacity t =
+    let n = t.uf.Uf.n in
+    if n > Array.length t.pts then begin
+      let grown = Array.make (max n (2 * Array.length t.pts)) (-1) in
+      Array.blit t.pts 0 grown 0 (Array.length t.pts);
+      t.pts <- grown
+    end
+
+  let rec unify t a b =
+    let ra = Uf.find t.uf a and rb = Uf.find t.uf b in
+    if ra <> rb then begin
+      let pa = t.pts.(ra) and pb = t.pts.(rb) in
+      let root = Uf.union t.uf ra rb in
+      t.pts.(root) <- (if pa >= 0 then pa else pb);
+      if pa >= 0 && pb >= 0 then unify t pa pb
+    end
+
+  (* The class this class points to, created on demand. *)
+  let pts_of t l =
+    let r = Uf.find t.uf l in
+    if t.pts.(r) >= 0 then Uf.find t.uf t.pts.(r)
+    else begin
+      let c = Uf.fresh t.uf in
+      ensure_pts_capacity t;
+      t.pts.(c) <- -1;
+      t.pts.(r) <- c;
+      c
+    end
+
+  let pts_opt t l =
+    let r = Uf.find t.uf l in
+    if t.pts.(r) >= 0 then Some (Uf.find t.uf t.pts.(r)) else None
+
+  (* Class of the cell the [d]-fold dereference of variable-loc [v]
+     names ([d = 0] is the variable's own cell). *)
+  let cell t v d =
+    let c = ref (Uf.find t.uf v) in
+    for _ = 1 to d do
+      c := pts_of t !c
+    done;
+    !c
+
+  let solve n_locs cstrs =
+    let t = create n_locs in
+    List.iter
+      (fun c ->
+        match c with
+        | Flow ((base, d), rv) ->
+          let lhs_content = pts_of t (cell t base d) in
+          let rhs_content =
+            match rv with
+            | Rvar q -> pts_of t (cell t q 0)
+            | Rderef (q, d') -> pts_of t (cell t q d')
+            | Raddr x -> Uf.find t.uf x
+            | Rnew _ -> assert false (* rewritten to [Raddr] pre-solve *)
+          in
+          unify t lhs_content rhs_content
+        | Bind_var (f, b) -> unify t f b
+        | Bind_deref (f, p, d) -> unify t f (cell t p d))
+      cstrs;
+    t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Andersen: inclusion constraints solved by naive iteration — small
+   programs, and the generated workloads stay well within budget. *)
+
+module Ander = struct
+  type t = {
+    n_locs : int;
+    mutable n : int;
+    mutable pts : Int_set.t array;
+    mutable succs : int list array;
+    edge_set : (int * int, unit) Hashtbl.t;
+    mutable loads : (int * int) list;  (* (p, x): ∀l∈pts p, pts x ⊇ pts l *)
+    mutable stores : (int * int) list;  (* (p, v): ∀l∈pts p, pts l ⊇ pts v *)
+    mutable dirty : bool;
+  }
+
+  let create n_locs =
+    let cap = max 16 (2 * n_locs) in
+    {
+      n_locs;
+      n = n_locs;
+      pts = Array.make cap Int_set.empty;
+      succs = Array.make cap [];
+      edge_set = Hashtbl.create 64;
+      loads = [];
+      stores = [];
+      dirty = false;
+    }
+
+  let fresh t =
+    let id = t.n in
+    if id = Array.length t.pts then begin
+      let cap = 2 * id in
+      let pts = Array.make cap Int_set.empty in
+      Array.blit t.pts 0 pts 0 id;
+      let succs = Array.make cap [] in
+      Array.blit t.succs 0 succs 0 id;
+      t.pts <- pts;
+      t.succs <- succs
+    end;
+    t.n <- id + 1;
+    id
+
+  let add_edge t s d =
+    if s <> d && not (Hashtbl.mem t.edge_set (s, d)) then begin
+      Hashtbl.add t.edge_set (s, d) ();
+      t.succs.(s) <- d :: t.succs.(s);
+      t.dirty <- true
+    end
+
+  let add_loc t x l =
+    if not (Int_set.mem l t.pts.(x)) then begin
+      t.pts.(x) <- Int_set.add l t.pts.(x);
+      t.dirty <- true
+    end
+
+  (* Node whose pts set is the set of cells [*^d v] may name (so the
+     node standing for the {e value} of [*^(d-1) v]).  [d = 1] is [v]
+     itself. *)
+  let rec chain t v d =
+    if d = 1 then v
+    else begin
+      let prev = chain t v (d - 1) in
+      let node = fresh t in
+      t.loads <- (prev, node) :: t.loads;
+      node
+    end
+
+  let value_node t rv =
+    match rv with
+    | Rvar q -> q
+    | Rderef (q, d) ->
+      let prev = chain t q d in
+      let node = fresh t in
+      t.loads <- (prev, node) :: t.loads;
+      node
+    | Raddr x ->
+      let node = fresh t in
+      add_loc t node x;
+      node
+    | Rnew _ -> assert false (* rewritten to [Raddr] pre-solve *)
+
+  let solve n_locs cstrs =
+    let t = create n_locs in
+    List.iter
+      (fun c ->
+        match c with
+        | Flow ((base, d), rv) ->
+          let v = value_node t rv in
+          if d = 0 then add_edge t v base
+          else begin
+            let cell = chain t base d in
+            t.stores <- (cell, v) :: t.stores
+          end
+        | Bind_var (f, b) ->
+          add_edge t f b;
+          add_edge t b f
+        | Bind_deref (f, p, d) ->
+          let cell = chain t p d in
+          t.loads <- (cell, f) :: t.loads;
+          t.stores <- (cell, f) :: t.stores)
+      cstrs;
+    t.dirty <- true;
+    while t.dirty do
+      t.dirty <- false;
+      for s = 0 to t.n - 1 do
+        List.iter
+          (fun d ->
+            let u = Int_set.union t.pts.(d) t.pts.(s) in
+            if not (Int_set.equal u t.pts.(d)) then begin
+              t.pts.(d) <- u;
+              t.dirty <- true
+            end)
+          t.succs.(s)
+      done;
+      List.iter
+        (fun (p, x) -> Int_set.iter (fun l -> add_edge t l x) t.pts.(p))
+        t.loads;
+      List.iter
+        (fun (p, v) -> Int_set.iter (fun l -> add_edge t v l) t.pts.(p))
+        t.stores
+    done;
+    t
+
+  (* Cells [*^d p] may name, as a loc set. *)
+  let cells t p d =
+    let s = ref t.pts.(p) in
+    for _ = 2 to d do
+      s := Int_set.fold (fun l acc -> Int_set.union t.pts.(l) acc) !s Int_set.empty
+    done;
+    !s
+end
+
+(* ------------------------------------------------------------------ *)
+
+type solver = Sol_steens of Steens.t | Sol_ander of Ander.t
+
+type t = {
+  prog : Prog.t;
+  tier : tier;
+  n_heap : int;
+  heap_names : string array;
+  storage_v : Int_set.t array;
+      (* [storage_v.(v)]: variable cells [v]'s storage may actually be —
+         [v] itself, plus (for by-ref formals) every cell a binding may
+         hand it, transitively.  NOT an equivalence relation: two
+         formals bound to the same pair of cells stay distinct, so one
+         binding does not fuse its alternative targets. *)
+  storage_h : Int_set.t array;  (* likewise, heap cells ([new]-site ids) *)
+  steens_members : (int, int list) Hashtbl.t;  (* ECR root -> locs *)
+  solver : solver;
+  memo : (int * int, int list * int list) Hashtbl.t;
+}
+
+let tier t = t.tier
+let prog t = t.prog
+let n_heap t = t.n_heap
+let heap_name t k = t.heap_names.(k)
+
+(* Raw (pre-name-closure) cells of [*^d p], split vars / heap ids. *)
+let raw_cells t p d =
+  let nv = Prog.n_vars t.prog in
+  let split locs =
+    let vars = List.filter (fun l -> l < nv) locs in
+    let heap = List.filter_map (fun l -> if l >= nv then Some (l - nv) else None) locs in
+    (vars, heap)
+  in
+  match t.solver with
+  | Sol_ander a -> split (Int_set.elements (Ander.cells a p d))
+  | Sol_steens s ->
+    let rec follow c k =
+      if k = 0 then Some c
+      else
+        match Steens.pts_opt s c with
+        | None -> None
+        | Some c' -> follow c' (k - 1)
+    in
+    (match follow (Uf.find s.Steens.uf p) d with
+    | None -> ([], [])
+    | Some root ->
+      split (match Hashtbl.find_opt t.steens_members root with
+        | Some locs -> locs
+        | None -> []))
+
+let closed_cells t p d =
+  match Hashtbl.find_opt t.memo (p, d) with
+  | Some r -> r
+  | None ->
+    let vars, heap = raw_cells t p d in
+    (* Storage the dereference may actually strike: the raw cells'
+       own possible storage (a raw formal cell carries its binding
+       sources along). *)
+    let s =
+      List.fold_left
+        (fun acc v -> Int_set.union t.storage_v.(v) acc)
+        Int_set.empty vars
+    in
+    let sh =
+      List.fold_left
+        (fun acc v -> Int_set.union t.storage_h.(v) acc)
+        (Int_set.of_list heap) vars
+    in
+    (* A variable may name the dereferenced cell iff its possible
+       storage meets that of the raw cells. *)
+    let out = ref Int_set.empty in
+    for v = 0 to Prog.n_vars t.prog - 1 do
+      if
+        (not (Int_set.is_empty (Int_set.inter t.storage_v.(v) s)))
+        || not (Int_set.is_empty (Int_set.inter t.storage_h.(v) sh))
+      then out := Int_set.add v !out
+    done;
+    let r = (Int_set.elements !out, Int_set.elements sh) in
+    Hashtbl.replace t.memo (p, d) r;
+    r
+
+let deref_targets t p d = if Types.is_ptr (Prog.var t.prog p).Prog.vty then fst (closed_cells t p d) else []
+let deref_heap t p d = if Types.is_ptr (Prog.var t.prog p).Prog.vty then snd (closed_cells t p d) else []
+let deref t = deref_targets t
+
+let may_overlap t (p, d1) (q, d2) =
+  let v1, h1 = (deref_targets t p d1, deref_heap t p d1) in
+  let v2, h2 = (deref_targets t q d2, deref_heap t q d2) in
+  List.exists (fun x -> List.mem x v2) v1 || List.exists (fun k -> List.mem k h2) h1
+
+let points_to t p =
+  List.map (fun v -> `Var v) (deref_targets t p 1)
+  @ List.map (fun k -> `Heap k) (deref_heap t p 1)
+
+let size t =
+  let nv = Prog.n_vars t.prog in
+  let acc = ref 0 in
+  for vid = 0 to nv - 1 do
+    if Types.is_ptr (Prog.var t.prog vid).Prog.vty then
+      acc := !acc + List.length (points_to t vid)
+  done;
+  !acc
+
+let analyze ?(tier = Steensgaard) prog =
+  let cstrs, n_heap, heap_names = extract prog in
+  let nv = Prog.n_vars prog in
+  let n_locs = nv + n_heap in
+  (* Heap site [k] is loc [nv + k]; rewrite Rnew payloads to loc ids
+     for the solvers. *)
+  let heap_loc k = nv + k in
+  let cstrs_loc =
+    List.map
+      (function
+        | Flow (cell, Rnew k) -> Flow (cell, Raddr (heap_loc k))
+        | c -> c)
+      cstrs
+  in
+  let solver =
+    match tier with
+    | Steensgaard -> Sol_steens (Steens.solve n_locs cstrs_loc)
+    | Andersen -> Sol_ander (Ander.solve n_locs cstrs_loc)
+  in
+  let steens_members = Hashtbl.create 64 in
+  (match solver with
+  | Sol_steens s ->
+    for l = 0 to n_locs - 1 do
+      let r = Uf.find s.Steens.uf l in
+      Hashtbl.replace steens_members r
+        (l :: Option.value ~default:[] (Hashtbl.find_opt steens_members r))
+    done
+  | Sol_ander _ -> ());
+  let storage_v = Array.init nv Int_set.singleton in
+  let storage_h = Array.make nv Int_set.empty in
+  let t =
+    {
+      prog;
+      tier;
+      n_heap;
+      heap_names;
+      storage_v;
+      storage_h;
+      steens_members;
+      solver;
+      memo = Hashtbl.create 64;
+    }
+  in
+  (* Seed each by-ref formal's possible storage with its binding
+     sources: a [Bind_var] hands it the actual's cell, a [Bind_deref]
+     any raw cell of the dereference.  Crucially this stays a per-node
+     set, not an equivalence class — [call f(ref *r)] with
+     [pts(r) = {x, y}] must not fuse [x] with [y]. *)
+  List.iter
+    (function
+      | Bind_var (f, b) -> storage_v.(f) <- Int_set.add b storage_v.(f)
+      | Bind_deref (f, p, d) ->
+        let vars, heap = raw_cells t p d in
+        storage_v.(f) <-
+          List.fold_left (fun a v -> Int_set.add v a) storage_v.(f) vars;
+        storage_h.(f) <-
+          List.fold_left (fun a k -> Int_set.add k a) storage_h.(f) heap
+      | Flow _ -> ())
+    cstrs_loc;
+  (* Transitive closure: if [f] may be bound to [g]'s cell and [g] to
+     [x]'s, then [f] may be [x]'s storage. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to nv - 1 do
+      let u =
+        Int_set.fold
+          (fun s acc -> Int_set.union storage_v.(s) acc)
+          storage_v.(v) storage_v.(v)
+      and uh =
+        Int_set.fold
+          (fun s acc -> Int_set.union storage_h.(s) acc)
+          storage_v.(v) storage_h.(v)
+      in
+      if
+        (not (Int_set.equal u storage_v.(v)))
+        || not (Int_set.equal uh storage_h.(v))
+      then begin
+        storage_v.(v) <- u;
+        storage_h.(v) <- uh;
+        changed := true
+      end
+    done
+  done;
+  t
+
+let pp ppf t =
+  let prog = t.prog in
+  let nv = Prog.n_vars prog in
+  Format.fprintf ppf "@[<v>points-to (%s):@," (tier_name t.tier);
+  for vid = 0 to nv - 1 do
+    if Types.is_ptr (Prog.var prog vid).Prog.vty then begin
+      let cells = points_to t vid in
+      if cells <> [] then
+        Format.fprintf ppf "  %s -> {%s}@,"
+          (Ir.Pp.qualified_var_name prog vid)
+          (String.concat ", "
+             (List.map
+                (function
+                  | `Var v -> Ir.Pp.qualified_var_name prog v
+                  | `Heap k -> t.heap_names.(k))
+                cells))
+    end
+  done;
+  Format.fprintf ppf "@]"

@@ -36,7 +36,7 @@ let subst_atom info ~(site : Prog.site) ~caller_unstable (atom : Section.atom) :
             && not (Bitvec.get caller_unstable w)
           then Section.Exact (Section.Affine { var = w; offset })
           else Section.Star
-        | Prog.Arg_ref (Expr.Lindex _) -> Section.Star
+        | Prog.Arg_ref (Expr.Lindex _ | Expr.Lderef _) -> Section.Star
       end)
 
 let subst_section info ~site ~caller_unstable (s : Section.t) : Section.t =
@@ -67,6 +67,10 @@ let project_unstable info ~(site : Prog.site) ~arg_pos ~caller_unstable
           (Array.of_list (List.map (Lrsd.atomize ~unstable:caller_unstable) idx)) )
     | Section.Section _ ->
       invalid_arg "Bindfn.project: element binding with non-scalar formal section")
+  | Prog.Arg_ref (Expr.Lderef (base, _)) ->
+    (* A dereference actual binds scalar storage; no array section to
+       project.  Report the pointer base, itself a scalar (rank 0). *)
+    (base, Section.whole ~rank:0)
 
 let project info ~site ~arg_pos ~callee_section =
   let caller_unstable = Lrsd.unstable_vars info site.Prog.caller in

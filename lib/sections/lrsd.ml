@@ -34,16 +34,24 @@ let rec use_expr ~unstable ~add (e : Expr.t) =
     use_expr ~unstable ~add l;
     use_expr ~unstable ~add r
   | Expr.Unop (_, e) -> use_expr ~unstable ~add e
+  (* Pointers never name array cells (no pointer-to-array, no
+     address-of-element), so sections — an array refinement — see a
+     dereference only as a scalar use of the pointer; the scalar
+     cells it may name are covered by the bit-level analysis. *)
+  | Expr.Addr _ | Expr.New _ -> ()
+  | Expr.Deref (p, _) -> add p scalar_section
 
 let use_lvalue_indices ~unstable ~add (lv : Expr.lvalue) =
   match lv with
   | Expr.Lvar _ -> ()
   | Expr.Lindex (_, idx) -> List.iter (use_expr ~unstable ~add) idx
+  | Expr.Lderef (p, _) -> add p scalar_section
 
 let mod_lvalue ~unstable ~add (lv : Expr.lvalue) =
   match lv with
   | Expr.Lvar v -> add v scalar_section
   | Expr.Lindex (a, idx) -> add a (element_section ~unstable idx)
+  | Expr.Lderef _ -> ()
 
 let collect_stmts prog ~unstable ~want stmts =
   let map = Secmap.create prog in

@@ -208,7 +208,8 @@ let exec_edit t entry ~client ~program ~session ~script ~lint =
   let snap = Delta.snapshot (Engine.analysis engine) in
   let lint_before = if lint then Some (Engine.lint engine) else None in
   match Incremental.Script.parse (Engine.prog engine) script with
-  | Error msg -> Error ("bad edit script: " ^ msg)
+  | Error e ->
+    Error ("bad edit script: " ^ Incremental.Script.error_to_string e)
   | Ok steps ->
     let rendered =
       List.rev

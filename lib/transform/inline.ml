@@ -13,19 +13,25 @@ let inlinable prog sid =
     && Array.for_all
          (fun arg ->
            match arg with
-           | Prog.Arg_ref (Expr.Lindex _) -> false
+           | Prog.Arg_ref (Expr.Lindex _ | Expr.Lderef _) -> false
            | Prog.Arg_ref (Expr.Lvar _) | Prog.Arg_value _ -> true)
          s.Prog.args
     && List.for_all
-         (fun l -> not (Ir.Types.is_array (Prog.var prog l).Prog.vty))
+         (fun l ->
+           let ty = (Prog.var prog l).Prog.vty in
+           (* No zero literal exists for pointers, so pointer locals
+              cannot be re-initialised at the inline point. *)
+           not (Ir.Types.is_array ty || Ir.Types.is_ptr ty))
          callee.Prog.locals
   end
 
 (* Substitute variable ids through expressions and statements. *)
 let rec subst_expr sub (e : Expr.t) =
   match e with
-  | Expr.Int _ | Expr.Bool _ -> e
+  | Expr.Int _ | Expr.Bool _ | Expr.New _ -> e
   | Expr.Var v -> Expr.Var (sub v)
+  | Expr.Addr v -> Expr.Addr (sub v)
+  | Expr.Deref (v, d) -> Expr.Deref (sub v, d)
   | Expr.Index (a, idx) -> Expr.Index (sub a, List.map (subst_expr sub) idx)
   | Expr.Binop (op, l, r) -> Expr.Binop (op, subst_expr sub l, subst_expr sub r)
   | Expr.Unop (op, e) -> Expr.Unop (op, subst_expr sub e)
@@ -34,6 +40,7 @@ let subst_lvalue sub (lv : Expr.lvalue) =
   match lv with
   | Expr.Lvar v -> Expr.Lvar (sub v)
   | Expr.Lindex (a, idx) -> Expr.Lindex (sub a, List.map (subst_expr sub) idx)
+  | Expr.Lderef (v, d) -> Expr.Lderef (sub v, d)
 
 let site prog ~sid =
   if not (inlinable prog sid) then None
@@ -71,7 +78,7 @@ let site prog ~sid =
           let fresh = fresh_local ~of_var:f in
           Hashtbl.replace sub_table f fresh;
           init_stmts := Stmt.Assign (Expr.Lvar fresh, e) :: !init_stmts
-        | Prog.Arg_ref (Expr.Lindex _) -> assert false)
+        | Prog.Arg_ref (Expr.Lindex _ | Expr.Lderef _) -> assert false)
       s.Prog.args;
     (* Locals: fresh, zero-initialised at the inline point (a callee
        activation always starts them at 0; the inlined copy may execute
@@ -84,7 +91,7 @@ let site prog ~sid =
           match (Prog.var prog l).Prog.vty with
           | Ir.Types.Bool -> Expr.Bool false
           | Ir.Types.Int -> Expr.Int 0
-          | Ir.Types.Array _ -> assert false
+          | Ir.Types.Array _ | Ir.Types.Ptr _ -> assert false
         in
         init_stmts := Stmt.Assign (Expr.Lvar fresh, zero) :: !init_stmts)
       callee.Prog.locals;

@@ -107,7 +107,11 @@ let retarget_ok prog site callee =
          | Prog.Formal { mode = Prog.By_ref; _ }, Prog.Arg_ref lv -> (
            match lv with
            | Expr.Lvar v -> (Prog.var prog v).Prog.vty = f.Prog.vty
-           | Expr.Lindex _ -> f.Prog.vty = Ir.Types.Int)
+           | Expr.Lindex _ -> f.Prog.vty = Ir.Types.Int
+           | Expr.Lderef (p, d) -> (
+             match Ir.Types.deref d (Prog.var prog p).Prog.vty with
+             | Some t -> Ir.Types.equal t f.Prog.vty
+             | None -> false))
          | _ -> false)
        p.Prog.formals site.Prog.args
 

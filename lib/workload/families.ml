@@ -125,6 +125,86 @@ begin
 end.
 |}
 
+(* --- pointer families (feed the points-to tiers) ------------------- *)
+
+let ptr_chain n =
+  if n < 1 then invalid_arg "Families.ptr_chain";
+  let procs = chain_procs n ~last_body:"x := 1;" ~mid_extra:"" in
+  compile
+    (Printf.sprintf
+       "program main;\n\
+        var g0 : int;\n\
+        var p : ptr of int;\n\
+        %s\n\
+        begin\n\
+       \  p := &g0;\n\
+       \  call p1( *p);\n\
+        end.\n"
+       (String.concat "\n" procs))
+
+let ptr_heap n =
+  if n < 1 then invalid_arg "Families.ptr_heap";
+  let stmts =
+    List.init n (fun i ->
+        Printf.sprintf
+          "  p := new int;\n  *p := %d;\n  call bump( *p);\n  g0 := g0 + *p;"
+          i)
+  in
+  compile
+    (Printf.sprintf
+       "program main;\n\
+        var g0 : int;\n\
+        var p : ptr of int;\n\
+        procedure bump(var a : int);\n\
+        begin\n\
+       \  a := a + 1;\n\
+        end;\n\
+        begin\n\
+        %s\n\
+        end.\n"
+       (String.concat "\n" stmts))
+
+let ptr_funnel n =
+  if n < 2 then invalid_arg "Families.ptr_funnel";
+  let decls =
+    Printf.sprintf "var %s : int;\nvar %s : ptr of int;\nvar r : ptr of int;"
+      (String.concat ", " (List.init n (Printf.sprintf "x%d")))
+      (String.concat ", " (List.init n (Printf.sprintf "p%d")))
+  in
+  let inits =
+    List.init n (fun i -> Printf.sprintf "  p%d := &x%d;\n  r := p%d;" i i i)
+  in
+  (* Two callees, sites alternating between them: under unification the
+     funnel [r] merges every [x_i], so each formal aliases all of them
+     (2n pairs); inclusion keeps the per-site target exact (n pairs). *)
+  let calls =
+    List.init n (fun i ->
+        Printf.sprintf "  call touch_%c( *p%d);"
+          (if i mod 2 = 0 then 'a' else 'b')
+          i)
+  in
+  compile
+    (Printf.sprintf
+       "program main;\n\
+        var g0 : int;\n\
+        %s\n\
+        procedure touch_a(var a : int);\n\
+        begin\n\
+       \  a := a + 1;\n\
+        end;\n\
+        procedure touch_b(var b : int);\n\
+        begin\n\
+       \  b := b + 1;\n\
+        end;\n\
+        begin\n\
+        %s\n\
+        %s\n\
+       \  g0 := *r;\n\
+        end.\n"
+       decls
+       (String.concat "\n" inits)
+       (String.concat "\n" calls))
+
 let fortran_style ~seed ~n =
   let rng = Random.State.make [| seed; n; 0x0f |] in
   Gen.generate rng

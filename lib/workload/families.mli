@@ -34,6 +34,30 @@ val nested_textbook : unit -> Ir.Prog.t
     exercises the nesting extension and multi-level [findgmod].
     Procedure levels reach 3. *)
 
+val ptr_chain : int -> Ir.Prog.t
+(** {!ref_chain} reached through a pointer: main aims [p] at [g0] and
+    passes [*p] by reference into the chain.  Both tiers resolve the
+    dereference actual to exactly [{g0}], so [MOD(main's site)] must
+    equal the {!ref_chain} answer — a pointer program whose summary
+    sets are predictable by hand. *)
+
+val ptr_heap : int -> Ir.Prog.t
+(** [n] heap allocations through one pointer, each written via [*p] and
+    passed as a [*p] reference actual.  Exercises heap summary
+    locations: the dereference names no variable, only [new] sites, so
+    §5 heap/heap seeds and the [Arg_ref (Lderef _)] projection paths
+    fire without any variable target. *)
+
+val ptr_funnel : int -> Ir.Prog.t
+(** The tier-separating family: [p_i := &x_i] for [n] distinct
+    variables, all funnelled through one pointer [r := p_i], with the
+    [*p_i] call actuals alternating between two callees.  Steensgaard's
+    unification merges every [x_i] into one class, so each callee's
+    formal aliases all [n] variables ([2n] §5 alias pairs); Andersen
+    keeps [pts(p_i) = {x_i}], so each formal aliases only the variables
+    its own sites bind ([n] pairs).  Any test that wants Andersen to be
+    {e strictly} more precise uses this shape. *)
+
 val fortran_style : seed:int -> n:int -> Ir.Prog.t
 (** {!Gen.generate} with defaults scaled to [n] procedures, flat, for
     scaling experiments. *)

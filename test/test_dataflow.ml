@@ -349,7 +349,8 @@ let project_entry_live prog (site : P.site) live =
         if proc = site.P.callee && mode = P.By_ref then (
           match site.P.args.(index) with
           | P.Arg_ref (Ir.Expr.Lvar a) -> Bitvec.set out a
-          | P.Arg_ref (Ir.Expr.Lindex (a, _)) -> Bitvec.set out a
+          | P.Arg_ref (Ir.Expr.Lindex (a, _) | Ir.Expr.Lderef (a, _)) ->
+            Bitvec.set out a
           | P.Arg_value _ -> ()))
     live;
   out

@@ -158,6 +158,16 @@ let alias_link_ok t (l : E.alias_link) =
   | P.Ainherited { parent } ->
     (Ir.Prog.proc prog l.E.aproc).Ir.Prog.parent = Some parent
     && Core.Alias.may_alias t.A.alias ~proc:parent x y
+  | P.Apointsto { site; pos } ->
+    (* A points-to-introduced pair: the flagged position is a
+       dereference actual of the right site. *)
+    let s = Ir.Prog.site prog site in
+    l.E.aproc = s.Ir.Prog.callee
+    && pos < Array.length s.Ir.Prog.args
+    &&
+    (match s.Ir.Prog.args.(pos) with
+    | Ir.Prog.Arg_ref (Ir.Expr.Lderef _) -> true
+    | _ -> false)
 
 let check_alias_fact t ~proc x y =
   match E.alias_links t ~proc x y with
@@ -178,6 +188,7 @@ let check_alias_fact t ~proc x y =
             | P.Apropagated { site; from_pair = fx, fy } ->
               Printf.sprintf "Apropagated s%d <%d,%d>" site fx fy
             | P.Ainherited { parent } -> Printf.sprintf "Ainherited p%d" parent
+            | P.Apointsto { site; pos } -> Printf.sprintf "Apointsto s%d %d" site pos
           in
           QCheck.Test.fail_reportf "alias link <%d,%d> in p%d (%s) does not replay" lx
             ly l.E.aproc r)

@@ -24,6 +24,9 @@ let rec sexp (e : A.expr) =
       (sexp r)
   | A.Unop (E.Neg, e) -> Printf.sprintf "(- %s)" (sexp e)
   | A.Unop (E.Not, e) -> Printf.sprintf "(not %s)" (sexp e)
+  | A.Addr id -> Printf.sprintf "(& %s)" id.A.name
+  | A.Deref (d, id) -> Printf.sprintf "(%s %s)" (String.make d '*') id.A.name
+  | A.New (_, _) -> "(new)"
 
 let check_expr src expected =
   Alcotest.(check string) src expected (sexp (parse_expr src))

@@ -1,0 +1,194 @@
+(* Points-to property tests: Andersen refines Steensgaard on every
+   generated pointer program, both tiers are sound against the
+   interpreter's dynamic dereference/alias oracle, and pointer-free
+   programs analyze bit-identically with the pass on or off. *)
+
+module P = Ir.Prog
+module A = Core.Analyze
+
+(* A seeded random pointer program.  The prologue aims every pointer at
+   a distinct global, so each later statement is valid whatever prefix
+   the generator picked: pointer assignments only replace one valid
+   pointer value with another ([&g], a copy, [new int]), so no
+   dereference ever sees an uninitialized cell.  Note the space after
+   the paren in deref call actuals — paren-star opens a MiniProc
+   comment (LANGUAGE.md). *)
+let ptr_src_of_seed seed =
+  let st = Random.State.make [| seed; 0x9e37 |] in
+  let n_stmts = 6 + Random.State.int st 20 in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "program gen%d;\n" seed;
+  add "var g0, g1, g2, g3 : int;\n";
+  add "var p0, p1, p2, p3 : ptr of int;\n";
+  add "var pp : ptr of ptr of int;\n";
+  add "\nprocedure bump(var c : int);\nbegin\n  c := c + 1;\nend;\n";
+  add "\nprocedure mix(var c : int; var d : int);\nbegin\n  c := c + d;\nend;\n";
+  add "\nbegin\n";
+  for i = 0 to 3 do
+    add "  p%d := &g%d;\n" i i
+  done;
+  add "  pp := &p0;\n";
+  for _ = 1 to n_stmts do
+    let p = Random.State.int st 4 and g = Random.State.int st 4 in
+    match Random.State.int st 10 with
+    | 0 -> add "  p%d := &g%d;\n" p g
+    | 1 -> add "  p%d := p%d;\n" p (Random.State.int st 4)
+    | 2 -> add "  p%d := new int;\n" p
+    | 3 -> add "  *p%d := %d;\n" p (Random.State.int st 100)
+    | 4 -> add "  g%d := *p%d;\n" g p
+    | 5 -> add "  call bump( *p%d);\n" p
+    | 6 -> add "  call mix( *p%d, g%d);\n" p g
+    | 7 -> add "  pp := &p%d;\n" p
+    | 8 -> add "  **pp := %d;\n" (Random.State.int st 100)
+    | _ -> add "  g%d := g%d + %d;\n" g g (Random.State.int st 10)
+  done;
+  add "  write g0 + g1 + g2 + g3;\nend.\n";
+  Buffer.contents buf
+
+let ptr_prog_of_seed seed = Helpers.compile (ptr_src_of_seed seed)
+
+let arb_ptr_prog =
+  QCheck.make
+    ~print:(fun seed ->
+      Printf.sprintf "pointer seed %d:\n%s" seed (ptr_src_of_seed seed))
+    QCheck.Gen.(0 -- 10_000)
+
+let subset l1 l2 = List.for_all (fun x -> List.mem x l2) l1
+
+let total_pairs t prog =
+  let n = ref 0 in
+  for pid = 0 to P.n_procs prog - 1 do
+    n := !n + List.length (Core.Alias.pairs t.A.alias pid)
+  done;
+  !n
+
+(* Andersen's solution is pointwise contained in Steensgaard's: raw
+   points-to, every dereference projection, and the §5 pairs the
+   projections induce. *)
+let prop_andersen_refines seed =
+  let prog = ptr_prog_of_seed seed in
+  let s = Ptsto.analyze ~tier:Ptsto.Steensgaard prog in
+  let a = Ptsto.analyze ~tier:Ptsto.Andersen prog in
+  let ok = ref (Ptsto.size a <= Ptsto.size s) in
+  for v = 0 to P.n_vars prog - 1 do
+    for d = 1 to 2 do
+      if
+        (not (subset (Ptsto.deref_targets a v d) (Ptsto.deref_targets s v d)))
+        || not (subset (Ptsto.deref_heap a v d) (Ptsto.deref_heap s v d))
+      then ok := false
+    done
+  done;
+  let ts = A.run ~ptsto:Ptsto.Steensgaard prog in
+  let ta = A.run ~ptsto:Ptsto.Andersen prog in
+  for pid = 0 to P.n_procs prog - 1 do
+    if
+      not
+        (subset
+           (Core.Alias.pairs ta.A.alias pid)
+           (Core.Alias.pairs ts.A.alias pid))
+    then ok := false
+  done;
+  !ok
+
+(* The interpreter as oracle: every cell a dereference dynamically
+   reached is statically predicted, every dynamic entry alias is a
+   computed §5 pair. *)
+let oracle_sound tier seed =
+  let prog = ptr_prog_of_seed seed in
+  let t = A.run ~ptsto:tier prog in
+  match t.A.ptsto with
+  | None -> false (* the generator always emits pointers *)
+  | Some pt ->
+    let o = Interp.run prog in
+    List.for_all
+      (fun (p, d, owner) ->
+        if owner >= 0 then List.mem owner (Ptsto.deref_targets pt p d)
+        else Ptsto.deref_heap pt p d <> [])
+      o.Interp.ptr_obs
+    && List.for_all
+         (fun (pid, x, y) -> Core.Alias.may_alias t.A.alias ~proc:pid x y)
+         o.Interp.alias_obs
+
+(* Pointer-free programs never run the solver and are bit-identical
+   under either tier flag. *)
+let prop_pointer_free_identical seed =
+  let prog = Helpers.flat_of_seed seed in
+  (not (Ptsto.has_pointers prog))
+  &&
+  let a = A.run prog in
+  let b = A.run ~ptsto:Ptsto.Andersen prog in
+  a.A.ptsto = None && b.A.ptsto = None
+  && Helpers.gmod_arrays_equal a.A.gmod b.A.gmod
+  && Helpers.gmod_arrays_equal a.A.guse b.A.guse
+  &&
+  let same = ref true in
+  for pid = 0 to P.n_procs prog - 1 do
+    if Core.Alias.pairs a.A.alias pid <> Core.Alias.pairs b.A.alias pid then
+      same := false
+  done;
+  !same
+
+(* The acceptance separation: on the funnel family Andersen keeps the
+   per-pointer targets apart that Steensgaard's unification merges, so
+   it proves strictly fewer §5 pairs. *)
+let test_funnel_separation () =
+  let prog = Workload.Families.ptr_funnel 6 in
+  let ns = total_pairs (A.run ~ptsto:Ptsto.Steensgaard prog) prog in
+  let na = total_pairs (A.run ~ptsto:Ptsto.Andersen prog) prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "andersen (%d) < steensgaard (%d)" na ns)
+    true (na < ns)
+
+let test_families_sound () =
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun tier ->
+          let t = A.run ~ptsto:tier prog in
+          let pt = Option.get t.A.ptsto in
+          let o = Interp.run prog in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s ptr_obs" name (Ptsto.tier_name tier))
+            true
+            (List.for_all
+               (fun (p, d, owner) ->
+                 if owner >= 0 then List.mem owner (Ptsto.deref_targets pt p d)
+                 else Ptsto.deref_heap pt p d <> [])
+               o.Interp.ptr_obs);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s alias_obs" name (Ptsto.tier_name tier))
+            true
+            (List.for_all
+               (fun (pid, x, y) ->
+                 Core.Alias.may_alias t.A.alias ~proc:pid x y)
+               o.Interp.alias_obs))
+        [ Ptsto.Steensgaard; Ptsto.Andersen ])
+    [
+      ("ptr_chain", Workload.Families.ptr_chain 8);
+      ("ptr_heap", Workload.Families.ptr_heap 8);
+      ("ptr_funnel", Workload.Families.ptr_funnel 8);
+    ]
+
+let () =
+  Helpers.run "ptsto"
+    [
+      ( "properties",
+        [
+          Helpers.qtest "andersen ⊆ steensgaard" arb_ptr_prog
+            prop_andersen_refines;
+          Helpers.qtest "steensgaard sound vs interpreter" arb_ptr_prog
+            (oracle_sound Ptsto.Steensgaard);
+          Helpers.qtest "andersen sound vs interpreter" arb_ptr_prog
+            (oracle_sound Ptsto.Andersen);
+          Helpers.qtest "pointer-free programs identical" Helpers.arb_flat_prog
+            prop_pointer_free_identical;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "funnel: andersen strictly refines" `Quick
+            test_funnel_separation;
+          Alcotest.test_case "pointer families sound, both tiers" `Quick
+            test_families_sound;
+        ] );
+    ]

@@ -226,7 +226,7 @@ end;
 begin
   call f(x + 1);
 end.|}
-    "must be a variable or an array element";
+    "must be a variable, an array element, or a pointer dereference";
   errors_contain
     {|program m;
 var b : bool;
