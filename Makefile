@@ -8,6 +8,7 @@ all:
 	$(MAKE) --no-print-directory obs-smoke
 	$(MAKE) --no-print-directory serve-smoke
 	$(MAKE) --no-print-directory ptsto-smoke
+	$(MAKE) --no-print-directory must-smoke
 	$(MAKE) --no-print-directory bench-check
 
 test:
@@ -164,14 +165,16 @@ serve-smoke:
 	  '{"id":7,"op":"query","program":"demo","what":"purity","proc":"scale"}' \
 	  '{"id":8,"op":"query","program":"demo","what":"mod","site":0}' \
 	  '{"id":9,"op":"query","program":"demo","what":"use","site":0}' \
-	  '{"id":10,"op":"edit","program":"demo","session":"s","script":"add-assign logit total = 3","lint":true}' \
-	  '{"id":11,"op":"query","program":"demo","session":"s","what":"lint-delta"}' \
-	  '{"id":12,"op":"query","program":"demo","session":"s","what":"source"}' \
-	  '{"id":13,"op":"explain","program":"demo","fact":"gmod:logit:unread"}' \
-	  '{"id":14,"op":"explain","program":"demo","all":true}' \
-	  '{"id":15,"op":"stats"}' \
-	  '{"id":16,"op":"unload","program":"tiny"}' \
-	  '{"id":17,"op":"shutdown"}' \
+	  '{"id":10,"op":"query","program":"demo","what":"must","proc":"tally"}' \
+	  '{"id":11,"op":"edit","program":"demo","session":"s","script":"add-assign logit total = 3","lint":true}' \
+	  '{"id":12,"op":"query","program":"demo","session":"s","what":"lint-delta"}' \
+	  '{"id":13,"op":"query","program":"demo","session":"s","what":"source"}' \
+	  '{"id":14,"op":"explain","program":"demo","fact":"gmod:logit:unread"}' \
+	  '{"id":15,"op":"explain","program":"demo","fact":"must:logit:unread"}' \
+	  '{"id":16,"op":"explain","program":"demo","all":true}' \
+	  '{"id":17,"op":"stats"}' \
+	  '{"id":18,"op":"unload","program":"tiny"}' \
+	  '{"id":19,"op":"shutdown"}' \
 	| ./_build/default/bin/sidefx.exe serve --load demo=programs/lint_demo.mp \
 	  > $$out || { echo "serve-smoke: server exited non-zero"; exit 1; }; \
 	n=0; while IFS= read -r line; do \
@@ -180,13 +183,13 @@ serve-smoke:
 	    | ./_build/default/bin/sidefx.exe json-validate \
 	    || { echo "serve-smoke: response $$n is not valid JSON"; exit 1; }; \
 	done < $$out; \
-	[ $$n -eq 17 ] \
-	  || { echo "serve-smoke: expected 17 responses, got $$n"; cat $$out; exit 1; }; \
+	[ $$n -eq 19 ] \
+	  || { echo "serve-smoke: expected 19 responses, got $$n"; cat $$out; exit 1; }; \
 	if grep -q '"ok":false' $$out; then \
 	  echo "serve-smoke: error response:"; grep '"ok":false' $$out; exit 1; \
 	fi; \
 	rm -f $$out; \
-	echo "serve-smoke: 17 responses, all valid JSON, no errors"
+	echo "serve-smoke: 19 responses, all valid JSON, no errors"
 
 # Smoke-test the points-to surface: both tiers on the pointer demo
 # (raw solution + JSON validated by the repo's own parser + the
@@ -216,6 +219,52 @@ ptsto-smoke:
 	  | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
 	echo "ptsto-smoke: ok"
 
+# Smoke-test the must-modify surface end to end on the MUSTMOD demo:
+# the report (human + JSON, jobs-4 byte-identical), both MUSTMOD-fed
+# lint rules actually firing (SFX012 use-before-init, SFX013
+# redundant-store), a witnessed must fact plus the --all completeness
+# contract, and `sidefx must --json` validating on every sample
+# program.  lint exits 1 when it has findings, so only codes >= 2
+# fail there.
+must-smoke:
+	dune build bin/sidefx.exe
+	@echo "== must programs/mustmod_demo.mp"; \
+	./_build/default/bin/sidefx.exe must programs/mustmod_demo.mp \
+	  > must_smoke.tmp || exit 1; \
+	cat must_smoke.tmp; \
+	./_build/default/bin/sidefx.exe must programs/mustmod_demo.mp --jobs 4 \
+	  > must_smoke4.tmp || exit 1; \
+	cmp must_smoke.tmp must_smoke4.tmp || exit 1; \
+	rm -f must_smoke.tmp must_smoke4.tmp
+	@echo "== lint SFX012/SFX013"; \
+	./_build/default/bin/sidefx.exe lint programs/mustmod_demo.mp \
+	  --rules use-before-init,redundant-store > must_lint.tmp; \
+	[ $$? -le 1 ] || exit 1; \
+	cat must_lint.tmp; \
+	grep -q 'SFX012' must_lint.tmp \
+	  || { echo "must-smoke: SFX012 did not fire"; exit 1; }; \
+	grep -q 'SFX013' must_lint.tmp \
+	  || { echo "must-smoke: SFX013 did not fire"; exit 1; }; \
+	rm -f must_lint.tmp
+	@for code in SFX012 SFX013; do \
+	  echo "== diag:$$code"; \
+	  ./_build/default/bin/sidefx.exe explain programs/mustmod_demo.mp \
+	    --fact diag:$$code || exit 1; \
+	done
+	@echo "== explain must:prime:slot"; \
+	./_build/default/bin/sidefx.exe explain programs/mustmod_demo.mp \
+	  --fact must:prime:slot || exit 1; \
+	./_build/default/bin/sidefx.exe explain programs/mustmod_demo.mp \
+	  --fact must:prime:slot --json \
+	  | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	./_build/default/bin/sidefx.exe explain programs/mustmod_demo.mp --all \
+	  || exit 1
+	@for f in examples/*.mp programs/*.mp; do \
+	  echo "== must --json $$f"; \
+	  ./_build/default/bin/sidefx.exe must $$f --json \
+	    | ./_build/default/bin/sidefx.exe json-validate || exit 1; \
+	done
+
 # Pinned perf-regression gate (reduced config, part of `make all`):
 # word-ops growth per size doubling and jobs-4 overhead/identity.
 bench-check:
@@ -239,4 +288,4 @@ examples:
 	dune exec examples/optimizer.exe
 	dune exec examples/nested_pascal.exe
 
-.PHONY: all test test-force bench bench-quick bench-check bench-parallel bench-dataflow bench-serve bench-ptsto profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke serve-smoke ptsto-smoke examples
+.PHONY: all test test-force bench bench-quick bench-check bench-parallel bench-dataflow bench-serve bench-ptsto profile-smoke incremental-smoke parallel-smoke lint-smoke dataflow-smoke obs-smoke serve-smoke ptsto-smoke must-smoke examples

@@ -94,6 +94,29 @@ let gmod_word_ops build n =
   ignore (Core.Gmod.solve info call ~imod_plus);
   Obs.Metric.value_since ~since:snap word_ops_metric
 
+(* The must-side dual of the ladder above: MUSTMOD alone, after the
+   may-side inputs it consumes are in hand.  On [fortran_fixed]'s
+   bounded summaries the pass must stay in the linear regime. *)
+let mustmod_word_ops build n =
+  let prog = build ~seed:7 ~n in
+  let a = A.run prog in
+  let snap = Obs.Metric.snapshot () in
+  ignore (Core.Mustmod.solve a.A.info a.A.call ~alias:a.A.alias ~gmod:a.A.gmod);
+  Obs.Metric.value_since ~since:snap word_ops_metric
+
+let mustmod_ladder =
+  parse_ladder "SIDEFX_BENCH_LADDER_MUST" [ 256; 512; 1024; 2048 ]
+
+(* MUSTMOD rounds per procedure wobble with the random call graph's
+   SCC shapes (the chaotic iteration of a giant component converges
+   through more intermediate values as its diameter grows), so
+   individual doubling steps are noisy.  The gate is therefore the
+   growth exponent fitted across the whole ladder — 1.0 is linear,
+   2.0 is quadratic; measured ~1.3 with the compact frames — plus a
+   loose per-step cap that catches a localized cliff. *)
+let mustmod_exponent_max = 1.6
+let mustmod_step_max = 4.0
+
 let () =
   Printf.printf "== bench-check: pinned perf regressions (reduced config) ==\n";
   (* 1. word-ops growth ladders *)
@@ -116,6 +139,39 @@ let () =
       in
       ratios counts)
     word_ops_ladders;
+  (* 1b. MUSTMOD growth-exponent gate on the linear regime *)
+  let counts =
+    List.map
+      (fun n -> (n, mustmod_word_ops Workload.Families.fortran_fixed n))
+      mustmod_ladder
+  in
+  List.iter
+    (fun (n, w) ->
+      Printf.printf "   fortran_fixed mustmod_word_ops n=%-5d %d\n%!" n w)
+    counts;
+  let rec must_steps = function
+    | (n0, w0) :: ((n1, w1) :: _ as rest) ->
+      let r = float_of_int w1 /. float_of_int (max 1 w0) in
+      check
+        (Printf.sprintf "mustmod word-ops step %d->%d" n0 n1)
+        (r <= mustmod_step_max)
+        (Printf.sprintf "%.2fx per doubling (cliff cap %.2f)" r mustmod_step_max);
+      must_steps rest
+    | _ -> ()
+  in
+  must_steps counts;
+  (match (counts, List.rev counts) with
+  | (n0, w0) :: _, (n1, w1) :: _ when n1 > n0 ->
+    let e =
+      log (float_of_int w1 /. float_of_int (max 1 w0))
+      /. log (float_of_int n1 /. float_of_int n0)
+    in
+    check
+      (Printf.sprintf "mustmod word-ops growth exponent %d..%d" n0 n1)
+      (e <= mustmod_exponent_max)
+      (Printf.sprintf "n^%.2f fitted over the ladder (max n^%.2f)" e
+         mustmod_exponent_max)
+  | _ -> ());
   (* 2. jobs-4 overhead + bit-identity on the 2048-proc families *)
   Printf.printf "   speedup floor %.2f (recommended_domain_count %d)\n%!"
     speedup_floor
@@ -133,6 +189,8 @@ let () =
           let identical =
             Array.for_all2 Bitvec.equal seq.A.gmod par.A.gmod
             && Array.for_all2 Bitvec.equal seq.A.guse par.A.guse
+            && Array.for_all2 Bitvec.equal seq.A.mustmod.Core.Mustmod.mustmod
+                 par.A.mustmod.Core.Mustmod.mustmod
             && Array.for_all2 Bool.equal seq.A.rmod.Core.Rmod.rmod
                  par.A.rmod.Core.Rmod.rmod
           in

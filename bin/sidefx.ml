@@ -218,6 +218,57 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Interprocedural MOD/USE analysis of a MiniProc file.")
     Term.(const run $ file_arg $ flat $ trace_arg $ json_arg $ jobs_arg $ ptsto_arg)
 
+(* --- must --- *)
+
+let must_cmd =
+  let run file trace json jobs ptsto =
+    with_trace trace @@ fun () ->
+    let prog = load file in
+    let t =
+      Par.Pool.with_pool ~jobs (fun pool -> Core.Analyze.run ?pool ~ptsto prog)
+    in
+    let m = t.Core.Analyze.mustmod in
+    if json then begin
+      let procedures =
+        let acc = ref [] in
+        Ir.Prog.iter_procs prog (fun pr ->
+            let pid = pr.Ir.Prog.pid in
+            acc :=
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.String pr.Ir.Prog.pname);
+                  ("mustmod", var_set_json prog (Core.Mustmod.mustmod_of m pid));
+                  ("intra", var_set_json prog (Core.Mustmod.intra_of m pid));
+                  ("demoted", var_set_json prog (Core.Mustmod.demoted_of m pid));
+                  ("gmod", var_set_json prog t.Core.Analyze.gmod.(pid));
+                ]
+              :: !acc);
+        Obs.Json.List (List.rev !acc)
+      in
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("program", Obs.Json.String prog.Ir.Prog.name);
+                ("rounds", Obs.Json.Int m.Core.Mustmod.rounds);
+                ( "subset_of_gmod",
+                  Obs.Json.Bool
+                    (Core.Mustmod.check_subset m ~gmod:t.Core.Analyze.gmod) );
+                ("procedures", procedures);
+              ]))
+    end
+    else Format.printf "%a@." Core.Mustmod.pp m
+  in
+  Cmd.v
+    (Cmd.info "must"
+       ~doc:
+         "Interprocedural MUSTMOD summaries: the variables each procedure \
+          definitely writes on every terminating run — intersection over \
+          branch paths, propagated bottom-up over the call condensation, \
+          alias-demoted, capped by GMOD.  These are the kill sets that make \
+          call sites strongly transparent to the dataflow solvers.")
+    Term.(const run $ file_arg $ trace_arg $ json_arg $ jobs_arg $ ptsto_arg)
+
 (* --- lint --- *)
 
 let lint_cmd =
@@ -295,7 +346,8 @@ let lint_cmd =
             "Comma-separated subset of rules to run (default: all).  Known \
              rules: unused-formal, write-only-global, pure-proc, \
              alias-inflation, aliased-actuals, loop-parallel, dead-store, \
-             rmw-hint, undereferenced-ptr, ptr-formal-store.")
+             rmw-hint, undereferenced-ptr, ptr-formal-store, \
+             use-before-init, redundant-store.")
   in
   let threshold_arg =
     Arg.(
@@ -320,12 +372,14 @@ let lint_cmd =
 
 (* Fact grammar (the --fact argument):
      gmod:P:V   why V ∈ GMOD(P)        guse:P:V   why V ∈ GUSE(P)
+     must:P:V   why V ∈ MUSTMOD(P)
      rmod:P:F   why formal F of P is in RMOD      ruse:P:F   ... RUSE
      alias:P:X:Y   why <X, Y> ∈ ALIAS(P)
      diag:CODE[:FILTER]   witnesses of the lint findings with that code
                           (FILTER substring-matches scope or message) *)
 type fact =
   | Fglobal of [ `Mod | `Use ] * string * string
+  | Fmust of string * string
   | Fref of [ `Mod | `Use ] * string * string
   | Falias of string * string * string
   | Fdiag of string * string option
@@ -334,6 +388,7 @@ let parse_fact s =
   match String.split_on_char ':' s with
   | [ "gmod"; p; v ] -> Ok (Fglobal (`Mod, p, v))
   | [ "guse"; p; v ] -> Ok (Fglobal (`Use, p, v))
+  | [ "must"; p; v ] -> Ok (Fmust (p, v))
   | [ "rmod"; p; f ] -> Ok (Fref (`Mod, p, f))
   | [ "ruse"; p; f ] -> Ok (Fref (`Use, p, f))
   | [ "alias"; p; x; y ] -> Ok (Falias (p, x, y))
@@ -342,8 +397,8 @@ let parse_fact s =
   | _ ->
     Error
       (Printf.sprintf
-         "unrecognised fact '%s' (expected gmod:P:V | guse:P:V | rmod:P:F | \
-          ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"
+         "unrecognised fact '%s' (expected gmod:P:V | guse:P:V | must:P:V | \
+          rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"
          s)
 
 let explain_cmd =
@@ -401,6 +456,13 @@ let explain_cmd =
               ("gmod", `Mod, t.Core.Analyze.gmod);
               ("guse", `Use, t.Core.Analyze.guse);
             ];
+          List.iter
+            (fun vid ->
+              push
+                (Printf.sprintf "must:%s:%s" pn (Ir.Pp.var_name prog vid))
+                (Core.Explain.explain_must t ~locs ~proc:pid ~var:vid))
+            (Bitvec.to_list
+               (Core.Mustmod.mustmod_of t.Core.Analyze.mustmod pid));
           List.iter
             (fun (x, y) ->
               push
@@ -501,6 +563,10 @@ let explain_cmd =
             let pid = resolve_proc p in
             let vid = resolve_var ~proc:pid v in
             Core.Explain.explain_gmod t ~locs ~side ~proc:pid ~var:vid
+          | Fmust (p, v) ->
+            let pid = resolve_proc p in
+            let vid = resolve_var ~proc:pid v in
+            Core.Explain.explain_must t ~locs ~proc:pid ~var:vid
           | Fref (side, p, f) ->
             let pid = resolve_proc p in
             let vid = resolve_var ~proc:pid f in
@@ -538,8 +604,9 @@ let explain_cmd =
       & info [ "fact" ] ~docv:"FACT"
           ~doc:
             "The fact to explain: $(b,gmod:P:V) / $(b,guse:P:V) (why variable \
-             V is in GMOD/GUSE of procedure P), $(b,rmod:P:F) / $(b,ruse:P:F) \
-             (why reference formal F of P is in RMOD/RUSE), \
+             V is in GMOD/GUSE of procedure P), $(b,must:P:V) (why V is in \
+             MUSTMOD of P — definitely written on every run), $(b,rmod:P:F) \
+             / $(b,ruse:P:F) (why reference formal F of P is in RMOD/RUSE), \
              $(b,alias:P:X:Y) (why X and Y may alias in P), or \
              $(b,diag:CODE[:FILTER]) (witnesses of the lint findings with \
              that code, FILTER substring-matching scope or message).")
@@ -549,9 +616,9 @@ let explain_cmd =
       value & flag
       & info [ "all" ]
           ~doc:
-            "Instead of --fact, enumerate every GMOD/GUSE, RMOD/RUSE and \
-             alias fact plus every lint finding, check each has a witness, \
-             and exit non-zero if any lacks one.")
+            "Instead of --fact, enumerate every GMOD/GUSE, MUSTMOD, \
+             RMOD/RUSE and alias fact plus every lint finding, check each \
+             has a witness, and exit non-zero if any lacks one.")
   in
   Cmd.v
     (Cmd.info "explain"
@@ -1265,15 +1332,20 @@ let edit_cmd =
     in
     let before = Core.Analyze.run ?pool prog in
     let lint_before = if lint then Some (Lint.Engine.run ?pool before) else None in
+    (* First full-re-analysis reason across the script, when the
+       incremental path gave up (e.g. "pointer program: points-to
+       solution may shift") — surfaced so callers can tell a real
+       incremental run from a silent fallback. *)
+    let fallback_reason = ref None in
     let after, lint_after =
       if incremental then begin
         let engine = Incremental.Engine.create ?pool prog in
         List.iter
           (fun (edit, _) ->
-            let (_ : Incremental.Engine.outcome) =
-              Incremental.Engine.apply engine edit
-            in
-            ())
+            let o = Incremental.Engine.apply engine edit in
+            match o.Incremental.Engine.fallback with
+            | Some r when !fallback_reason = None -> fallback_reason := Some r
+            | _ -> ())
           steps;
         let lint_after =
           if lint then Some (Incremental.Engine.lint engine) else None
@@ -1315,6 +1387,11 @@ let edit_cmd =
                 ( "edits",
                   Obs.Json.List
                     (List.map (fun e -> Obs.Json.String e) edits_rendered) );
+                ("incremental", Obs.Json.Bool incremental);
+                ( "fallback_reason",
+                  match !fallback_reason with
+                  | None -> Obs.Json.Null
+                  | Some r -> Obs.Json.String r );
                 ("gmod_delta", Serve.Delta.rows_json gmod_rows);
                 ("guse_delta", Serve.Delta.rows_json guse_rows);
                 ( "sites",
@@ -1348,6 +1425,11 @@ let edit_cmd =
     else begin
       Format.printf "== edits (%d) ==@." (List.length edits_rendered);
       List.iteri (fun i e -> Format.printf "  %d. %s@." (i + 1) e) edits_rendered;
+      (* Notice, not payload: stderr, so the human report stays
+         byte-identical to a batch run (the cram contract). *)
+      (match !fallback_reason with
+      | Some r -> Format.eprintf "incremental fallback: %s@." r
+      | None -> ());
       Format.printf "%a" (Serve.Delta.pp_rows ~title:"GMOD") gmod_rows;
       Format.printf "%a" (Serve.Delta.pp_rows ~title:"GUSE") guse_rows;
       Format.printf "== sites after ==@.";
@@ -1517,4 +1599,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sidefx" ~version:"1.0.0"
              ~doc:"Interprocedural side-effect analysis in linear time (Cooper & Kennedy, PLDI 1988).")
-          [ analyze_cmd; lint_cmd; explain_cmd; ptsto_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; serve_cmd; bench_table_cmd ]))
+          [ analyze_cmd; must_cmd; lint_cmd; explain_cmd; ptsto_cmd; sections_cmd; sections_report_cmd; dataflow_cmd; stats_cmd; profile_cmd; json_validate_cmd; gen_cmd; run_cmd; check_cmd; dot_cmd; constants_cmd; inline_cmd; edit_cmd; serve_cmd; bench_table_cmd ]))

@@ -19,20 +19,24 @@ The full MOD/USE report:
     IMOD+ = {balance, rate, log_count}
     GMOD  = {balance, rate, log_count}
     GUSE  = {balance, rate, log_count}
+    MUSTMOD = {balance, rate, log_count}
   procedure audit:
     IMOD+ = {log_count}
     GMOD  = {log_count}
     GUSE  = {log_count, audit.amount}
+    MUSTMOD = {log_count}
   procedure deposit:
     RMOD = {account}
     IMOD+ = {deposit.account}
     GMOD  = {log_count, deposit.account}
     GUSE  = {log_count, deposit.account, deposit.amount}
+    MUSTMOD = {log_count, deposit.account}
   procedure apply_interest:
     RMOD = {account}
     IMOD+ = {apply_interest.account, apply_interest.delta}
     GMOD  = {log_count, apply_interest.account, apply_interest.delta}
     GUSE  = {rate, log_count, apply_interest.account, apply_interest.delta}
+    MUSTMOD = {log_count, apply_interest.account, apply_interest.delta}
   
   ALIAS(deposit) = {<balance, account>}
   ALIAS(apply_interest) = {<balance, account>}
@@ -203,6 +207,7 @@ to run, so only the phase names (first column) are asserted:
   guse
   gmod
   alias
+  mustmod
   summary
   sites
 
@@ -244,6 +249,7 @@ The JSON report's key set is a stable contract (values are not):
   "major_collections":
   "metrics":
   "minor_collections":
+  "mustmod.rounds":
   "name":
   "nesting_depth":
   "par.batches":
@@ -273,6 +279,7 @@ The JSON report's key set is a stable contract (values are not):
   "name":"iuse_plus"
   "name":"local"
   "name":"local.use"
+  "name":"mustmod"
   "name":"profile"
   "name":"rmod"
   "name":"ruse"
@@ -398,6 +405,7 @@ re-running it, with identical output by construction:
 
   $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits > batch.out
   $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits --incremental > inc.out
+  incremental fallback: dirty fraction 4/4 over threshold
   $ diff batch.out inc.out
 
   $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits --incremental --json | ../bin/sidefx.exe json-validate
@@ -408,8 +416,10 @@ re-running it, with identical output by construction:
   "callee":
   "caller":
   "edits":
+  "fallback_reason":
   "gmod_delta":
   "guse_delta":
+  "incremental":
   "mod":
   "proc":
   "program":
@@ -417,6 +427,22 @@ re-running it, with identical output by construction:
   "sid":
   "sites":
   "use":
+
+The incremental engine only trusts its dependency tracking on
+pointer-free programs — a points-to solution may shift under any
+edit.  The JSON report states the fallback and its reason as data:
+
+  $ echo 'add-assign pointers x = 5' > ptr.edits
+  $ ../bin/sidefx.exe edit ../programs/pointers.mp --script ptr.edits --incremental --json > ptr_edit.json
+  $ ../bin/sidefx.exe json-validate < ptr_edit.json
+  json: ok
+  $ grep -o '"incremental":[a-z]*,"fallback_reason":"[^"]*"' ptr_edit.json
+  "incremental":true,"fallback_reason":"pointer program: points-to solution may shift"
+
+Batch mode reports no fallback — the field is null:
+
+  $ ../bin/sidefx.exe edit ../programs/pointers.mp --script ptr.edits --json | grep -o '"incremental":[a-z]*,"fallback_reason":[a-z]*'
+  "incremental":false,"fallback_reason":null
 
 Bad scripts fail with the offending line:
 
@@ -474,6 +500,7 @@ and the parallel JSON report keeps the same stable key set:
 batch), again without changing any output:
 
   $ ../bin/sidefx.exe edit ../programs/bank.mp --script bank.edits --incremental --jobs 4 > inc4.out
+  incremental fallback: dirty fraction 4/4 over threshold
   $ diff inc.out inc4.out
 
   $ ../bin/sidefx.exe profile ../examples/profile_demo.mp --json --jobs 4 | ../bin/sidefx.exe json-validate
@@ -543,7 +570,7 @@ Notes alone don't reach the error threshold, so the exit status is 0:
 Unknown rule names are a usage error:
 
   $ ../bin/sidefx.exe lint ../programs/lint_demo.mp --rules nope
-  lint: unknown rule 'nope' (known: unused-formal, write-only-global, pure-proc, alias-inflation, aliased-actuals, loop-parallel, dead-store, rmw-hint, undereferenced-ptr, ptr-formal-store)
+  lint: unknown rule 'nope' (known: unused-formal, write-only-global, pure-proc, alias-inflation, aliased-actuals, loop-parallel, dead-store, rmw-hint, undereferenced-ptr, ptr-formal-store, use-before-init, redundant-store)
   [2]
 
 The statement-level rules run liveness over per-procedure CFGs with the
@@ -572,6 +599,64 @@ The dataflow command summarises each procedure's CFG and solver work:
 
   $ ../bin/sidefx.exe dataflow ../programs/dataflow_demo.mp --json | ../bin/sidefx.exe json-validate
   json: ok
+
+The must command prints the interprocedural must-modify summaries —
+the intersection-over-paths dual of GMOD (docs/mustmod.md).  'prime'
+keeps its by-ref formal (written in both branches of the if); 'accum'
+reads its formal but never writes it:
+
+  $ ../bin/sidefx.exe must ../programs/mustmod_demo.mp
+  MUSTMOD(mustmod_demo) = {total, seed, scratch}
+  MUSTMOD(prime) = {total, prime.slot}
+  MUSTMOD(accum) = {total}
+  MUSTMOD(tally) = {total}
+  
+
+  $ ../bin/sidefx.exe must ../programs/mustmod_demo.mp --json | ../bin/sidefx.exe json-validate
+  json: ok
+
+  $ ../bin/sidefx.exe must ../programs/mustmod_demo.mp --json | grep -o '"[A-Za-z0-9_.]*":' | sort -u
+  "demoted":
+  "gmod":
+  "intra":
+  "mustmod":
+  "name":
+  "procedures":
+  "program":
+  "rounds":
+  "subset_of_gmod":
+
+The pooled run is byte-identical:
+
+  $ ../bin/sidefx.exe must ../programs/mustmod_demo.mp > must_seq.out
+  $ ../bin/sidefx.exe must ../programs/mustmod_demo.mp --jobs 4 > must_par.out
+  $ diff must_seq.out must_par.out
+
+MUSTMOD feeds two statement-level rules: SFX012 (a variable may be
+read — directly or through a by-reference pass to a reading callee —
+before any definition reaches) and SFX013 (a store a call definitely
+overwrites before any use):
+
+  $ ../bin/sidefx.exe lint ../programs/mustmod_demo.mp --rules use-before-init,redundant-store
+  ../programs/mustmod_demo.mp:44:3: warning[SFX012] tally: 'ghost' may be read before initialization: no definition reaches this statement
+      hint: assign the variable on every path before it is read
+  ../programs/mustmod_demo.mp:45:8: warning[SFX012] tally: 'raw' is passed by reference before initialization, and 'accum' may read formal 'a' before definitely writing it
+      hint: assign the variable before the call, or make the callee write the formal first
+  ../programs/mustmod_demo.mp:50:3: warning[SFX013] mustmod_demo: value stored to 'scratch' is redundant: the call to 'prime' at site 0 definitely overwrites it before any use
+      hint: delete the store, or move it after the call
+  3 findings: 0 error, 3 warning, 0 note
+  [1]
+
+must facts join the explain grammar with every-path witness chains;
+'accum' only reads its formal, so that fact correctly fails to hold:
+
+  $ ../bin/sidefx.exe explain ../programs/mustmod_demo.mp --fact must:prime:slot
+  'slot' ∈ MUSTMOD(prime): prime
+  prime writes 'slot' on every path to exit at ../programs/mustmod_demo.mp:28:5
+
+  $ ../bin/sidefx.exe explain ../programs/mustmod_demo.mp --fact must:accum:a
+  explain: fact 'must:accum:a' does not hold
+  [1]
 
 The JSON report is self-validating and its key set is a stable
 contract:
@@ -636,7 +721,7 @@ diag facts print the matching lint findings with their witness blocks:
 Unknown grammar exits 2; a fact that does not hold exits 1:
 
   $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact nonsense
-  explain: unrecognised fact 'nonsense' (expected gmod:P:V | guse:P:V | rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])
+  explain: unrecognised fact 'nonsense' (expected gmod:P:V | guse:P:V | must:P:V | rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])
   [2]
   $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --fact gmod:scale:unread
   explain: fact 'gmod:scale:unread' does not hold
@@ -647,7 +732,7 @@ lint finding and demands a witness for each — the completeness
 contract, machine-checked:
 
   $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --all
-  explained 51/51 facts
+  explained 60/60 facts
   $ ../bin/sidefx.exe explain ../programs/lint_demo.mp --all --json | ../bin/sidefx.exe json-validate
   json: ok
 
@@ -712,6 +797,7 @@ incremental path produces the identical report:
 
   $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint > lint_batch.out
   $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint --incremental > lint_inc.out
+  incremental fallback: dirty fraction 2/2 over threshold
   $ diff lint_batch.out lint_inc.out
 
   $ ../bin/sidefx.exe edit pure.mp --script pure.edits --lint --incremental --json | ../bin/sidefx.exe json-validate

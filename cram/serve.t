@@ -9,26 +9,28 @@ provenance query:
   >   '{"id":3,"op":"query","program":"demo","what":"rmod","proc":"scale","var":"a"}' \
   >   '{"id":4,"op":"query","program":"demo","what":"ruse","proc":"tally","var":"cell"}' \
   >   '{"id":5,"op":"query","program":"demo","what":"alias","proc":"outer"}' \
-  >   '{"id":6,"op":"query","program":"demo","what":"purity","proc":"scale"}' \
-  >   '{"id":7,"op":"query","program":"demo","what":"mod","site":0}' \
-  >   '{"id":8,"op":"query","program":"demo","what":"use","site":0}' \
-  >   '{"id":9,"op":"edit","program":"demo","session":"s","script":"add-assign logit total = 3","lint":true}' \
-  >   '{"id":10,"op":"query","program":"demo","session":"s","what":"lint-delta"}' \
-  >   '{"id":11,"op":"explain","program":"demo","fact":"gmod:logit:unread"}' \
-  >   '{"id":12,"op":"shutdown"}' \
+  >   '{"id":6,"op":"query","program":"demo","what":"must","proc":"tally"}' \
+  >   '{"id":7,"op":"query","program":"demo","what":"purity","proc":"scale"}' \
+  >   '{"id":8,"op":"query","program":"demo","what":"mod","site":0}' \
+  >   '{"id":9,"op":"query","program":"demo","what":"use","site":0}' \
+  >   '{"id":10,"op":"edit","program":"demo","session":"s","script":"add-assign logit total = 3","lint":true}' \
+  >   '{"id":11,"op":"query","program":"demo","session":"s","what":"lint-delta"}' \
+  >   '{"id":12,"op":"explain","program":"demo","fact":"gmod:logit:unread"}' \
+  >   '{"id":13,"op":"shutdown"}' \
   > | ../bin/sidefx.exe serve --load demo=../programs/lint_demo.mp
   {"id":1,"ok":true,"result":{"proc":"logit","vars":["unread"]}}
   {"id":2,"ok":true,"result":{"proc":"tally","vars":["tally.cell","total"]}}
   {"id":3,"ok":true,"result":{"proc":"scale","var":"a","member":true}}
   {"id":4,"ok":true,"result":{"proc":"tally","var":"cell","member":true}}
   {"id":5,"ok":true,"result":{"proc":"outer","pairs":[["total","outer.u"],["total","outer.v"],["outer.u","outer.v"]]}}
-  {"id":6,"ok":true,"result":{"proc":"scale","pure":true}}
-  {"id":7,"ok":true,"result":{"site":0,"vars":["total"]}}
+  {"id":6,"ok":true,"result":{"proc":"tally","vars":["tally.cell","total"],"intra":["tally.cell","total"],"demoted":["data"]}}
+  {"id":7,"ok":true,"result":{"proc":"scale","pure":true}}
   {"id":8,"ok":true,"result":{"site":0,"vars":["total"]}}
-  {"id":9,"ok":true,"result":{"program":"demo","session":"s","edits":["add-assign logit total := 3"],"gmod_delta":[{"proc":"logit","added":["total"],"removed":[]}],"guse_delta":[],"fallbacks":0,"procs_resolved":2,"lint_added":[{"code":"SFX009","rule":"rmw-hint","severity":"note","file":"<none>","line":0,"col":0,"scope":"lint_demo","message":"call to 'logit' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch","hint":"hoist the read or batch the updates to cut call-boundary traffic","witness":["the call reads 'total':","'total' is read when evaluating the arguments of site 2","the call writes 'total':","call to 'logit' at site 2 may modify 'total' directly","'total' ∈ GMOD(logit): logit","logit writes 'total'","'total' is live after the call"]}],"lint_removed":[]}}
-  {"id":10,"ok":true,"result":{"lint_added":[{"code":"SFX009","rule":"rmw-hint","severity":"note","file":"<none>","line":0,"col":0,"scope":"lint_demo","message":"call to 'logit' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch","hint":"hoist the read or batch the updates to cut call-boundary traffic","witness":["the call reads 'total':","'total' is read when evaluating the arguments of site 2","the call writes 'total':","call to 'logit' at site 2 may modify 'total' directly","'total' ∈ GMOD(logit): logit","logit writes 'total'","'total' is live after the call"]}],"lint_removed":[]}}
-  {"id":11,"ok":true,"result":{"program":"demo","fact":"gmod:logit:unread","witness":["'unread' ∈ GMOD(logit): logit","logit writes 'unread' at demo:42:3"]}}
-  {"id":12,"ok":true,"result":{"stopping":true}}
+  {"id":9,"ok":true,"result":{"site":0,"vars":["total"]}}
+  {"id":10,"ok":true,"result":{"program":"demo","session":"s","edits":["add-assign logit total := 3"],"gmod_delta":[{"proc":"logit","added":["total"],"removed":[]}],"guse_delta":[],"fallbacks":0,"procs_resolved":2,"lint_added":[{"code":"SFX009","rule":"rmw-hint","severity":"note","file":"<none>","line":0,"col":0,"scope":"lint_demo","message":"call to 'logit' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch","hint":"hoist the read or batch the updates to cut call-boundary traffic","witness":["the call reads 'total':","'total' is read when evaluating the arguments of site 2","the call writes 'total':","call to 'logit' at site 2 may modify 'total' directly","'total' ∈ GMOD(logit): logit","logit writes 'total'","'total' is live after the call"]}],"lint_removed":[]}}
+  {"id":11,"ok":true,"result":{"lint_added":[{"code":"SFX009","rule":"rmw-hint","severity":"note","file":"<none>","line":0,"col":0,"scope":"lint_demo","message":"call to 'logit' reads and writes 'total', and the caller reads the result: a read-modify-write the caller could batch","hint":"hoist the read or batch the updates to cut call-boundary traffic","witness":["the call reads 'total':","'total' is read when evaluating the arguments of site 2","the call writes 'total':","call to 'logit' at site 2 may modify 'total' directly","'total' ∈ GMOD(logit): logit","logit writes 'total'","'total' is live after the call"]}],"lint_removed":[]}}
+  {"id":12,"ok":true,"result":{"program":"demo","fact":"gmod:logit:unread","witness":["'unread' ∈ GMOD(logit): logit","logit writes 'unread' at demo:42:3"]}}
+  {"id":13,"ok":true,"result":{"stopping":true}}
 
 Malformed and hostile lines get structured errors — the id is
 recovered whenever the line was a JSON object, and the connection
@@ -52,7 +54,7 @@ survives every one of them (the final valid query still answers):
   {"id":44,"ok":false,"error":"unknown procedure 'nosuch'"}
   {"id":45,"ok":false,"error":"no such site: 999"}
   {"id":46,"ok":false,"error":"bad edit script: line 1: cannot parse edit \"frob the knob\" (commands: add-assign, remove-assign, add-call, remove-call, retarget-call, add-proc, remove-proc)"}
-  {"id":47,"ok":false,"error":"unrecognised fact 'gmod p1 x' (expected gmod:P:V | guse:P:V | rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"}
+  {"id":47,"ok":false,"error":"unrecognised fact 'gmod p1 x' (expected gmod:P:V | guse:P:V | must:P:V | rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"}
   {"id":null,"ok":false,"error":"bad JSON: at offset 12: expected ',' or '}'"}
   {"id":48,"ok":true,"result":{"proc":"logit","vars":["unread"]}}
   {"id":49,"ok":true,"result":{"stopping":true}}

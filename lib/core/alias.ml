@@ -10,6 +10,10 @@ end)
 type t = {
   info : Ir.Info.t;
   alias : Pair_set.t array; (* per procedure *)
+  tainted : Pair_set.t array;
+      (* pairs whose derivation involved pointer resolution (a
+         dereference binding or a heap-overlap seed), transitively
+         through propagation and inheritance *)
 }
 
 let norm x y = if x <= y then (x, y) else (y, x)
@@ -34,10 +38,20 @@ let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
         if not (Hashtbl.mem table (pid, x, y)) then
           Hashtbl.add table (pid, x, y) reason
   in
-  let add pid pair reason =
+  let tainted = Array.make np Pair_set.empty in
+  (* [taint] marks a pointer-resolved derivation.  It is an OR over
+     all derivations of the pair, so a pair introduced clean can
+     become tainted by a later pointer-carried derivation — the
+     [changed] flag covers taint growth and the fixpoint closes it
+     under propagation and inheritance like the pairs themselves. *)
+  let add pid pair ~taint reason =
     if not (Pair_set.mem pair alias.(pid)) then begin
       record pid pair reason;
       alias.(pid) <- Pair_set.add pair alias.(pid);
+      changed := true
+    end;
+    if taint && not (Pair_set.mem pair tainted.(pid)) then begin
+      tainted.(pid) <- Pair_set.add pair tainted.(pid);
       changed := true
     end
   in
@@ -74,7 +88,9 @@ let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
         | Some parent ->
           Pair_set.iter
             (fun pair ->
-              add pr.Prog.pid pair (Provenance.Ainherited { parent }))
+              add pr.Prog.pid pair
+                ~taint:(Pair_set.mem pair tainted.(parent))
+                (Provenance.Ainherited { parent }))
             alias.(parent))
   in
   let process_site (s : Prog.site) =
@@ -88,7 +104,7 @@ let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
         List.iter
           (fun (pj, fj, bj, ptr_j) ->
             if pi < pj && bi = bj then
-              add callee (norm fi fj)
+              add callee (norm fi fj) ~taint:(ptr_i || ptr_j)
                 (if ptr_i then Provenance.Apointsto { site = sid; pos = pi }
                  else if ptr_j then Provenance.Apointsto { site = sid; pos = pj }
                  else Provenance.Apositions { site = sid; pos_i = pi; pos_j = pj }))
@@ -97,7 +113,7 @@ let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
            itself — a reflexive "pair" no consumer treats as an alias
            ([may_alias] is irreflexive), so never introduce one. *)
         if bi <> fi && Prog.visible prog ~proc:callee ~var:bi then
-          add callee (norm fi bi)
+          add callee (norm fi bi) ~taint:ptr_i
             (if ptr_i then Provenance.Apointsto { site = sid; pos = pi }
              else Provenance.Avisible { site = sid; pos = pi }))
       bindings;
@@ -105,16 +121,18 @@ let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
     Pair_set.iter
       (fun (x, y) ->
         let reason = Provenance.Apropagated { site = sid; from_pair = (x, y) } in
+        let t0 = Pair_set.mem (x, y) tainted.(s.Prog.caller) in
         List.iter
-          (fun (_, fi, bi, _) ->
+          (fun (_, fi, bi, ptr_i) ->
             if bi = x || bi = y then begin
               let other = if bi = x then y else x in
               List.iter
-                (fun (_, fj, bj, _) ->
-                  if fj <> fi && bj = other then add callee (norm fi fj) reason)
+                (fun (_, fj, bj, ptr_j) ->
+                  if fj <> fi && bj = other then
+                    add callee (norm fi fj) ~taint:(t0 || ptr_i || ptr_j) reason)
                 bindings;
               if other <> fi && Prog.visible prog ~proc:callee ~var:other then
-                add callee (norm fi other) reason
+                add callee (norm fi other) ~taint:(t0 || ptr_i) reason
             end)
           bindings)
       alias.(s.Prog.caller)
@@ -125,7 +143,8 @@ let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
      inheritance like any other pair. *)
   List.iter
     (fun (pid, (x, y), site, pos) ->
-      if x <> y then add pid (norm x y) (Provenance.Apointsto { site; pos }))
+      if x <> y then
+        add pid (norm x y) ~taint:true (Provenance.Apointsto { site; pos }))
     seeds;
   while !changed do
     changed := false;
@@ -134,9 +153,11 @@ let compute ?provenance ?(deref = Frontend.Local.no_deref) ?(seeds = []) info =
   done;
   Obs.Metric.set pairs_metric
     (Array.fold_left (fun acc s -> acc + Pair_set.cardinal s) 0 alias);
-  { info; alias }
+  { info; alias; tainted }
 
 let pairs t pid = Pair_set.elements t.alias.(pid)
+
+let pointer_tainted t ~proc (x, y) = Pair_set.mem (norm x y) t.tainted.(proc)
 
 let aliases_of t ~proc ~var =
   Pair_set.fold

@@ -53,6 +53,16 @@ val compute :
 val pairs : t -> int -> (int * int) list
 (** [ALIAS(p)] as normalised [(min vid, max vid)] pairs, sorted. *)
 
+val pointer_tainted : t -> proc:int -> int * int -> bool
+(** Did some derivation of the pair pass through pointer resolution —
+    a dereference binding expanded by the points-to projection, or a
+    heap-overlap seed — transitively through §5 propagation and
+    nesting inheritance?  Pairs that owe their
+    existence purely to by-reference parameter binding answer [false].
+    The must-modify analysis keys its demotion strength on this: a
+    binding-only pair re-resolves exactly at every call site, a
+    pointer-tainted one does not (see {!Mustmod}). *)
+
 val aliases_of : t -> proc:int -> var:int -> int list
 (** Variables possibly aliased to one variable on entry to [proc],
     ascending. *)

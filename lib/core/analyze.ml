@@ -16,6 +16,7 @@ type t = {
   gmod : Bitvec.t array;
   guse : Bitvec.t array;
   alias : Alias.t;
+  mustmod : Mustmod.result;
   summary : Summary.t;
   provenance : Provenance.t option;
 }
@@ -103,6 +104,7 @@ let run_with ?(force_flat = false) ?pool ?(provenance = false)
   in
   let seeds = match pt with None -> [] | Some t -> heap_seeds prog t in
   let alias = Alias.compute ?provenance:alias_table ~deref ~seeds info in
+  let mustmod = Mustmod.solve ?pool info call ~alias ~gmod in
   let summary =
     Obs.Span.with_ "summary" (fun () -> Summary.make ~deref info ~gmod ~guse ~alias)
   in
@@ -112,8 +114,10 @@ let run_with ?(force_flat = false) ?pool ?(provenance = false)
     | Some table ->
       Some
         (Obs.Span.with_ "provenance" (fun () ->
-             Provenance.compute ~deref info ~binding ~imod ~iuse ~rmod ~ruse
-               ~imod_plus ~iuse_plus ~gmod ~guse ~alias:table))
+             let must = Provenance.create_must_table () in
+             Mustmod.ground_reasons mustmod must;
+             Provenance.compute ~deref ~must info ~binding ~imod ~iuse ~rmod
+               ~ruse ~imod_plus ~iuse_plus ~gmod ~guse ~alias:table))
   in
   {
     prog;
@@ -131,6 +135,7 @@ let run_with ?(force_flat = false) ?pool ?(provenance = false)
     gmod;
     guse;
     alias;
+    mustmod;
     summary;
     provenance = prov;
   }
@@ -159,6 +164,7 @@ let dmod_of_site t sid = Summary.dmod_site t.summary sid
 let duse_of_site t sid = Summary.duse_site t.summary sid
 let gmod_of t pid = t.gmod.(pid)
 let guse_of t pid = t.guse.(pid)
+let mustmod_of t pid = Mustmod.mustmod_of t.mustmod pid
 
 let pp_report ppf t =
   let prog = t.prog in
@@ -179,7 +185,9 @@ let pp_report ppf t =
           vids);
       Format.fprintf ppf "  IMOD+ = %a@," (Ir.Pp.pp_var_set prog) t.imod_plus.(pid);
       Format.fprintf ppf "  GMOD  = %a@," (Ir.Pp.pp_var_set prog) t.gmod.(pid);
-      Format.fprintf ppf "  GUSE  = %a@," (Ir.Pp.pp_var_set prog) t.guse.(pid));
+      Format.fprintf ppf "  GUSE  = %a@," (Ir.Pp.pp_var_set prog) t.guse.(pid);
+      Format.fprintf ppf "  MUSTMOD = %a@," (Ir.Pp.pp_var_set prog)
+        (Mustmod.mustmod_of t.mustmod pid));
   Format.fprintf ppf "@,%a@," (Alias.pp prog) t.alias;
   Prog.iter_sites prog (fun s ->
       Format.fprintf ppf "@,site %d: %s calls %s@,  MOD = %a@,  USE = %a@,"

@@ -33,6 +33,10 @@ type t = {
   gmod : Bitvec.t array;
   guse : Bitvec.t array;
   alias : Alias.t;
+  mustmod : Mustmod.result;
+      (** Interprocedural must-modify summaries — the
+          intersection-over-paths dual of [gmod], with
+          [MUSTMOD(p) ⊆ GMOD(p)] enforced ({!Mustmod}). *)
   summary : Summary.t;
   provenance : Provenance.t option;
       (** Derivation forest over the facts above; present iff the run
@@ -83,6 +87,10 @@ val gmod_of : t -> int -> Bitvec.t
 (** [GMOD(p)] by pid.  Do not mutate. *)
 
 val guse_of : t -> int -> Bitvec.t
+
+val mustmod_of : t -> int -> Bitvec.t
+(** [MUSTMOD(p)] by pid — variables definitely written on every
+    terminating path through an invocation of [p].  Do not mutate. *)
 
 val modified_anywhere : t -> Bitvec.t
 (** [⋃_p GMOD(p) ∪ IMOD(p)] — every variable some procedure may write.

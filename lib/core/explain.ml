@@ -17,6 +17,8 @@ type alias_link = {
   reason : Provenance.alias_reason;
 }
 
+type must_step = { mproc : int; mvar : int; reason : Provenance.must_reason }
+
 let gset (a : Analyze.t) side =
   match side with `Mod -> a.Analyze.gmod | `Use -> a.Analyze.guse
 
@@ -248,6 +250,80 @@ let explain_gmod (a : Analyze.t) ~locs ~side ~proc ~var =
               | None -> []
             in
             bind_line :: tail)
+        steps
+    in
+    Some (chain_line :: step_lines)
+
+let must_chain (a : Analyze.t) ~proc ~var =
+  match a.Analyze.provenance with
+  | None -> None
+  | Some p ->
+    if not (Bitvec.get (Mustmod.mustmod_of a.Analyze.mustmod proc) var) then
+      None
+    else begin
+      let prog = a.Analyze.prog in
+      let rec go pid vid acc seen =
+        if List.mem (pid, vid) seen then Some (List.rev acc)
+        else
+          match Provenance.must_reason_of p ~proc:pid vid with
+          | None -> None
+          | Some (Provenance.Mdef as reason) ->
+            Some (List.rev ({ mproc = pid; mvar = vid; reason } :: acc))
+          | Some (Provenance.Mcall { site; pre } as reason) ->
+            go
+              (Prog.site prog site).Prog.callee
+              pre
+              ({ mproc = pid; mvar = vid; reason } :: acc)
+              ((pid, vid) :: seen)
+      in
+      go proc var [] []
+    end
+
+let explain_must (a : Analyze.t) ~locs ~proc ~var =
+  match must_chain a ~proc ~var with
+  | None -> None
+  | Some steps ->
+    let prog = a.Analyze.prog in
+    (* Compact arrow chain, like GMOD's: p →site 3 q … *)
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (pname prog proc);
+    List.iter
+      (fun ({ reason; _ } : must_step) ->
+        match reason with
+        | Provenance.Mcall { site; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf " →site %d %s" site
+               (pname prog (Prog.site prog site).Prog.callee))
+        | Provenance.Mdef -> ())
+      steps;
+    let chain_line =
+      Printf.sprintf "'%s' ∈ MUSTMOD(%s): %s" (vname prog var)
+        (pname prog proc) (Buffer.contents buf)
+    in
+    let step_lines =
+      List.concat_map
+        (fun { mproc = pid; mvar = vid; reason } ->
+          match reason with
+          | Provenance.Mdef ->
+            [
+              (match find_def a ~side:`Mod ~proc:pid ~var:vid with
+              | Some (dp, ord) ->
+                Printf.sprintf "%s writes '%s' on every path to exit%s"
+                  (pname prog dp) (vname prog vid)
+                  (loc_suffix (Locs.stmt locs ~proc:dp ord))
+              | None ->
+                Printf.sprintf "%s writes '%s' on every path to exit"
+                  (pname prog pid) (vname prog vid));
+            ]
+          | Provenance.Mcall { site; pre } ->
+            let callee = (Prog.site prog site).Prog.callee in
+            [
+              Printf.sprintf
+                "%s calls %s at site %d%s; '%s' ∈ MUSTMOD(%s) lands on '%s'"
+                (pname prog pid) (pname prog callee) site
+                (loc_suffix (site_loc locs site))
+                (qvname prog pre) (pname prog callee) (vname prog vid);
+            ])
         steps
     in
     Some (chain_line :: step_lines)

@@ -37,6 +37,12 @@ type alias_link = {
 (** One recorded derivation step of the §5 closure, in the procedure
     [aproc] the pair holds in. *)
 
+type must_step = { mproc : int; mvar : int; reason : Provenance.must_reason }
+(** One link of a [MUSTMOD] chain: why [mvar ∈ MUSTMOD(mproc)].  An
+    [Mcall {site; pre}] reason continues at [site]'s callee with the
+    callee-side variable [pre]; [Mdef] (a definite write in the
+    procedure's own body) is terminal. *)
+
 val gmod_chain :
   Analyze.t -> side:side -> proc:int -> var:int -> gmod_step list option
 (** The derivation path from [var ∈ GMOD(proc)] (resp. [GUSE]) down to
@@ -47,6 +53,13 @@ val gmod_chain :
 val rmod_chain : Analyze.t -> side:side -> var:int -> rmod_step list option
 (** The β path from the by-reference formal [var]'s node to a seed
     node (a formal in its owner's folded [IMOD]/[IUSE]). *)
+
+val must_chain : Analyze.t -> proc:int -> var:int -> must_step list option
+(** The derivation path from [var ∈ MUSTMOD(proc)] down to a definite
+    write in some (transitive) callee's own body.  Each [Mcall] step is
+    single-step evidence — one contributing call site on the witness
+    path, not a proof that every path goes through it (the set
+    membership itself certifies the every-path property). *)
 
 val alias_links :
   Analyze.t -> proc:int -> int -> int -> alias_link list option
@@ -69,6 +82,11 @@ val explain_gmod :
 
 val explain_rmod :
   Analyze.t -> locs:Frontend.Locs.t -> side:side -> var:int -> string list option
+
+val explain_must :
+  Analyze.t -> locs:Frontend.Locs.t -> proc:int -> var:int -> string list option
+(** Rendered [MUSTMOD] witness: a compact arrow chain plus one evidence
+    line per step, ending at a definite write located through [locs]. *)
 
 val explain_alias :
   Analyze.t -> locs:Frontend.Locs.t -> proc:int -> int -> int -> string list option

@@ -27,15 +27,23 @@ type alias_reason =
 
 type alias_table = (int * int * int, alias_reason) Hashtbl.t
 
+type must_reason =
+  | Mdef
+  | Mcall of { site : int; pre : int }
+
+type must_table = (int * int, must_reason) Hashtbl.t
+
 type t = {
   rmod : rmod_reason option array;
   ruse : rmod_reason option array;
   gmod : (int * int, gmod_reason) Hashtbl.t;
   guse : (int * int, gmod_reason) Hashtbl.t;
   alias : alias_table;
+  must : must_table;
 }
 
 let create_alias_table () : alias_table = Hashtbl.create 64
+let create_must_table () : must_table = Hashtbl.create 64
 
 (* --- RMOD forest ------------------------------------------------------ *)
 
@@ -158,8 +166,9 @@ let gmod_forest info ~deref ~flat ~rmod ~plus ~gsets ~sites_by_callee =
   done;
   table
 
-let compute ?(deref = Frontend.Local.no_deref) info ~binding ~imod ~iuse ~rmod
-    ~ruse ~imod_plus ~iuse_plus ~gmod ~guse ~alias =
+let compute ?(deref = Frontend.Local.no_deref) ?(must = create_must_table ())
+    info ~binding ~imod ~iuse ~rmod ~ruse ~imod_plus ~iuse_plus ~gmod ~guse
+    ~alias =
   let prog = Ir.Info.prog info in
   let sites_by_callee = Array.make (Prog.n_procs prog) [] in
   Prog.iter_sites prog (fun s ->
@@ -191,6 +200,7 @@ let compute ?(deref = Frontend.Local.no_deref) info ~binding ~imod ~iuse ~rmod
       gmod_forest info ~deref ~flat:flat_use ~rmod:ruse ~plus:iuse_plus
         ~gsets:guse ~sites_by_callee;
     alias;
+    must;
   }
 
 let rmod_reasons t ~side = match side with `Mod -> t.rmod | `Use -> t.ruse
@@ -199,3 +209,5 @@ let gmod_reasons t ~side = match side with `Mod -> t.gmod | `Use -> t.guse
 let alias_reason t ~proc x y =
   let x, y = if x <= y then (x, y) else (y, x) in
   Hashtbl.find_opt t.alias (proc, x, y)
+
+let must_reason_of t ~proc vid = Hashtbl.find_opt t.must (proc, vid)

@@ -61,18 +61,41 @@ type alias_table = (int * int * int, alias_reason) Hashtbl.t
 (** Keyed by [(pid, x, y)] with [x <= y] ({!Alias.norm}); holds the
     first recorded reason for each pair. *)
 
+(** Why a variable is in a procedure's [MUSTMOD] (the must-modify dual
+    of [GMOD], {!Mustmod}).  A reason is single-step evidence — the
+    first grounding found by a breadth-first search from the
+    procedures' own definite assignments — not a full path proof:
+    [Mcall] cites {e one} contributing call site even when the fact
+    needed several branches to agree. *)
+type must_reason =
+  | Mdef  (** Definitely assigned by the procedure's own statements. *)
+  | Mcall of { site : int; pre : int }
+      (** Inherited through this call site from the callee's
+          [MUSTMOD]; [pre] is the callee-side variable (the bound
+          formal, or the variable itself when it passes through). *)
+
+type must_table = (int * int, must_reason) Hashtbl.t
+(** Keyed by [(pid, vid)]; holds the first recorded reason for each
+    [MUSTMOD] fact. *)
+
 type t = {
   rmod : rmod_reason option array;  (** By β node. *)
   ruse : rmod_reason option array;  (** By β node. *)
   gmod : (int * int, gmod_reason) Hashtbl.t;  (** By [(pid, vid)]. *)
   guse : (int * int, gmod_reason) Hashtbl.t;  (** By [(pid, vid)]. *)
   alias : alias_table;
+  must : must_table;
 }
 
 val create_alias_table : unit -> alias_table
 
+val create_must_table : unit -> must_table
+(** Pre-created and handed to {!Mustmod.solve}'s grounding post-pass,
+    mirroring the {!alias_table} flow through {!Alias.compute}. *)
+
 val compute :
   ?deref:(int -> int -> int list) ->
+  ?must:must_table ->
   Ir.Info.t ->
   binding:Callgraph.Binding.t ->
   imod:Bitvec.t array ->
@@ -89,10 +112,15 @@ val compute :
     [iuse] are the {e folded} local sets the [RMOD] solver was seeded
     with; [imod_plus]/[iuse_plus] the folded eq. 5 families.  Every
     set [RMOD]/[RUSE] node and every [(p, v)] with [v ∈ GMOD(p)] (resp.
-    [GUSE]) receives a reason; the alias table is stored as given. *)
+    [GUSE]) receives a reason; the alias and must tables are stored as
+    given ([?must] defaults to an empty table for callers that did not
+    run {!Mustmod}). *)
 
 val rmod_reasons : t -> side:[ `Mod | `Use ] -> rmod_reason option array
 val gmod_reasons : t -> side:[ `Mod | `Use ] -> (int * int, gmod_reason) Hashtbl.t
 
 val alias_reason : t -> proc:int -> int -> int -> alias_reason option
 (** Reason the (normalised) pair holds on entry to [proc]. *)
+
+val must_reason_of : t -> proc:int -> int -> must_reason option
+(** Reason a variable is in [MUSTMOD(proc)]. *)

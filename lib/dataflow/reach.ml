@@ -10,6 +10,7 @@ type t = {
   cfg_ : Cfg.t;
   defs : def array;
   by_var : int list array;  (** Per variable, ascending dids. *)
+  block_start : int array;  (** First did contributed by each block. *)
   res : Solver.result;
 }
 
@@ -57,6 +58,16 @@ let solve tf cfg =
         b.Cfg.instrs)
     cfg.Cfg.blocks;
   assert (!cursor = nd);
+  (* Dids are assigned in block order, so each block's defs are the
+     contiguous run starting at the count of defs in earlier blocks. *)
+  let block_start = Array.make (Array.length cfg.Cfg.blocks) 0 in
+  Array.iter (fun d -> block_start.(d.block) <- block_start.(d.block) + 1) defs;
+  let acc = ref 0 in
+  Array.iteri
+    (fun b n ->
+      block_start.(b) <- !acc;
+      acc := !acc + n)
+    (Array.copy block_start);
   let problem =
     {
       Solver.direction = Solver.Forward;
@@ -66,7 +77,7 @@ let solve tf cfg =
       boundary = Bitvec.create nd;  (* Nothing reaches procedure entry. *)
     }
   in
-  { cfg_ = cfg; defs; by_var; res = Solver.solve cfg problem }
+  { cfg_ = cfg; defs; by_var; block_start; res = Solver.solve cfg problem }
 
 let cfg t = t.cfg_
 let passes t = t.res.Solver.passes
@@ -75,3 +86,19 @@ let def t d = t.defs.(d)
 let defs_of_var t v = t.by_var.(v)
 let reach_in t b = t.res.Solver.in_.(b)
 let reach_out t b = t.res.Solver.out.(b)
+
+let fold_instrs t tf ~block ~init ~f =
+  let reach = Bitvec.copy (reach_in t block) in
+  let instrs = t.cfg_.Cfg.blocks.(block).Cfg.instrs in
+  let cursor = ref t.block_start.(block) in
+  let acc = ref init in
+  Array.iter
+    (fun (ord, ins) ->
+      acc := f !acc ~reach_before:reach ~ord ins;
+      Transfer.iter_must_def tf ins (fun v ->
+          List.iter (fun d -> Bitvec.unset reach d) t.by_var.(v));
+      Transfer.iter_may_def tf ins (fun _ ->
+          Bitvec.set reach !cursor;
+          incr cursor))
+    instrs;
+  !acc

@@ -29,3 +29,15 @@ val reach_in : t -> int -> Bitvec.t
 (** Definitions reaching block entry.  Do not mutate. *)
 
 val reach_out : t -> int -> Bitvec.t
+
+val fold_instrs :
+  t ->
+  Transfer.t ->
+  block:int ->
+  init:'a ->
+  f:('a -> reach_before:Bitvec.t -> ord:int -> Cfg.instr -> 'a) ->
+  'a
+(** Forward walk over one block's instructions, exposing the
+    definitions reaching {e immediately before} each instruction — the
+    dual of {!Live.fold_instrs}.  [reach_before] is a scratch vector
+    reused across iterations: read it during [f], do not keep it. *)

@@ -36,13 +36,14 @@ let project_must prog must_of sid =
     (must_of s.P.callee);
   out
 
-(* Least fixpoint of the definitely-written scalars.  Only top-level
-   statements count: a branch may be skipped, a loop body may run zero
-   times — but a [for] initialisation and anything before/after control
-   flow always runs (when the procedure terminates; non-termination
-   makes kill claims vacuous).  Under-approximate, hence sound as a
-   kill set. *)
-let compute_must_mod prog =
+(* The retired local under-approximation, kept for comparison tests
+   and the precision-delta experiment: least fixpoint of the
+   definitely-written scalars counting only top-level statements — a
+   branch may be skipped, a loop body may run zero times, but a [for]
+   initialisation and anything before/after control flow always runs.
+   Strictly weaker than [Core.Mustmod] (which intersects over branch
+   paths and demotes on aliasing instead of claiming everything). *)
+let local_must_mod prog =
   let nv = P.n_vars prog and np = P.n_procs prog in
   let must = Array.init np (fun _ -> Bitvec.create nv) in
   let changed = ref true in
@@ -75,7 +76,12 @@ let make (a : A.t) =
   let prog = a.A.prog in
   let info = a.A.info in
   let np = P.n_procs prog and ns = P.n_sites prog in
-  let must_mod_ = compute_must_mod prog in
+  (* Kill sets come from the interprocedural must-modify summaries:
+     intersection over branch paths, propagated through the call
+     condensation, alias-demoted and capped by GMOD (Core.Mustmod) —
+     strictly stronger than the old top-level-statement
+     under-approximation ([local_must_mod]). *)
+  let must_mod_ = Array.init np (fun pid -> Core.Mustmod.mustmod_of a.A.mustmod pid) in
   let aliased_ =
     Array.init np (fun pid ->
         let v = Ir.Info.fresh info in

@@ -10,15 +10,15 @@
     the binding — so classical liveness and reaching definitions flow
     {e through} call sites instead of dying at them.
 
-    [MUSTDEF(q)] is a deliberately cheap under-approximation: the least
-    fixpoint of the scalars every top-level statement of [q] definitely
-    writes (assignments, reads, [for] initialisations, and the
-    projection through top-level calls) — branches under-approximate to
-    ∅.  Under-approximating must-kill is always sound; a procedure that
-    never returns makes any kill claim vacuous.  Kill sets additionally
-    drop every variable in one of the caller's alias pairs: when two
-    names may share a location, "definitely overwritten" claims about
-    either are off the table (docs/dataflow.md works the example). *)
+    The must side comes from the interprocedural [MUSTMOD] summaries
+    ({!Core.Mustmod}): intersection over branch paths, propagated
+    bottom-up over the call condensation, §5/ptsto alias-demoted, and
+    capped by [GMOD].  Under-approximating must-kill is always sound; a
+    procedure that never returns makes any kill claim vacuous.  Kill
+    sets additionally drop every variable in one of the caller's alias
+    pairs: when two names may share a location, "definitely
+    overwritten" claims about either are off the table
+    (docs/dataflow.md and docs/mustmod.md work the examples). *)
 
 type t
 
@@ -27,8 +27,14 @@ val make : Core.Analyze.t -> t
 val analysis : t -> Core.Analyze.t
 
 val must_mod : t -> int -> Bitvec.t
-(** [MUSTDEF(q)]: scalars procedure [q] definitely writes on every
-    terminating run, in the callee's own frame.  Do not mutate. *)
+(** [MUSTMOD(q)]: variables procedure [q] definitely writes on every
+    terminating run, in the callee's own frame — the interprocedural
+    summaries of {!Core.Mustmod}.  Do not mutate. *)
+
+val local_must_mod : Ir.Prog.t -> Bitvec.t array
+(** The retired per-procedure under-approximation (top-level statements
+    only, no branch intersection, no alias demotion) — kept so tests
+    can pin the precision gained by the interprocedural summaries. *)
 
 val aliased : t -> int -> Bitvec.t
 (** Variables appearing in some §5 alias pair of the procedure.  Do not

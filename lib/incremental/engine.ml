@@ -29,6 +29,9 @@ type caches = {
   iuse_aug : Bitvec.t array;
   rmod_sol : Rmod.solution;
   ruse_sol : Rmod.solution;
+  must_sol : Core.Mustmod.solution;
+      (** [MUSTMOD] with its call condensation, for the same
+          ancestor-cone change propagation the β side gets. *)
   sites : site_index;
 }
 
@@ -179,6 +182,9 @@ let build_caches ?pool (a : Analyze.t) =
     ruse_sol =
       Rmod.solve_cached ~label:"ruse" ?pool a.Analyze.binding
         ~imod:a.Analyze.iuse;
+    must_sol =
+      Core.Mustmod.solve_cached ?pool a.Analyze.info a.Analyze.call
+        ~alias:a.Analyze.alias ~gmod:a.Analyze.gmod;
     sites = site_index prog;
   }
 
@@ -421,6 +427,26 @@ let incremental t prog kind =
         | Some p -> Some p.Core.Provenance.alias
         | None -> None )
   in
+  (* MUSTMOD rides the same cached condensation: a body edit reseeds
+     the edited procedure plus every procedure whose GMOD (the ∩-cap)
+     actually moved, and change propagation walks the pruned
+     condensation-ancestor cone; a shape edit rebuilt the call graph,
+     so the cached condensation is stale and the solve reruns. *)
+  let must_sol =
+    if graph_changed then
+      Core.Mustmod.solve_cached ?pool:t.pool info call ~alias ~gmod
+    else begin
+      let gmod_changed =
+        if gmod == old.Analyze.gmod then []
+        else
+          List.filter
+            (fun q -> not (Bitvec.equal gmod.(q) old.Analyze.gmod.(q)))
+            (List.init np Fun.id)
+      in
+      let seeds = List.sort_uniq compare (flat_seeds @ gmod_changed) in
+      fst (Core.Mustmod.resolve c.must_sol info ~alias ~gmod ~changed_procs:seeds)
+    end
+  in
   let summary = Core.Summary.make info ~gmod ~guse ~alias in
   (* Provenance is a post-pass over the final solutions, so a cone
      re-solve just rebuilds the forest against whatever the caches now
@@ -433,8 +459,10 @@ let incremental t prog kind =
         | Some tbl -> tbl
         | None -> Core.Provenance.create_alias_table ()
       in
+      let must = Core.Provenance.create_must_table () in
+      Core.Mustmod.ground_reasons must_sol.Core.Mustmod.res must;
       Some
-        (Core.Provenance.compute info ~binding ~imod ~iuse
+        (Core.Provenance.compute ~must info ~binding ~imod ~iuse
            ~rmod:rmod_sol.Rmod.res ~ruse:ruse_sol.Rmod.res ~imod_plus
            ~iuse_plus ~gmod ~guse ~alias:table)
     end
@@ -459,11 +487,21 @@ let incremental t prog kind =
       gmod;
       guse;
       alias;
+      mustmod = must_sol.Core.Mustmod.res;
       summary;
       provenance;
     };
   t.caches <-
-    { imod_flat; iuse_flat; imod_aug; iuse_aug; rmod_sol; ruse_sol; sites };
+    {
+      imod_flat;
+      iuse_flat;
+      imod_aug;
+      iuse_aug;
+      rmod_sol;
+      ruse_sol;
+      must_sol;
+      sites;
+    };
   (match t.dataflow with
   | None -> ()
   | Some d -> (

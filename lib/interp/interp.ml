@@ -53,6 +53,8 @@ type outcome = {
   site_mods : Bitvec.t array;
   site_uses : Bitvec.t array;
   site_lives : Bitvec.t array;
+  site_musts : Bitvec.t array;
+  must_runs : int array;
   calls_executed : int array;
   formal_entry : entry_summary array;
   ptr_obs : (int * int * int) list;
@@ -78,6 +80,11 @@ type state = {
   site_mods : Bitvec.t array;
   site_uses : Bitvec.t array;
   site_lives : Bitvec.t array;
+  site_musts : Bitvec.t array;
+      (* Per site: caller-nameable variables written by EVERY completed,
+         skip-free execution — the dynamic must-modify oracle
+         (intersection over executions; all-ones until the first). *)
+  must_runs : int array; (* executions contributing to site_musts *)
   calls_executed : int array;
   formal_entry : entry_summary array;
   (* Pointer runtime.  A pointer value is 0 (null) or 1 + an index into
@@ -465,6 +472,8 @@ and exec_call st act sid =
   end;
   let mine = fresh_record () in
   st.records <- mine :: st.records;
+  let skips0 = st.depth_skips in
+  let completed = ref false in
   let attribute () =
     st.depth <- st.depth - 1;
     st.records <- List.tl st.records;
@@ -489,6 +498,17 @@ and exec_call st act sid =
     match_into st.site_mods.(sid) mine.writes;
     match_into st.site_uses.(sid) mine.reads;
     match_into st.site_lives.(sid) mine.live_reads;
+    (* The must oracle only trusts executions that ran to completion
+       with no depth-skipped call inside their extent: a terminating,
+       fully observed run.  The first such execution seeds the set;
+       later ones intersect. *)
+    if !completed && st.depth_skips = skips0 then begin
+      let w = Bitvec.create (Prog.n_vars st.prog) in
+      match_into w mine.writes;
+      if st.must_runs.(sid) = 0 then st.site_musts.(sid) <- w
+      else ignore (Bitvec.inter_into ~src:w ~dst:st.site_musts.(sid));
+      st.must_runs.(sid) <- st.must_runs.(sid) + 1
+    end;
     match st.records with
     | [] -> ()
     | parent :: _ ->
@@ -503,7 +523,9 @@ and exec_call st act sid =
       Hashtbl.iter (fun k () -> Hashtbl.replace parent.writes k ()) mine.writes;
       Hashtbl.iter (fun k () -> Hashtbl.replace parent.reads k ()) mine.reads
   in
-  Fun.protect ~finally:attribute (fun () -> exec_stmts st callee_act callee.Prog.body)
+  Fun.protect ~finally:attribute (fun () ->
+      exec_stmts st callee_act callee.Prog.body;
+      completed := true)
 
 let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
   let nv = Prog.n_vars prog in
@@ -524,6 +546,8 @@ let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
       site_mods = Array.init ns (fun _ -> Bitvec.create nv);
       site_uses = Array.init ns (fun _ -> Bitvec.create nv);
       site_lives = Array.init ns (fun _ -> Bitvec.create nv);
+      site_musts = Array.init ns (fun _ -> Bitvec.create nv);
+      must_runs = Array.make ns 0;
       calls_executed = Array.make ns 0;
       formal_entry = Array.make nv Never;
       ptr_cells = [||];
@@ -556,6 +580,8 @@ let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
     site_mods = st.site_mods;
     site_uses = st.site_uses;
     site_lives = st.site_lives;
+    site_musts = st.site_musts;
+    must_runs = st.must_runs;
     calls_executed = st.calls_executed;
     formal_entry = st.formal_entry;
     ptr_obs = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) st.ptr_obs []);
@@ -566,3 +592,6 @@ let run ?(fuel = 200_000) ?(max_depth = 2048) prog =
 let observed_mod (o : outcome) sid = o.site_mods.(sid)
 let observed_use (o : outcome) sid = o.site_uses.(sid)
 let observed_live (o : outcome) sid = o.site_lives.(sid)
+
+let observed_must (o : outcome) sid =
+  if o.must_runs.(sid) = 0 then None else Some o.site_musts.(sid)

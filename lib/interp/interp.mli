@@ -50,6 +50,18 @@ type outcome = {
           call: soundness of the statement-level liveness solver demands
           [observed_live ⊆ alias-closure(b_e(LIVE_in(callee entry)))]
           for executed sites of non-truncated runs. *)
+  site_musts : Bitvec.t array;
+      (** Per call site: caller-nameable variables written by {e every}
+          completed, skip-free execution of the site — the intersection
+          over such executions, the dynamic must-modify oracle.
+          Meaningless (all zeros) while [must_runs] is 0.  Soundness of
+          {!Core.Mustmod} demands the projected [MUSTMOD(callee)]
+          (minus alias demotions) be a subset of this set whenever at
+          least one execution contributed: a must-claim names only
+          variables every terminating run writes. *)
+  must_runs : int array;
+      (** Per site: executions that contributed to [site_musts] — ran
+          to completion with no depth-skipped call in their extent. *)
   calls_executed : int array;  (** Per site: how many times it ran. *)
   formal_entry : entry_summary array;
       (** Per variable id: entry-value summary for formals (the
@@ -84,3 +96,8 @@ val observed_use : outcome -> int -> Bitvec.t
 val observed_live : outcome -> int -> Bitvec.t
 (** Per site id: variables read-before-written in the site's dynamic
     extent.  Do not mutate. *)
+
+val observed_must : outcome -> int -> Bitvec.t option
+(** Per site id: the always-written set over the site's completed,
+    skip-free executions — [None] when no execution qualified.  Do not
+    mutate. *)

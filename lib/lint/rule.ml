@@ -43,6 +43,10 @@ let alias_witness ctx ~proc x y =
   Option.value ~default:[]
     (Core.Explain.explain_alias ctx.analysis ~locs:ctx.locs ~proc x y)
 
+let must_witness ctx ~proc ~var =
+  Option.value ~default:[]
+    (Core.Explain.explain_must ctx.analysis ~locs:ctx.locs ~proc ~var)
+
 (* Why is [v] in MOD(s) (side [`Mod]) or USE(s) (side [`Use])?  Walks
    the §5 summary cases — direct escape from the callee's GMOD/GUSE,
    reference projection through an RMOD/RUSE formal, argument
@@ -852,6 +856,248 @@ let ptr_formal_store ctx =
       end);
   List.rev !out
 
+(* SFX012 — reads no definition can reach, across call sites.  The
+   reaching-definition universe already treats calls as writers (gen =
+   the site's MOD, kill = the callee's projected MUSTMOD), so "no
+   reaching definition" means: on every path from procedure entry,
+   nothing — not even a callee — has written the variable yet.  Two
+   shapes fire: a direct read of an unwritten scalar local, and an
+   unwritten scalar local passed by reference to a callee that consumes
+   the bound formal's incoming value (the formal is live at the
+   callee's entry: some path reads it before any definite write). *)
+let use_before_init ctx =
+  match ctx.dataflow with
+  | None -> []
+  | Some drv ->
+    let t = ctx.analysis in
+    let prog = t.A.prog in
+    let tf = Dataflow.Driver.transfer drv in
+    let out = ref [] in
+    P.iter_procs prog (fun pr ->
+        let pid = pr.P.pid in
+        let sol = Dataflow.Driver.solution drv pid in
+        let reach = sol.Dataflow.Driver.reach in
+        let candidate v =
+          (match (P.var prog v).P.kind with
+          | P.Local owner -> owner = pid
+          | P.Global | P.Formal _ -> false)
+          && not (Ir.Types.is_array (P.var prog v).P.vty)
+        in
+        let unwritten reach_before v =
+          List.for_all
+            (fun d -> not (Bitvec.get reach_before d))
+            (Dataflow.Reach.defs_of_var reach v)
+        in
+        let direct_diag ~ord v =
+          {
+            Diagnostic.code = "SFX012";
+            rule = "use-before-init";
+            severity = Diagnostic.Warning;
+            loc = Frontend.Locs.stmt ctx.locs ~proc:pid ord;
+            scope = proc_name ctx pid;
+            message =
+              Printf.sprintf
+                "'%s' may be read before initialization: no definition \
+                 reaches this statement"
+                (name_of ctx v);
+            hint = Some "assign the variable on every path before it is read";
+            witness =
+              (if explain_on ctx then
+                 [
+                   Printf.sprintf
+                     "no store to '%s' — and no call whose MOD set contains \
+                      it — lies on any path from %s's entry to this statement"
+                     (name_of ctx v) (proc_name ctx pid);
+                 ]
+               else []);
+          }
+        in
+        let byref_diag ~sid v f =
+          let callee_pid = (P.site prog sid).P.callee in
+          {
+            Diagnostic.code = "SFX012";
+            rule = "use-before-init";
+            severity = Diagnostic.Warning;
+            loc = Frontend.Locs.site ctx.locs sid;
+            scope = proc_name ctx pid;
+            message =
+              Printf.sprintf
+                "'%s' is passed by reference before initialization, and \
+                 '%s' may read formal '%s' before definitely writing it"
+                (name_of ctx v)
+                (proc_name ctx callee_pid)
+                (name_of ctx f);
+            hint =
+              Some "assign the variable before the call, or make the callee \
+                    write the formal first";
+            witness =
+              (if explain_on ctx then
+                 Printf.sprintf
+                   "no definition of '%s' reaches site %d, and '%s' is live \
+                    at %s's entry"
+                   (name_of ctx v) sid (qname_of ctx f)
+                   (proc_name ctx callee_pid)
+                 :: rmod_witness ctx ~side:`Use ~var:f
+               else []);
+          }
+        in
+        for b = 0 to Dataflow.Cfg.n_blocks sol.Dataflow.Driver.cfg - 1 do
+          out :=
+            Dataflow.Reach.fold_instrs reach tf ~block:b ~init:!out
+              ~f:(fun acc ~reach_before ~ord ins ->
+                match ins with
+                | Dataflow.Cfg.Call sid ->
+                  let s = P.site prog sid in
+                  let callee = P.proc prog s.P.callee in
+                  let acc = ref acc in
+                  let flag_reads vs =
+                    List.iter
+                      (fun v ->
+                        if candidate v && unwritten reach_before v then
+                          acc := direct_diag ~ord v :: !acc)
+                      vs
+                  in
+                  Array.iteri
+                    (fun i arg ->
+                      match arg with
+                      | P.Arg_value e ->
+                        flag_reads (Frontend.Local.expr_reads ~deref:t.A.deref e)
+                      | P.Arg_ref (Ir.Expr.Lvar x) ->
+                        if candidate x && unwritten reach_before x then begin
+                          let f = callee.P.formals.(i) in
+                          let csol = Dataflow.Driver.solution drv s.P.callee in
+                          let entry_live =
+                            Dataflow.Live.live_in csol.Dataflow.Driver.live
+                              csol.Dataflow.Driver.cfg.Dataflow.Cfg.entry
+                          in
+                          if Bitvec.get entry_live f then
+                            acc := byref_diag ~sid x f :: !acc
+                        end
+                      | P.Arg_ref lv ->
+                        flag_reads
+                          (Frontend.Local.lvalue_addr_reads ~deref:t.A.deref lv))
+                    s.P.args;
+                  !acc
+                | _ ->
+                  let uses = Bitvec.create (P.n_vars prog) in
+                  Dataflow.Transfer.add_use tf uses ins;
+                  Bitvec.fold
+                    (fun v acc ->
+                      if candidate v && unwritten reach_before v then
+                        direct_diag ~ord v :: acc
+                      else acc)
+                    uses acc)
+        done);
+    List.rev !out
+
+(* SFX013 — a store whose value a callee definitely overwrites before
+   any use: between the store and a later call in the same block there
+   is no read of the variable, the call's projected MUSTMOD kills it,
+   and the call itself does not read it.  The witness walks the
+   callee's MUSTMOD derivation (docs/mustmod.md). *)
+let redundant_store ctx =
+  match ctx.dataflow with
+  | None -> []
+  | Some drv ->
+    let t = ctx.analysis in
+    let prog = t.A.prog in
+    let tf = Dataflow.Driver.transfer drv in
+    let nv = P.n_vars prog in
+    let out = ref [] in
+    (* The callee-side variable the kill of [v] projects from: [v]
+       itself when it passes through the binding (a visible non-local),
+       else the by-reference formal bound to [v] at the site. *)
+    let pre_image sid v =
+      let s = P.site prog sid in
+      let mm = Dataflow.Transfer.must_mod tf s.P.callee in
+      if Bitvec.get mm v then Some v
+      else begin
+        let callee = P.proc prog s.P.callee in
+        let found = ref None in
+        Array.iteri
+          (fun k arg ->
+            match arg with
+            | P.Arg_ref (Ir.Expr.Lvar b)
+              when b = v && !found = None
+                   && Bitvec.get mm callee.P.formals.(k) ->
+              found := Some callee.P.formals.(k)
+            | _ -> ())
+          s.P.args;
+        !found
+      end
+    in
+    P.iter_procs prog (fun pr ->
+        let pid = pr.P.pid in
+        let sol = Dataflow.Driver.solution drv pid in
+        let emit ~ord v sid =
+          let callee_pid = (P.site prog sid).P.callee in
+          out :=
+            {
+              Diagnostic.code = "SFX013";
+              rule = "redundant-store";
+              severity = Diagnostic.Warning;
+              loc = Frontend.Locs.stmt ctx.locs ~proc:pid ord;
+              scope = proc_name ctx pid;
+              message =
+                Printf.sprintf
+                  "value stored to '%s' is redundant: the call to '%s' at \
+                   site %d definitely overwrites it before any use"
+                  (name_of ctx v)
+                  (proc_name ctx callee_pid)
+                  sid;
+              hint = Some "delete the store, or move it after the call";
+              witness =
+                (if explain_on ctx then
+                   match pre_image sid v with
+                   | Some pre ->
+                     Printf.sprintf
+                       "the call does not read '%s' and definitely \
+                        overwrites it:"
+                       (name_of ctx v)
+                     :: must_witness ctx ~proc:callee_pid ~var:pre
+                   | None -> []
+                 else []);
+            }
+            :: !out
+        in
+        Array.iter
+          (fun blk ->
+            let instrs = blk.Dataflow.Cfg.instrs in
+            Array.iteri
+              (fun i (ord, ins) ->
+                match ins with
+                | Dataflow.Cfg.Assign (Ir.Expr.Lvar v, _)
+                  when not (Ir.Types.is_array (P.var prog v).P.vty) ->
+                  (* Forward scan: a read of [v] clears the store, a
+                     plain overwrite is SFX008's business, a call
+                     must-killing [v] before either fires. *)
+                  let rec scan j =
+                    if j < Array.length instrs then begin
+                      let _, ins_j = instrs.(j) in
+                      let uses = Bitvec.create nv in
+                      Dataflow.Transfer.add_use tf uses ins_j;
+                      if Bitvec.get uses v then ()
+                      else
+                        match ins_j with
+                        | Dataflow.Cfg.Call sid
+                          when Bitvec.get
+                                 (Dataflow.Transfer.kill_of_site tf sid)
+                                 v ->
+                          emit ~ord v sid
+                        | Dataflow.Cfg.Assign (Ir.Expr.Lvar w, _)
+                        | Dataflow.Cfg.Read (Ir.Expr.Lvar w)
+                        | Dataflow.Cfg.For_init (w, _, _)
+                          when w = v ->
+                          ()
+                        | _ -> scan (j + 1)
+                    end
+                  in
+                  scan (i + 1)
+                | _ -> ())
+              instrs)
+          sol.Dataflow.Driver.cfg.Dataflow.Cfg.blocks);
+    List.rev !out
+
 let all =
   [
     {
@@ -943,6 +1189,24 @@ let all =
       needs_sections = false;
       needs_dataflow = false;
       run = ptr_formal_store;
+    };
+    {
+      name = "use-before-init";
+      codes = [ "SFX012" ];
+      doc = "reads no definition — local or callee — can reach";
+      metric = "lint.findings.use_before_init";
+      needs_sections = false;
+      needs_dataflow = true;
+      run = use_before_init;
+    };
+    {
+      name = "redundant-store";
+      codes = [ "SFX013" ];
+      doc = "stores a callee's MUSTMOD definitely overwrites before any use";
+      metric = "lint.findings.redundant_store";
+      needs_sections = false;
+      needs_dataflow = true;
+      run = redundant_store;
     };
   ]
 

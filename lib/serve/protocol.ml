@@ -5,6 +5,7 @@ type query =
   | Guse of { proc : string }
   | Rmod of { proc : string; var : string }
   | Ruse of { proc : string; var : string }
+  | Must of { proc : string }
   | Alias of { proc : string }
   | Purity of { proc : string }
   | Mod_site of { site : int }
@@ -72,6 +73,9 @@ let parse_query obj =
     let* proc = proc () in
     let* var = str_field obj "var" in
     Ok (Ruse { proc; var })
+  | "must" ->
+    let* proc = proc () in
+    Ok (Must { proc })
   | "alias" ->
     let* proc = proc () in
     Ok (Alias { proc })
@@ -89,8 +93,8 @@ let parse_query obj =
   | w ->
     Error
       (Printf.sprintf
-         "unknown query '%s' (expected gmod | guse | rmod | ruse | alias | \
-          purity | mod | use | lint-delta | source)"
+         "unknown query '%s' (expected gmod | guse | rmod | ruse | must | \
+          alias | purity | mod | use | lint-delta | source)"
          w)
 
 let parse_obj obj =
@@ -159,6 +163,7 @@ let query_fields = function
       ("proc", Json.String proc);
       ("var", Json.String var);
     ]
+  | Must { proc } -> [ ("what", Json.String "must"); ("proc", Json.String proc) ]
   | Alias { proc } ->
     [ ("what", Json.String "alias"); ("proc", Json.String proc) ]
   | Purity { proc } ->
@@ -224,6 +229,7 @@ let op_class = function
       | Guse _ -> "guse"
       | Rmod _ -> "rmod"
       | Ruse _ -> "ruse"
+      | Must _ -> "must"
       | Alias _ -> "alias"
       | Purity _ -> "purity"
       | Mod_site _ -> "mod"

@@ -16,6 +16,8 @@ type query =
   | Guse of { proc : string }  (** Variables in GUSE(proc). *)
   | Rmod of { proc : string; var : string }  (** Is var in RMOD? *)
   | Ruse of { proc : string; var : string }  (** Is var in RUSE? *)
+  | Must of { proc : string }
+      (** MUSTMOD(proc), with its intra and demoted columns. *)
   | Alias of { proc : string }  (** §5 alias pairs of proc. *)
   | Purity of { proc : string }  (** {!Lint.Rule.pure_procs} verdict. *)
   | Mod_site of { site : int }  (** MOD(s) for one call site. *)

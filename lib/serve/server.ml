@@ -154,6 +154,17 @@ let exec_query t entry ~client ~session (q : Protocol.query) =
            ("var", Json.String var);
            ("member", Json.Bool (Core.Rmod.modified a.Core.Analyze.ruse vid));
          ])
+  | Protocol.Must { proc } ->
+    let* pid = resolve_proc prog proc in
+    let m = a.Core.Analyze.mustmod in
+    Ok
+      (Json.Obj
+         [
+           ("proc", Json.String proc);
+           ("vars", names_json prog (Core.Mustmod.mustmod_of m pid));
+           ("intra", names_json prog (Core.Mustmod.intra_of m pid));
+           ("demoted", names_json prog (Core.Mustmod.demoted_of m pid));
+         ])
   | Protocol.Alias { proc } ->
     let* pid = resolve_proc prog proc in
     Ok
@@ -254,6 +265,7 @@ type fact =
   | Fglobal of [ `Mod | `Use ] * string * string
   | Fref of [ `Mod | `Use ] * string * string
   | Falias of string * string * string
+  | Fmust of string * string
   | Fdiag of string * string option
 
 let parse_fact s =
@@ -263,13 +275,14 @@ let parse_fact s =
   | [ "rmod"; p; f ] -> Ok (Fref (`Mod, p, f))
   | [ "ruse"; p; f ] -> Ok (Fref (`Use, p, f))
   | [ "alias"; p; x; y ] -> Ok (Falias (p, x, y))
+  | [ "must"; p; v ] -> Ok (Fmust (p, v))
   | [ "diag"; code ] -> Ok (Fdiag (code, None))
   | "diag" :: code :: rest -> Ok (Fdiag (code, Some (String.concat ":" rest)))
   | _ ->
     Error
       (Printf.sprintf
-         "unrecognised fact '%s' (expected gmod:P:V | guse:P:V | rmod:P:F | \
-          ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"
+         "unrecognised fact '%s' (expected gmod:P:V | guse:P:V | must:P:V | \
+          rmod:P:F | ruse:P:F | alias:P:X:Y | diag:CODE[:FILTER])"
          s)
 
 let has_substring hay sub =
@@ -321,6 +334,12 @@ let exec_explain t entry ~client ~program ~session ~fact ~all =
             ("gmod", `Mod, a.Core.Analyze.gmod);
             ("guse", `Use, a.Core.Analyze.guse);
           ];
+        List.iter
+          (fun vid ->
+            push
+              (Printf.sprintf "must:%s:%s" pn (Ir.Pp.var_name prog vid))
+              (Core.Explain.explain_must a ~locs ~proc:pid ~var:vid))
+          (Bitvec.to_list (Core.Mustmod.mustmod_of a.Core.Analyze.mustmod pid));
         List.iter
           (fun (x, y) ->
             push
@@ -405,6 +424,10 @@ let exec_explain t entry ~client ~program ~session ~fact ~all =
           let* xv = resolve_var prog ~proc:pid x in
           let* yv = resolve_var prog ~proc:pid y in
           Ok (Core.Explain.explain_alias a ~locs ~proc:pid xv yv)
+        | Fmust (p, v) ->
+          let* pid = resolve_proc prog p in
+          let* vid = resolve_var prog ~proc:pid v in
+          Ok (Core.Explain.explain_must a ~locs ~proc:pid ~var:vid)
         | Fdiag _ -> assert false
       in
       match lines with

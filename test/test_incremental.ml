@@ -20,6 +20,12 @@ let check_equiv msg (inc : A.t) (batch : A.t) =
   ok "IUSE+" (gmod_arrays_equal inc.A.iuse_plus batch.A.iuse_plus);
   ok "GMOD" (gmod_arrays_equal inc.A.gmod batch.A.gmod);
   ok "GUSE" (gmod_arrays_equal inc.A.guse batch.A.guse);
+  ok "MUSTMOD"
+    (gmod_arrays_equal inc.A.mustmod.Core.Mustmod.mustmod
+       batch.A.mustmod.Core.Mustmod.mustmod);
+  ok "IMUSTDEF"
+    (gmod_arrays_equal inc.A.mustmod.Core.Mustmod.intra
+       batch.A.mustmod.Core.Mustmod.intra);
   for sid = 0 to Ir.Prog.n_sites batch.A.prog - 1 do
     ok
       (Printf.sprintf "MOD(s%d)" sid)

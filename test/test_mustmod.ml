@@ -1,0 +1,380 @@
+(* Interprocedural MUSTMOD — the must-modify dual of GMOD.  Directed
+   cases pin the structural equations (branch intersection, loop
+   erasure, call projection), the §5/ptsto demotion rules, and the
+   precision gained by interprocedural kill sets over the retired local
+   under-approximation; property tests check the MUSTMOD ⊆ GMOD
+   invariant and soundness against the interpreter's dynamic
+   must-write oracle on random programs, pointer families included. *)
+
+module P = Ir.Prog
+module A = Core.Analyze
+module M = Core.Mustmod
+
+let pool4 = lazy (Par.Pool.create ~jobs:4)
+
+let () =
+  at_exit (fun () ->
+      if Lazy.is_val pool4 then Par.Pool.shutdown (Lazy.force pool4))
+
+let mustmod_of a pid = M.mustmod_of a.A.mustmod pid
+
+let check_must a msg proc expected =
+  let prog = a.A.prog in
+  Helpers.check_var_set prog msg expected
+    (mustmod_of a (Helpers.proc_id prog proc))
+
+(* --- structural equations --- *)
+
+(* A sequence accumulates; both-branch writes survive the intersection,
+   one-branch writes and loop-body writes do not; a for header always
+   writes its index (the interpreter stores the bound before the first
+   test, so this is dynamically exact even for zero iterations). *)
+let test_structure () =
+  let a =
+    A.run
+      (Helpers.compile
+         {|program t;
+var g, h, u, w, i, acc : int;
+
+begin
+  g := 1;
+  if g > 0 then
+    h := 1;
+    u := 1;
+  else
+    h := 2;
+  end;
+  while g < 10 do
+    w := w + 1;
+  end;
+  for i := 1 to g do
+    acc := acc + i;
+  end;
+  write acc;
+end.|})
+  in
+  check_must a "main: both-branch h kept, one-branch u and loop body dropped"
+    "t" [ "g"; "h"; "i" ]
+
+(* Call statements contribute the callee's MUSTMOD through the binding:
+   by-ref formals land on scalar whole-variable actuals, globals pass
+   through, callee locals and by-value formals vanish. *)
+let test_call_projection () =
+  let a =
+    A.run
+      (Helpers.compile
+         {|program t;
+var g, x, y : int;
+
+procedure leaf(v : int; var out : int);
+var tmp : int;
+begin
+  tmp := v;
+  out := tmp;
+  g := g + 1;
+end;
+
+procedure mid(var o : int);
+begin
+  call leaf(3, o);
+end;
+
+begin
+  call mid(x);
+  write x + y;
+end.|})
+  in
+  check_must a "leaf writes its by-ref formal, g, and tmp" "leaf"
+    [ "leaf.out"; "leaf.tmp"; "g" ];
+  check_must a "mid: out lands on o, g passes through, tmp dropped" "mid"
+    [ "mid.o"; "g" ];
+  check_must a "main: o lands on x" "t" [ "x"; "g" ]
+
+(* Recursion: the SCC iterates from ∅, so a self-call contributes only
+   what every unrolling agrees on — here nothing, because the recursive
+   branch's writes meet the base branch's. *)
+let test_recursion () =
+  let a =
+    A.run
+      (Helpers.compile
+         {|program t;
+var g, n : int;
+
+procedure down(var k : int);
+begin
+  if k > 0 then
+    k := k - 1;
+    call down(k);
+  else
+    g := 0;
+  end;
+end;
+
+begin
+  n := 3;
+  call down(n);
+  write g;
+end.|})
+  in
+  check_must a "recursive branches disagree: nothing definite" "down" [];
+  check_must a "main keeps its own write" "t" [ "n" ]
+
+(* --- §5/ptsto demotion --- *)
+
+(* A visible variable paired with a by-ref formal: the formal keeps its
+   must-facts (the projection re-binds it at every site), the visible
+   member is demoted. *)
+let test_visible_demotion () =
+  let a =
+    A.run
+      (Helpers.compile
+         {|program t;
+var sink : int;
+
+procedure set(var out : int);
+begin
+  out := 1;
+  sink := 2;
+end;
+
+begin
+  call set(sink);
+  write sink;
+end.|})
+  in
+  let prog = a.A.prog in
+  let pid = Helpers.proc_id prog "set" in
+  check_must a "formal survives the <sink, out> pair; sink is demoted" "set"
+    [ "set.out" ];
+  Helpers.check_var_set prog "demoted column names sink" [ "sink" ]
+    (M.demoted_of a.A.mustmod pid);
+  check_must a "projection still re-attributes the write" "t" [ "sink" ]
+
+(* Satellite: heap-overlap demotion must consult the ptsto tier.  The
+   two dereference actuals can only collide through heap cells —
+   Steensgaard unifies the two allocations (r flows from both p and q),
+   Andersen keeps them apart — so the formal–formal pair exists only
+   under the coarser tier, and only there are the formals excluded from
+   MUSTMOD. *)
+let heap_demo_src =
+  {|program t;
+var a, b : int;
+var p, q, r : ptr of int;
+
+procedure mix(var c : int; var d : int);
+begin
+  c := 1;
+  d := 2;
+end;
+
+begin
+  p := new int;
+  q := new int;
+  r := p;
+  r := q;
+  call mix( *p, *q);
+  a := *p;
+  b := *q;
+  write a + b;
+end.|}
+
+let test_heap_demotion () =
+  let prog = Helpers.compile heap_demo_src in
+  let coarse = A.run ~ptsto:Ptsto.Steensgaard prog in
+  let fine = A.run ~ptsto:Ptsto.Andersen prog in
+  check_must coarse
+    "steensgaard: unified heap cells alias the formals, both demoted" "mix" [];
+  check_must fine "andersen: allocations stay apart, both formals definite"
+    "mix" [ "mix.c"; "mix.d" ]
+
+(* --- precision over the retired local approximation --- *)
+
+(* A pinned family: the definite write sits under an if/else at the
+   bottom of a call chain, invisible to the retired top-level local
+   MUSTDEF but carried up by the interprocedural summaries — so the
+   dataflow kill set crosses the chain and the dead-store rule fires on
+   the store before the call.  Soundness of the claim is cross-checked
+   against the interpreter: every completed execution of the site
+   writes x, and none reads it first. *)
+let deep_kill_src depth =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "program deep;\nvar x : int;\n";
+  add
+    "\nprocedure w0(var v : int);\nbegin\n  if 1 > 0 then\n    v := 1;\n\
+    \  else\n    v := 2;\n  end;\nend;\n";
+  for k = 1 to depth do
+    add "\nprocedure w%d(var v : int);\nbegin\n  call w%d(v);\nend;\n" k (k - 1)
+  done;
+  add "\nbegin\n  x := 5;\n  call w%d(x);\n  write x;\nend.\n" depth;
+  Buffer.contents buf
+
+let test_deep_kill () =
+  List.iter
+    (fun depth ->
+      let prog = Helpers.compile (deep_kill_src depth) in
+      let a = A.run prog in
+      let top = Printf.sprintf "w%d" depth in
+      check_must a (top ^ " carries the branch-intersected write up") top
+        [ top ^ ".v" ];
+      let tf = Dataflow.Transfer.make a in
+      let local = Dataflow.Transfer.local_must_mod prog in
+      let x = Helpers.var_id prog "x" in
+      let sid = ref (-1) in
+      P.iter_sites prog (fun s ->
+          if s.P.caller = prog.P.main then sid := s.P.sid);
+      Helpers.check_bool "interprocedural kill reaches x" true
+        (Bitvec.get (Dataflow.Transfer.kill_of_site tf !sid) x);
+      Helpers.check_bool "the local approximation sees nothing" true
+        (Bitvec.is_empty local.(Helpers.proc_id prog "w0"));
+      let fs = Lint.Engine.run a in
+      Helpers.check_bool "SFX008 flags the pre-call store" true
+        (List.exists (fun d -> d.Lint.Diagnostic.code = "SFX008") fs);
+      let o = Interp.run prog in
+      Helpers.check_bool "run not truncated" false o.Interp.truncated;
+      (match Interp.observed_must o !sid with
+      | None -> Alcotest.fail "site never completed"
+      | Some om ->
+        Helpers.check_bool "every completed run writes x" true (Bitvec.get om x));
+      Helpers.check_bool "no run reads x before writing it" false
+        (Bitvec.get (Interp.observed_live o !sid) x))
+    [ 1; 4; 9 ]
+
+(* --- properties --- *)
+
+let subset_prop prog =
+  let a = A.run prog in
+  M.check_subset a.A.mustmod ~gmod:a.A.gmod
+
+(* Soundness against the dynamic oracle: the kill set the dataflow
+   consumes (projected MUSTMOD minus caller-side aliasing) claims only
+   variables every completed, skip-free execution of the site wrote. *)
+let oracle_prop prog =
+  let a = A.run prog in
+  let tf = Dataflow.Transfer.make a in
+  let o = Interp.run ~fuel:50_000 ~max_depth:128 prog in
+  let ok = ref true in
+  P.iter_sites prog (fun s ->
+      match Interp.observed_must o s.P.sid with
+      | None -> ()
+      | Some om ->
+        let kill = Dataflow.Transfer.kill_of_site tf s.P.sid in
+        Bitvec.iter
+          (fun v ->
+            if not (Bitvec.get om v) then begin
+              ok := false;
+              QCheck.Test.fail_reportf
+                "site %d: '%s' claimed must-written but some completed run \
+                 skipped it"
+                s.P.sid
+                (Ir.Pp.qualified_var_name prog v)
+            end)
+          kill);
+  !ok
+
+(* Random pointer programs, in the style of the points-to suite: every
+   pointer starts aimed at a distinct global, so any generated suffix
+   is valid and deref-safe. *)
+let ptr_src_of_seed seed =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let n_stmts = 6 + Random.State.int st 16 in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "program gen%d;\n" seed;
+  add "var g0, g1, g2, g3 : int;\n";
+  add "var p0, p1, p2 : ptr of int;\n";
+  add
+    "\nprocedure put(var c : int; var d : int);\nbegin\n  c := d + 1;\n\
+    \  if d > 3 then\n    d := 0;\n  end;\nend;\n";
+  add "\nbegin\n";
+  for i = 0 to 2 do
+    add "  p%d := &g%d;\n" i i
+  done;
+  for _ = 1 to n_stmts do
+    let p = Random.State.int st 3 and g = Random.State.int st 4 in
+    match Random.State.int st 8 with
+    | 0 -> add "  p%d := &g%d;\n" p g
+    | 1 -> add "  p%d := p%d;\n" p (Random.State.int st 3)
+    | 2 -> add "  p%d := new int;\n" p
+    | 3 -> add "  *p%d := %d;\n" p (Random.State.int st 100)
+    | 4 -> add "  g%d := *p%d;\n" g p
+    | 5 -> add "  call put( *p%d, g%d);\n" p g
+    | 6 -> add "  call put(g%d, *p%d);\n" g p
+    | _ -> add "  g%d := g%d + %d;\n" g g (Random.State.int st 10)
+  done;
+  add "  write g0 + g1 + g2 + g3;\nend.\n";
+  Buffer.contents buf
+
+let ptr_prog_of_seed seed = Helpers.compile (ptr_src_of_seed seed)
+
+let arb_ptr_prog =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "ptr seed %d" seed)
+    QCheck.Gen.(0 -- 10_000)
+
+(* --- parallel and incremental agreement --- *)
+
+let jobs_prop of_seed seed =
+  let prog = of_seed seed in
+  let seq = A.run prog in
+  let par = A.run ~pool:(Lazy.force pool4) prog in
+  Helpers.gmod_arrays_equal seq.A.mustmod.M.mustmod par.A.mustmod.M.mustmod
+
+let test_incremental_resolve () =
+  let prog = Helpers.compile (deep_kill_src 4) in
+  let engine = Incremental.Engine.create prog in
+  let w0 = Helpers.proc_id prog "w0" in
+  let g = Helpers.var_id prog "x" in
+  (* Turn w0's one-branch structure into an unconditional prologue
+     write: the whole ancestor cone's MUSTMOD shifts. *)
+  let (_ : Incremental.Engine.outcome) =
+    Incremental.Engine.apply engine
+      (Incremental.Edit.Add_assign
+         { proc = w0; target = g; value = Ir.Expr.Int 7 })
+  in
+  let inc = Incremental.Engine.analysis engine in
+  let batch = A.run (Incremental.Engine.prog engine) in
+  Helpers.check_bool "resolved MUSTMOD = batch MUSTMOD" true
+    (Helpers.gmod_arrays_equal inc.A.mustmod.M.mustmod
+       batch.A.mustmod.M.mustmod)
+
+let () =
+  Helpers.run "mustmod"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "structural equations" `Quick test_structure;
+          Alcotest.test_case "call projection" `Quick test_call_projection;
+          Alcotest.test_case "recursion meets to bottom" `Quick test_recursion;
+          Alcotest.test_case "visible-member demotion" `Quick
+            test_visible_demotion;
+          Alcotest.test_case "heap demotion follows the ptsto tier" `Quick
+            test_heap_demotion;
+          Alcotest.test_case "interprocedural kills beat local MUSTDEF" `Quick
+            test_deep_kill;
+          Alcotest.test_case "incremental resolve agrees with batch" `Quick
+            test_incremental_resolve;
+        ] );
+      ( "properties",
+        [
+          Helpers.qtest ~count:60 "MUSTMOD ⊆ GMOD (flat)" Helpers.arb_flat_prog
+            (fun seed -> subset_prop (Helpers.flat_of_seed seed));
+          Helpers.qtest ~count:40 "MUSTMOD ⊆ GMOD (nested)"
+            Helpers.arb_nested_prog (fun seed ->
+              subset_prop (Helpers.nested_of_seed seed));
+          Helpers.qtest ~count:60 "MUSTMOD ⊆ GMOD (pointers)" arb_ptr_prog
+            (fun seed -> subset_prop (ptr_prog_of_seed seed));
+          Helpers.qtest ~count:40 "kill sets sound vs interpreter (flat)"
+            Helpers.arb_flat_prog (fun seed ->
+              oracle_prop (Helpers.flat_of_seed seed));
+          Helpers.qtest ~count:30 "kill sets sound vs interpreter (nested)"
+            Helpers.arb_nested_prog (fun seed ->
+              oracle_prop (Helpers.nested_of_seed seed));
+          Helpers.qtest ~count:40 "kill sets sound vs interpreter (pointers)"
+            arb_ptr_prog (fun seed -> oracle_prop (ptr_prog_of_seed seed));
+          Helpers.qtest ~count:30 "pool run bit-identical (flat)"
+            Helpers.arb_flat_prog (jobs_prop Helpers.flat_of_seed);
+          Helpers.qtest ~count:20 "pool run bit-identical (nested)"
+            Helpers.arb_nested_prog (jobs_prop Helpers.nested_of_seed);
+        ] );
+    ]
